@@ -1,0 +1,103 @@
+"""Figure 14 reproduction: the paper's evaluation table.
+
+For every protocol this regenerates the row (S, RF, C, I, G):
+
+* S, RF, C, I are read off our models and invariants;
+* G -- the number of CTIs in the interactive search -- is *measured* by
+  replaying a session with an oracle user who contributes the published
+  conjectures as their CTIs appear (Section 5.2's interaction count);
+* the benchmark timings cover the final inductiveness check of each row,
+  i.e. the fully automatic part of the paper's workflow.
+
+Paper values are embedded for the EXPERIMENTS.md comparison; the row shape
+(which protocols need more interaction, relative invariant sizes) is the
+reproduction target -- see EXPERIMENTS.md for the per-row deviations.
+"""
+
+import pytest
+
+from repro.core.induction import check_inductive
+from repro.core.policy import OraclePolicy
+from repro.core.session import Session
+
+from .conftest import record
+
+PAPER_ROWS = {
+    # protocol: (S, RF, C, I, G) as printed in Figure 14
+    "leader_election": (2, 5, 3, 12, 3),
+    "lock_server": (5, 11, 3, 21, 8),
+    "distributed_lock": (2, 5, 3, 26, 12),
+    "learning_switch": (2, 5, 11, 18, 3),
+    "db_chain": (4, 13, 11, 35, 7),
+    "chord": (1, 13, 35, 46, 4),
+}
+
+_session_cache: dict[str, object] = {}
+
+
+def _measured_g(name, bundle):
+    """Replay the interactive session once per protocol (cached)."""
+    if name not in _session_cache:
+        session = Session(bundle.program, initial=bundle.safety)
+        outcome = session.run(OraclePolicy(bundle.invariant), max_iterations=40)
+        assert outcome.success, f"{name}: oracle session failed: {outcome.reason}"
+        _session_cache[name] = outcome
+    return _session_cache[name].cti_count
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_ROWS))
+def test_inductiveness_check(benchmark, bundles, name):
+    """Time the final inductiveness check of each Figure 14 row."""
+    bundle = bundles[name]
+    result = benchmark.pedantic(
+        check_inductive,
+        args=(bundle.program, list(bundle.invariant)),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.holds
+    benchmark.extra_info["S"] = bundle.sort_count()
+    benchmark.extra_info["RF"] = bundle.symbol_count()
+    benchmark.extra_info["C"] = bundle.literal_count(bundle.safety)
+    benchmark.extra_info["I"] = bundle.literal_count(bundle.invariant)
+    benchmark.extra_info["paper_row"] = PAPER_ROWS[name]
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_ROWS))
+def test_interactive_session_g(benchmark, bundles, name):
+    """Measure (and time) the oracle replay that yields the G column."""
+    bundle = bundles[name]
+
+    def run():
+        session = Session(bundle.program, initial=bundle.safety)
+        return session.run(OraclePolicy(bundle.invariant), max_iterations=40)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.success
+    _session_cache[name] = outcome
+    benchmark.extra_info["G"] = outcome.cti_count
+    benchmark.extra_info["paper_G"] = PAPER_ROWS[name][4]
+
+
+def test_zz_emit_table(bundles, results_dir):
+    """Write the measured Figure 14 table (runs after the G sessions)."""
+    lines = [
+        "Figure 14 reproduction: measured on our models (paper values in parens)",
+        "",
+        f"{'Protocol':26s} {'S':>7s} {'RF':>8s} {'C':>8s} {'I':>8s} {'G':>8s}",
+    ]
+    for name in PAPER_ROWS:
+        bundle = bundles[name]
+        paper = PAPER_ROWS[name]
+        measured_g = _measured_g(name, bundle)
+        cells = [
+            f"{bundle.sort_count()}({paper[0]})",
+            f"{bundle.symbol_count()}({paper[1]})",
+            f"{bundle.literal_count(bundle.safety)}({paper[2]})",
+            f"{bundle.literal_count(bundle.invariant)}({paper[3]})",
+            f"{measured_g}({paper[4]})",
+        ]
+        lines.append(
+            f"{name:26s} " + " ".join(f"{cell:>8s}" for cell in cells)
+        )
+    record(results_dir, "figure14", "\n".join(lines) + "\n")

@@ -1,0 +1,96 @@
+"""Generalization benchmarks (Figures 7-9, the Section 2.3 bound anecdote,
+and the unsat-core ablation called out in DESIGN.md)."""
+
+import pytest
+
+from repro.core.bounded import check_k_invariance, make_unroller
+from repro.core.generalize import auto_generalize, check_unreachable
+from repro.core.minimize import PositiveTuples, SortSize, find_minimal_cti
+from repro.core.policy import violation_subconfiguration
+from repro.logic import Sort, parse_formula
+from repro.logic.partial import from_structure
+
+
+@pytest.fixture(scope="module")
+def first_cti(leader):
+    program = leader.program
+    measures = [
+        SortSize(Sort("node")),
+        SortSize(Sort("id")),
+        PositiveTuples(program.vocab.relation("pnd")),
+        PositiveTuples(program.vocab.relation("leader")),
+    ]
+    result = find_minimal_cti(program, list(leader.safety), measures)
+    assert result.cti is not None
+    return result.cti
+
+
+@pytest.fixture(scope="module")
+def upper_bound(leader, first_cti):
+    target = next(
+        t
+        for t in leader.invariant[1:]
+        if not first_cti.state.satisfies(t.formula)
+    )
+    return violation_subconfiguration(first_cti.state, target.formula)
+
+
+def test_auto_generalize_with_core_polish(benchmark, leader, upper_bound):
+    """The full Section 4.5 pipeline: validate s_u, core, deletion pass."""
+    unroller = make_unroller(leader.program)
+
+    def run():
+        return auto_generalize(leader.program, upper_bound, 3, unroller, polish=True)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.ok
+    benchmark.extra_info["kept_facts"] = outcome.partial.fact_count()
+    benchmark.extra_info["dropped_facts"] = len(outcome.dropped)
+
+
+def test_auto_generalize_core_only(benchmark, leader, upper_bound):
+    """Ablation: assumption cores without the deletion polish."""
+    unroller = make_unroller(leader.program)
+
+    def run():
+        return auto_generalize(leader.program, upper_bound, 3, unroller, polish=False)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.ok
+    benchmark.extra_info["kept_facts"] = outcome.partial.fact_count()
+
+
+def test_rejected_generalization_shows_trace(benchmark, leader, first_cti):
+    """The failure path: an over-general s_u is refuted with a witness."""
+    partial = from_structure(first_cti.state)
+    for name in ("n", "m", "i", "btw", "pnd"):
+        partial = partial.forget(name)
+    unroller = make_unroller(leader.program)
+
+    def run():
+        return check_unreachable(leader.program, partial, 3, unroller)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not result.unreachable
+    assert result.trace is not None
+    benchmark.extra_info["witness_depth"] = result.depth
+
+
+def test_bound_sensitivity(benchmark, leader):
+    """The Section 2.3 anecdote: bound 2 accepts a bogus conjecture that
+    bound 3 refutes (two distinct nodes, one a leader)."""
+    program = leader.program
+    bogus = parse_formula(
+        "forall N1, N2. ~(N1 ~= N2 & leader(N1))", program.vocab
+    )
+    unroller = make_unroller(program)
+
+    def run():
+        shallow = check_k_invariance(program, bogus, 2, unroller).holds
+        deep = check_k_invariance(program, bogus, 3, unroller).holds
+        return shallow, deep
+
+    shallow, deep = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert shallow and not deep
+    benchmark.extra_info["accepted_at_bound"] = 2
+    benchmark.extra_info["refuted_at_bound"] = 3

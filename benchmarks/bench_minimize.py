@@ -1,0 +1,91 @@
+"""Algorithm 1 ablation (Section 4.3): minimal versus arbitrary CTIs.
+
+The design-choice DESIGN.md calls out: minimization costs extra solver
+calls but produces the small CTIs the generalization step depends on.
+Measured here on the first CTI of the leader election session.
+"""
+
+import pytest
+
+from repro.core.minimize import (
+    NegativeTuples,
+    PositiveTuples,
+    SortSize,
+    find_minimal_cti,
+)
+from repro.logic import Sort
+
+from .conftest import record
+
+
+def _measures(program):
+    return [
+        SortSize(Sort("node")),
+        SortSize(Sort("id")),
+        PositiveTuples(program.vocab.relation("pnd")),
+        PositiveTuples(program.vocab.relation("leader")),
+    ]
+
+
+def _size(cti, program):
+    node, ident = program.vocab.sorts
+    return (
+        cti.state.sort_size(node)
+        + cti.state.sort_size(ident),
+        cti.state.positive_count(program.vocab.relation("pnd"))
+        + cti.state.positive_count(program.vocab.relation("leader")),
+    )
+
+
+def test_unminimized_cti(benchmark, leader, results_dir):
+    def run():
+        return find_minimal_cti(leader.program, list(leader.safety), ())
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    elements, tuples = _size(result.cti, leader.program)
+    benchmark.extra_info["elements"] = elements
+    benchmark.extra_info["tuples"] = tuples
+    record(
+        results_dir,
+        "minimize_ablation_off",
+        f"without measures: {elements} elements, {tuples} mutable tuples\n",
+    )
+    assert elements >= 4
+
+
+def test_minimized_cti(benchmark, leader, results_dir):
+    def run():
+        return find_minimal_cti(
+            leader.program, list(leader.safety), _measures(leader.program)
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    elements, tuples = _size(result.cti, leader.program)
+    # The Figure 7 (a1) shape: 2 nodes + 2 ids, 1 pending + 1 leader.
+    assert elements == 4 and tuples == 2
+    assert dict(result.bounds) == {"|node|": 2, "|id|": 2, "#pnd": 1, "#leader": 1}
+    benchmark.extra_info["elements"] = elements
+    benchmark.extra_info["tuples"] = tuples
+    record(
+        results_dir,
+        "minimize_ablation_on",
+        f"with measures: {elements} elements, {tuples} mutable tuples "
+        f"(bounds {result.bounds})\n",
+    )
+
+
+def test_negative_tuple_measure(benchmark, leader):
+    """Lexicographic order with a negative-tuple measure still terminates
+    and yields a total CTI."""
+    program = leader.program
+    measures = [
+        SortSize(Sort("node")),
+        SortSize(Sort("id")),
+        NegativeTuples(program.vocab.relation("leader")),
+    ]
+
+    def run():
+        return find_minimal_cti(program, list(leader.safety), measures)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.cti is not None

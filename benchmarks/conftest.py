@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Bundles are session-scoped: building a protocol model is cheap, but tests
+compare declaration objects, and one shared instance keeps them identical.
+Results intended for EXPERIMENTS.md are also appended to
+``benchmarks/results/`` as plain text so a benchmark run regenerates the
+paper-versus-measured tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.protocols import ALL_PROTOCOLS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bundles():
+    return {name: module.build() for name, module in ALL_PROTOCOLS.items()}
+
+
+@pytest.fixture(scope="session")
+def leader(bundles):
+    return bundles["leader_election"]
+
+
+def record(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / f"{name}.txt"
+    path.write_text(text)
+    print(f"\n[written {path}]\n{text}")

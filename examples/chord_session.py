@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""An interactive-style session on Chord ring maintenance (Section 5.1).
+
+The paper's Chord proof starts from an automatically seeded conjecture set
+and repairs it interactively.  This example replays our stable-base Chord
+model end to end:
+
+1. bounded debugging: the ring-order assertion cannot fail within 2 steps;
+2. an oracle session measures how many CTIs separate the bare safety
+   property from the full invariant;
+3. the final invariant is checked inductive and printed.
+
+It also demonstrates *weakening* (Figure 5's remove edge): seeding the
+session with a plausible-but-wrong conjecture ("successor pointers are
+never reflexive") forces the user to remove it when its CTI appears.
+
+Run:  python examples/chord_session.py
+"""
+
+import sys
+import time
+
+from repro.core.bounded import find_error_trace
+from repro.core.induction import Conjecture, check_inductive
+from repro.core.policy import OraclePolicy
+from repro.core.session import RemoveConjecture, Session, Stop
+from repro.logic import parse_formula
+from repro.protocols import chord
+
+
+def main() -> int:
+    bundle = chord.build()
+    program = bundle.program
+
+    print("== Bounded debugging ==")
+    start = time.time()
+    result = find_error_trace(program, 2)
+    print(f"no ring-order violation within 2 steps: {result.holds} "
+          f"({time.time() - start:.1f}s)")
+
+    print()
+    print("== Interactive search (oracle user) ==")
+    session = Session(program, initial=bundle.safety)
+    start = time.time()
+    outcome = session.run(OraclePolicy(bundle.invariant))
+    print(f"success: {outcome.success}, G = {outcome.cti_count} CTIs "
+          f"({time.time() - start:.1f}s)")
+    for line in outcome.transcript:
+        print("  " + line)
+
+    print()
+    print("== Weakening: recovering from a wrong conjecture ==")
+    wrong = Conjecture(
+        "no_self_loop",
+        parse_formula("forall X:node. ~s(X, X)", program.vocab),
+    )
+
+    class RemoveWrongOnce:
+        """A user who notices the CTI implicates their guessed conjecture
+        (a singleton base ring has s(b, b), so the guess fails initiation)
+        and weakens."""
+
+        def __init__(self):
+            self.removed = False
+
+        def decide(self, session_, cti):
+            if not self.removed and cti.obligation.target == "no_self_loop":
+                self.removed = True
+                return RemoveConjecture("no_self_loop")
+            return Stop("unexpected CTI")
+
+    try:
+        weak_session = Session(program, initial=(*bundle.invariant, wrong))
+        weak_outcome = weak_session.run(RemoveWrongOnce())
+        print(f"recovered by weakening: {weak_outcome.success} "
+              f"(CTIs: {weak_outcome.cti_count})")
+    except Exception as error:  # initiation may already reject it
+        print(f"conjecture rejected outright: {error}")
+
+    print()
+    print("== Final invariant ==")
+    result = check_inductive(program, list(bundle.invariant))
+    print(f"inductive: {result.holds}")
+    for conjecture in bundle.invariant:
+        print(f"  {conjecture.name}: {conjecture.formula}")
+    return 0 if outcome.success and result.holds else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Reproduction of *Ivy: Safety Verification by Interactive Generalization*
+(Padon, McMillan, Sagiv, Shoham -- PLDI 2016).
+
+The package is layered exactly as the paper's system decomposes:
+
+* :mod:`repro.logic` -- sorted first-order logic: terms, formulas, finite
+  structures, partial structures / diagrams / conjectures (Defs. 1-5),
+  normal forms, fragments (Fig. 11), and a concrete-syntax parser;
+* :mod:`repro.solver` -- the decision procedures replacing Z3: a CDCL SAT
+  solver and an EPR (Bernays-Schoenfinkel-Ramsey + stratified functions)
+  front end with finite-model extraction and unsat cores (Thm. 3.3);
+* :mod:`repro.rml` -- the relational modeling language (Figs. 10-12),
+  weakest preconditions (Fig. 13), a concrete interpreter, and the
+  transition-relation encoder behind bounded verification;
+* :mod:`repro.core` -- the methodology: k-invariance (Eq. 3),
+  inductiveness and CTIs (Eq. 2), minimal CTIs (Algorithm 1),
+  interactive generalization with BMC + Auto Generalize (Sec. 4.5),
+  the session loop (Fig. 5), and Houdini/template baselines (Sec. 5.1);
+* :mod:`repro.protocols` -- the six evaluated protocols (Fig. 14);
+* :mod:`repro.viz` -- textual and Graphviz renderings of states,
+  conjectures and traces.
+
+Quickstart::
+
+    from repro.protocols import leader_election
+    from repro.core import Session, OraclePolicy
+
+    bundle = leader_election.build()
+    session = Session(bundle.program, initial=bundle.safety)
+    outcome = session.run(OraclePolicy(bundle.invariant))
+    assert outcome.success
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["logic", "solver", "rml", "core", "protocols", "viz"]

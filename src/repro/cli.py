@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Subcommands mirror the paper's workflow:
+
+* ``list`` -- the available protocol models;
+* ``bmc <protocol> [-k N] [--drop-axiom NAME]`` -- bounded debugging
+  (Section 4.1): search for an assertion violation within N iterations and
+  print the counterexample trace, Figure 4 style;
+* ``check <protocol>`` -- check the published invariant is inductive
+  (Eq. 2) and print the conjectures;
+* ``session <protocol>`` -- replay the interactive search with the oracle
+  policy, printing the transcript and the G count (Figure 14);
+* ``table`` -- print the Figure 14 reproduction table;
+* ``verify <file.rml>`` -- parse an RML text model, run bounded debugging,
+  and check any invariant conjectures passed via ``--conjecture``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .core.bounded import find_error_trace
+from .core.induction import Conjecture, check_inductive
+from .core.policy import OraclePolicy
+from .core.session import Session
+from .logic import parse_formula
+from .protocols import ALL_PROTOCOLS
+
+
+def _bundle(name: str):
+    try:
+        module = ALL_PROTOCOLS[name]
+    except KeyError:
+        raise SystemExit(
+            f"unknown protocol {name!r}; choose from {', '.join(sorted(ALL_PROTOCOLS))}"
+        )
+    return module.build()
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    for name, module in sorted(ALL_PROTOCOLS.items()):
+        bundle = module.build()
+        print(
+            f"{name:20s} sorts={bundle.sort_count()} symbols={bundle.symbol_count()} "
+            f"invariant={len(bundle.invariant)} conjectures"
+        )
+    return 0
+
+
+def cmd_bmc(args: argparse.Namespace) -> int:
+    bundle = _bundle(args.protocol)
+    program = bundle.program
+    if args.drop_axiom:
+        program = program.without_axiom(args.drop_axiom)
+    start = time.time()
+    result = find_error_trace(program, args.bound)
+    elapsed = time.time() - start
+    if result.holds:
+        print(f"no assertion violation within {args.bound} iterations "
+              f"({elapsed:.1f}s)")
+        return 0
+    print(f"assertion violation at depth {result.depth} ({elapsed:.1f}s):")
+    print()
+    print(result.trace)
+    return 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    bundle = _bundle(args.protocol)
+    start = time.time()
+    result = check_inductive(bundle.program, list(bundle.invariant))
+    elapsed = time.time() - start
+    print(f"invariant inductive: {result.holds} ({elapsed:.1f}s)")
+    for conjecture in bundle.invariant:
+        print(f"  {conjecture.name}: {conjecture.formula}")
+    if not result.holds and result.cti is not None:
+        print()
+        print(result.cti)
+    return 0 if result.holds else 1
+
+
+def cmd_session(args: argparse.Namespace) -> int:
+    bundle = _bundle(args.protocol)
+    session = Session(bundle.program, initial=bundle.safety)
+    start = time.time()
+    outcome = session.run(OraclePolicy(bundle.invariant), max_iterations=40)
+    elapsed = time.time() - start
+    print(f"success: {outcome.success}  G = {outcome.cti_count} CTIs "
+          f"({elapsed:.1f}s)")
+    for line in outcome.transcript:
+        print("  " + line)
+    return 0 if outcome.success else 1
+
+
+def cmd_interactive(args: argparse.Namespace) -> int:
+    from .core.interactive import run_interactive
+
+    bundle = _bundle(args.protocol)
+    session = Session(bundle.program, initial=bundle.safety, bmc_bound=args.bound)
+    outcome = run_interactive(session)
+    return 0 if outcome.success else 1
+
+
+def cmd_table(_args: argparse.Namespace) -> int:
+    print(f"{'protocol':22s} {'S':>3s} {'RF':>4s} {'C':>4s} {'I':>4s}")
+    for name in sorted(ALL_PROTOCOLS):
+        bundle = _bundle(name)
+        print(
+            f"{name:22s} {bundle.sort_count():3d} {bundle.symbol_count():4d} "
+            f"{bundle.literal_count(bundle.safety):4d} "
+            f"{bundle.literal_count(bundle.invariant):4d}"
+        )
+    print("\n(G requires a session replay: python -m repro session <protocol>)")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .rml.parser import parse_program
+
+    with open(args.file) as handle:
+        source = handle.read()
+    program = parse_program(source)
+    print(f"parsed {program.name!r}: {len(program.vocab.sorts)} sorts, "
+          f"{len(program.vocab.relations)} relations")
+    result = find_error_trace(program, args.bound)
+    if not result.holds:
+        print(f"assertion violation at depth {result.depth}:")
+        print(result.trace)
+        return 1
+    print(f"no assertion violation within {args.bound} iterations")
+    if args.conjecture:
+        conjectures = [
+            Conjecture(f"C{i}", parse_formula(text, program.vocab))
+            for i, text in enumerate(args.conjecture)
+        ]
+        check = check_inductive(program, conjectures)
+        print(f"conjunction of {len(conjectures)} conjectures inductive: "
+              f"{check.holds}")
+        if not check.holds and check.cti is not None:
+            print(check.cti)
+        return 0 if check.holds else 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ivy (PLDI 2016) reproduction: interactive safety verification",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list protocol models").set_defaults(
+        func=cmd_list
+    )
+
+    bmc = commands.add_parser("bmc", help="bounded debugging (Section 4.1)")
+    bmc.add_argument("protocol")
+    bmc.add_argument("-k", "--bound", type=int, default=3)
+    bmc.add_argument("--drop-axiom", help="remove an axiom first (Figure 4)")
+    bmc.set_defaults(func=cmd_bmc)
+
+    check = commands.add_parser("check", help="check the published invariant")
+    check.add_argument("protocol")
+    check.set_defaults(func=cmd_check)
+
+    session = commands.add_parser("session", help="replay the interactive search")
+    session.add_argument("protocol")
+    session.set_defaults(func=cmd_session)
+
+    interactive = commands.add_parser(
+        "interactive", help="drive the CTI loop yourself (the paper's UI, headless)"
+    )
+    interactive.add_argument("protocol")
+    interactive.add_argument("-k", "--bound", type=int, default=3)
+    interactive.set_defaults(func=cmd_interactive)
+
+    commands.add_parser("table", help="print the Figure 14 model statistics").set_defaults(
+        func=cmd_table
+    )
+
+    verify = commands.add_parser("verify", help="verify an RML text model")
+    verify.add_argument("file")
+    verify.add_argument("-k", "--bound", type=int, default=3)
+    verify.add_argument(
+        "--conjecture",
+        action="append",
+        help="invariant conjecture (repeatable); checked for inductiveness",
+    )
+    verify.set_defaults(func=cmd_verify)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,63 @@
+"""The paper's core contribution: interactive safety verification.
+
+Bounded verification / k-invariance (:mod:`~repro.core.bounded`),
+inductiveness checking with CTIs (:mod:`~repro.core.induction`), minimal
+CTIs (:mod:`~repro.core.minimize`), partial-structure generalization with
+BMC + Auto Generalize (:mod:`~repro.core.generalize`), the interactive
+session loop (:mod:`~repro.core.session`) with scriptable user policies
+(:mod:`~repro.core.policy`), and the automatic baselines
+(:mod:`~repro.core.houdini`, :mod:`~repro.core.absint`).
+"""
+
+from .absint import candidate_atoms, candidate_terms, enumerate_candidates
+from .bounded import BoundedResult, check_k_invariance, find_error_trace, make_unroller
+from .generalize import (
+    GeneralizeResult,
+    ReachabilityResult,
+    auto_generalize,
+    check_unreachable,
+)
+from .houdini import HoudiniResult, houdini, proves
+from .induction import (
+    CTI,
+    Conjecture,
+    InductionResult,
+    Obligation,
+    check_inductive,
+    check_initiation,
+    check_obligation,
+    obligations,
+)
+from .minimize import (
+    Measure,
+    MinimalCTIResult,
+    NegativeTuples,
+    PositiveTuples,
+    SortSize,
+    default_measures,
+    find_minimal_cti,
+    minimize_obligation,
+)
+from .policy import (
+    GeneralizingOraclePolicy,
+    OraclePolicy,
+    ScriptedPolicy,
+    violation_subconfiguration,
+)
+from .session import (
+    Action,
+    AddConjecture,
+    Policy,
+    RemoveConjecture,
+    SearchOutcome,
+    Session,
+    SessionError,
+    Stop,
+)
+from .trace import Trace
+from .updr import UpdrResult, UpdrStatus, updr
+
+__all__ = [name for name in dir() if not name.startswith("_")]
+from .shrink import ShrinkResult, shrink_invariant
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,107 @@
+"""Template-based conjecture enumeration (the paper's "basic abstract
+interpretation" seeding, Sections 4.2 and 5.1).
+
+The paper seeds invariant searches with conjectures computed automatically,
+and for Chord builds the *strongest inductive invariant in a template
+class* via Houdini.  This module provides the template class: universally
+quantified negated conjunctions of literals ("forbidden sub-configurations")
+over a bounded set of variables,
+
+    forall x1..xv . ~(l1 & ... & lm)
+
+where each literal is a (possibly negated) relation atom whose arguments
+are the bound variables or stratified function applications on them
+(e.g. ``le(idn(N1), idn(N2))``).  Combined with
+:func:`repro.core.houdini.houdini` this yields the automatic baseline the
+interactive method is compared against.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from ..logic import syntax as s
+from ..logic.sorts import Sort, Vocabulary
+from .induction import Conjecture
+
+
+def candidate_terms(
+    vocab: Vocabulary, variables: Sequence[s.Var], max_depth: int = 1
+) -> list[s.Term]:
+    """Variables plus stratified function applications over them."""
+    terms: list[s.Term] = list(variables)
+    frontier: list[s.Term] = list(variables)
+    for _ in range(max_depth):
+        new: list[s.Term] = []
+        for func in vocab.proper_functions():
+            for args in itertools.product(frontier, repeat=func.arity):
+                if tuple(a.sort for a in args) == func.arg_sorts:
+                    term = s.App(func, tuple(args))
+                    if term not in terms:
+                        new.append(term)
+        terms.extend(new)
+        frontier = new
+        if not new:
+            break
+    return terms
+
+
+def candidate_atoms(
+    vocab: Vocabulary,
+    variables: Sequence[s.Var],
+    max_depth: int = 1,
+    include_equality: bool = True,
+) -> list[s.Formula]:
+    """All relation atoms (and optional equalities) over the term pool."""
+    terms = candidate_terms(vocab, variables, max_depth)
+    by_sort: dict[Sort, list[s.Term]] = {}
+    for term in terms:
+        by_sort.setdefault(term.sort, []).append(term)
+    atoms: list[s.Formula] = []
+    for rel in vocab.relations:
+        pools = [by_sort.get(sort, []) for sort in rel.arg_sorts]
+        for args in itertools.product(*pools):
+            atoms.append(s.Rel(rel, tuple(args)))
+    if include_equality:
+        for pool in by_sort.values():
+            for lhs, rhs in itertools.combinations(pool, 2):
+                atoms.append(s.Eq(lhs, rhs))
+    return atoms
+
+
+def enumerate_candidates(
+    vocab: Vocabulary,
+    variables: Sequence[s.Var],
+    max_literals: int = 2,
+    max_depth: int = 1,
+    include_equality: bool = True,
+    name_prefix: str = "T",
+    max_candidates: int | None = None,
+) -> Iterator[Conjecture]:
+    """Enumerate template conjectures ``forall vars. ~(l1 & ... & lm)``.
+
+    Literal sets are combinations (no repetition) of signed atoms; a set
+    containing both polarities of one atom is skipped as trivially valid.
+    """
+    atoms = candidate_atoms(vocab, variables, max_depth, include_equality)
+    signed = [(atom, polarity) for atom in atoms for polarity in (True, False)]
+    count = 0
+    for size in range(1, max_literals + 1):
+        for combo in itertools.combinations(signed, size):
+            chosen_atoms = [atom for atom, _ in combo]
+            if len(set(map(id, chosen_atoms))) != len(chosen_atoms):
+                continue
+            if len(set(chosen_atoms)) != len(chosen_atoms):
+                continue  # same atom twice (either polarity combination)
+            literals = [s.literal(atom, polarity) for atom, polarity in combo]
+            used = set()
+            for literal in literals:
+                used |= s.free_vars(literal)
+            bound = tuple(v for v in variables if v in used)
+            body = s.not_(s.and_(*literals))
+            formula = s.forall(bound, body) if bound else body
+            count += 1
+            yield Conjecture(f"{name_prefix}{count}", formula)
+            if max_candidates is not None and count >= max_candidates:
+                return

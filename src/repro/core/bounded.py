@@ -1,0 +1,176 @@
+"""Bounded verification: k-invariance checking and symbolic debugging.
+
+Implements Section 4.1 of the paper.  An assertion ``phi`` is *k-invariant*
+when it holds in every state reachable at the loop head within ``k`` loop
+iterations (Eq. 3) -- with no bound on the size of the input configuration.
+The checks here decide that exactly (Theorem 3.3), and when a check fails
+they return a concrete finite :class:`~repro.core.trace.Trace` that can be
+displayed to the user, reproducing the Figure 3 debugging workflow and the
+Figure 4 error trace.
+
+Two entry points:
+
+* :func:`check_k_invariance` -- is a forall*exists* assertion k-invariant?
+* :func:`find_error_trace` -- can any assertion (``abort``) be violated
+  within ``k`` iterations?  This is the "debug the model first" phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..logic import syntax as s
+from ..logic.fragments import is_forall_exists
+from ..logic.structures import Structure
+from ..rml.ast import Program
+from ..rml.encode import Env, StepEncoding, TransitionEncoder, project_state
+from ..solver.epr import EprResult, EprSolver
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class BoundedResult:
+    """Outcome of a bounded check."""
+
+    holds: bool
+    bound: int
+    trace: Trace | None = None  # counterexample when the check fails
+    depth: int | None = None  # loop iterations executed by the counterexample
+    statistics: dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+class _Unroller:
+    """Incrementally unrolls a program, sharing encodings across depths."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.encoder = TransitionEncoder(program)
+        init = self.encoder.encode_step(program.init, self.encoder.base_env(), "init")
+        self.init = init
+        self.base_constraints: list[s.Formula] = [
+            axiom.formula for axiom in program.axioms
+        ]
+        self.base_constraints.append(init.formula)
+        self.envs: list[Env] = [init.post_env]  # state after j iterations
+        self.steps: list[StepEncoding] = []
+
+    def extend_to(self, depth: int) -> None:
+        while len(self.steps) < depth:
+            index = len(self.steps)
+            step = self.encoder.encode_step(
+                self.program.body, self.envs[-1], f"step{index}"
+            )
+            self.steps.append(step)
+            self.envs.append(step.post_env)
+
+    def solver_at(self, depth: int) -> EprSolver:
+        """A solver loaded with init plus ``depth`` body transitions.
+
+        The solver's vocabulary is the program vocabulary plus only the
+        version/selector symbols these constraints mention: the encoder
+        keeps minting symbols as deeper steps (and abort probes) are
+        encoded, and dragging unused havoc constants into the universe
+        would blow up axiom instantiation at high arities.
+        """
+        self.extend_to(depth)
+        constraints = list(self.base_constraints)
+        constraints.extend(self.steps[index].formula for index in range(depth))
+        used: set = set()
+        for constraint in constraints:
+            used |= s.symbols_of(constraint)
+        known = set(self.program.vocab.relations) | set(self.program.vocab.functions)
+        extra_rels = [
+            decl for decl in self.encoder.new_relations if decl in used and decl not in known
+        ]
+        extra_funcs = [
+            decl for decl in self.encoder.new_functions if decl in used and decl not in known
+        ]
+        vocab = self.program.vocab.extended(relations=extra_rels, functions=extra_funcs)
+        solver = EprSolver(vocab)
+        for index, constraint in enumerate(constraints):
+            solver.add(constraint, name=f"c{index}")
+        return solver
+
+    def trace_from(self, result: EprResult, depth: int, aborted: bool) -> Trace:
+        assert result.model is not None
+        states: list[Structure] = []
+        for env in self.envs[: depth + 1]:
+            states.append(project_state(result.model, self.program, env))
+        labels = tuple(
+            self._step_label(result.model, self.steps[index])
+            for index in range(depth)
+        )
+        return Trace(self.program, tuple(states), labels, aborted=aborted)
+
+    @staticmethod
+    def _step_label(model: Structure, step: StepEncoding) -> str:
+        for selector, labels in step.selectors:
+            if model.rel_holds(selector, ()):
+                return " / ".join(labels) if labels else "step"
+        return "step"
+
+
+def check_k_invariance(
+    program: Program, phi: s.Formula, k: int, unroller: _Unroller | None = None
+) -> BoundedResult:
+    """Decide Eq. 3: does ``phi`` hold at the loop head for all j <= k?
+
+    ``phi`` must be a closed forall*exists* assertion (so its negation is
+    exists*forall*).  On failure the returned trace ends in a state
+    violating ``phi`` after ``depth`` iterations.
+    """
+    if not is_forall_exists(phi):
+        raise ValueError(f"k-invariance needs a forall*exists* formula, got: {phi}")
+    unroller = unroller or _Unroller(program)
+    statistics: dict[str, int] = {}
+    for depth in range(k + 1):
+        solver = unroller.solver_at(depth)
+        goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
+        solver.add(goal, name="goal")
+        result = solver.check()
+        _accumulate(statistics, result.statistics)
+        if result.satisfiable:
+            trace = unroller.trace_from(result, depth, aborted=False)
+            return BoundedResult(False, k, trace, depth, statistics)
+    return BoundedResult(True, k, statistics=statistics)
+
+
+def find_error_trace(program: Program, k: int) -> BoundedResult:
+    """Search for an assertion violation within ``k`` loop iterations.
+
+    Checks, at each depth j <= k, whether executing the body or the
+    finalization command from the j-th loop-head state can reach ``abort``.
+    This is the bounded-debugging phase of Figure 3.
+    """
+    unroller = _Unroller(program)
+    statistics: dict[str, int] = {}
+    for depth in range(k + 1):
+        unroller.extend_to(depth)
+        env = unroller.envs[depth]
+        for command, label in ((program.body, "body"), (program.final, "final")):
+            abort = unroller.encoder.encode_step(
+                command, env, f"abort{depth}_{label}"
+            ).abort_formula
+            if abort == s.FALSE:
+                continue
+            solver = unroller.solver_at(depth)
+            solver.add(abort, name="abort")
+            result = solver.check()
+            _accumulate(statistics, result.statistics)
+            if result.satisfiable:
+                trace = unroller.trace_from(result, depth, aborted=True)
+                return BoundedResult(False, k, trace, depth, statistics)
+    return BoundedResult(True, k, statistics=statistics)
+
+
+def make_unroller(program: Program) -> _Unroller:
+    """Expose the incremental unroller for callers issuing repeated checks."""
+    return _Unroller(program)
+
+
+def _accumulate(into: dict[str, int], new: dict[str, int]) -> None:
+    for key, value in new.items():
+        into[key] = into.get(key, 0) + value

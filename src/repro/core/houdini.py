@@ -1,0 +1,125 @@
+"""Houdini-style automatic invariant inference (Section 5.1, Chord).
+
+For the Chord proof the paper "described a class of formulas using a
+template, and used abstract interpretation to construct the strongest
+inductive invariant in this class" -- i.e. the Houdini algorithm of
+Flanagan & Leino applied to a candidate conjecture pool:
+
+1. drop every candidate that fails *initiation*;
+2. repeatedly check consecution of the whole remaining conjunction and drop
+   every conjecture with a CTI, until no check fails.
+
+The result is the strongest inductive invariant expressible as a
+conjunction of pool members.  When it implies the safety property the
+program is proved automatically; otherwise it is a sound starting set of
+conjectures for the interactive session (Section 4.2's seeding).
+
+Pools are large (hundreds to thousands of template instances), so both
+phases are *batched*: all candidates' verification conditions are loaded
+into one :class:`~repro.solver.epr.EprSolver` as tracked constraints and
+each candidate is decided by an incremental SAT call under its selector --
+one grounding per Houdini round instead of one per candidate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..logic import syntax as s
+from ..rml.ast import Program
+from ..rml.wp import wp
+from ..solver.epr import EprSolver
+from .induction import Conjecture
+
+
+@dataclass(frozen=True)
+class HoudiniResult:
+    invariant: tuple[Conjecture, ...]  # the strongest inductive subset
+    dropped_initiation: tuple[str, ...]
+    dropped_consecution: tuple[str, ...]
+    rounds: int
+    statistics: dict[str, int] = field(default_factory=dict)
+
+
+def _batched_failures(
+    program: Program,
+    candidates: Sequence[Conjecture],
+    command,
+    premises: s.Formula,
+    statistics: dict[str, int],
+) -> set[str]:
+    """Names of candidates whose ``premises => wp(command, c)`` fails.
+
+    One grounded solver; candidate ``c``'s negated obligation is a tracked
+    constraint solved in isolation under its selector.
+    """
+    axioms = program.axiom_formula
+    solver = EprSolver(program.vocab, exclusive_tracked=True)
+    solver.add(s.and_(axioms, premises), name="premises")
+    for candidate in candidates:
+        obligation = s.not_(wp(command, candidate.formula, axioms))
+        solver.add(obligation, name=candidate.name, track=True)
+    prepared = solver.prepare()
+    failing: set[str] = set()
+    for candidate in candidates:
+        result = prepared.solve({candidate.name})
+        _accumulate(statistics, result.statistics)
+        if result.satisfiable:
+            failing.add(candidate.name)
+    return failing
+
+
+def houdini(
+    program: Program,
+    candidates: Sequence[Conjecture],
+    max_rounds: int = 1000,
+) -> HoudiniResult:
+    """Compute the strongest inductive subset of ``candidates``."""
+    statistics: dict[str, int] = {}
+    failing_init = _batched_failures(
+        program, candidates, program.init, s.TRUE, statistics
+    )
+    surviving = [c for c in candidates if c.name not in failing_init]
+    dropped_consec: list[str] = []
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > max_rounds:
+            raise RuntimeError("houdini failed to converge")
+        invariant = s.and_(*(c.formula for c in surviving))
+        failing = _batched_failures(
+            program, surviving, program.body, invariant, statistics
+        )
+        if not failing:
+            break
+        dropped_consec.extend(sorted(failing))
+        surviving = [c for c in surviving if c.name not in failing]
+    return HoudiniResult(
+        tuple(surviving),
+        tuple(sorted(failing_init)),
+        tuple(dropped_consec),
+        rounds,
+        statistics,
+    )
+
+
+def proves(
+    program: Program, invariant: Sequence[Conjecture], goal: Conjecture
+) -> bool:
+    """Does the (inductive) invariant imply the goal conjecture?
+
+    Used to test whether a Houdini result establishes the safety property:
+    checks unsatisfiability of ``A & I & ~goal``.
+    """
+    solver = EprSolver(program.vocab)
+    solver.add(program.axiom_formula, name="axioms")
+    for index, conjecture in enumerate(invariant):
+        solver.add(conjecture.formula, name=f"inv{index}")
+    solver.add(s.not_(goal.formula), name="goal")
+    return not solver.check().satisfiable
+
+
+def _accumulate(into: dict[str, int], new: dict[str, int]) -> None:
+    for key, value in new.items():
+        into[key] = into.get(key, 0) + value

@@ -1,0 +1,213 @@
+"""Inductiveness checking and counterexamples to induction (CTIs).
+
+Implements the three obligations of Eq. 2 for a candidate invariant
+``I = /\\ phi_i`` given as a set of named universal conjectures:
+
+* **initiation**: ``A => wp(C_init, phi_i)`` for every conjecture;
+* **safety**: ``A & I => wp(C_final, true)`` and ``A & I => wp(C_body,
+  true)`` -- no assertion can fail from an I-state;
+* **consecution**: ``A & I => wp(C_body, phi_i)`` for every conjecture.
+
+Each failed obligation yields a finite model of the negated implication
+(Theorem 3.3): a **CTI** -- a state satisfying all current conjectures from
+which one body execution aborts or violates some conjecture.  The successor
+state shown to the user (the (a2) states of Figures 7-9) is recovered by
+concretely executing the body from the CTI with the interpreter and picking
+an outcome that witnesses the violation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Mapping, Sequence
+
+from ..logic import syntax as s
+from ..logic.fragments import is_universal
+from ..logic.structures import Structure
+from ..rml.ast import Program
+from ..rml.interp import Outcome, execute, successors
+from ..rml.wp import wp
+from ..solver.epr import EprResult, EprSolver
+
+ObligationKind = Literal["initiation", "safety", "consecution"]
+
+
+@dataclass(frozen=True)
+class Conjecture:
+    """A named universal conjecture, one conjunct of the candidate invariant."""
+
+    name: str
+    formula: s.Formula
+
+    def __post_init__(self) -> None:
+        if s.free_vars(self.formula):
+            raise ValueError(f"conjecture {self.name!r} is not closed")
+        if not is_universal(self.formula):
+            raise ValueError(f"conjecture {self.name!r} is not universally quantified")
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.formula}"
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """One proof obligation ``premises => wp(command, post)``."""
+
+    kind: ObligationKind
+    description: str
+    command_label: str  # "init", "body", or "final"
+    target: str | None  # conjecture name being established, None for no-abort
+    post: s.Formula  # the postcondition being established (true for no-abort)
+    vc: s.Formula  # the exists*forall* satisfiability query (negated implication)
+
+
+@dataclass(frozen=True)
+class CTI:
+    """A counterexample to induction (Section 4.2).
+
+    ``state`` satisfies the axioms and every current conjecture;
+    ``successor`` (when the obligation is consecution) is a state reachable
+    from it in one body execution that violates ``violated``; for safety
+    obligations the body/final execution aborts instead and ``successor`` is
+    None.
+    """
+
+    obligation: Obligation
+    state: Structure
+    successor: Structure | None
+    action: tuple[str, ...]  # choice labels of the violating execution
+
+    @property
+    def violated(self) -> str | None:
+        return self.obligation.target
+
+    def __str__(self) -> str:
+        lines = [f"CTI ({self.obligation.description}):", "pre-state:"]
+        lines.extend("  " + line for line in str(self.state).splitlines())
+        if self.successor is not None:
+            lines.append(f"successor via {' / '.join(self.action) or 'body'}:")
+            lines.extend("  " + line for line in str(self.successor).splitlines())
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class InductionResult:
+    holds: bool
+    cti: CTI | None = None
+    statistics: dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.holds
+
+
+def obligations(
+    program: Program, conjectures: Sequence[Conjecture]
+) -> list[Obligation]:
+    """The full list of Eq. 2 obligations for the candidate invariant."""
+    axioms = program.axiom_formula
+    invariant = s.and_(*(c.formula for c in conjectures))
+    out: list[Obligation] = []
+    for conjecture in conjectures:
+        vc = s.and_(axioms, s.not_(wp(program.init, conjecture.formula, axioms)))
+        out.append(
+            Obligation(
+                "initiation",
+                f"initiation of {conjecture.name}",
+                "init",
+                conjecture.name,
+                conjecture.formula,
+                vc,
+            )
+        )
+    for label, command in (("final", program.final), ("body", program.body)):
+        no_abort = wp(command, s.TRUE, axioms)
+        if no_abort == s.TRUE:
+            continue
+        vc = s.and_(axioms, invariant, s.not_(no_abort))
+        out.append(
+            Obligation("safety", f"no abort via {label}", label, None, s.TRUE, vc)
+        )
+    for conjecture in conjectures:
+        vc = s.and_(
+            axioms, invariant, s.not_(wp(program.body, conjecture.formula, axioms))
+        )
+        out.append(
+            Obligation(
+                "consecution",
+                f"consecution of {conjecture.name}",
+                "body",
+                conjecture.name,
+                conjecture.formula,
+                vc,
+            )
+        )
+    return out
+
+
+def check_obligation(
+    program: Program,
+    obligation: Obligation,
+    extra_constraints: Iterable[s.Formula] = (),
+) -> EprResult:
+    """Satisfiability of one obligation's negated VC (sat = CTI exists)."""
+    solver = EprSolver(program.vocab)
+    solver.add(obligation.vc, name="vc")
+    for index, constraint in enumerate(extra_constraints):
+        solver.add(constraint, name=f"extra{index}")
+    return solver.check()
+
+
+def cti_from_model(program: Program, obligation: Obligation, state: Structure) -> CTI:
+    """Reconstruct the violating execution from a CTI pre-state."""
+    successor, action = _witness(program, obligation, state)
+    return CTI(obligation, state, successor, action)
+
+
+def _witness(
+    program: Program, obligation: Obligation, state: Structure
+) -> tuple[Structure | None, tuple[str, ...]]:
+    if obligation.kind == "initiation":
+        return None, ()
+    command = program.final if obligation.command_label == "final" else program.body
+    outcomes = execute(command, state, program.axiom_formula)
+    if obligation.kind == "safety":
+        for outcome in outcomes:
+            if outcome.aborted:
+                return None, outcome.labels
+        raise AssertionError("CTI model does not witness an abort")
+    for outcome in outcomes:
+        if outcome.state is None:
+            continue
+        if not outcome.state.satisfies(obligation.post):
+            return outcome.state, outcome.labels
+    raise AssertionError("CTI model has no violating successor")
+
+
+def check_inductive(
+    program: Program, conjectures: Sequence[Conjecture]
+) -> InductionResult:
+    """Check Eq. 2 for the conjunction of ``conjectures``.
+
+    Returns the first failing obligation's CTI (obligations are checked in
+    the order initiation, safety, consecution, matching the search loop of
+    Figure 5).
+    """
+    statistics: dict[str, int] = {}
+    for obligation in obligations(program, conjectures):
+        result = check_obligation(program, obligation)
+        for key, value in result.statistics.items():
+            statistics[key] = statistics.get(key, 0) + value
+        if result.satisfiable:
+            assert result.model is not None
+            cti = cti_from_model(program, obligation, result.model)
+            return InductionResult(False, cti, statistics)
+    return InductionResult(True, statistics=statistics)
+
+
+def check_initiation(program: Program, conjecture: Conjecture) -> EprResult:
+    """Does the conjecture hold after ``C_init`` from any axiom state?"""
+    axioms = program.axiom_formula
+    vc = s.and_(axioms, s.not_(wp(program.init, conjecture.formula, axioms)))
+    solver = EprSolver(program.vocab)
+    solver.add(vc, name="initiation")
+    return solver.check()

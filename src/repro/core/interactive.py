@@ -1,0 +1,178 @@
+"""A terminal-interactive session driver -- the paper's UI, headless.
+
+The original Ivy runs in an IPython notebook with graphical states and
+per-symbol checkboxes; this module provides the same interaction over a
+text terminal (``python -m repro interactive <protocol>``).  At each CTI
+the user sees the minimized pre-state, the violated conjecture, and the
+successor, then chooses:
+
+* ``generalize`` -- pick the elements/symbols to keep (the coarse-grained
+  upper bound s_u of Section 4.5), run BMC + Auto Generalize at a chosen
+  bound, inspect the suggested conjecture, and accept or retry;
+* ``add <formula>`` -- type a conjecture directly;
+* ``remove <name>`` -- weaken (Figure 5's left edge);
+* ``show`` / ``dot`` -- re-display the CTI (optionally as Graphviz);
+* ``quit``.
+
+The prompt machinery reads from an injectable input stream, so scripted
+terminals in the test suite can drive full sessions.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, TextIO
+
+from ..logic import parse_formula
+from ..logic.partial import PartialStructure
+from ..viz.dot import structure_to_dot
+from .induction import CTI, Conjecture
+from .session import AddConjecture, Action, RemoveConjecture, Session, Stop
+
+
+class TerminalPolicy:
+    """Interactive policy reading decisions from a stream (stdin by default)."""
+
+    def __init__(
+        self,
+        input_stream: TextIO | None = None,
+        output: TextIO | None = None,
+    ) -> None:
+        self.input = input_stream or sys.stdin
+        self.output = output or sys.stdout
+        self._counter = 0
+
+    # ------------------------------------------------------------- plumbing
+
+    def _say(self, text: str = "") -> None:
+        print(text, file=self.output)
+
+    def _ask(self, prompt: str) -> str:
+        print(prompt, end="", file=self.output, flush=True)
+        line = self.input.readline()
+        if not line:
+            return "quit"
+        return line.strip()
+
+    # ------------------------------------------------------------- decision
+
+    def decide(self, session: Session, cti: CTI) -> Action:
+        self._say()
+        self._say(f"=== CTI: {cti.obligation.description} ===")
+        self._say("pre-state:")
+        self._say(str(cti.state))
+        if cti.successor is not None:
+            self._say(f"successor via {' / '.join(cti.action)}:")
+            self._say(str(cti.successor))
+        while True:
+            command = self._ask("ivy> ")
+            word, _, rest = command.partition(" ")
+            if word in ("quit", "q", "stop"):
+                return Stop("user quit")
+            if word == "show":
+                self._say(str(cti.state))
+                continue
+            if word == "dot":
+                self._say(structure_to_dot(cti.state, name="cti"))
+                continue
+            if word == "conjectures":
+                for conjecture in session.conjectures:
+                    self._say(f"  {conjecture.name}: {conjecture.formula}")
+                continue
+            if word == "remove":
+                name = rest.strip()
+                if session.conjecture_named(name) is None:
+                    self._say(f"no conjecture named {name!r}")
+                    continue
+                return RemoveConjecture(name)
+            if word == "add":
+                try:
+                    formula = parse_formula(rest, session.program.vocab)
+                    conjecture = Conjecture(self._fresh_name(session), formula)
+                except Exception as error:  # show, stay in the loop
+                    self._say(f"error: {error}")
+                    continue
+                return AddConjecture(conjecture)
+            if word == "generalize":
+                action = self._generalize(session, cti)
+                if action is not None:
+                    return action
+                continue
+            self._say(
+                "commands: generalize | add <formula> | remove <name> | "
+                "show | dot | conjectures | quit"
+            )
+
+    def _fresh_name(self, session: Session) -> str:
+        while True:
+            self._counter += 1
+            name = f"U{self._counter}"
+            if session.conjecture_named(name) is None:
+                return name
+
+    # -------------------------------------------------------- generalization
+
+    def _generalize(self, session: Session, cti: CTI) -> Action | None:
+        partial = session.cti_partial(cti)
+        keep = self._ask(
+            "elements to keep (comma separated, empty = all): "
+        )
+        if keep.strip():
+            names = {name.strip() for name in keep.split(",")}
+            elements = [
+                elem
+                for elem in cti.state.elements()
+                if elem.name in names
+            ]
+            partial = partial.restrict_elements(elements)
+        forget = self._ask("symbols to forget (comma separated, empty = none): ")
+        for name in filter(None, (part.strip() for part in forget.split(","))):
+            if session.program.vocab.get(name) is None:
+                self._say(f"  (no symbol named {name!r}; skipped)")
+                continue
+            partial = partial.forget(name)
+        bound_text = self._ask(f"BMC bound [default {session.bmc_bound}]: ")
+        bound = int(bound_text) if bound_text.strip() else None
+        self._say("running BMC + Auto Generalize ...")
+        outcome = session.generalize(partial, bound)
+        if not outcome.ok:
+            self._say(
+                f"generalization is reachable in {outcome.depth} steps; "
+                "witness trace:"
+            )
+            self._say(str(outcome.trace))
+            return None
+        self._say("suggested conjecture:")
+        self._say(f"  {outcome.conjecture}")
+        self._say("kept facts:")
+        for fact in outcome.partial.facts():
+            self._say(f"  {fact}")
+        answer = self._ask("accept? [y/n] ")
+        if answer.lower().startswith("y"):
+            return AddConjecture(
+                Conjecture(self._fresh_name(session), outcome.conjecture)
+            )
+        return None
+
+
+def run_interactive(
+    session: Session,
+    input_stream: TextIO | None = None,
+    output: TextIO | None = None,
+    max_iterations: int = 64,
+):
+    """Run the Figure 5 loop with a human (or scripted terminal) as policy."""
+    policy = TerminalPolicy(input_stream, output)
+    outcome = session.run(policy, max_iterations=max_iterations)
+    stream = output or sys.stdout
+    print(file=stream)
+    if outcome.success:
+        print(
+            f"inductive invariant found after {outcome.cti_count} CTIs:",
+            file=stream,
+        )
+        for conjecture in outcome.conjectures:
+            print(f"  {conjecture.name}: {conjecture.formula}", file=stream)
+    else:
+        print(f"session ended: {outcome.reason}", file=stream)
+    return outcome

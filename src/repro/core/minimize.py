@@ -1,0 +1,200 @@
+"""Minimal counterexamples to induction (Section 4.3, Algorithm 1).
+
+A CTI is easier to generalize from when it is small.  The paper lets the
+user pick a tuple of *measures* -- sort sizes, positive tuple counts,
+negative tuple counts -- and finds a CTI minimal in the induced
+lexicographic order, by conjoining cardinality constraints ``phi_m(n)``
+("the value of measure m is at most n") onto the inductiveness query and
+searching upward for the least satisfiable ``n`` per measure.
+
+Each ``phi_m(n)`` is itself an exists*forall* formula (shown in the paper
+for positive tuple counts): ``exists x_1..x_n. forall y. r(y) -> \\/ y = x_i``
+-- so the minimized queries stay decidable EPR.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+from ..logic import syntax as s
+from ..logic.sorts import RelDecl, Sort
+from ..rml.ast import Program
+from ..solver.epr import EprResult, EprSolver
+from .induction import CTI, Conjecture, Obligation, cti_from_model, obligations
+
+
+class Measure(Protocol):
+    """A quantitative measure on structures, ordered by "at most n"."""
+
+    def describe(self) -> str: ...
+
+    def at_most(self, n: int) -> s.Formula:
+        """The exists*forall* constraint ``value of this measure <= n``."""
+
+
+@dataclass(frozen=True)
+class SortSize:
+    """Measure: the number of elements of ``sort``."""
+
+    sort: Sort
+
+    def describe(self) -> str:
+        return f"|{self.sort.name}|"
+
+    def at_most(self, n: int) -> s.Formula:
+        if n <= 0:
+            # Domains are non-empty; "at most 0" is unsatisfiable, encoded
+            # directly so the search loop moves on to n = 1.
+            return s.FALSE
+        witnesses = tuple(s.Var(f"W{i}", self.sort) for i in range(n))
+        y = s.Var("Y", self.sort)
+        body = s.forall((y,), s.or_(*(s.eq(y, w) for w in witnesses)))
+        return s.exists(witnesses, body)
+
+
+@dataclass(frozen=True)
+class PositiveTuples:
+    """Measure: the number of tuples in relation ``rel``."""
+
+    rel: RelDecl
+
+    def describe(self) -> str:
+        return f"#{self.rel.name}"
+
+    def at_most(self, n: int) -> s.Formula:
+        return _tuple_bound(self.rel, n, positive=True)
+
+
+@dataclass(frozen=True)
+class NegativeTuples:
+    """Measure: the number of tuples *not* in relation ``rel``."""
+
+    rel: RelDecl
+
+    def describe(self) -> str:
+        return f"#~{self.rel.name}"
+
+    def at_most(self, n: int) -> s.Formula:
+        return _tuple_bound(self.rel, n, positive=False)
+
+
+def _tuple_bound(rel: RelDecl, n: int, positive: bool) -> s.Formula:
+    arity = rel.arity
+    witness_rows = [
+        tuple(s.Var(f"W{row}_{col}", sort) for col, sort in enumerate(rel.arg_sorts))
+        for row in range(n)
+    ]
+    ys = tuple(s.Var(f"Y{col}", sort) for col, sort in enumerate(rel.arg_sorts))
+    atom: s.Formula = s.Rel(rel, ys)
+    if not positive:
+        atom = s.not_(atom)
+    matches = [
+        s.and_(*(s.eq(y, w) for y, w in zip(ys, row))) for row in witness_rows
+    ]
+    body = s.forall(ys, s.implies(atom, s.or_(*matches))) if arity else s.implies(atom, s.FALSE if not witness_rows else s.TRUE)
+    flat_witnesses = tuple(v for row in witness_rows for v in row)
+    if not flat_witnesses:
+        return body
+    return s.exists(flat_witnesses, body)
+
+
+@dataclass(frozen=True)
+class MinimalCTIResult:
+    cti: CTI | None
+    bounds: tuple[tuple[str, int], ...]  # achieved minimum per measure
+    statistics: dict[str, int]
+
+
+def find_minimal_cti(
+    program: Program,
+    conjectures: Sequence[Conjecture],
+    measures: Sequence[Measure] = (),
+    max_bound: int = 8,
+) -> MinimalCTIResult:
+    """Algorithm 1: a CTI minimal in the lexicographic measure order.
+
+    Obligations are examined in the usual order; the first one admitting a
+    counterexample is minimized.  Returns ``cti=None`` when the candidate
+    invariant is inductive.
+    """
+    statistics: dict[str, int] = {}
+    for obligation in obligations(program, conjectures):
+        result = _solve(program, obligation, (), statistics)
+        if not result.satisfiable:
+            continue
+        return _minimize(program, obligation, measures, max_bound, statistics, result)
+    return MinimalCTIResult(None, (), statistics)
+
+
+def minimize_obligation(
+    program: Program,
+    obligation: Obligation,
+    measures: Sequence[Measure],
+    max_bound: int = 8,
+) -> MinimalCTIResult:
+    """Minimize a specific failing obligation (used by the session loop)."""
+    statistics: dict[str, int] = {}
+    result = _solve(program, obligation, (), statistics)
+    if not result.satisfiable:
+        return MinimalCTIResult(None, (), statistics)
+    return _minimize(program, obligation, measures, max_bound, statistics, result)
+
+
+def _minimize(
+    program: Program,
+    obligation: Obligation,
+    measures: Sequence[Measure],
+    max_bound: int,
+    statistics: dict[str, int],
+    first: EprResult,
+) -> MinimalCTIResult:
+    psi_min: list[s.Formula] = []
+    bounds: list[tuple[str, int]] = []
+    best = first
+    for measure in measures:
+        for n in range(max_bound + 1):
+            constraint = measure.at_most(n)
+            result = _solve(program, obligation, (*psi_min, constraint), statistics)
+            if result.satisfiable:
+                psi_min.append(constraint)
+                bounds.append((measure.describe(), n))
+                best = result
+                break
+        else:
+            # No bound up to max_bound is satisfiable together with the
+            # earlier constraints; leave this measure unconstrained.
+            bounds.append((measure.describe(), -1))
+    assert best.model is not None
+    cti = cti_from_model(program, obligation, best.model)
+    return MinimalCTIResult(cti, tuple(bounds), statistics)
+
+
+def _solve(
+    program: Program,
+    obligation: Obligation,
+    extra: Sequence[s.Formula],
+    statistics: dict[str, int],
+) -> EprResult:
+    solver = EprSolver(program.vocab)
+    solver.add(obligation.vc, name="vc")
+    for index, constraint in enumerate(extra):
+        solver.add(constraint, name=f"min{index}")
+    result = solver.check()
+    for key, value in result.statistics.items():
+        statistics[key] = statistics.get(key, 0) + value
+    return result
+
+
+def default_measures(program: Program) -> list[Measure]:
+    """A sensible default: minimize every sort, then every relation.
+
+    Mirrors the paper's guidance that smaller domains and sparser "guard"
+    relations (like ``pnd``) produce more easily generalized CTIs.
+    """
+    measures: list[Measure] = [SortSize(sort) for sort in program.vocab.sorts]
+    mutable = program.mutable_symbols()
+    for rel in program.vocab.relations:
+        if rel in mutable:
+            measures.append(PositiveTuples(rel))
+    return measures

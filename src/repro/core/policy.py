@@ -1,0 +1,196 @@
+"""User policies for the interactive session.
+
+The paper's "user" inspects CTIs graphically and chooses generalizations;
+these policy objects reproduce the common user behaviors in a scripted,
+deterministic way:
+
+* :class:`OraclePolicy` -- a user who already knows the final invariant and
+  at each CTI contributes the conjecture that eliminates it.  Replaying a
+  session with the paper's published invariant measures the number of
+  CTI iterations (Figure 14's G column).
+* :class:`GeneralizingOraclePolicy` -- a user who knows which facts matter:
+  at each CTI it builds the upper bound ``s_u`` by keeping only the facts
+  relevant to a known target conjecture, then lets BMC + Auto Generalize
+  produce the conjecture actually added, as in the Section 2.3 walkthrough.
+* :class:`ScriptedPolicy` -- an explicit script of per-CTI callbacks, used
+  by the leader-election walkthrough tests to reproduce Figures 7-9
+  generalization by generalization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..logic import syntax as s
+from ..logic.partial import PartialStructure, from_structure
+from .induction import CTI, Conjecture
+from .session import Action, AddConjecture, Session, Stop
+
+
+@dataclass
+class OraclePolicy:
+    """Knows the target invariant; adds the conjecture each CTI falsifies."""
+
+    invariant: Sequence[Conjecture]
+
+    def decide(self, session: Session, cti: CTI) -> Action:
+        for conjecture in self.invariant:
+            if session.conjecture_named(conjecture.name) is not None:
+                continue
+            if not cti.state.satisfies(conjecture.formula):
+                return AddConjecture(conjecture)
+        return Stop("no remaining oracle conjecture eliminates this CTI")
+
+
+@dataclass
+class GeneralizingOraclePolicy:
+    """Knows *which facts matter* and delegates the rest to Auto Generalize.
+
+    For each CTI, finds the first target conjecture the CTI state falsifies,
+    computes the sub-configuration of the CTI that witnesses the violation
+    (the facts of the conjecture's falsified instance), uses it as the upper
+    bound ``s_u``, and adds ``phi(s_m)`` from BMC + Auto Generalize.  This
+    mimics a user whose intuition identifies the relevant features while the
+    tool does the precise generalization.
+    """
+
+    invariant: Sequence[Conjecture]
+    bound: int | None = None
+
+    def decide(self, session: Session, cti: CTI) -> Action:
+        for target in self.invariant:
+            if not cti.state.satisfies(target.formula):
+                upper = violation_subconfiguration(cti.state, target.formula)
+                if upper is None:
+                    continue
+                outcome = session.generalize(upper, self.bound)
+                if not outcome.ok:
+                    continue
+                name = self._fresh_name(session, target.name)
+                assert outcome.conjecture is not None
+                return AddConjecture(Conjecture(name, outcome.conjecture))
+        return Stop("no generalization found for this CTI")
+
+    @staticmethod
+    def _fresh_name(session: Session, base: str) -> str:
+        name = base
+        counter = 0
+        while session.conjecture_named(name) is not None:
+            counter += 1
+            name = f"{base}_{counter}"
+        return name
+
+
+@dataclass
+class ScriptedPolicy:
+    """Replays an explicit list of per-CTI decisions."""
+
+    steps: Sequence[Callable[[Session, CTI], Action]]
+    _cursor: int = 0
+
+    def decide(self, session: Session, cti: CTI) -> Action:
+        if self._cursor >= len(self.steps):
+            return Stop("script exhausted")
+        step = self.steps[self._cursor]
+        self._cursor += 1
+        return step(session, cti)
+
+
+def violation_subconfiguration(
+    state, formula: s.Formula
+) -> PartialStructure | None:
+    """The sub-configuration of ``state`` witnessing ``state |/= formula``.
+
+    For a universal conjecture ``forall x. ~(l1 & ... & ln)``, finds an
+    assignment falsifying the body and keeps exactly the facts of the
+    literals under that assignment -- the natural "what went wrong here"
+    slice a user would keep when defining the generalization upper bound.
+    """
+    if not isinstance(formula, s.Forall):
+        return None
+    full = from_structure(state)
+    domains = [state.universe[v.sort] for v in formula.vars]
+    import itertools
+
+    for combo in itertools.product(*domains):
+        assignment = dict(zip(formula.vars, combo))
+        if state.eval_formula(formula.body, assignment):
+            continue
+        # Collect the atomic facts of the body under this assignment,
+        # including the function facts of every application term inside the
+        # atoms -- the literal ``pnd(idn(N1), N1)`` contributes both the
+        # ``pnd`` fact and the ``idn`` binding that connects its arguments.
+        facts = []
+        for atom, value in _atom_values(state, formula.body, assignment):
+            fact = _atom_to_fact(state, atom, assignment, value)
+            if fact is not None:
+                facts.append(fact)
+            for term in s.terms_of(atom):
+                _term_facts(state, term, assignment, facts)
+        return full.keep_facts(facts)
+    return None
+
+
+def _term_facts(state, term: s.Term, assignment, facts: list) -> None:
+    """Record positive function facts for application subterms."""
+    from ..logic.partial import Fact
+
+    if isinstance(term, s.App) and term.func.arity > 0:
+        args = tuple(state.eval_term(t, assignment) for t in term.args)
+        result = state.eval_term(term, assignment)
+        facts.append(Fact(term.func, args + (result,), True))
+        for sub in term.args:
+            _term_facts(state, sub, assignment, facts)
+    elif isinstance(term, s.Ite):
+        _term_facts(state, term.then, assignment, facts)
+        _term_facts(state, term.els, assignment, facts)
+
+
+def _atom_values(state, formula: s.Formula, assignment):
+    """Yield (atom, truth value) for every atom of a QF formula body."""
+    if isinstance(formula, (s.Rel, s.Eq)):
+        yield formula, state.eval_formula(formula, assignment)
+        return
+    if isinstance(formula, s.Not):
+        yield from _atom_values(state, formula.arg, assignment)
+        return
+    if isinstance(formula, (s.And, s.Or)):
+        for arg in formula.args:
+            yield from _atom_values(state, arg, assignment)
+        return
+    if isinstance(formula, (s.Implies, s.Iff)):
+        yield from _atom_values(state, formula.lhs, assignment)
+        yield from _atom_values(state, formula.rhs, assignment)
+        return
+    raise ValueError("violation_subconfiguration expects a QF conjecture body")
+
+
+def _atom_to_fact(state, atom: s.Formula, assignment, value: bool):
+    """Convert a ground-evaluated atom into a partial-structure fact."""
+    from ..logic.partial import Fact
+
+    if isinstance(atom, s.Rel):
+        args = tuple(state.eval_term(t, assignment) for t in atom.args)
+        return Fact(atom.rel, args, value)
+    if isinstance(atom, s.Eq):
+        # Equalities between diagram variables are element identity, which
+        # the diagram's distinctness already covers; function applications
+        # become function facts.
+        lhs, rhs = atom.lhs, atom.rhs
+        if isinstance(lhs, s.App) and lhs.func.arity > 0:
+            args = tuple(state.eval_term(t, assignment) for t in lhs.args)
+            result = state.eval_term(rhs, assignment)
+            if value:
+                return Fact(lhs.func, args + (result,), True)
+            actual = state.eval_term(lhs, assignment)
+            return Fact(lhs.func, args + (actual,), True)
+        if isinstance(rhs, s.App) and rhs.func.arity > 0:
+            args = tuple(state.eval_term(t, assignment) for t in rhs.args)
+            result = state.eval_term(lhs, assignment)
+            if value:
+                return Fact(rhs.func, args + (result,), True)
+            actual = state.eval_term(rhs, assignment)
+            return Fact(rhs.func, args + (actual,), True)
+        return None
+    return None

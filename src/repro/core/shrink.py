@@ -1,0 +1,76 @@
+"""Invariant shrinking: minimal inductive cores of conjecture sets.
+
+Interactive sessions (and Houdini's template output even more so) often end
+with *supporting* conjectures the proof does not actually need -- our Chord
+session, for instance, closes with three of the eight published
+conjectures.  :func:`shrink_invariant` computes a subset-minimal inductive
+core that still implies the safety conjectures, by deletion: drop a
+conjecture, re-check inductiveness + safety entailment, keep the drop if
+both survive.
+
+This is the invariant-level analogue of the diagram-literal minimization in
+BMC + Auto Generalize (Section 4.5), applied at the end of a session
+instead of per conjecture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..logic import syntax as s
+from ..rml.ast import Program
+from ..solver.epr import EprSolver
+from .induction import Conjecture, check_inductive
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    core: tuple[Conjecture, ...]
+    dropped: tuple[str, ...]
+    checks: int
+    statistics: dict[str, int] = field(default_factory=dict)
+
+
+def _implies_all(
+    program: Program, invariant: Sequence[Conjecture], goals: Sequence[Conjecture]
+) -> bool:
+    solver = EprSolver(program.vocab)
+    solver.add(program.axiom_formula, name="axioms")
+    for index, conjecture in enumerate(invariant):
+        solver.add(conjecture.formula, name=f"inv{index}")
+    negated = s.or_(*(s.not_(goal.formula) for goal in goals))
+    solver.add(negated, name="goals")
+    return not solver.check().satisfiable
+
+
+def shrink_invariant(
+    program: Program,
+    invariant: Sequence[Conjecture],
+    safety: Sequence[Conjecture] = (),
+) -> ShrinkResult:
+    """A subset-minimal inductive subset of ``invariant`` implying ``safety``.
+
+    ``invariant`` must already be inductive.  Safety conjectures default to
+    none (pure inductive core); pass the protocol's safety set to keep the
+    result a proof.  Deletion order follows the input order, so putting the
+    safety conjectures first biases toward keeping them verbatim.
+    """
+    kept = list(invariant)
+    dropped: list[str] = []
+    checks = 0
+    assert check_inductive(program, kept).holds, "input must be inductive"
+    checks += 1
+    for conjecture in list(invariant):
+        if conjecture not in kept:
+            continue
+        attempt = [c for c in kept if c is not conjecture]
+        checks += 1
+        if not check_inductive(program, attempt).holds:
+            continue
+        if safety and not _implies_all(program, attempt, safety):
+            checks += 1
+            continue
+        kept = attempt
+        dropped.append(conjecture.name)
+    return ShrinkResult(tuple(kept), tuple(dropped), checks)

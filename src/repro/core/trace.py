@@ -1,0 +1,72 @@
+"""Execution traces: sequences of program states with action labels.
+
+A :class:`Trace` is what bounded verification returns as a counterexample
+(Figure 4 of the paper): the state at the loop head after each iteration,
+annotated with the action (choice labels) each step took.  States are full
+first-order structures over the program vocabulary; their domain size is
+whatever the solver's finite model needed -- bounded verification bounds the
+number of *steps*, never the size of states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..logic.structures import Structure
+from ..rml.ast import Program
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A bounded execution: ``states[0]`` is the state after ``C_init``."""
+
+    program: Program
+    states: tuple[Structure, ...]
+    labels: tuple[str, ...]  # one per transition; len == len(states) - 1
+    aborted: bool = False  # True when the final step reached an abort
+
+    def __post_init__(self) -> None:
+        if self.states and len(self.labels) != len(self.states) - 1:
+            raise ValueError("label count must be one less than state count")
+
+    @property
+    def length(self) -> int:
+        """Number of loop iterations executed."""
+        return len(self.labels)
+
+    def __str__(self) -> str:
+        from ..viz.text import trace_to_text
+
+        body = trace_to_text(self.states, self.labels)
+        if self.aborted:
+            body += "\n** assertion violated (abort reached) **"
+        return body
+
+    def to_dot(self) -> str:
+        from ..viz.dot import trace_to_dot
+
+        return trace_to_dot(list(self.states), name=f"{self.program.name}_trace")
+
+    def validate(self) -> None:
+        """Check the trace against the concrete interpreter.
+
+        Every consecutive state pair must be reproducible by executing the
+        body from the predecessor; raises ``AssertionError`` otherwise.
+        This is the internal soundness check used by the test suite -- a
+        trace the interpreter cannot replay would indicate an encoding bug.
+        """
+        from ..rml.interp import successors
+
+        axioms = self.program.axiom_formula
+        for state in self.states:
+            assert state.satisfies(axioms), "trace state violates the axioms"
+        for before, after in zip(self.states, self.states[1:]):
+            outcomes = successors(self.program, before)
+            keys = {_key(o.state) for o in outcomes if o.state is not None}
+            assert _key(after) in keys, "trace step is not a program transition"
+
+
+def _key(state: Structure) -> tuple:
+    from ..rml.interp import _state_key
+
+    return _state_key(state)

@@ -1,0 +1,300 @@
+"""UPDR: property-directed inference of universal invariants.
+
+The paper positions itself against fully automatic methods, in particular
+UPDR (Karbyshev et al., CAV'15 -- reference [17]), which generalizes
+IC3/PDR to universal first-order invariants: "The method is fragile,
+however, and we were not successful in applying it to the examples
+verified here.  Our goal in this work is to make this kind of technique
+interactive."  This module implements the UPDR baseline so the comparison
+can be reproduced (see ``benchmarks/bench_updr.py``).
+
+Structure, following PDR:
+
+* frames ``F_0 .. F_N``, each a set of universal clauses (negated diagrams
+  of blocked partial structures); ``F_0`` is the initial condition,
+  handled through ``wp(C_init, .)``;
+* when ``F_N`` admits a safety violation, the offending state is *blocked*
+  recursively: either a predecessor is found one frame down (a new proof
+  obligation) or the diagram is generalized -- literals are dropped while
+  the structure stays unreachable-from-``F_{i-1}`` and excluded initially
+  -- and its negation is learned into frames ``1..i``;
+* obligations reaching frame 0 yield an *abstract* counterexample: with a
+  universal abstraction it may be spurious, so it is checked concretely
+  with bounded model checking; a spurious one makes UPDR give up
+  (:attr:`UpdrResult.UNKNOWN`) -- exactly the fragility the paper reports;
+* after each round clauses are *pushed* forward; two equal adjacent frames
+  mean an inductive invariant was found.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..logic import syntax as s
+from ..logic.partial import Fact, PartialStructure, conjecture, from_structure
+from ..logic.sorts import FuncDecl, RelDecl
+from ..rml.ast import Program, havocked_symbols
+from ..rml.encode import TransitionEncoder, project_state
+from ..rml.wp import wp, wp_body_safe, wp_final_safe
+from ..solver.epr import EprSolver
+from .bounded import make_unroller
+from .generalize import _diagram_parts
+from .induction import Conjecture, check_inductive
+from .trace import Trace
+
+
+class UpdrStatus(enum.Enum):
+    SAFE = "safe"  # inductive invariant found
+    UNSAFE = "unsafe"  # concrete counterexample trace found
+    UNKNOWN = "unknown"  # abstract counterexample was spurious
+    DIVERGED = "diverged"  # frame/iteration budget exhausted
+
+
+@dataclass
+class UpdrResult:
+    status: UpdrStatus
+    invariant: tuple[Conjecture, ...] = ()
+    frames_used: int = 0
+    clauses_learned: int = 0
+    trace: Trace | None = None
+    statistics: dict[str, int] = field(default_factory=dict)
+
+
+class _Updr:
+    def __init__(self, program: Program, max_frames: int, max_obligations: int):
+        self.program = program
+        self.max_frames = max_frames
+        self.max_obligations = max_obligations
+        self.axioms = program.axiom_formula
+        self.safety = s.and_(wp_body_safe(program), wp_final_safe(program))
+        # frames[i]: list of blocked partial structures (clauses are their
+        # negated diagrams); frame 0 is the initial condition, kept
+        # implicitly through wp(C_init).
+        self.frames: list[list[PartialStructure]] = [[], []]
+        self.encoder = TransitionEncoder(program)
+        self.step = self.encoder.encode_step(
+            program.body, self.encoder.base_env(), "updr"
+        )
+        # Frame 0 is the initial condition; one-step-from-init queries go
+        # through the bounded unroller (init encoding + one transition).
+        self.unroller = make_unroller(program)
+        self.scratch = frozenset(
+            havocked_symbols(program.init)
+            | havocked_symbols(program.body)
+            | havocked_symbols(program.final)
+        )
+        self.statistics: dict[str, int] = {"solver_calls": 0}
+        self.clauses_learned = 0
+
+    # --------------------------------------------------------------- util
+
+    def _frame_formula(self, index: int) -> s.Formula:
+        clauses = []
+        for i in range(index, len(self.frames)):
+            clauses.extend(conjecture(p) for p in self.frames[i])
+        return s.and_(*clauses)
+
+    def _count(self, result) -> None:
+        self.statistics["solver_calls"] += 1
+        for key, value in result.statistics.items():
+            if key in ("instances", "conflicts"):
+                self.statistics[key] = self.statistics.get(key, 0) + value
+
+    # ------------------------------------------------------------- checks
+
+    def _violates_safety(self, frame: int):
+        """A state in F_frame that can fail an assertion, or None."""
+        solver = EprSolver(self.program.vocab)
+        solver.add(self.axioms, name="axioms")
+        solver.add(self._frame_formula(frame), name="frame")
+        solver.add(s.not_(self.safety), name="unsafe")
+        result = solver.check()
+        self._count(result)
+        return result.model if result.satisfiable else None
+
+    def _initial_violation(self, partial: PartialStructure) -> bool:
+        """Can C_init produce a state containing ``partial``?"""
+        phi = conjecture(partial)
+        vc = s.and_(self.axioms, s.not_(wp(self.program.init, phi, self.axioms)))
+        solver = EprSolver(self.program.vocab)
+        solver.add(vc, name="init")
+        result = solver.check()
+        self._count(result)
+        return result.satisfiable
+
+    def _predecessor(self, partial: PartialStructure, frame: int):
+        """A state in F_{frame-1} with a successor containing ``partial``.
+
+        At ``frame == 1`` the predecessor must be an *initial* state, so the
+        query runs over the init encoding plus one body transition.
+        """
+        if frame <= 1:
+            solver = self.unroller.solver_at(1)
+            env = self.unroller.envs[1]
+            hard, fact_formulas = _diagram_parts(partial, env, "post")
+            for index, constraint in enumerate(hard):
+                solver.add(constraint, name=f"distinct{index}")
+            for index, (_, formula) in enumerate(fact_formulas):
+                solver.add(formula, name=f"fact{index}")
+            result = solver.check()
+            self._count(result)
+            if not result.satisfiable:
+                return None
+            return project_state(result.model, self.program, self.unroller.envs[0])
+        solver = EprSolver(self.encoder.extended_vocab())
+        solver.add(self.axioms, name="axioms")
+        solver.add(self._frame_formula(frame - 1), name="frame")
+        solver.add(self.step.formula, name="step")
+        hard, fact_formulas = _diagram_parts(partial, self.step.post_env, "post")
+        for index, constraint in enumerate(hard):
+            solver.add(constraint, name=f"distinct{index}")
+        for index, (_, formula) in enumerate(fact_formulas):
+            solver.add(formula, name=f"fact{index}")
+        result = solver.check()
+        self._count(result)
+        if not result.satisfiable:
+            return None
+        return project_state(result.model, self.program, self.encoder.base_env())
+
+    def _generalize(self, partial: PartialStructure, frame: int) -> PartialStructure:
+        """Drop facts while the structure stays unpreceded and init-excluded."""
+        candidate = partial
+        for fact in list(candidate.facts()):
+            attempt = candidate.drop_fact(fact)
+            if self._initial_violation(attempt):
+                continue
+            if self._predecessor(attempt, frame) is not None:
+                continue
+            candidate = attempt
+        return candidate
+
+    def _strip_scratch(self, partial: PartialStructure) -> PartialStructure:
+        for decl in self.scratch:
+            partial = partial.forget(decl)
+        return partial
+
+    # ----------------------------------------------------------- main loop
+
+    def run(self) -> UpdrResult:
+        obligations_spent = 0
+        while True:
+            frame = len(self.frames) - 1
+            model = self._violates_safety(frame)
+            if model is not None:
+                partial = self._strip_scratch(from_structure(model))
+                outcome = self._block(partial, frame, obligations_spent)
+                if isinstance(outcome, UpdrResult):
+                    return outcome
+                obligations_spent = outcome
+                continue
+            # F_N is safe: push clauses forward, then open a new frame.
+            pushed = self._propagate()
+            if pushed is not None:
+                return pushed
+            if len(self.frames) > self.max_frames:
+                return UpdrResult(
+                    UpdrStatus.DIVERGED,
+                    frames_used=len(self.frames),
+                    clauses_learned=self.clauses_learned,
+                    statistics=self.statistics,
+                )
+            self.frames.append([])
+
+    def _block(self, partial: PartialStructure, frame: int, spent: int):
+        stack: list[tuple[PartialStructure, int]] = [(partial, frame)]
+        while stack:
+            spent += 1
+            if spent > self.max_obligations:
+                return UpdrResult(
+                    UpdrStatus.DIVERGED,
+                    frames_used=len(self.frames),
+                    clauses_learned=self.clauses_learned,
+                    statistics=self.statistics,
+                )
+            current, level = stack[-1]
+            if level == 0 or self._initial_violation(current):
+                return self._refute_or_give_up(len(stack))
+            predecessor = self._predecessor(current, level)
+            if predecessor is not None:
+                stack.append(
+                    (self._strip_scratch(from_structure(predecessor)), level - 1)
+                )
+                continue
+            # Unpreceded: generalize and learn its negation up to ``level``.
+            generalized = self._generalize(current, level)
+            for index in range(1, level + 1):
+                while len(self.frames) <= index:
+                    self.frames.append([])
+                self.frames[index].append(generalized)
+            self.clauses_learned += 1
+            stack.pop()
+        return spent
+
+    def _refute_or_give_up(self, depth: int) -> UpdrResult:
+        """An obligation chain reached the initial frame: check concretely."""
+        from .bounded import find_error_trace
+
+        concrete = find_error_trace(self.program, max(depth, len(self.frames)))
+        if not concrete.holds:
+            return UpdrResult(
+                UpdrStatus.UNSAFE,
+                trace=concrete.trace,
+                frames_used=len(self.frames),
+                clauses_learned=self.clauses_learned,
+                statistics=self.statistics,
+            )
+        # Spurious abstract counterexample: the universal abstraction cannot
+        # decide this program -- the fragility the paper describes.
+        return UpdrResult(
+            UpdrStatus.UNKNOWN,
+            frames_used=len(self.frames),
+            clauses_learned=self.clauses_learned,
+            statistics=self.statistics,
+        )
+
+    def _propagate(self) -> UpdrResult | None:
+        """Push clauses forward; equal adjacent frames => inductive."""
+        for index in range(1, len(self.frames)):
+            for partial in list(self.frames[index]):
+                if index + 1 < len(self.frames) and partial in self.frames[index + 1]:
+                    continue
+                if index + 1 >= len(self.frames):
+                    continue
+                if self._pushable(partial, index):
+                    self.frames[index + 1].append(partial)
+        for index in range(1, len(self.frames) - 1):
+            this_frame = {conjecture(p) for p in self.frames[index]}
+            next_frame = {conjecture(p) for p in self.frames[index + 1]}
+            if this_frame == next_frame:
+                invariant = self._harvest(index)
+                if invariant is not None:
+                    return invariant
+        return None
+
+    def _pushable(self, partial: PartialStructure, index: int) -> bool:
+        return self._predecessor(partial, index + 1) is None
+
+    def _harvest(self, index: int) -> UpdrResult | None:
+        conjectures = [
+            Conjecture(f"U{i}", conjecture(p))
+            for i, p in enumerate(self.frames[index])
+        ]
+        result = check_inductive(self.program, conjectures)
+        if result.holds:
+            return UpdrResult(
+                UpdrStatus.SAFE,
+                invariant=tuple(conjectures),
+                frames_used=len(self.frames),
+                clauses_learned=self.clauses_learned,
+                statistics=self.statistics,
+            )
+        return None
+
+
+def updr(
+    program: Program, max_frames: int = 12, max_obligations: int = 400
+) -> UpdrResult:
+    """Run UPDR on ``program``; see the module docstring."""
+    return _Updr(program, max_frames, max_obligations).run()

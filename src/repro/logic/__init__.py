@@ -1,0 +1,92 @@
+"""Sorted first-order logic: syntax, structures, normal forms, parsing.
+
+This package is the logical foundation of the reproduction: vocabularies and
+sorts (:mod:`~repro.logic.sorts`), terms and formulas
+(:mod:`~repro.logic.syntax`), finite structures and evaluation
+(:mod:`~repro.logic.structures`), partial structures / diagrams / conjectures
+(:mod:`~repro.logic.partial`), normal forms and skolemization
+(:mod:`~repro.logic.transform`), fragment checks
+(:mod:`~repro.logic.fragments`) and a concrete-syntax parser
+(:mod:`~repro.logic.parser`).
+"""
+
+from .fragments import (
+    is_alternation_free,
+    is_exists_forall,
+    is_forall_exists,
+    is_quantifier_free,
+    is_universal,
+)
+from .parser import parse_formula, parse_term
+from .partial import (
+    Fact,
+    PartialStructure,
+    conjecture,
+    diagram,
+    embeds_into,
+    from_structure,
+    generalizes,
+)
+from .sorts import (
+    Decl,
+    FuncDecl,
+    RelDecl,
+    Sort,
+    StratificationError,
+    Vocabulary,
+    vocabulary,
+)
+from .structures import Elem, EvaluationError, Structure, all_structures, make_structure
+from .subst import (
+    FreshNames,
+    fresh_var,
+    instantiate,
+    rename_symbols,
+    replace_func,
+    replace_rel,
+    substitute,
+    substitute_term,
+)
+from .syntax import (
+    FALSE,
+    TRUE,
+    And,
+    App,
+    Eq,
+    Exists,
+    Forall,
+    Formula,
+    Iff,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Rel,
+    Term,
+    Var,
+    and_,
+    constant,
+    distinct,
+    eq,
+    exists,
+    forall,
+    free_vars,
+    iff,
+    implies,
+    is_closed,
+    literal,
+    not_,
+    or_,
+    symbols_of,
+)
+from .transform import (
+    NotInFragment,
+    Prenex,
+    Skolemized,
+    eliminate_ite,
+    nnf,
+    prenex,
+    skolemize_ea,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

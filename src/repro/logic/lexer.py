@@ -1,0 +1,150 @@
+"""A small hand-written lexer shared by the formula and RML parsers.
+
+Tokens carry their source position for error reporting.  Comments run from
+``#`` to end of line.  Multi-character operators are matched longest-first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+_PUNCTUATION = (
+    ":=",
+    "~=",
+    "->",
+    "<->",
+    "(",
+    ")",
+    "{",
+    "}",
+    ",",
+    ".",
+    ":",
+    ";",
+    "=",
+    "&",
+    "|",
+    "~",
+    "*",
+)
+
+
+class LexError(Exception):
+    """Raised on an unrecognized character."""
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # "ident", "punct", or "eof"
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return "end of input" if self.kind == "eof" else repr(self.text)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens, ending with a single EOF token."""
+    tokens: list[Token] = []
+    line, col = 1, 1
+    i = 0
+    length = len(source)
+    while i < length:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "#":
+            while i < length and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < length and (source[i].isalnum() or source[i] in "_'"):
+                i += 1
+            text = source[start:i]
+            tokens.append(Token("ident", text, line, col))
+            col += len(text)
+            continue
+        for punct in _PUNCTUATION:
+            if source.startswith(punct, i):
+                tokens.append(Token("punct", punct, line, col))
+                i += len(punct)
+                col += len(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at line {line}, column {col}")
+    tokens.append(Token("eof", "", line, col))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with one-token lookahead helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def at(self, text: str) -> bool:
+        return self.current.kind != "eof" and self.current.text == text
+
+    def at_ident(self) -> bool:
+        return self.current.kind == "ident"
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def accept(self, text: str) -> bool:
+        if self.at(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not self.at(text):
+            raise ParseError(f"expected {text!r}, found {self.current}", self.current)
+        return self.advance()
+
+    def expect_ident(self, description: str = "identifier") -> Token:
+        if self.current.kind != "ident":
+            raise ParseError(f"expected {description}, found {self.current}", self.current)
+        return self.advance()
+
+    def expect_eof(self) -> None:
+        if self.current.kind != "eof":
+            raise ParseError(f"trailing input: {self.current}", self.current)
+
+
+class ParseError(Exception):
+    """A syntax or sort-resolution error with source position."""
+
+    def __init__(self, message: str, token: Token | None = None) -> None:
+        if token is not None:
+            message = f"{message} (line {token.line}, column {token.col})"
+        super().__init__(message)
+
+
+def idents(stream: TokenStream) -> Iterator[str]:
+    """Parse a comma-separated identifier list."""
+    yield stream.expect_ident().text
+    while stream.accept(","):
+        yield stream.expect_ident().text

@@ -1,0 +1,491 @@
+"""Parser for the concrete formula syntax, with sort inference.
+
+Grammar (loosest to tightest binding)::
+
+    formula  := iff
+    iff      := implies ("<->" implies)*
+    implies  := or ("->" implies)?            # right associative
+    or       := and ("|" and)*
+    and      := unary ("&" unary)*
+    unary    := "~" unary | quantified | atom
+    quantified := ("forall" | "exists") binders "." formula
+    binders  := name (":" sort)? ("," name (":" sort)?)*
+    atom     := "true" | "false" | "(" formula ")"
+              | term (("=" | "~=") term)?     # relation atom or equality
+    term     := name ("(" term ("," term)* ")")?
+              | "ite" "(" formula "," term "," term ")"
+
+Identifiers are resolved against a :class:`~repro.logic.sorts.Vocabulary`:
+names declared as relations/functions become applications, all other names
+become logical variables.  Variable sorts may be annotated (``forall X:node``)
+or inferred from use (argument positions, equalities); unresolvable sorts are
+an error.  Free variables are permitted when their sorts are supplied via
+``free`` or inferable -- RML update formulas use this for their parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from . import syntax as s
+from .lexer import ParseError, Token, TokenStream, tokenize
+from .sorts import FuncDecl, RelDecl, Sort, Vocabulary
+
+_KEYWORDS = {"forall", "exists", "true", "false", "ite"}
+
+
+# ---------------------------------------------------------------------------
+# Untyped parse tree
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _UApp:
+    name: str
+    args: tuple["_UTerm", ...]
+    token: Token
+
+
+@dataclass(frozen=True)
+class _UIte:
+    cond: "_UFormula"
+    then: "_UTerm"
+    els: "_UTerm"
+    token: Token
+
+
+_UTerm = _UApp | _UIte
+
+
+@dataclass(frozen=True)
+class _UAtom:
+    """A term in formula position -- a relation atom after elaboration."""
+
+    term: _UApp
+    token: Token
+
+
+@dataclass(frozen=True)
+class _UEq:
+    lhs: _UTerm
+    rhs: _UTerm
+    negated: bool
+    token: Token
+
+
+@dataclass(frozen=True)
+class _UConst:
+    value: bool
+
+
+@dataclass(frozen=True)
+class _UNot:
+    arg: "_UFormula"
+
+
+@dataclass(frozen=True)
+class _UBin:
+    op: str  # "&", "|", "->", "<->"
+    lhs: "_UFormula"
+    rhs: "_UFormula"
+
+
+@dataclass(frozen=True)
+class _UQuant:
+    kind: str  # "forall" | "exists"
+    binders: tuple[tuple[str, str | None], ...]
+    body: "_UFormula"
+    token: Token
+
+
+_UFormula = _UAtom | _UEq | _UConst | _UNot | _UBin | _UQuant
+
+
+# ---------------------------------------------------------------------------
+# Syntax
+# ---------------------------------------------------------------------------
+
+
+class _FormulaParser:
+    def __init__(self, stream: TokenStream) -> None:
+        self.stream = stream
+
+    def formula(self) -> _UFormula:
+        out = self._implies()
+        while self.stream.at("<->"):
+            self.stream.advance()
+            out = _UBin("<->", out, self._implies())
+        return out
+
+    def _implies(self) -> _UFormula:
+        lhs = self._or()
+        if self.stream.accept("->"):
+            return _UBin("->", lhs, self._implies())
+        return lhs
+
+    def _or(self) -> _UFormula:
+        out = self._and()
+        while self.stream.accept("|"):
+            out = _UBin("|", out, self._and())
+        return out
+
+    def _and(self) -> _UFormula:
+        out = self._unary()
+        while self.stream.accept("&"):
+            out = _UBin("&", out, self._unary())
+        return out
+
+    def _unary(self) -> _UFormula:
+        if self.stream.accept("~"):
+            return _UNot(self._unary())
+        token = self.stream.current
+        if token.kind == "ident" and token.text in ("forall", "exists"):
+            self.stream.advance()
+            binders = self._binders()
+            self.stream.expect(".")
+            return _UQuant(token.text, binders, self.formula(), token)
+        return self._atom()
+
+    def _binders(self) -> tuple[tuple[str, str | None], ...]:
+        binders: list[tuple[str, str | None]] = []
+        while True:
+            name = self.stream.expect_ident("variable name").text
+            sort_name = None
+            if self.stream.accept(":"):
+                sort_name = self.stream.expect_ident("sort name").text
+            binders.append((name, sort_name))
+            if not self.stream.accept(","):
+                return tuple(binders)
+
+    def _atom(self) -> _UFormula:
+        token = self.stream.current
+        if token.kind == "ident" and token.text == "true":
+            self.stream.advance()
+            return _UConst(True)
+        if token.kind == "ident" and token.text == "false":
+            self.stream.advance()
+            return _UConst(False)
+        if self.stream.accept("("):
+            inner = self.formula()
+            self.stream.expect(")")
+            return inner
+        lhs = self.term()
+        if self.stream.at("=") or self.stream.at("~="):
+            negated = self.stream.advance().text == "~="
+            return _UEq(lhs, self.term(), negated, token)
+        if isinstance(lhs, _UIte):
+            raise ParseError("an ite term cannot stand as a formula", token)
+        return _UAtom(lhs, token)
+
+    def term(self) -> _UTerm:
+        token = self.stream.expect_ident("term")
+        if token.text == "ite":
+            self.stream.expect("(")
+            cond = self.formula()
+            self.stream.expect(",")
+            then = self.term()
+            self.stream.expect(",")
+            els = self.term()
+            self.stream.expect(")")
+            return _UIte(cond, then, els, token)
+        if token.text in _KEYWORDS:
+            raise ParseError(f"keyword {token.text!r} used as a term", token)
+        args: tuple[_UTerm, ...] = ()
+        if self.stream.accept("("):
+            parts = [self.term()]
+            while self.stream.accept(","):
+                parts.append(self.term())
+            self.stream.expect(")")
+            args = tuple(parts)
+        return _UApp(token.text, args, token)
+
+
+# ---------------------------------------------------------------------------
+# Sort inference
+# ---------------------------------------------------------------------------
+
+
+class _Slot:
+    """Union-find node carrying an optional resolved sort."""
+
+    def __init__(self, name: str, sort: Sort | None = None) -> None:
+        self.name = name
+        self.sort = sort
+        self.parent: "_Slot" = self
+
+    def find(self) -> "_Slot":
+        root = self
+        while root.parent is not root:
+            root = root.parent
+        node = self
+        while node.parent is not node:
+            node.parent, node = root, node.parent
+        return root
+
+    def assign(self, sort: Sort, token: Token) -> None:
+        root = self.find()
+        if root.sort is None:
+            root.sort = sort
+        elif root.sort != sort:
+            raise ParseError(
+                f"variable {self.name!r} used at sorts "
+                f"{root.sort.name!r} and {sort.name!r}",
+                token,
+            )
+
+    def unify(self, other: "_Slot", token: Token) -> None:
+        a, b = self.find(), other.find()
+        if a is b:
+            return
+        if a.sort is not None and b.sort is not None and a.sort != b.sort:
+            raise ParseError(
+                f"variables {self.name!r} and {other.name!r} have "
+                f"incompatible sorts",
+                token,
+            )
+        if a.sort is None:
+            a.parent = b
+            return
+        b.parent = a
+
+
+@dataclass
+class _Scope:
+    """Lexical scope mapping variable names to slots."""
+
+    slots: dict[str, _Slot]
+    parent: "_Scope | None" = None
+
+    def lookup(self, name: str) -> _Slot | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.slots:
+                return scope.slots[name]
+            scope = scope.parent
+        return None
+
+
+class _Elaborator:
+    """Two passes over the untyped tree: infer sorts, then build the AST."""
+
+    def __init__(self, vocab: Vocabulary, free: Mapping[str, Sort]) -> None:
+        self.vocab = vocab
+        self.free_scope = _Scope({name: _Slot(name, sort) for name, sort in free.items()})
+
+    # -------------------------------------------------------------- pass 1
+
+    def infer(self, fml: _UFormula, scope: _Scope) -> None:
+        if isinstance(fml, _UConst):
+            return
+        if isinstance(fml, _UAtom):
+            decl = self.vocab.get(fml.term.name)
+            if scope.lookup(fml.term.name) is not None and not fml.term.args:
+                raise ParseError(
+                    f"variable {fml.term.name!r} used as a formula", fml.token
+                )
+            if not isinstance(decl, RelDecl):
+                raise ParseError(
+                    f"{fml.term.name!r} is not a declared relation", fml.token
+                )
+            self._infer_args(fml.term, decl.arg_sorts, scope)
+            return
+        if isinstance(fml, _UEq):
+            lhs_sort = self.infer_term(fml.lhs, None, scope)
+            rhs_sort = self.infer_term(fml.rhs, lhs_sort, scope)
+            if lhs_sort is None and rhs_sort is not None:
+                self.infer_term(fml.lhs, rhs_sort, scope)
+            elif lhs_sort is None and rhs_sort is None:
+                lhs_slot = self._var_slot(fml.lhs, scope)
+                rhs_slot = self._var_slot(fml.rhs, scope)
+                lhs_slot.unify(rhs_slot, fml.token)
+            return
+        if isinstance(fml, _UNot):
+            self.infer(fml.arg, scope)
+            return
+        if isinstance(fml, _UBin):
+            self.infer(fml.lhs, scope)
+            self.infer(fml.rhs, scope)
+            return
+        if isinstance(fml, _UQuant):
+            slots: dict[str, _Slot] = {}
+            for name, sort_name in fml.binders:
+                if name in self.vocab:
+                    raise ParseError(
+                        f"bound variable {name!r} shadows a declared symbol", fml.token
+                    )
+                sort = self._resolve_sort(sort_name, fml.token)
+                slots[name] = _Slot(name, sort)
+            self.infer(fml.body, _Scope(slots, scope))
+            # Stash the slots for pass 2.
+            self._quant_slots[id(fml)] = slots
+            return
+        raise TypeError(f"unexpected node: {fml!r}")
+
+    _quant_slots: dict[int, dict[str, _Slot]]
+
+    def _resolve_sort(self, sort_name: str | None, token: Token) -> Sort | None:
+        if sort_name is None:
+            return None
+        sort = Sort(sort_name)
+        if sort not in self.vocab.sorts:
+            raise ParseError(f"unknown sort {sort_name!r}", token)
+        return sort
+
+    def _var_slot(self, term: _UTerm, scope: _Scope) -> _Slot:
+        if not isinstance(term, _UApp) or term.args or term.name in self.vocab:
+            raise ParseError(
+                "cannot infer a sort for this equality; annotate a variable",
+                term.token,
+            )
+        return self._lookup_or_free(term.name, scope)
+
+    def _lookup_or_free(self, name: str, scope: _Scope) -> _Slot:
+        slot = scope.lookup(name)
+        if slot is not None:
+            return slot
+        slot = self.free_scope.lookup(name)
+        if slot is None:
+            slot = _Slot(name)
+            self.free_scope.slots[name] = slot
+        return slot
+
+    def infer_term(self, term: _UTerm, expected: Sort | None, scope: _Scope) -> Sort | None:
+        if isinstance(term, _UIte):
+            self.infer(term.cond, scope)
+            then_sort = self.infer_term(term.then, expected, scope)
+            els_sort = self.infer_term(term.els, expected or then_sort, scope)
+            if then_sort is None and els_sort is not None:
+                then_sort = self.infer_term(term.then, els_sort, scope)
+            return then_sort or els_sort
+        decl = self.vocab.get(term.name)
+        if scope.lookup(term.name) is None and self.free_scope.lookup(term.name) is None and decl is not None:
+            if isinstance(decl, RelDecl):
+                raise ParseError(f"relation {term.name!r} used as a term", term.token)
+            if expected is not None and decl.sort != expected:
+                raise ParseError(
+                    f"{term.name!r} has sort {decl.sort.name!r}, "
+                    f"expected {expected.name!r}",
+                    term.token,
+                )
+            self._infer_args(term, decl.arg_sorts, scope)
+            return decl.sort
+        if term.args:
+            raise ParseError(f"unknown function {term.name!r}", term.token)
+        slot = self._lookup_or_free(term.name, scope)
+        if expected is not None:
+            slot.assign(expected, term.token)
+        return slot.find().sort
+
+    def _infer_args(self, app: _UApp, sorts: Sequence[Sort], scope: _Scope) -> None:
+        if len(app.args) != len(sorts):
+            raise ParseError(
+                f"{app.name!r} expects {len(sorts)} arguments, got {len(app.args)}",
+                app.token,
+            )
+        for arg, sort in zip(app.args, sorts):
+            self.infer_term(arg, sort, scope)
+
+    # -------------------------------------------------------------- pass 2
+
+    def build(self, fml: _UFormula, scope: _Scope) -> s.Formula:
+        if isinstance(fml, _UConst):
+            return s.TRUE if fml.value else s.FALSE
+        if isinstance(fml, _UAtom):
+            decl = self.vocab.relation(fml.term.name)
+            args = tuple(self.build_term(a, scope) for a in fml.term.args)
+            return s.Rel(decl, args)
+        if isinstance(fml, _UEq):
+            atom = s.Eq(self.build_term(fml.lhs, scope), self.build_term(fml.rhs, scope))
+            return s.not_(atom) if fml.negated else atom
+        if isinstance(fml, _UNot):
+            return s.not_(self.build(fml.arg, scope))
+        if isinstance(fml, _UBin):
+            lhs = self.build(fml.lhs, scope)
+            rhs = self.build(fml.rhs, scope)
+            if fml.op == "&":
+                return s.and_(lhs, rhs)
+            if fml.op == "|":
+                return s.or_(lhs, rhs)
+            if fml.op == "->":
+                return s.implies(lhs, rhs)
+            return s.iff(lhs, rhs)
+        if isinstance(fml, _UQuant):
+            slots = self._quant_slots[id(fml)]
+            vars_: list[s.Var] = []
+            for name, _ in fml.binders:
+                sort = slots[name].find().sort
+                if sort is None:
+                    raise ParseError(
+                        f"cannot infer the sort of variable {name!r}; "
+                        f"annotate it (e.g. {name}:sort)",
+                        fml.token,
+                    )
+                vars_.append(s.Var(name, sort))
+            body = self.build(fml.body, _Scope(slots, scope))
+            ctor = s.forall if fml.kind == "forall" else s.exists
+            return ctor(tuple(vars_), body)
+        raise TypeError(f"unexpected node: {fml!r}")
+
+    def build_term(self, term: _UTerm, scope: _Scope) -> s.Term:
+        if isinstance(term, _UIte):
+            return s.Ite(
+                self.build(term.cond, scope),
+                self.build_term(term.then, scope),
+                self.build_term(term.els, scope),
+            )
+        if scope.lookup(term.name) is None and self.free_scope.lookup(term.name) is None:
+            decl = self.vocab.get(term.name)
+            if isinstance(decl, FuncDecl):
+                args = tuple(self.build_term(a, scope) for a in term.args)
+                return s.App(decl, args)
+        slot = scope.lookup(term.name) or self.free_scope.lookup(term.name)
+        if slot is None:
+            raise ParseError(f"unknown identifier {term.name!r}", term.token)
+        sort = slot.find().sort
+        if sort is None:
+            raise ParseError(
+                f"cannot infer the sort of variable {term.name!r}", term.token
+            )
+        return s.Var(term.name, sort)
+
+
+def parse_formula(
+    source: str, vocab: Vocabulary, free: Mapping[str, Sort] | None = None
+) -> s.Formula:
+    """Parse ``source`` against ``vocab``.
+
+    ``free`` optionally supplies sorts for free variables; sorts of other
+    variables are taken from annotations or inferred from use.
+    """
+    stream = TokenStream(tokenize(source))
+    parser = _FormulaParser(stream)
+    tree = parser.formula()
+    stream.expect_eof()
+    return elaborate_formula(tree, vocab, free)
+
+
+def elaborate_formula(
+    tree: _UFormula, vocab: Vocabulary, free: Mapping[str, Sort] | None = None
+) -> s.Formula:
+    """Resolve sorts in a parsed tree and build the typed AST."""
+    elaborator = _Elaborator(vocab, dict(free or {}))
+    elaborator._quant_slots = {}
+    scope = _Scope({})
+    elaborator.infer(tree, scope)
+    return elaborator.build(tree, scope)
+
+
+def parse_term(
+    source: str, vocab: Vocabulary, free: Mapping[str, Sort] | None = None
+) -> s.Term:
+    """Parse a single term (sorts of free variables must be resolvable)."""
+    stream = TokenStream(tokenize(source))
+    parser = _FormulaParser(stream)
+    tree = parser.term()
+    stream.expect_eof()
+    elaborator = _Elaborator(vocab, dict(free or {}))
+    elaborator._quant_slots = {}
+    scope = _Scope({})
+    elaborator.infer_term(tree, None, scope)
+    return elaborator.build_term(tree, scope)

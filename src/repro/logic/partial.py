@@ -1,0 +1,356 @@
+"""Partial structures, generalization order, diagrams and conjectures.
+
+Implements Definitions 2-5 and Lemma 4.2 of the paper:
+
+* a :class:`PartialStructure` interprets relation symbols as partial maps
+  ``D^k -> {0,1}`` and function symbols as partial maps ``D^{k+1} -> {0,1}``
+  with at most one positive result per argument tuple (Definition 2);
+* the generalization partial order ``s2 <= s1`` (:func:`generalizes`,
+  Definition 3) -- ``s2`` leaves more facts undefined, hence represents
+  *more* states;
+* the diagram ``Diag(s)`` (:func:`diagram`, Definition 4) -- the existential
+  formula describing "contains s as a sub-configuration";
+* the induced universal conjecture ``phi(s) = ~Diag(s)``
+  (:func:`conjecture`, Definition 5), which excludes every state that
+  extends ``s`` (Lemma 4.2, checked by :func:`embeds_into` + tests).
+
+Generalization steps of Section 4.5 are provided as pure operations:
+:meth:`PartialStructure.restrict_elements`, :meth:`PartialStructure.forget`
+(drop positive or negative facts of a symbol) and
+:meth:`PartialStructure.drop_fact` (drop a single literal; used by the
+UNSAT-core auto-generalizer).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+from . import syntax as s
+from .sorts import FuncDecl, RelDecl, Sort, Vocabulary
+from .structures import Elem, Structure
+
+# A fact key: ("rel", decl, args) with a bool value, or ("func", decl, args+result)
+# with a bool value.  Facts are exposed through the `Fact` dataclass below.
+
+
+@dataclass(frozen=True, slots=True)
+class Fact:
+    """One defined entry of a partial interpretation.
+
+    For a relation symbol, ``args`` is the argument tuple and ``positive``
+    tells whether the tuple is in the relation.  For a function symbol,
+    ``args`` is the argument tuple *extended with the result element* (the
+    paper's view of a k-ary function as a (k+1)-ary relation) and
+    ``positive`` tells whether ``f(args[:-1]) = args[-1]`` holds.
+    """
+
+    symbol: RelDecl | FuncDecl
+    args: tuple[Elem, ...]
+    positive: bool
+
+    def literal(self, var_of: Mapping[Elem, s.Var]) -> s.Formula:
+        """Render this fact as a literal over the diagram variables."""
+        if isinstance(self.symbol, RelDecl):
+            atom: s.Formula = s.Rel(self.symbol, tuple(var_of[e] for e in self.args))
+        else:
+            *fargs, result = self.args
+            atom = s.Eq(
+                s.App(self.symbol, tuple(var_of[e] for e in fargs)), var_of[result]
+            )
+        return atom if self.positive else s.not_(atom)
+
+    def __str__(self) -> str:
+        if isinstance(self.symbol, RelDecl):
+            body = f"{self.symbol.name}({', '.join(e.name for e in self.args)})"
+        else:
+            *fargs, result = self.args
+            inner = ", ".join(e.name for e in fargs)
+            app = f"{self.symbol.name}({inner})" if fargs else self.symbol.name
+            body = f"{app} = {result.name}"
+        return body if self.positive else f"~{body}"
+
+
+@dataclass(frozen=True)
+class PartialStructure:
+    """A partial structure (Definition 2).
+
+    ``facts`` maps (symbol, tuple) pairs to booleans; undefined entries are
+    simply absent.  Function facts use (args + result) tuples and must have
+    at most one positive result per argument tuple.
+    """
+
+    vocab: Vocabulary
+    universe: Mapping[Sort, tuple[Elem, ...]]
+    rel_facts: Mapping[RelDecl, Mapping[tuple[Elem, ...], bool]]
+    func_facts: Mapping[FuncDecl, Mapping[tuple[Elem, ...], bool]]
+
+    def __post_init__(self) -> None:
+        for func, table in self.func_facts.items():
+            positives: set[tuple[Elem, ...]] = set()
+            for entry, value in table.items():
+                if len(entry) != func.arity + 1:
+                    raise ValueError(f"bad function fact arity for {func.name!r}")
+                if value:
+                    args = entry[:-1]
+                    if args in positives:
+                        raise ValueError(
+                            f"function {func.name!r} has two positive results for one tuple"
+                        )
+                    positives.add(args)
+
+    # ------------------------------------------------------------- facts
+
+    def facts(self) -> Iterator[Fact]:
+        """All defined facts, relations first, in deterministic order."""
+        for rel in self.vocab.relations:
+            table = self.rel_facts.get(rel, {})
+            for args in sorted(table, key=_tuple_key):
+                yield Fact(rel, args, table[args])
+        for func in self.vocab.functions:
+            table = self.func_facts.get(func, {})
+            for args in sorted(table, key=_tuple_key):
+                yield Fact(func, args, table[args])
+
+    def fact_count(self) -> int:
+        return sum(1 for _ in self.facts())
+
+    def active_elements(self) -> tuple[Elem, ...]:
+        """Elements appearing in at least one defined fact (Definition 4)."""
+        seen: list[Elem] = []
+        for fact in self.facts():
+            for elem in fact.args:
+                if elem not in seen:
+                    seen.append(elem)
+        return tuple(sorted(seen, key=lambda e: (e.sort.name, e.name)))
+
+    # ----------------------------------------------------- generalization
+
+    def restrict_elements(self, keep: Iterable[Elem]) -> "PartialStructure":
+        """Drop every fact mentioning an element outside ``keep``.
+
+        This is the coarse-grained step of Section 4.5 in which the user
+        marks which elements participate in the generalization.
+        """
+        kept = set(keep)
+        universe = {
+            sort: tuple(e for e in elems if e in kept)
+            for sort, elems in self.universe.items()
+        }
+        rel_facts = {
+            rel: {args: v for args, v in table.items() if set(args) <= kept}
+            for rel, table in self.rel_facts.items()
+        }
+        func_facts = {
+            func: {args: v for args, v in table.items() if set(args) <= kept}
+            for func, table in self.func_facts.items()
+        }
+        return PartialStructure(self.vocab, universe, rel_facts, func_facts)
+
+    def forget(
+        self, symbol: RelDecl | FuncDecl | str, polarity: bool | None = None
+    ) -> "PartialStructure":
+        """Make facts of ``symbol`` undefined.
+
+        ``polarity=True`` drops the positive facts, ``False`` the negative
+        ones, ``None`` (default) all of them -- matching the per-symbol
+        checkboxes of the Ivy UI described in Section 4.5.
+        """
+        if isinstance(symbol, str):
+            decl = self.vocab[symbol]
+        else:
+            decl = symbol
+
+        def keep(value: bool) -> bool:
+            return polarity is not None and value != polarity
+
+        rel_facts = dict(self.rel_facts)
+        func_facts = dict(self.func_facts)
+        if isinstance(decl, RelDecl):
+            table = rel_facts.get(decl, {})
+            rel_facts[decl] = {a: v for a, v in table.items() if keep(v)}
+        else:
+            table = func_facts.get(decl, {})
+            func_facts[decl] = {a: v for a, v in table.items() if keep(v)}
+        return PartialStructure(self.vocab, self.universe, rel_facts, func_facts)
+
+    def drop_fact(self, fact: Fact) -> "PartialStructure":
+        """Make a single fact undefined (UNSAT-core shrinking step)."""
+        if isinstance(fact.symbol, RelDecl):
+            rel_facts = dict(self.rel_facts)
+            table = dict(rel_facts.get(fact.symbol, {}))
+            table.pop(fact.args, None)
+            rel_facts[fact.symbol] = table
+            return PartialStructure(self.vocab, self.universe, rel_facts, self.func_facts)
+        func_facts = dict(self.func_facts)
+        table = dict(func_facts.get(fact.symbol, {}))
+        table.pop(fact.args, None)
+        func_facts[fact.symbol] = table
+        return PartialStructure(self.vocab, self.universe, self.rel_facts, func_facts)
+
+    def keep_facts(self, facts: Iterable[Fact]) -> "PartialStructure":
+        """The generalization retaining exactly the given facts."""
+        wanted = set(facts)
+        rel_facts: dict[RelDecl, dict[tuple[Elem, ...], bool]] = {}
+        func_facts: dict[FuncDecl, dict[tuple[Elem, ...], bool]] = {}
+        for fact in self.facts():
+            if fact not in wanted:
+                continue
+            if isinstance(fact.symbol, RelDecl):
+                rel_facts.setdefault(fact.symbol, {})[fact.args] = fact.positive
+            else:
+                func_facts.setdefault(fact.symbol, {})[fact.args] = fact.positive
+        return PartialStructure(self.vocab, self.universe, rel_facts, func_facts)
+
+    def __str__(self) -> str:
+        from ..viz.text import partial_to_text
+
+        return partial_to_text(self)
+
+
+def _tuple_key(args: tuple[Elem, ...]) -> tuple[str, ...]:
+    return tuple(e.name for e in args)
+
+
+# ---------------------------------------------------------------------------
+# Conversions and the generalization order
+# ---------------------------------------------------------------------------
+
+
+def from_structure(structure: Structure) -> PartialStructure:
+    """View a total structure as a (fully defined) partial structure."""
+    rel_facts: dict[RelDecl, dict[tuple[Elem, ...], bool]] = {}
+    for rel in structure.vocab.relations:
+        table: dict[tuple[Elem, ...], bool] = {}
+        for args in itertools.product(
+            *(structure.universe[sort] for sort in rel.arg_sorts)
+        ):
+            table[args] = structure.rel_holds(rel, args)
+        rel_facts[rel] = table
+    func_facts: dict[FuncDecl, dict[tuple[Elem, ...], bool]] = {}
+    for func in structure.vocab.functions:
+        table = {}
+        for args in itertools.product(
+            *(structure.universe[sort] for sort in func.arg_sorts)
+        ):
+            value = structure.func_value(func, args)
+            for result in structure.universe[func.sort]:
+                table[args + (result,)] = result == value
+        func_facts[func] = table
+    return PartialStructure(structure.vocab, dict(structure.universe), rel_facts, func_facts)
+
+
+def generalizes(smaller: PartialStructure, larger: PartialStructure) -> bool:
+    """The order of Definition 3: ``smaller <= larger``.
+
+    True when every element of ``smaller``'s universe is in ``larger``'s and
+    every fact defined by ``smaller`` is defined identically by ``larger``.
+    A smaller (more partial) structure represents more states.
+    """
+    for sort, elems in smaller.universe.items():
+        if not set(elems) <= set(larger.universe.get(sort, ())):
+            return False
+    for fact in smaller.facts():
+        if isinstance(fact.symbol, RelDecl):
+            table = larger.rel_facts.get(fact.symbol, {})
+        else:
+            table = larger.func_facts.get(fact.symbol, {})
+        if table.get(fact.args) != fact.positive:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Diagrams and conjectures (Definitions 4 and 5)
+# ---------------------------------------------------------------------------
+
+
+def diagram(partial: PartialStructure) -> s.Formula:
+    """``Diag(s)``: exists x1..xn. distinct(x) & (all defined facts)."""
+    elems = partial.active_elements()
+    var_of = _diagram_vars(elems)
+    literals = [fact.literal(var_of) for fact in partial.facts()]
+    per_sort: dict[Sort, list[s.Var]] = {}
+    for elem in elems:
+        per_sort.setdefault(elem.sort, []).append(var_of[elem])
+    distinct_parts = [s.distinct(*vars_) for vars_ in per_sort.values() if len(vars_) > 1]
+    body = s.and_(*distinct_parts, *literals)
+    if not elems:
+        return body
+    return s.exists(tuple(var_of[e] for e in elems), body)
+
+
+def conjecture(partial: PartialStructure) -> s.Formula:
+    """``phi(s)``: the universal formula equivalent to ``~Diag(s)``."""
+    elems = partial.active_elements()
+    var_of = _diagram_vars(elems)
+    literals = [fact.literal(var_of) for fact in partial.facts()]
+    per_sort: dict[Sort, list[s.Var]] = {}
+    for elem in elems:
+        per_sort.setdefault(elem.sort, []).append(var_of[elem])
+    distinct_parts = [s.distinct(*vars_) for vars_ in per_sort.values() if len(vars_) > 1]
+    body = s.not_(s.and_(*distinct_parts, *literals))
+    if not elems:
+        return body
+    return s.forall(tuple(var_of[e] for e in elems), body)
+
+
+def _diagram_vars(elems: tuple[Elem, ...]) -> dict[Elem, s.Var]:
+    used: set[str] = set()
+    var_of: dict[Elem, s.Var] = {}
+    for elem in elems:
+        name = elem.name.upper()
+        counter = 0
+        while name in used:
+            counter += 1
+            name = f"{elem.name.upper()}_{counter}"
+        used.add(name)
+        var_of[elem] = s.Var(name, elem.sort)
+    return var_of
+
+
+# ---------------------------------------------------------------------------
+# Embeddings (Lemma 4.2)
+# ---------------------------------------------------------------------------
+
+
+def embeds_into(partial: PartialStructure, structure: Structure) -> dict[Elem, Elem] | None:
+    """Find an injective, fact-preserving embedding of ``partial``'s active
+    elements into ``structure``, or None.
+
+    A total state satisfies ``conjecture(partial)`` iff no such embedding
+    exists; this function is the semantic cross-check used in tests.
+    """
+    elems = partial.active_elements()
+    facts = list(partial.facts())
+
+    def consistent(mapping: dict[Elem, Elem]) -> bool:
+        for fact in facts:
+            if not all(e in mapping for e in fact.args):
+                continue
+            image = tuple(mapping[e] for e in fact.args)
+            if isinstance(fact.symbol, RelDecl):
+                holds = structure.rel_holds(fact.symbol, image)
+            else:
+                holds = structure.func_value(fact.symbol, image[:-1]) == image[-1]
+            if holds != fact.positive:
+                return False
+        return True
+
+    def extend(index: int, mapping: dict[Elem, Elem], used: set[Elem]) -> dict[Elem, Elem] | None:
+        if index == len(elems):
+            return dict(mapping)
+        elem = elems[index]
+        for candidate in structure.universe[elem.sort]:
+            if candidate in used:
+                continue
+            mapping[elem] = candidate
+            if consistent(mapping):
+                found = extend(index + 1, mapping, used | {candidate})
+                if found is not None:
+                    return found
+            del mapping[elem]
+        return None
+
+    return extend(0, {}, set())

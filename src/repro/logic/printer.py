@@ -1,0 +1,92 @@
+"""Pretty-printing of terms and formulas.
+
+The concrete syntax mirrors the one accepted by :mod:`repro.logic.parser`::
+
+    forall N1, N2. ~(leader(N1) & leader(N2) & N1 ~= N2)
+
+Operator precedence (loosest to tightest): quantifiers, ``<->``, ``->``,
+``|``, ``&``, ``~``, atoms.  Output of :func:`to_str` parses back to an equal
+AST, a property exercised by the round-trip tests.
+"""
+
+from __future__ import annotations
+
+from . import syntax as s
+
+_PREC_QUANT = 0
+_PREC_IFF = 1
+_PREC_IMPLIES = 2
+_PREC_OR = 3
+_PREC_AND = 4
+_PREC_NOT = 5
+_PREC_ATOM = 6
+
+
+def term_to_str(term: s.Term) -> str:
+    if isinstance(term, s.Var):
+        return term.name
+    if isinstance(term, s.App):
+        if not term.args:
+            return term.func.name
+        args = ", ".join(term_to_str(arg) for arg in term.args)
+        return f"{term.func.name}({args})"
+    if isinstance(term, s.Ite):
+        return (
+            f"ite({formula_to_str(term.cond)}, "
+            f"{term_to_str(term.then)}, {term_to_str(term.els)})"
+        )
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _wrap(text: str, prec: int, parent_prec: int) -> str:
+    return f"({text})" if prec < parent_prec else text
+
+
+def _fml(formula: s.Formula, parent_prec: int) -> str:
+    if formula == s.TRUE:
+        return "true"
+    if formula == s.FALSE:
+        return "false"
+    if isinstance(formula, s.Rel):
+        if not formula.args:
+            return formula.rel.name
+        args = ", ".join(term_to_str(arg) for arg in formula.args)
+        return f"{formula.rel.name}({args})"
+    if isinstance(formula, s.Eq):
+        return f"{term_to_str(formula.lhs)} = {term_to_str(formula.rhs)}"
+    if isinstance(formula, s.Not):
+        if isinstance(formula.arg, s.Eq):
+            inner = formula.arg
+            return f"{term_to_str(inner.lhs)} ~= {term_to_str(inner.rhs)}"
+        return f"~{_fml(formula.arg, _PREC_NOT)}"
+    if isinstance(formula, s.And):
+        text = " & ".join(_fml(arg, _PREC_AND + 1) for arg in formula.args)
+        return _wrap(text, _PREC_AND, parent_prec)
+    if isinstance(formula, s.Or):
+        text = " | ".join(_fml(arg, _PREC_OR + 1) for arg in formula.args)
+        return _wrap(text, _PREC_OR, parent_prec)
+    if isinstance(formula, s.Implies):
+        text = f"{_fml(formula.lhs, _PREC_IMPLIES + 1)} -> {_fml(formula.rhs, _PREC_IMPLIES)}"
+        return _wrap(text, _PREC_IMPLIES, parent_prec)
+    if isinstance(formula, s.Iff):
+        text = f"{_fml(formula.lhs, _PREC_IFF + 1)} <-> {_fml(formula.rhs, _PREC_IFF + 1)}"
+        return _wrap(text, _PREC_IFF, parent_prec)
+    if isinstance(formula, (s.Forall, s.Exists)):
+        word = "forall" if isinstance(formula, s.Forall) else "exists"
+        # Binders are annotated so output always reparses: a variable that
+        # is unused (or used only in equalities) has no inferable sort.
+        names = ", ".join(f"{v.name}:{v.sort.name}" for v in formula.vars)
+        text = f"{word} {names}. {_fml(formula.body, _PREC_QUANT)}"
+        return _wrap(text, _PREC_QUANT, parent_prec)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def formula_to_str(formula: s.Formula) -> str:
+    return _fml(formula, _PREC_QUANT)
+
+
+def to_str(node: s.Formula | s.Term) -> str:
+    """Render a term or formula to concrete syntax."""
+    if isinstance(node, (s.Var, s.App, s.Ite)):
+        return term_to_str(node)
+    return formula_to_str(node)

@@ -1,0 +1,242 @@
+"""Sorts, symbol declarations, and vocabularies for sorted first-order logic.
+
+The paper (Section 3.2) represents RML program states as structures of a
+sorted first-order vocabulary ``Sigma`` containing a relation symbol for every
+relation, a function symbol for every function, and a nullary function symbol
+for every program variable.  This module provides those building blocks:
+
+* :class:`Sort` -- an uninterpreted sort (e.g. ``node``, ``id``).
+* :class:`RelDecl` -- a sorted relation symbol.
+* :class:`FuncDecl` -- a sorted function symbol (constants have arity 0).
+* :class:`Vocabulary` -- an immutable collection of symbols with lookup,
+  renaming helpers, and the *stratification* check required by Section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class Sort:
+    """An uninterpreted first-order sort, identified by name."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("sort name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"Sort({self.name!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class RelDecl:
+    """A declared relation symbol ``r : s1, ..., sn``."""
+
+    name: str
+    arg_sorts: tuple[Sort, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_sorts)
+
+    def __str__(self) -> str:
+        if not self.arg_sorts:
+            return f"relation {self.name}"
+        args = ", ".join(s.name for s in self.arg_sorts)
+        return f"relation {self.name} : {args}"
+
+    def __repr__(self) -> str:
+        return f"RelDecl({self.name!r}, {self.arg_sorts!r})"
+
+
+@dataclass(frozen=True, slots=True)
+class FuncDecl:
+    """A declared function symbol ``f : s1, ..., sn -> s``.
+
+    Nullary function symbols (``arg_sorts == ()``) model both RML program
+    variables and logical (Skolem) constants.
+    """
+
+    name: str
+    arg_sorts: tuple[Sort, ...]
+    sort: Sort
+
+    @property
+    def arity(self) -> int:
+        return len(self.arg_sorts)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.arg_sorts
+
+    def __str__(self) -> str:
+        if self.is_constant:
+            return f"constant {self.name} : {self.sort.name}"
+        args = ", ".join(s.name for s in self.arg_sorts)
+        return f"function {self.name} : {args} -> {self.sort.name}"
+
+    def __repr__(self) -> str:
+        return f"FuncDecl({self.name!r}, {self.arg_sorts!r}, {self.sort!r})"
+
+
+Decl = RelDecl | FuncDecl
+
+
+class StratificationError(Exception):
+    """Raised when a vocabulary's function symbols cannot be stratified."""
+
+
+@dataclass(frozen=True)
+class Vocabulary:
+    """An immutable sorted first-order vocabulary.
+
+    Holds the sorts, relation symbols and function symbols of an RML program
+    (program variables are nullary functions).  Provides symbol lookup by
+    name and the stratification check of Section 3.1: the sorts must admit a
+    total order ``<`` such that every function ``f : s1,...,sn -> s``
+    satisfies ``s < si`` for all ``i``.
+    """
+
+    sorts: tuple[Sort, ...]
+    relations: tuple[RelDecl, ...]
+    functions: tuple[FuncDecl, ...]
+    _by_name: Mapping[str, Decl] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        by_name: dict[str, Decl] = {}
+        for decl in (*self.relations, *self.functions):
+            if decl.name in by_name:
+                raise ValueError(f"duplicate symbol name: {decl.name!r}")
+            by_name[decl.name] = decl
+        known = set(self.sorts)
+        if len(known) != len(self.sorts):
+            raise ValueError("duplicate sort in vocabulary")
+        for decl in by_name.values():
+            used = list(decl.arg_sorts)
+            if isinstance(decl, FuncDecl):
+                used.append(decl.sort)
+            for sort in used:
+                if sort not in known:
+                    raise ValueError(f"symbol {decl.name!r} uses undeclared sort {sort.name!r}")
+        object.__setattr__(self, "_by_name", by_name)
+
+    # ------------------------------------------------------------- lookup
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Decl:
+        return self._by_name[name]
+
+    def get(self, name: str) -> Decl | None:
+        return self._by_name.get(name)
+
+    def relation(self, name: str) -> RelDecl:
+        decl = self._by_name.get(name)
+        if not isinstance(decl, RelDecl):
+            raise KeyError(f"no relation named {name!r}")
+        return decl
+
+    def function(self, name: str) -> FuncDecl:
+        decl = self._by_name.get(name)
+        if not isinstance(decl, FuncDecl):
+            raise KeyError(f"no function named {name!r}")
+        return decl
+
+    def constants(self) -> Iterator[FuncDecl]:
+        """Iterate over the nullary function symbols."""
+        return (f for f in self.functions if f.is_constant)
+
+    def proper_functions(self) -> Iterator[FuncDecl]:
+        """Iterate over function symbols of arity >= 1."""
+        return (f for f in self.functions if not f.is_constant)
+
+    # --------------------------------------------------------- modification
+
+    def extended(
+        self,
+        *,
+        sorts: Iterable[Sort] = (),
+        relations: Iterable[RelDecl] = (),
+        functions: Iterable[FuncDecl] = (),
+    ) -> "Vocabulary":
+        """Return a new vocabulary with the given symbols added."""
+        new_sorts = list(self.sorts)
+        for sort in sorts:
+            if sort not in new_sorts:
+                new_sorts.append(sort)
+        return Vocabulary(
+            tuple(new_sorts),
+            self.relations + tuple(relations),
+            self.functions + tuple(functions),
+        )
+
+    # ------------------------------------------------------- stratification
+
+    def stratification_order(self) -> tuple[Sort, ...]:
+        """Return a sort order witnessing stratification of the functions.
+
+        Builds the dependency graph with an edge ``s -> si`` for every proper
+        function ``f : s1,...,sn -> s`` (read: values of sort ``s`` are
+        *below* their argument sorts) and topologically sorts it.  Raises
+        :class:`StratificationError` on a cycle, e.g. when both a function
+        ``node -> id`` and a function ``id -> node`` are declared.
+        """
+        edges: dict[Sort, set[Sort]] = {sort: set() for sort in self.sorts}
+        for func in self.proper_functions():
+            for arg_sort in func.arg_sorts:
+                if arg_sort == func.sort:
+                    raise StratificationError(
+                        f"function {func.name!r} maps sort {func.sort.name!r} to itself"
+                    )
+                edges[func.sort].add(arg_sort)
+        order: list[Sort] = []
+        state: dict[Sort, int] = {}  # 0 = visiting, 1 = done
+
+        def visit(sort: Sort, stack: tuple[Sort, ...]) -> None:
+            mark = state.get(sort)
+            if mark == 1:
+                return
+            if mark == 0:
+                cycle = " -> ".join(s.name for s in (*stack, sort))
+                raise StratificationError(f"function sorts are cyclic: {cycle}")
+            state[sort] = 0
+            for above in sorted(edges[sort], key=lambda s: s.name):
+                visit(above, (*stack, sort))
+            state[sort] = 1
+            order.append(sort)
+
+        for sort in self.sorts:
+            visit(sort, ())
+        # ``order`` lists sorts from the top of the hierarchy downward; the
+        # stratification order wants result sorts strictly below argument
+        # sorts, so reverse it.
+        order.reverse()
+        return tuple(order)
+
+    def is_stratified(self) -> bool:
+        try:
+            self.stratification_order()
+        except StratificationError:
+            return False
+        return True
+
+    def check_stratified(self) -> None:
+        """Raise :class:`StratificationError` if the functions are not stratified."""
+        self.stratification_order()
+
+
+def vocabulary(
+    sorts: Iterable[Sort] = (),
+    relations: Iterable[RelDecl] = (),
+    functions: Iterable[FuncDecl] = (),
+) -> Vocabulary:
+    """Convenience constructor accepting arbitrary iterables."""
+    return Vocabulary(tuple(sorts), tuple(relations), tuple(functions))

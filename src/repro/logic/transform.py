@@ -1,0 +1,327 @@
+"""Formula normal forms: NNF, ite-elimination, prenexing, skolemization.
+
+These transformations implement the logical plumbing behind the paper's
+decidability argument (Section 3.3): RML verification conditions are
+``exists* forall*`` (EPR) formulas; deciding them requires negation-normal
+form, pulling quantifiers to the front, and replacing the leading
+existentials with fresh Skolem constants.
+
+Quantifiers originating from *different* subformulas bind different
+variables and therefore commute, so when prenexing a conjunction or
+disjunction we may interleave the children's prefixes arbitrarily.
+:func:`prenex` exploits this with a greedy merge that produces an
+``exists*forall*`` (or ``forall*exists*``) prefix whenever one exists, which
+makes the fragment checks in :mod:`repro.logic.fragments` exact rather than
+syntax-dependent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Literal
+
+from . import syntax as s
+from .sorts import FuncDecl
+from .subst import FreshNames, fresh_var, substitute
+
+
+# ---------------------------------------------------------------------------
+# Negation normal form
+# ---------------------------------------------------------------------------
+
+
+def nnf(formula: s.Formula) -> s.Formula:
+    """Negation normal form: negations only on atoms, no Implies/Iff.
+
+    ``Iff`` is expanded to ``(a & b) | (~a & ~b)``; this duplicates the
+    operands, which is acceptable for the shallow boolean structure RML
+    produces (Tseitin conversion happens later at the ground level).
+    """
+    return _nnf(formula, positive=True)
+
+
+def _nnf(formula: s.Formula, positive: bool) -> s.Formula:
+    if isinstance(formula, (s.Rel, s.Eq)):
+        return formula if positive else s.not_(formula)
+    if isinstance(formula, s.Not):
+        return _nnf(formula.arg, not positive)
+    if isinstance(formula, s.And):
+        parts = tuple(_nnf(a, positive) for a in formula.args)
+        return s.and_(*parts) if positive else s.or_(*parts)
+    if isinstance(formula, s.Or):
+        parts = tuple(_nnf(a, positive) for a in formula.args)
+        return s.or_(*parts) if positive else s.and_(*parts)
+    if isinstance(formula, s.Implies):
+        if positive:
+            return s.or_(_nnf(formula.lhs, False), _nnf(formula.rhs, True))
+        return s.and_(_nnf(formula.lhs, True), _nnf(formula.rhs, False))
+    if isinstance(formula, s.Iff):
+        both = s.and_(_nnf(formula.lhs, positive), _nnf(formula.rhs, True))
+        neither = s.and_(_nnf(formula.lhs, not positive), _nnf(formula.rhs, False))
+        return s.or_(both, neither)
+    if isinstance(formula, s.Forall):
+        body = _nnf(formula.body, positive)
+        return s.forall(formula.vars, body) if positive else s.exists(formula.vars, body)
+    if isinstance(formula, s.Exists):
+        body = _nnf(formula.body, positive)
+        return s.exists(formula.vars, body) if positive else s.forall(formula.vars, body)
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+# ---------------------------------------------------------------------------
+# ite elimination
+# ---------------------------------------------------------------------------
+
+
+def eliminate_ite(formula: s.Formula) -> s.Formula:
+    """Remove all ``ite`` terms by case-splitting the enclosing atom.
+
+    An atom ``A[ite(c, t, e)]`` becomes ``(c & A[t]) | (~c & A[e])``.  The
+    conditions of RML ``ite`` terms are quantifier free, so the result stays
+    in the same quantifier fragment as the input.
+    """
+    if isinstance(formula, (s.Rel, s.Eq)):
+        return _split_atom(formula)
+    if isinstance(formula, s.Not):
+        return s.not_(eliminate_ite(formula.arg))
+    if isinstance(formula, s.And):
+        return s.and_(*(eliminate_ite(a) for a in formula.args))
+    if isinstance(formula, s.Or):
+        return s.or_(*(eliminate_ite(a) for a in formula.args))
+    if isinstance(formula, s.Implies):
+        return s.implies(eliminate_ite(formula.lhs), eliminate_ite(formula.rhs))
+    if isinstance(formula, s.Iff):
+        return s.iff(eliminate_ite(formula.lhs), eliminate_ite(formula.rhs))
+    if isinstance(formula, s.Forall):
+        return s.forall(formula.vars, eliminate_ite(formula.body))
+    if isinstance(formula, s.Exists):
+        return s.exists(formula.vars, eliminate_ite(formula.body))
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def _find_ite(term: s.Term) -> s.Ite | None:
+    """Locate an innermost ``ite`` subterm, or None."""
+    if isinstance(term, s.Var):
+        return None
+    if isinstance(term, s.App):
+        for arg in term.args:
+            found = _find_ite(arg)
+            if found is not None:
+                return found
+        return None
+    if isinstance(term, s.Ite):
+        for arg in (term.then, term.els):
+            found = _find_ite(arg)
+            if found is not None:
+                return found
+        for sub in s.terms_of(term.cond):
+            found = _find_ite(sub)
+            if found is not None:
+                return found
+        return term
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _replace_term(term: s.Term, old: s.Term, new: s.Term) -> s.Term:
+    if term == old:
+        return new
+    if isinstance(term, s.App):
+        return s.App(term.func, tuple(_replace_term(a, old, new) for a in term.args))
+    if isinstance(term, s.Ite):
+        return s.Ite(
+            _replace_in_atom_args(term.cond, old, new),
+            _replace_term(term.then, old, new),
+            _replace_term(term.els, old, new),
+        )
+    return term
+
+
+def _replace_in_atom_args(formula: s.Formula, old: s.Term, new: s.Term) -> s.Formula:
+    if isinstance(formula, s.Rel):
+        return s.Rel(formula.rel, tuple(_replace_term(a, old, new) for a in formula.args))
+    if isinstance(formula, s.Eq):
+        return s.Eq(_replace_term(formula.lhs, old, new), _replace_term(formula.rhs, old, new))
+    if isinstance(formula, s.Not):
+        return s.Not(_replace_in_atom_args(formula.arg, old, new))
+    if isinstance(formula, s.And):
+        return s.And(tuple(_replace_in_atom_args(a, old, new) for a in formula.args))
+    if isinstance(formula, s.Or):
+        return s.Or(tuple(_replace_in_atom_args(a, old, new) for a in formula.args))
+    raise TypeError(f"unexpected connective inside an atom: {formula!r}")
+
+
+def _split_atom(atom: s.Formula) -> s.Formula:
+    ite = None
+    for term in s.terms_of(atom):
+        ite = _find_ite(term)
+        if ite is not None:
+            break
+    if ite is None:
+        return atom
+    cond = eliminate_ite(ite.cond)
+    then_atom = _replace_in_atom_args(atom, ite, ite.then)
+    else_atom = _replace_in_atom_args(atom, ite, ite.els)
+    return s.or_(
+        s.and_(cond, _split_atom(then_atom)),
+        s.and_(s.not_(cond), _split_atom(else_atom)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Prenex normal form
+# ---------------------------------------------------------------------------
+
+QuantKind = Literal["A", "E"]
+
+
+@dataclass(frozen=True)
+class Prenex:
+    """A formula in prenex form: a quantifier prefix over a QF matrix."""
+
+    prefix: tuple[tuple[QuantKind, s.Var], ...]
+    matrix: s.Formula
+
+    def to_formula(self) -> s.Formula:
+        out = self.matrix
+        for kind, var in reversed(self.prefix):
+            ctor = s.forall if kind == "A" else s.exists
+            out = ctor((var,), out)
+        return out
+
+    def collapsed(self) -> str:
+        """The prefix with runs collapsed, e.g. ``"EA"`` for exists*forall*."""
+        out: list[str] = []
+        for kind, _ in self.prefix:
+            if not out or out[-1] != kind:
+                out.append(kind)
+        return "".join(out)
+
+
+def prenex(formula: s.Formula, prefer: QuantKind = "E") -> Prenex:
+    """Prenex normal form of ``formula`` (NNF is applied first).
+
+    ``prefer`` chooses which quantifier kind the greedy merge pulls forward
+    at each step when children allow a choice: ``"E"`` yields an
+    exists*forall* prefix whenever one exists, ``"A"`` a forall*exists* one.
+    Bound variables are renamed apart.
+    """
+    fresh = FreshNames(v.name for v in _all_vars(formula))
+    return _prenex(nnf(formula), prefer, fresh)
+
+
+def _all_vars(formula: s.Formula) -> set[s.Var]:
+    out: set[s.Var] = set(s.free_vars(formula))
+
+    def visit(fml: s.Formula) -> None:
+        if isinstance(fml, (s.Forall, s.Exists)):
+            out.update(fml.vars)
+            visit(fml.body)
+        elif isinstance(fml, s.Not):
+            visit(fml.arg)
+        elif isinstance(fml, (s.And, s.Or)):
+            for arg in fml.args:
+                visit(arg)
+        elif isinstance(fml, (s.Implies, s.Iff)):
+            visit(fml.lhs)
+            visit(fml.rhs)
+
+    visit(formula)
+    return out
+
+
+def _prenex(formula: s.Formula, prefer: QuantKind, fresh: FreshNames) -> Prenex:
+    if isinstance(formula, (s.Rel, s.Eq)):
+        return Prenex((), formula)
+    if isinstance(formula, s.Not):
+        # NNF input: negation only wraps atoms.
+        return Prenex((), formula)
+    if isinstance(formula, (s.Forall, s.Exists)):
+        kind: QuantKind = "A" if isinstance(formula, s.Forall) else "E"
+        renaming: dict[s.Var, s.Term] = {}
+        bound: list[tuple[QuantKind, s.Var]] = []
+        for var in formula.vars:
+            new = s.Var(fresh(var.name), var.sort)
+            if new != var:
+                renaming[var] = new
+            bound.append((kind, new))
+        body = substitute(formula.body, renaming) if renaming else formula.body
+        inner = _prenex(body, prefer, fresh)
+        return Prenex(tuple(bound) + inner.prefix, inner.matrix)
+    if isinstance(formula, (s.And, s.Or)):
+        children = [_prenex(arg, prefer, fresh) for arg in formula.args]
+        prefix = _merge_prefixes([list(c.prefix) for c in children], prefer)
+        ctor = s.and_ if isinstance(formula, s.And) else s.or_
+        return Prenex(tuple(prefix), ctor(*(c.matrix for c in children)))
+    raise TypeError(f"formula not in NNF: {formula!r}")
+
+
+def _merge_prefixes(
+    prefixes: list[list[tuple[QuantKind, s.Var]]], prefer: QuantKind
+) -> list[tuple[QuantKind, s.Var]]:
+    """Greedy fair merge: drain every child's preferred-kind run first."""
+    merged: list[tuple[QuantKind, s.Var]] = []
+    pending = [list(p) for p in prefixes if p]
+    while pending:
+        progressed = False
+        for child in pending:
+            while child and child[0][0] == prefer:
+                merged.append(child.pop(0))
+                progressed = True
+        pending = [c for c in pending if c]
+        if not pending:
+            break
+        if not progressed:
+            # No child offers the preferred kind next; emit one quantifier of
+            # the other kind from each child and retry.
+            for child in pending:
+                merged.append(child.pop(0))
+            pending = [c for c in pending if c]
+    return merged
+
+
+# ---------------------------------------------------------------------------
+# Skolemization
+# ---------------------------------------------------------------------------
+
+
+class NotInFragment(Exception):
+    """Raised when a formula falls outside the expected quantifier fragment."""
+
+
+@dataclass(frozen=True)
+class Skolemized:
+    """Result of skolemizing a closed exists*forall* formula."""
+
+    universal: s.Formula  # forall* QF (or plain QF)
+    constants: tuple[FuncDecl, ...]  # the fresh Skolem constants introduced
+
+
+def skolemize_ea(formula: s.Formula, fresh: FreshNames) -> Skolemized:
+    """Skolemize a closed ``exists* forall*`` formula.
+
+    The leading existentials become fresh constants; the result is a
+    universally quantified (or quantifier-free) formula equisatisfiable with
+    the input.  Raises :class:`NotInFragment` if the formula cannot be
+    prenexed into exists*forall* form.
+    """
+    if s.free_vars(formula):
+        raise ValueError("skolemize_ea expects a closed formula")
+    pnf = prenex(eliminate_ite(formula), prefer="E")
+    collapsed = pnf.collapsed()
+    if collapsed not in ("", "E", "A", "EA"):
+        raise NotInFragment(
+            f"formula is not exists*forall* (prefix {collapsed}): {formula}"
+        )
+    constants: list[FuncDecl] = []
+    mapping: dict[s.Var, s.Term] = {}
+    universals: list[s.Var] = []
+    for kind, var in pnf.prefix:
+        if kind == "E":
+            const = FuncDecl(fresh(f"sk_{var.name}"), (), var.sort)
+            constants.append(const)
+            mapping[var] = s.App(const, ())
+        else:
+            universals.append(var)
+    matrix = substitute(pnf.matrix, mapping) if mapping else pnf.matrix
+    universal = s.forall(tuple(universals), matrix) if universals else matrix
+    return Skolemized(universal, tuple(constants))

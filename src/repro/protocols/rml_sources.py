@@ -1,0 +1,150 @@
+"""RML concrete-syntax sources for selected protocols.
+
+The programmatic builders in this package are the primary models; these
+text models exercise the full front end (:mod:`repro.rml.parser`) on the
+same protocols and are kept verification-equivalent by the test suite
+(``tests/protocols/test_rml_sources.py``).  They are also what
+``python -m repro verify`` consumes.
+"""
+
+LOCK_SERVER = """
+program lock_server
+
+sort client
+
+relation lock_msg : client
+relation grant_msg : client
+relation unlock_msg : client
+relation holds : client
+relation server_free
+
+variable c : client
+
+init {
+    assume forall X:client. ~lock_msg(X);
+    assume forall X:client. ~grant_msg(X);
+    assume forall X:client. ~unlock_msg(X);
+    assume forall X:client. ~holds(X);
+    assume server_free;
+}
+
+safety mutual_exclusion: forall C1, C2. holds(C1) & holds(C2) -> C1 = C2
+
+action send_request {
+    havoc c;
+    insert lock_msg(c);
+}
+
+action recv_request {
+    havoc c;
+    assume lock_msg(c);
+    assume server_free;
+    remove lock_msg(c);
+    update server_free() := false;
+    insert grant_msg(c);
+}
+
+action recv_grant {
+    havoc c;
+    assume grant_msg(c);
+    remove grant_msg(c);
+    insert holds(c);
+}
+
+action send_unlock {
+    havoc c;
+    assume holds(c);
+    remove holds(c);
+    insert unlock_msg(c);
+}
+
+action recv_unlock {
+    havoc c;
+    assume unlock_msg(c);
+    remove unlock_msg(c);
+    update server_free() := true;
+}
+"""
+
+LOCK_SERVER_INVARIANT = [
+    ("C0", "forall C1, C2. ~(holds(C1) & holds(C2) & C1 ~= C2)"),
+    ("C1", "forall C1, C2. ~(grant_msg(C1) & grant_msg(C2) & C1 ~= C2)"),
+    ("C2", "forall C1, C2. ~(unlock_msg(C1) & unlock_msg(C2) & C1 ~= C2)"),
+    ("C3", "forall C1, C2. ~(grant_msg(C1) & holds(C2))"),
+    ("C4", "forall C1, C2. ~(grant_msg(C1) & unlock_msg(C2))"),
+    ("C5", "forall C1, C2. ~(holds(C1) & unlock_msg(C2))"),
+    ("C6", "forall C1:client. ~(grant_msg(C1) & server_free)"),
+    ("C7", "forall C1:client. ~(holds(C1) & server_free)"),
+    ("C8", "forall C1:client. ~(unlock_msg(C1) & server_free)"),
+]
+
+DISTRIBUTED_LOCK = """
+program distributed_lock
+
+sort node
+sort epoch
+
+relation le : epoch, epoch
+relation transfer : epoch, node
+relation locked : epoch, node
+relation held : node
+
+function ep : node -> epoch
+
+variable n : node
+variable m : node
+variable e : epoch
+
+axiom le_total_order:
+    (forall X:epoch. le(X, X))
+    & (forall X, Y, Z:epoch. le(X, Y) & le(Y, Z) -> le(X, Z))
+    & (forall X, Y:epoch. le(X, Y) & le(Y, X) -> X = Y)
+    & (forall X, Y:epoch. le(X, Y) | le(Y, X))
+
+init {
+    assume exists F:node. forall X:node, N:node.
+        (held(X) <-> X = F) & le(ep(N), ep(F));
+    assume forall E:epoch, N:node. ~transfer(E, N);
+    assume forall E:epoch, N:node. ~locked(E, N);
+}
+
+safety locked_agreement:
+    forall E, N1, N2. locked(E, N1) & locked(E, N2) -> N1 = N2
+
+action grant {
+    havoc n;
+    havoc m;
+    havoc e;
+    assume held(n);
+    assume ~le(e, ep(n));
+    remove held(n);
+    insert transfer(e, m);
+}
+
+action accept {
+    havoc n;
+    havoc e;
+    assume transfer(e, n);
+    assume ~le(e, ep(n));
+    ep(n) := e;
+    insert held(n);
+    insert locked(e, n);
+}
+"""
+
+DISTRIBUTED_LOCK_INVARIANT = [
+    ("C0", "forall E, N1, N2. ~(locked(E, N1) & locked(E, N2) & N1 ~= N2)"),
+    ("C1", "forall E, N. ~(locked(E, N) & ~transfer(E, N))"),
+    ("C2", "forall E, N1, N2. ~(transfer(E, N1) & transfer(E, N2) & N1 ~= N2)"),
+    ("C3", "forall E, N, M. ~(held(N) & transfer(E, M) & ~le(E, ep(N)))"),
+    ("C4", "forall N1, N2. ~(held(N1) & held(N2) & N1 ~= N2)"),
+    (
+        "C5",
+        "forall E1, N1, E2, N2."
+        " ~(transfer(E1, N1) & ~le(E1, ep(N1))"
+        "   & transfer(E2, N2) & ~le(E2, ep(N2)) & E1 ~= E2)",
+    ),
+    ("C6", "forall E, N, M. ~(transfer(E, N) & ~le(E, ep(N)) & ~le(ep(M), E))"),
+    ("C7", "forall N, M. ~(held(N) & ~le(ep(M), ep(N)))"),
+    ("C8", "forall E, N, M. ~(transfer(E, N) & ~le(E, ep(N)) & held(M))"),
+]

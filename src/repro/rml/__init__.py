@@ -1,0 +1,43 @@
+"""RML: the relational modeling language (paper Section 3).
+
+Abstract syntax (:mod:`~repro.rml.ast`), the Figure 12 sugar
+(:mod:`~repro.rml.sugar`), well-formedness checks
+(:mod:`~repro.rml.typecheck`), weakest preconditions (:mod:`~repro.rml.wp`),
+a concrete interpreter (:mod:`~repro.rml.interp`), the transition-relation
+encoder used by bounded verification (:mod:`~repro.rml.encode`), and a
+concrete-syntax parser (:mod:`~repro.rml.parser`).
+"""
+
+from .ast import (
+    Abort,
+    Assume,
+    Axiom,
+    Choice,
+    Command,
+    Havoc,
+    Program,
+    Seq,
+    Skip,
+    UpdateFunc,
+    UpdateRel,
+    assigned_symbols,
+    choice,
+    seq,
+    subcommands,
+)
+from .interp import Outcome, execute, successors
+from .sugar import (
+    SugarError,
+    assert_,
+    assign,
+    clear,
+    if_,
+    insert,
+    insert_where,
+    remove,
+    remove_where,
+)
+from .typecheck import ProgramError, check_command, check_program
+from .wp import iterated_wp, wp, wp_body_safe, wp_final_safe
+
+__all__ = [name for name in dir() if not name.startswith("_")]

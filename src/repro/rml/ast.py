@@ -1,0 +1,264 @@
+"""Abstract syntax of RML, the relational modeling language (paper Fig. 10).
+
+An RML program is ``decls; C_init; while * do C_body; C_final``.  Commands
+are loop free:
+
+* ``skip`` and ``abort``;
+* ``r(x) := phi_QF(x)`` -- update a relation to a quantifier-free formula;
+* ``f(x) := t(x)`` -- update a function to a term;
+* ``v := *`` -- havoc a program variable (a nullary function);
+* ``assume phi_EA``;
+* sequential composition and n-ary nondeterministic choice.
+
+Choices may carry branch labels (e.g. ``send`` / ``receive``); the bounded
+model checker uses them to annotate counterexample traces the way the paper
+narrates Figure 4.  The sugar of Figure 12 (assert, if-then-else, insert,
+remove, point updates) lives in :mod:`repro.rml.sugar`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Union
+
+from ..logic import syntax as s
+from ..logic.sorts import FuncDecl, RelDecl, Vocabulary
+
+
+@dataclass(frozen=True)
+class Skip:
+    def __str__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class Abort:
+    def __str__(self) -> str:
+        return "abort"
+
+
+@dataclass(frozen=True)
+class UpdateRel:
+    """``rel(params) := formula`` with ``formula`` quantifier free."""
+
+    rel: RelDecl
+    params: tuple[s.Var, ...]
+    formula: s.Formula
+
+    def __post_init__(self) -> None:
+        if len(self.params) != self.rel.arity:
+            raise ValueError(f"update of {self.rel.name!r} has wrong parameter count")
+        if len(set(self.params)) != len(self.params):
+            raise ValueError(f"update of {self.rel.name!r} repeats a parameter")
+        for param, sort in zip(self.params, self.rel.arg_sorts):
+            if param.sort != sort:
+                raise ValueError(f"update of {self.rel.name!r} has ill-sorted parameters")
+
+    def __str__(self) -> str:
+        params = ", ".join(v.name for v in self.params)
+        head = f"{self.rel.name}({params})" if self.params else self.rel.name
+        return f"{head} := {self.formula}"
+
+
+@dataclass(frozen=True)
+class UpdateFunc:
+    """``func(params) := term``."""
+
+    func: FuncDecl
+    params: tuple[s.Var, ...]
+    term: s.Term
+
+    def __post_init__(self) -> None:
+        if len(self.params) != self.func.arity:
+            raise ValueError(f"update of {self.func.name!r} has wrong parameter count")
+        if len(set(self.params)) != len(self.params):
+            raise ValueError(f"update of {self.func.name!r} repeats a parameter")
+        for param, sort in zip(self.params, self.func.arg_sorts):
+            if param.sort != sort:
+                raise ValueError(f"update of {self.func.name!r} has ill-sorted parameters")
+        if self.term.sort != self.func.sort:
+            raise ValueError(f"update of {self.func.name!r} has an ill-sorted right-hand side")
+
+    def __str__(self) -> str:
+        params = ", ".join(v.name for v in self.params)
+        head = f"{self.func.name}({params})" if self.params else self.func.name
+        return f"{head} := {self.term}"
+
+
+@dataclass(frozen=True)
+class Havoc:
+    """``var := *`` -- nondeterministic assignment to a program variable."""
+
+    var: FuncDecl
+
+    def __post_init__(self) -> None:
+        if not self.var.is_constant:
+            raise ValueError("only nullary functions (program variables) can be havocked")
+
+    def __str__(self) -> str:
+        return f"{self.var.name} := *"
+
+
+@dataclass(frozen=True)
+class Assume:
+    """``assume formula`` with ``formula`` a closed exists*forall* assertion."""
+
+    formula: s.Formula
+
+    def __str__(self) -> str:
+        return f"assume {self.formula}"
+
+
+@dataclass(frozen=True)
+class Seq:
+    commands: tuple["Command", ...]
+
+    def __str__(self) -> str:
+        return "; ".join(str(c) for c in self.commands)
+
+
+@dataclass(frozen=True)
+class Choice:
+    """Nondeterministic choice between branches, optionally labeled."""
+
+    branches: tuple["Command", ...]
+    labels: tuple[str, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if len(self.branches) < 2:
+            raise ValueError("a choice needs at least two branches")
+        if self.labels is not None and len(self.labels) != len(self.branches):
+            raise ValueError("label count does not match branch count")
+
+    def branch_label(self, index: int) -> str:
+        if self.labels is not None:
+            return self.labels[index]
+        return f"branch{index}"
+
+    def __str__(self) -> str:
+        parts = []
+        for index, branch in enumerate(self.branches):
+            label = f"{self.labels[index]}: " if self.labels else ""
+            parts.append(f"{{{label}{branch}}}")
+        return " | ".join(parts)
+
+
+Command = Union[Skip, Abort, UpdateRel, UpdateFunc, Havoc, Assume, Seq, Choice]
+
+
+def seq(*commands: Command) -> Command:
+    """Sequential composition, flattening nested sequences."""
+    flat: list[Command] = []
+    for command in commands:
+        if isinstance(command, Seq):
+            flat.extend(command.commands)
+        elif isinstance(command, Skip):
+            continue
+        else:
+            flat.append(command)
+    if not flat:
+        return Skip()
+    if len(flat) == 1:
+        return flat[0]
+    return Seq(tuple(flat))
+
+
+def choice(*branches: Command, labels: tuple[str, ...] | None = None) -> Command:
+    if len(branches) == 1 and labels is None:
+        return branches[0]
+    return Choice(tuple(branches), labels)
+
+
+def subcommands(command: Command) -> Iterator[Command]:
+    """Pre-order traversal of a command tree."""
+    yield command
+    if isinstance(command, Seq):
+        for child in command.commands:
+            yield from subcommands(child)
+    elif isinstance(command, Choice):
+        for child in command.branches:
+            yield from subcommands(child)
+
+
+def havocked_symbols(command: Command) -> frozenset[FuncDecl]:
+    """The program variables a command havocs (scratch variables).
+
+    Their post-CTI values are incidental bookkeeping -- the paper's state
+    displays omit them, and generalizations must not retain facts about
+    them (a havocked variable can make a bogus conjecture k-unreachable).
+    """
+    out: set[FuncDecl] = set()
+    for sub in subcommands(command):
+        if isinstance(sub, Havoc):
+            out.add(sub.var)
+    return frozenset(out)
+
+
+def assigned_symbols(command: Command) -> frozenset[RelDecl | FuncDecl]:
+    """The relation/function symbols a command may modify."""
+    out: set[RelDecl | FuncDecl] = set()
+    for sub in subcommands(command):
+        if isinstance(sub, UpdateRel):
+            out.add(sub.rel)
+        elif isinstance(sub, UpdateFunc):
+            out.add(sub.func)
+        elif isinstance(sub, Havoc):
+            out.add(sub.var)
+    return frozenset(out)
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """A named exists*forall* axiom constraining every program state."""
+
+    name: str
+    formula: s.Formula
+
+    def __str__(self) -> str:
+        return f"axiom {self.name}: {self.formula}"
+
+
+@dataclass(frozen=True)
+class Program:
+    """An RML program: ``decls; init; while * do body; final``.
+
+    ``display_hints`` optionally names derived relations for visualization
+    (e.g. showing ``btw`` through its ``next`` projection, Section 2.1); it
+    has no semantic effect.
+    """
+
+    name: str
+    vocab: Vocabulary
+    axioms: tuple[Axiom, ...]
+    init: Command = field(default_factory=Skip)
+    body: Command = field(default_factory=Skip)
+    final: Command = field(default_factory=Skip)
+
+    @property
+    def axiom_formula(self) -> s.Formula:
+        return s.and_(*(axiom.formula for axiom in self.axioms))
+
+    def axiom_named(self, name: str) -> Axiom:
+        for axiom in self.axioms:
+            if axiom.name == name:
+                return axiom
+        raise KeyError(f"no axiom named {name!r}")
+
+    def without_axiom(self, name: str) -> "Program":
+        """A copy lacking one axiom (used to reproduce the Figure 4 bug)."""
+        self.axiom_named(name)
+        return Program(
+            name=f"{self.name}_without_{name}",
+            vocab=self.vocab,
+            axioms=tuple(a for a in self.axioms if a.name != name),
+            init=self.init,
+            body=self.body,
+            final=self.final,
+        )
+
+    def mutable_symbols(self) -> frozenset[RelDecl | FuncDecl]:
+        return (
+            assigned_symbols(self.init)
+            | assigned_symbols(self.body)
+            | assigned_symbols(self.final)
+        )

@@ -1,0 +1,282 @@
+"""Transition-relation encoding of RML commands for bounded verification.
+
+The paper's k-invariance check (Section 4.1, Eq. 3) is stated through ``wp``,
+but iterating ``wp`` through a branching body duplicates the postcondition
+exponentially, and a wp-based counterexample only exhibits the *initial*
+state of the offending run.  This module provides the equivalent
+transition-relation form: commands are symbolically executed in SSA style,
+
+* each assignment to a mutable symbol introduces a fresh *version* of it
+  (``pnd_v3``), defined pointwise: ``forall x. pnd_v3(x) <-> <rhs>``;
+* ``havoc`` introduces an unconstrained fresh constant;
+* ``assume`` contributes its formula over the current versions;
+* each mutation re-asserts the axioms that mention mutated symbols (the
+  ``A ->`` guard of the wp rules: leaving the axiom space blocks the path);
+* paths through ``choice`` are enumerated and tied together with nullary
+  *selector* relations, so a satisfying model identifies which action ran --
+  that is what lets BMC print the labeled traces of Figure 4.
+
+All constraints stay in exists*forall* form: the universal definitions and
+existential assumes sit under conjunction/disjunction only, so prenexing
+yields EPR (Lemma 3.2's transition-relation analogue).  A SAT model of
+
+``A & Init(V_0) & T(V_0, V_1) & ... & T(V_{k-1}, V_k) & ~phi(V_j)``
+
+is a single finite first-order structure over all symbol versions; the
+projection :func:`project_state` reads out the j-th program state, giving a
+trace with *unbounded* state size but bounded length -- exactly the paper's
+contrast with finite-state BMC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..logic import syntax as s
+from ..logic.sorts import Decl, FuncDecl, RelDecl, Vocabulary
+from ..logic.structures import Structure
+from ..logic.subst import FreshNames, rename_symbols
+from .ast import (
+    Abort,
+    Assume,
+    Choice,
+    Command,
+    Havoc,
+    Program,
+    Seq,
+    Skip,
+    UpdateFunc,
+    UpdateRel,
+)
+
+Env = dict[Decl, Decl]
+
+
+@dataclass(frozen=True)
+class _Path:
+    """One straight-line execution prefix through a command."""
+
+    env: Env
+    constraints: tuple[s.Formula, ...]
+    labels: tuple[str, ...]
+    aborted: bool = False
+
+
+@dataclass(frozen=True)
+class StepEncoding:
+    """The encoding of one execution of a loop-free command."""
+
+    pre_env: Env
+    post_env: Env
+    formula: s.Formula  # non-aborting executions, with path selectors
+    abort_formula: s.Formula  # "some execution reaches abort from the pre state"
+    selectors: tuple[tuple[RelDecl, tuple[str, ...]], ...]  # selector -> path labels
+
+
+class TransitionEncoder:
+    """Produces step encodings and maintains the extended vocabulary."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.mutable = program.mutable_symbols()
+        names = [decl.name for decl in program.vocab.relations]
+        names += [decl.name for decl in program.vocab.functions]
+        self._fresh = FreshNames(names)
+        self.new_relations: list[RelDecl] = []
+        self.new_functions: list[FuncDecl] = []
+        # Version sharing: two execution paths assigning a symbol whose
+        # current version is the same are *alternatives* (disjuncts of the
+        # step formula), so they may define one shared next version -- the
+        # same argument that lets Skolem constants be shared across
+        # disjuncts.  Sharing keeps the ground universe small: a step's
+        # havocs contribute max-over-paths constants instead of
+        # sum-over-paths.  Encodings produced from the same pre-environment
+        # must therefore never be asserted jointly unless they are genuine
+        # alternatives (the bounded checker respects this: each probe gets
+        # its own solver).
+        self._version_cache: dict[tuple[Decl, Decl], Decl] = {}
+        # Axioms that mention mutable symbols must be re-asserted after each
+        # mutation of those symbols (the A-guard of the wp rules).
+        self._guard_axioms = [
+            axiom.formula
+            for axiom in program.axioms
+            if s.symbols_of(axiom.formula) & self.mutable
+        ]
+
+    # ------------------------------------------------------------ plumbing
+
+    def base_env(self) -> Env:
+        """The identity environment: version 0 is the original vocabulary."""
+        return {decl: decl for decl in self.mutable}
+
+    def extended_vocab(self) -> Vocabulary:
+        """The program vocabulary plus every version/selector created so far."""
+        return self.program.vocab.extended(
+            relations=self.new_relations, functions=self.new_functions
+        )
+
+    def _new_version(self, decl: Decl, current: Decl | None = None) -> Decl:
+        """A fresh version of ``decl``; shared across alternative paths when
+        the assignment starts from the same ``current`` version."""
+        if current is not None:
+            cached = self._version_cache.get((decl, current))
+            if cached is not None:
+                return cached
+        name = self._fresh(f"{decl.name}_v")
+        if isinstance(decl, RelDecl):
+            version: Decl = RelDecl(name, decl.arg_sorts)
+            self.new_relations.append(version)
+        else:
+            version = FuncDecl(name, decl.arg_sorts, decl.sort)
+            self.new_functions.append(version)
+        if current is not None:
+            self._version_cache[(decl, current)] = version
+        return version
+
+    def _new_selector(self, hint: str) -> RelDecl:
+        selector = RelDecl(self._fresh(hint), ())
+        self.new_relations.append(selector)
+        return selector
+
+    def _rename(self, formula: s.Formula, env: Env) -> s.Formula:
+        mapping = {old: new for old, new in env.items() if old != new}
+        if not mapping:
+            return formula
+        return rename_symbols(formula, mapping)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------ execution
+
+    def _execute(self, command: Command, path: _Path) -> list[_Path]:
+        if path.aborted:
+            return [path]
+        if isinstance(command, Skip):
+            return [path]
+        if isinstance(command, Abort):
+            return [_Path(path.env, path.constraints, path.labels, aborted=True)]
+        if isinstance(command, UpdateRel):
+            version = self._new_version(command.rel, path.env[command.rel])
+            rhs = self._rename(command.formula, path.env)
+            definition = s.forall(
+                command.params,
+                s.iff(s.Rel(version, command.params), rhs),
+            ) if command.params else s.iff(s.Rel(version, ()), rhs)
+            env = dict(path.env)
+            env[command.rel] = version
+            constraints = path.constraints + (definition, *self._guards(env))
+            return [_Path(env, constraints, path.labels)]
+        if isinstance(command, UpdateFunc):
+            version = self._new_version(command.func, path.env[command.func])
+            rhs = self._rename_term(command.term, path.env)
+            head = s.App(version, command.params)
+            body = s.eq(head, rhs)
+            definition = s.forall(command.params, body) if command.params else body
+            env = dict(path.env)
+            env[command.func] = version
+            constraints = path.constraints + (definition, *self._guards(env))
+            return [_Path(env, constraints, path.labels)]
+        if isinstance(command, Havoc):
+            version = self._new_version(command.var, path.env[command.var])
+            env = dict(path.env)
+            env[command.var] = version
+            constraints = path.constraints + tuple(self._guards(env))
+            return [_Path(env, constraints, path.labels)]
+        if isinstance(command, Assume):
+            renamed = self._rename(command.formula, path.env)
+            return [_Path(path.env, path.constraints + (renamed,), path.labels)]
+        if isinstance(command, Seq):
+            paths = [path]
+            for child in command.commands:
+                advanced: list[_Path] = []
+                for current in paths:
+                    advanced.extend(self._execute(child, current))
+                paths = advanced
+            return paths
+        if isinstance(command, Choice):
+            out: list[_Path] = []
+            for index, branch in enumerate(command.branches):
+                label = command.branch_label(index)
+                labeled = _Path(path.env, path.constraints, path.labels + (label,))
+                out.extend(self._execute(branch, labeled))
+            return out
+        raise TypeError(f"not a command: {command!r}")
+
+    def _guards(self, env: Env) -> list[s.Formula]:
+        return [self._rename(axiom, env) for axiom in self._guard_axioms]
+
+    def _rename_term(self, term: s.Term, env: Env) -> s.Term:
+        mapping = {old: new for old, new in env.items() if old != new}
+        if not mapping:
+            return term
+        return rename_symbols(term, mapping)  # type: ignore[return-value]
+
+    # ------------------------------------------------------------- encoding
+
+    def encode_step(self, command: Command, pre_env: Env, step_name: str) -> StepEncoding:
+        """Encode one execution of ``command`` starting from ``pre_env``."""
+        start = _Path(dict(pre_env), (), ())
+        paths = self._execute(command, start)
+        normal = [p for p in paths if not p.aborted]
+        aborted = [p for p in paths if p.aborted]
+
+        post_env: Env = {}
+        for decl in self.mutable:
+            post_env[decl] = self._new_version(decl)
+
+        selector_info: list[tuple[RelDecl, tuple[str, ...]]] = []
+        implications: list[s.Formula] = []
+        any_path: list[s.Formula] = []
+        for index, path in enumerate(normal):
+            bindings = tuple(
+                self._binding(decl, path.env[decl], post_env[decl])
+                for decl in self.mutable
+            )
+            path_formula = s.and_(*path.constraints, *bindings)
+            selector = self._new_selector(f"{step_name}_path{index}")
+            selector_atom = s.Rel(selector, ())
+            selector_info.append((selector, path.labels))
+            implications.append(s.implies(selector_atom, path_formula))
+            any_path.append(selector_atom)
+        if normal:
+            formula = s.and_(s.or_(*any_path), *implications)
+        else:
+            formula = s.FALSE
+        abort_formula = s.or_(*(s.and_(*p.constraints) for p in aborted))
+        return StepEncoding(
+            pre_env=dict(pre_env),
+            post_env=post_env,
+            formula=formula,
+            abort_formula=abort_formula,
+            selectors=tuple(selector_info),
+        )
+
+    def _binding(self, original: Decl, final: Decl, post: Decl) -> s.Formula:
+        params = tuple(
+            s.Var(f"B{index}", sort) for index, sort in enumerate(original.arg_sorts)
+        )
+        if isinstance(original, RelDecl):
+            body = s.iff(s.Rel(post, params), s.Rel(final, params))
+        else:
+            body = s.eq(s.App(post, params), s.App(final, params))
+        return s.forall(params, body) if params else body
+
+
+def project_state(
+    model: Structure, program: Program, env: Mapping[Decl, Decl]
+) -> Structure:
+    """Read the program state at a given version environment out of a model.
+
+    ``model`` is a structure over the encoder's extended vocabulary; the
+    result is a structure over the *program* vocabulary whose mutable
+    symbols take their interpretation from the versions in ``env``.
+    """
+    rels = {}
+    for rel in program.vocab.relations:
+        source = env.get(rel, rel)
+        rels[rel] = model.rels.get(source, frozenset())
+    funcs = {}
+    for func in program.vocab.functions:
+        source = env.get(func, func)
+        funcs[func] = dict(model.funcs[source])
+    universe = {sort: model.universe[sort] for sort in program.vocab.sorts}
+    return Structure(program.vocab, universe, rels, funcs)

@@ -1,0 +1,187 @@
+"""A concrete interpreter for RML commands over finite structures.
+
+RML's axiomatic semantics is given by ``wp`` (Figure 13); this module gives
+the corresponding *operational* semantics on finite states.  It enumerates
+every outcome of a command from a given structure:
+
+* updates are evaluated pointwise over the (finite) domain -- an update that
+  leaves the axiom-satisfying state space yields no successor, mirroring the
+  ``A ->`` guard in the wp rules;
+* ``havoc`` branches over every domain element;
+* ``assume`` filters;
+* ``choice`` takes every branch, recording labels for trace narration;
+* ``abort`` yields an :class:`Aborted` outcome.
+
+The interpreter serves three purposes: replaying the successor state of a
+counterexample to induction (the (a2) states of Figures 7-9), narrating BMC
+traces, and *differentially testing* the wp calculus and the symbolic
+transition encoding -- ``s |= wp(C, Q)`` must coincide with "every outcome
+of C from s satisfies Q", which property tests check on random small states.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..logic import syntax as s
+from ..logic.sorts import FuncDecl, RelDecl
+from ..logic.structures import Elem, Structure
+from .ast import (
+    Abort,
+    Assume,
+    Choice,
+    Command,
+    Havoc,
+    Program,
+    Seq,
+    Skip,
+    UpdateFunc,
+    UpdateRel,
+)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """One completed execution of a command: a state or an abort."""
+
+    state: Structure | None  # None means the execution aborted
+    labels: tuple[str, ...] = ()  # choice labels taken, outermost first
+
+    @property
+    def aborted(self) -> bool:
+        return self.state is None
+
+
+def execute(command: Command, state: Structure, axioms: s.Formula = s.TRUE) -> list[Outcome]:
+    """All outcomes of running ``command`` from ``state``.
+
+    ``axioms`` is the program's axiom conjunction; post-states that violate
+    it are pruned (they are not states of the program at all).  The input
+    state is assumed to satisfy the axioms.
+
+    Pruning mirrors the reduced ``A ->`` guards of the wp operator: after a
+    mutation only the axiom conjuncts *mentioning the mutated symbol* are
+    re-evaluated -- the others are untouched by the mutation and hold by
+    assumption.  Rigid-symbol axioms (ring topologies, total orders) are
+    typically high-arity, so skipping them makes successor enumeration on
+    larger CTIs feasible.
+    """
+    conjuncts = tuple(axioms.args) if isinstance(axioms, s.And) else (axioms,)
+    guards: dict = {}
+    for conjunct in conjuncts:
+        if conjunct == s.TRUE:
+            continue
+        for symbol in s.symbols_of(conjunct):
+            guards.setdefault(symbol, []).append(conjunct)
+    return _dedupe(_run(command, state, guards))
+
+
+def successors(program: Program, state: Structure) -> list[Outcome]:
+    """All outcomes of one loop iteration of ``program`` from ``state``."""
+    return execute(program.body, state, program.axiom_formula)
+
+
+def _dedupe(outcomes: list[Outcome]) -> list[Outcome]:
+    seen: set[tuple] = set()
+    unique: list[Outcome] = []
+    for outcome in outcomes:
+        key = (_state_key(outcome.state), outcome.labels)
+        if key not in seen:
+            seen.add(key)
+            unique.append(outcome)
+    return unique
+
+
+def _state_key(state: Structure | None) -> tuple | None:
+    if state is None:
+        return None
+    rel_part = tuple(
+        (rel.name, tuple(sorted(tuple(e.name for e in t) for t in state.rels.get(rel, frozenset()))))
+        for rel in state.vocab.relations
+    )
+    func_part = tuple(
+        (
+            func.name,
+            tuple(
+                sorted(
+                    (tuple(e.name for e in args), value.name)
+                    for args, value in state.funcs[func].items()
+                )
+            ),
+        )
+        for func in state.vocab.functions
+    )
+    return rel_part + func_part
+
+
+def _run(command: Command, state: Structure, guards: dict) -> list[Outcome]:
+    if isinstance(command, Skip):
+        return [Outcome(state)]
+    if isinstance(command, Abort):
+        return [Outcome(None)]
+    if isinstance(command, UpdateRel):
+        return _prune(Outcome(_apply_rel_update(command, state)), command.rel, guards)
+    if isinstance(command, UpdateFunc):
+        return _prune(Outcome(_apply_func_update(command, state)), command.func, guards)
+    if isinstance(command, Havoc):
+        out: list[Outcome] = []
+        for elem in state.universe[command.var.sort]:
+            candidate = Outcome(state.with_func(command.var, {(): elem}))
+            out.extend(_prune(candidate, command.var, guards))
+        return out
+    if isinstance(command, Assume):
+        return [Outcome(state)] if state.satisfies(command.formula) else []
+    if isinstance(command, Seq):
+        pending = [Outcome(state)]
+        for child in command.commands:
+            advanced: list[Outcome] = []
+            for outcome in pending:
+                if outcome.state is None:
+                    advanced.append(outcome)
+                    continue
+                for nxt in _run(child, outcome.state, guards):
+                    advanced.append(Outcome(nxt.state, outcome.labels + nxt.labels))
+            pending = advanced
+        return pending
+    if isinstance(command, Choice):
+        out = []
+        for index, branch in enumerate(command.branches):
+            label = command.branch_label(index)
+            for outcome in _run(branch, state, guards):
+                out.append(Outcome(outcome.state, (label,) + outcome.labels))
+        return out
+    raise TypeError(f"not a command: {command!r}")
+
+
+def _prune(outcome: Outcome, symbol, guards: dict) -> list[Outcome]:
+    """Mutations that leave the axiom-satisfying space have no successor.
+
+    This mirrors the reduced ``A ->`` guard in the wp rules (Figure 13):
+    the guard applies at every mutating command, restricted to the axiom
+    conjuncts that mention the mutated symbol.
+    """
+    relevant = guards.get(symbol)
+    if relevant and outcome.state is not None:
+        if not all(outcome.state.satisfies(conjunct) for conjunct in relevant):
+            return []
+    return [outcome]
+
+
+def _apply_rel_update(command: UpdateRel, state: Structure) -> Structure:
+    tuples: set[tuple[Elem, ...]] = set()
+    domains = [state.universe[sort] for sort in command.rel.arg_sorts]
+    for combo in itertools.product(*domains):
+        assignment = dict(zip(command.params, combo))
+        if state.eval_formula(command.formula, assignment):
+            tuples.add(combo)
+    return state.with_rel(command.rel, tuples)
+
+
+def _apply_func_update(command: UpdateFunc, state: Structure) -> Structure:
+    table: dict[tuple[Elem, ...], Elem] = {}
+    domains = [state.universe[sort] for sort in command.func.arg_sorts]
+    for combo in itertools.product(*domains):
+        assignment = dict(zip(command.params, combo))
+        table[combo] = state.eval_term(command.term, assignment)
+    return state.with_func(command.func, table)

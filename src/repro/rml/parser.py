@@ -1,0 +1,347 @@
+"""Concrete syntax for RML programs.
+
+The paper presents RML models as programs of the Figure 1 shape: sorted
+declarations, axioms, an initialization block, and a nondeterministic loop
+that asserts the safety properties and then chooses an operation.  This
+parser accepts exactly that shape::
+
+    program leader_election
+
+    sort node
+    sort id
+
+    relation le : id, id
+    relation leader : node
+    function idn : node -> id
+    variable n : node
+
+    axiom unique_ids: forall N1, N2. N1 ~= N2 -> idn(N1) ~= idn(N2)
+
+    init {
+        assume forall X:node. ~leader(X);
+    }
+
+    safety single_leader: forall N1, N2. leader(N1) & leader(N2) -> N1 = N2
+
+    action send {
+        havoc n;
+        insert pnd(idn(n), m);
+    }
+
+The loop body is ``assert <each safety>; (action_1 | ... | action_k)``,
+matching Figure 1's structure (the safety assertion at the loop head, then
+the nondeterministic choice of operations).  Statements::
+
+    skip;  abort;
+    assume <formula-EA>;                assert <formula-AE>;
+    havoc <variable>;    <variable> := *;    <variable> := <term>;
+    insert r(t1, ..);    remove r(t1, ..);
+    update r(X, Y) := <QF formula over X, Y>;
+    update f(X) := <term over X>;
+    f(t1, ..) := <term>;                # point update (Figure 12 sugar)
+    if <formula-AF> { ... } [else { ... }];
+    either { ... } or { ... } [or { ... }];     # nondeterministic choice
+
+Formulas use the syntax of :mod:`repro.logic.parser`; an optional ``final``
+block gives ``C_final``.  The result is a fully checked
+:class:`repro.rml.ast.Program`.
+"""
+
+from __future__ import annotations
+
+from ..logic import syntax as s
+from ..logic.lexer import ParseError, Token, TokenStream, tokenize
+from ..logic.parser import _Elaborator, _FormulaParser, _Scope
+from ..logic.sorts import FuncDecl, RelDecl, Sort, Vocabulary
+from .ast import (
+    Abort,
+    Assume,
+    Axiom,
+    Command,
+    Havoc,
+    Program,
+    Skip,
+    UpdateFunc,
+    UpdateRel,
+    choice,
+    seq,
+)
+from .sugar import assert_, assign, if_, insert, remove
+from .typecheck import check_program
+
+
+class _ProgramParser:
+    def __init__(self, source: str) -> None:
+        self.stream = TokenStream(tokenize(source))
+        self.name = "program"
+        self.sorts: list[Sort] = []
+        self.relations: list[RelDecl] = []
+        self.functions: list[FuncDecl] = []
+        self.axioms: list[Axiom] = []
+        self.safeties: list[tuple[str, s.Formula]] = []
+        self.init_command: Command = Skip()
+        self.final_command: Command = Skip()
+        self.actions: list[tuple[str, Command]] = []
+        self._vocab: Vocabulary | None = None
+
+    # ------------------------------------------------------------- helpers
+
+    @property
+    def vocab(self) -> Vocabulary:
+        if self._vocab is None:
+            self._vocab = Vocabulary(
+                tuple(self.sorts), tuple(self.relations), tuple(self.functions)
+            )
+        return self._vocab
+
+    def _invalidate(self) -> None:
+        self._vocab = None
+
+    def _sort(self, token: Token) -> Sort:
+        sort = Sort(token.text)
+        if sort not in self.sorts:
+            raise ParseError(f"unknown sort {token.text!r}", token)
+        return sort
+
+    def _sort_list(self) -> list[Sort]:
+        sorts = [self._sort(self.stream.expect_ident("sort"))]
+        while self.stream.accept(","):
+            sorts.append(self._sort(self.stream.expect_ident("sort")))
+        return sorts
+
+    def _formula(self, free: dict[str, Sort] | None = None) -> s.Formula:
+        parser = _FormulaParser(self.stream)
+        tree = parser.formula()
+        elaborator = _Elaborator(self.vocab, dict(free or {}))
+        elaborator._quant_slots = {}
+        scope = _Scope({})
+        elaborator.infer(tree, scope)
+        return elaborator.build(tree, scope)
+
+    def _term(self, free: dict[str, Sort] | None = None) -> s.Term:
+        parser = _FormulaParser(self.stream)
+        tree = parser.term()
+        elaborator = _Elaborator(self.vocab, dict(free or {}))
+        elaborator._quant_slots = {}
+        scope = _Scope({})
+        elaborator.infer_term(tree, None, scope)
+        return elaborator.build_term(tree, scope)
+
+    # ---------------------------------------------------------- top level
+
+    def parse(self) -> Program:
+        stream = self.stream
+        if stream.at_ident() and stream.current.text == "program":
+            stream.advance()
+            self.name = stream.expect_ident("program name").text
+        while stream.current.kind != "eof":
+            token = stream.current
+            word = token.text
+            if word == "sort":
+                stream.advance()
+                self.sorts.append(Sort(stream.expect_ident("sort name").text))
+                self._invalidate()
+            elif word == "relation":
+                stream.advance()
+                name = stream.expect_ident("relation name").text
+                arg_sorts: list[Sort] = []
+                if stream.accept(":"):
+                    arg_sorts = self._sort_list()
+                self.relations.append(RelDecl(name, tuple(arg_sorts)))
+                self._invalidate()
+            elif word == "function":
+                stream.advance()
+                name = stream.expect_ident("function name").text
+                stream.expect(":")
+                arg_sorts = self._sort_list()
+                stream.expect("->")
+                result = self._sort(stream.expect_ident("sort"))
+                self.functions.append(FuncDecl(name, tuple(arg_sorts), result))
+                self._invalidate()
+            elif word == "variable":
+                stream.advance()
+                name = stream.expect_ident("variable name").text
+                stream.expect(":")
+                sort = self._sort(stream.expect_ident("sort"))
+                self.functions.append(FuncDecl(name, (), sort))
+                self._invalidate()
+            elif word == "axiom":
+                stream.advance()
+                name = stream.expect_ident("axiom name").text
+                stream.expect(":")
+                self.axioms.append(Axiom(name, self._formula()))
+            elif word == "safety":
+                stream.advance()
+                name = stream.expect_ident("safety name").text
+                stream.expect(":")
+                self.safeties.append((name, self._formula()))
+            elif word == "init":
+                stream.advance()
+                self.init_command = self._block()
+            elif word == "final":
+                stream.advance()
+                self.final_command = self._block()
+            elif word == "action":
+                stream.advance()
+                name = stream.expect_ident("action name").text
+                self.actions.append((name, self._block()))
+            else:
+                raise ParseError(f"unexpected declaration {token}", token)
+        return self._build()
+
+    def _build(self) -> Program:
+        asserts = [assert_(formula, label=name) for name, formula in self.safeties]
+        if len(self.actions) > 1:
+            labels = tuple(name for name, _ in self.actions)
+            body = seq(*asserts, choice(*(c for _, c in self.actions), labels=labels))
+        elif self.actions:
+            body = seq(*asserts, self.actions[0][1])
+        else:
+            body = seq(*asserts)
+        program = Program(
+            name=self.name,
+            vocab=self.vocab,
+            axioms=tuple(self.axioms),
+            init=self.init_command,
+            body=body,
+            final=self.final_command,
+        )
+        check_program(program)
+        return program
+
+    # ------------------------------------------------------------- blocks
+
+    def _block(self) -> Command:
+        self.stream.expect("{")
+        commands: list[Command] = []
+        while not self.stream.at("}"):
+            commands.append(self._statement())
+            self.stream.expect(";")
+        self.stream.expect("}")
+        return seq(*commands)
+
+    def _statement(self) -> Command:
+        stream = self.stream
+        token = stream.current
+        word = token.text
+        if word == "skip":
+            stream.advance()
+            return Skip()
+        if word == "abort":
+            stream.advance()
+            return Abort()
+        if word == "assume":
+            stream.advance()
+            return Assume(self._formula())
+        if word == "assert":
+            stream.advance()
+            return assert_(self._formula())
+        if word == "havoc":
+            stream.advance()
+            name = stream.expect_ident("variable name")
+            decl = self.vocab.get(name.text)
+            if not isinstance(decl, FuncDecl) or not decl.is_constant:
+                raise ParseError(f"{name.text!r} is not a program variable", name)
+            return Havoc(decl)
+        if word in ("insert", "remove"):
+            stream.advance()
+            name = stream.expect_ident("relation name")
+            decl = self.vocab.get(name.text)
+            if not isinstance(decl, RelDecl):
+                raise ParseError(f"{name.text!r} is not a relation", name)
+            args: list[s.Term] = []
+            if decl.arity:
+                stream.expect("(")
+                args.append(self._term())
+                while stream.accept(","):
+                    args.append(self._term())
+                stream.expect(")")
+            ctor = insert if word == "insert" else remove
+            return ctor(decl, *args)
+        if word == "update":
+            stream.advance()
+            return self._bulk_update()
+        if word == "if":
+            stream.advance()
+            condition = self._formula()
+            then = self._block()
+            otherwise: Command = Skip()
+            if stream.at_ident() and stream.current.text == "else":
+                stream.advance()
+                otherwise = self._block()
+            return if_(condition, then, otherwise)
+        if word == "either":
+            stream.advance()
+            branches = [self._block()]
+            while stream.at_ident() and stream.current.text == "or":
+                stream.advance()
+                branches.append(self._block())
+            if len(branches) < 2:
+                raise ParseError("'either' needs at least one 'or' branch", token)
+            return choice(*branches)
+        # Assignment forms: v := term / v := * / f(t, ..) := term.
+        name = stream.expect_ident("statement")
+        decl = self.vocab.get(name.text)
+        if not isinstance(decl, FuncDecl):
+            raise ParseError(
+                f"unknown statement or assignable symbol {name.text!r}", name
+            )
+        args: list[s.Term] = []
+        if stream.at("("):
+            stream.expect("(")
+            args.append(self._term())
+            while stream.accept(","):
+                args.append(self._term())
+            stream.expect(")")
+        stream.expect(":=")
+        if stream.at("*"):
+            stream.advance()
+            if args:
+                raise ParseError("':= *' (havoc) applies to program variables", name)
+            return Havoc(decl)
+        value = self._term()
+        return assign(decl, tuple(args), value)
+
+    def _bulk_update(self) -> Command:
+        stream = self.stream
+        name = stream.expect_ident("relation or function name")
+        decl = self.vocab.get(name.text)
+        if decl is None:
+            raise ParseError(f"unknown symbol {name.text!r}", name)
+        params: list[s.Var] = []
+        arg_sorts = decl.arg_sorts
+        if not arg_sorts:
+            # Optional empty parens: ``update r() := phi``.
+            if stream.accept("("):
+                stream.expect(")")
+        if arg_sorts:
+            stream.expect("(")
+            index = 0
+            while True:
+                param = stream.expect_ident("parameter variable")
+                if param.text in self.vocab:
+                    raise ParseError(
+                        f"update parameter {param.text!r} shadows a declared symbol",
+                        param,
+                    )
+                if index >= len(arg_sorts):
+                    raise ParseError(f"too many parameters for {name.text!r}", param)
+                params.append(s.Var(param.text, arg_sorts[index]))
+                index += 1
+                if not stream.accept(","):
+                    break
+            stream.expect(")")
+            if len(params) != len(arg_sorts):
+                raise ParseError(f"too few parameters for {name.text!r}", name)
+        stream.expect(":=")
+        free = {var.name: var.sort for var in params}
+        if isinstance(decl, RelDecl):
+            formula = self._formula(free)
+            return UpdateRel(decl, tuple(params), formula)
+        term = self._term(free)
+        return UpdateFunc(decl, tuple(params), term)
+
+
+def parse_program(source: str) -> Program:
+    """Parse (and check) an RML program from concrete syntax."""
+    return _ProgramParser(source).parse()

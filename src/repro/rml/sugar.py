@@ -1,0 +1,114 @@
+"""Syntactic sugar for RML commands (paper Figure 12).
+
+Every helper expands to core commands exactly as the figure specifies::
+
+    assert phi_AE          ==  {assume ~phi_AE; abort} | skip
+    if phi then C1 else C2 ==  {assume phi; C1} | {assume ~phi; C2}
+    r.insert(x | phi)      ==  r(x) := r(x) | phi(x)
+    r.remove(x | phi)      ==  r(x) := r(x) & ~phi(x)
+    r.insert(t)            ==  r(x) := r(x) | x = t
+    r.remove(t)            ==  r(x) := r(x) & ~(x = t)
+    f(t) := u              ==  f(x) := ite(x = t, u, f(x))
+
+The fragment restrictions of Figure 12 (``assert`` takes forall*exists*
+formulas, ``if`` conditions are alternation free) are enforced here so that
+the desugared program always satisfies the core RML restrictions checked by
+:mod:`repro.rml.typecheck`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..logic import syntax as s
+from ..logic.fragments import is_alternation_free, is_forall_exists
+from ..logic.sorts import FuncDecl, RelDecl
+from ..logic.subst import fresh_var
+from .ast import Abort, Assume, Choice, Command, Skip, UpdateFunc, UpdateRel, seq
+
+
+class SugarError(Exception):
+    """Raised when sugar is applied outside its fragment restrictions."""
+
+
+def assert_(formula: s.Formula, label: str | None = None) -> Command:
+    """``assert phi``: abort iff ``~phi`` can be assumed (Figure 12)."""
+    if not is_forall_exists(formula):
+        raise SugarError(f"assert requires a forall*exists* formula, got: {formula}")
+    branches = (seq(Assume(s.not_(formula)), Abort()), Skip())
+    labels = (f"violate {label}" if label else "violate", "pass")
+    return Choice(branches, labels)
+
+
+def if_(condition: s.Formula, then: Command, els: Command | None = None) -> Command:
+    """``if condition then C1 else C2`` via assume-guarded choice."""
+    if not is_alternation_free(condition):
+        raise SugarError(f"if condition must be alternation free, got: {condition}")
+    else_branch = els if els is not None else Skip()
+    return Choice(
+        (seq(Assume(condition), then), seq(Assume(s.not_(condition)), else_branch)),
+        ("then", "else"),
+    )
+
+
+def _params_for(symbol: RelDecl | FuncDecl, avoid: Iterable[s.Var] = ()) -> tuple[s.Var, ...]:
+    taken = list(avoid)
+    params: list[s.Var] = []
+    for index, sort in enumerate(symbol.arg_sorts):
+        var = fresh_var(f"X{index}", sort, taken)
+        taken.append(var)
+        params.append(var)
+    return tuple(params)
+
+
+def insert_where(rel: RelDecl, params: tuple[s.Var, ...], condition: s.Formula) -> Command:
+    """``rel.insert(params | condition)``: add every tuple satisfying it."""
+    return UpdateRel(rel, params, s.or_(s.Rel(rel, params), condition))
+
+
+def remove_where(rel: RelDecl, params: tuple[s.Var, ...], condition: s.Formula) -> Command:
+    """``rel.remove(params | condition)``: drop every tuple satisfying it."""
+    return UpdateRel(rel, params, s.and_(s.Rel(rel, params), s.not_(condition)))
+
+
+def insert(rel: RelDecl, *args: s.Term) -> Command:
+    """``rel.insert(t)`` for a tuple of closed terms."""
+    params = _params_for(rel, avoid=_term_vars(args))
+    match = s.and_(*(s.eq(p, t) for p, t in zip(params, args)))
+    return UpdateRel(rel, params, s.or_(s.Rel(rel, params), match))
+
+
+def remove(rel: RelDecl, *args: s.Term) -> Command:
+    """``rel.remove(t)`` for a tuple of closed terms."""
+    params = _params_for(rel, avoid=_term_vars(args))
+    match = s.and_(*(s.eq(p, t) for p, t in zip(params, args)))
+    return UpdateRel(rel, params, s.and_(s.Rel(rel, params), s.not_(match)))
+
+
+def assign(func: FuncDecl, args: tuple[s.Term, ...], value: s.Term) -> Command:
+    """``f(t) := u``: point update via an ite right-hand side (Figure 12).
+
+    With ``args == ()`` this is a plain program-variable assignment
+    ``v := u``.
+    """
+    if len(args) != func.arity:
+        raise SugarError(f"point update of {func.name!r} has wrong arity")
+    if not args:
+        return UpdateFunc(func, (), value)
+    params = _params_for(func, avoid=_term_vars((*args, value)))
+    match = s.and_(*(s.eq(p, t) for p, t in zip(params, args)))
+    body = s.Ite(match, value, s.App(func, params))
+    return UpdateFunc(func, params, body)
+
+
+def clear(rel: RelDecl) -> Command:
+    """Set a relation to empty."""
+    params = _params_for(rel)
+    return UpdateRel(rel, params, s.FALSE)
+
+
+def _term_vars(terms: Iterable[s.Term]) -> set[s.Var]:
+    out: set[s.Var] = set()
+    for term in terms:
+        out |= s.free_vars(term)
+    return out

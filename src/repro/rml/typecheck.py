@@ -1,0 +1,139 @@
+"""Static checks enforcing the RML restrictions (Sections 3.1 and 3.3).
+
+A program is *well formed* when:
+
+1. its vocabulary's function symbols are stratified;
+2. every relation update's right-hand side is quantifier free and mentions
+   only the update parameters as free variables;
+3. every function update's right-hand side is a term over the parameters
+   whose ``ite`` conditions are quantifier free;
+4. every ``assume`` (and every axiom) is a *closed* exists*forall* formula;
+5. all symbols used belong to the program vocabulary.
+
+Together these guarantee Lemma 3.2 / Theorem 3.3: every verification
+condition the tool generates is decidable EPR (checked again dynamically by
+the solver, but a well-formedness error here points at the offending command
+instead of a solver failure later).
+"""
+
+from __future__ import annotations
+
+from ..logic import syntax as s
+from ..logic.fragments import is_exists_forall, is_quantifier_free
+from ..logic.sorts import StratificationError, Vocabulary
+from .ast import (
+    Abort,
+    Assume,
+    Choice,
+    Command,
+    Havoc,
+    Program,
+    Seq,
+    Skip,
+    UpdateFunc,
+    UpdateRel,
+)
+
+
+class ProgramError(Exception):
+    """A violation of the RML well-formedness restrictions."""
+
+
+def check_program(program: Program) -> None:
+    """Raise :class:`ProgramError` unless ``program`` is well-formed RML."""
+    try:
+        program.vocab.check_stratified()
+    except StratificationError as error:
+        raise ProgramError(f"{program.name}: {error}") from error
+    for axiom in program.axioms:
+        if s.free_vars(axiom.formula):
+            raise ProgramError(f"axiom {axiom.name!r} is not closed")
+        if not is_exists_forall(axiom.formula):
+            raise ProgramError(
+                f"axiom {axiom.name!r} is not an exists*forall* formula"
+            )
+        _check_symbols(axiom.formula, program.vocab, f"axiom {axiom.name!r}")
+    for label, command in (
+        ("init", program.init),
+        ("body", program.body),
+        ("final", program.final),
+    ):
+        check_command(command, program.vocab, where=f"{program.name}.{label}")
+
+
+def check_command(command: Command, vocab: Vocabulary, where: str = "command") -> None:
+    if isinstance(command, (Skip, Abort)):
+        return
+    if isinstance(command, UpdateRel):
+        if vocab.get(command.rel.name) != command.rel:
+            raise ProgramError(f"{where}: update of undeclared relation {command.rel.name!r}")
+        if not is_quantifier_free(command.formula):
+            raise ProgramError(
+                f"{where}: update of {command.rel.name!r} is not quantifier free"
+            )
+        extra = s.free_vars(command.formula) - set(command.params)
+        if extra:
+            names = ", ".join(sorted(v.name for v in extra))
+            raise ProgramError(
+                f"{where}: update of {command.rel.name!r} has stray free variables: {names}"
+            )
+        _check_symbols(command.formula, vocab, where)
+        return
+    if isinstance(command, UpdateFunc):
+        if vocab.get(command.func.name) != command.func:
+            raise ProgramError(f"{where}: update of undeclared function {command.func.name!r}")
+        extra = s.free_vars(command.term) - set(command.params)
+        if extra:
+            names = ", ".join(sorted(v.name for v in extra))
+            raise ProgramError(
+                f"{where}: update of {command.func.name!r} has stray free variables: {names}"
+            )
+        _check_term(command.term, vocab, where)
+        return
+    if isinstance(command, Havoc):
+        if vocab.get(command.var.name) != command.var:
+            raise ProgramError(f"{where}: havoc of undeclared variable {command.var.name!r}")
+        return
+    if isinstance(command, Assume):
+        if s.free_vars(command.formula):
+            raise ProgramError(f"{where}: assume formula is not closed")
+        if not is_exists_forall(command.formula):
+            raise ProgramError(
+                f"{where}: assume formula is not exists*forall*: {command.formula}"
+            )
+        _check_symbols(command.formula, vocab, where)
+        return
+    if isinstance(command, Seq):
+        for child in command.commands:
+            check_command(child, vocab, where)
+        return
+    if isinstance(command, Choice):
+        for child in command.branches:
+            check_command(child, vocab, where)
+        return
+    raise TypeError(f"not a command: {command!r}")
+
+
+def _check_symbols(formula: s.Formula, vocab: Vocabulary, where: str) -> None:
+    for decl in s.symbols_of(formula):
+        if vocab.get(decl.name) != decl:
+            raise ProgramError(f"{where}: symbol {decl.name!r} not in the program vocabulary")
+
+
+def _check_term(term: s.Term, vocab: Vocabulary, where: str) -> None:
+    if isinstance(term, s.Var):
+        return
+    if isinstance(term, s.App):
+        if vocab.get(term.func.name) != term.func:
+            raise ProgramError(f"{where}: symbol {term.func.name!r} not in the program vocabulary")
+        for arg in term.args:
+            _check_term(arg, vocab, where)
+        return
+    if isinstance(term, s.Ite):
+        if not is_quantifier_free(term.cond):
+            raise ProgramError(f"{where}: ite condition is not quantifier free")
+        _check_symbols(term.cond, vocab, where)
+        _check_term(term.then, vocab, where)
+        _check_term(term.els, vocab, where)
+        return
+    raise TypeError(f"not a term: {term!r}")

@@ -1,0 +1,135 @@
+"""The weakest-precondition operator for RML (paper Figure 13).
+
+::
+
+    wp(skip, Q)            = Q
+    wp(abort, Q)           = false
+    wp(r(x) := phi(x), Q)  = (A -> Q)[phi(s)/r(s)]
+    wp(f(x) := t(x), Q)    = (A -> Q)[t(s)/f(s)]
+    wp(v := *, Q)          = forall x. (A -> Q)[x/v]
+    wp(assume phi, Q)      = phi -> Q
+    wp(C1; C2, Q)          = wp(C1, wp(C2, Q))
+    wp(C1 | C2, Q)         = wp(C1, Q) & wp(C2, Q)
+
+``A`` is the conjunction of the program axioms: state mutations that leave
+the axiom-satisfying state space have no successor, hence the guarded
+``A -> Q`` in the mutation rules.
+
+Lemma 3.2 (closure): if ``Q`` is forall*exists* then so is ``wp(C, Q)`` --
+checked here by construction and exercised by property tests.
+"""
+
+from __future__ import annotations
+
+from ..logic import syntax as s
+from ..logic.subst import FreshNames, fresh_var, replace_func, replace_rel
+from .ast import (
+    Abort,
+    Assume,
+    Choice,
+    Command,
+    Havoc,
+    Program,
+    Seq,
+    Skip,
+    UpdateFunc,
+    UpdateRel,
+)
+
+
+def wp(
+    command: Command,
+    post: s.Formula,
+    axioms: s.Formula = s.TRUE,
+    reduce_guards: bool = True,
+) -> s.Formula:
+    """The weakest precondition of ``command`` with respect to ``post``.
+
+    ``axioms`` is the conjunction ``A`` of the program's axioms (pass
+    :attr:`repro.rml.ast.Program.axiom_formula`); the default ``true``
+    matches axiom-free programs.
+
+    With ``reduce_guards`` (the default) each mutation's ``A ->`` guard
+    keeps only the axiom conjuncts that *mention the mutated symbol*: a
+    conjunct over other symbols is syntactically unchanged by the
+    substitution, so in any context where ``A`` holds in the pre-state --
+    which is every verification condition this tool builds, since states
+    satisfy the axioms by definition -- the full guard and the reduced one
+    agree.  This prunes the VC dramatically when axioms only constrain
+    rigid symbols.  Pass ``reduce_guards=False`` for the literal Figure 13
+    operator (the equivalence of the two under ``A`` is property-tested).
+    """
+    fresh = FreshNames()
+    return _wp(command, post, axioms, fresh, reduce_guards)
+
+
+def _guard_for(symbol, axioms: s.Formula, reduce_guards: bool) -> s.Formula:
+    if not reduce_guards or axioms == s.TRUE:
+        return axioms
+    conjuncts = axioms.args if isinstance(axioms, s.And) else (axioms,)
+    relevant = [c for c in conjuncts if symbol in s.symbols_of(c)]
+    return s.and_(*relevant)
+
+
+def _wp(
+    command: Command,
+    post: s.Formula,
+    axioms: s.Formula,
+    fresh: FreshNames,
+    reduce_guards: bool,
+) -> s.Formula:
+    if isinstance(command, Skip):
+        return post
+    if isinstance(command, Abort):
+        return s.FALSE
+    if isinstance(command, UpdateRel):
+        guard = _guard_for(command.rel, axioms, reduce_guards)
+        guarded = s.implies(guard, post)
+        return replace_rel(guarded, command.rel, command.params, command.formula)
+    if isinstance(command, UpdateFunc):
+        guard = _guard_for(command.func, axioms, reduce_guards)
+        guarded = s.implies(guard, post)
+        return replace_func(guarded, command.func, command.params, command.term)
+    if isinstance(command, Havoc):
+        guard = _guard_for(command.var, axioms, reduce_guards)
+        guarded = s.implies(guard, post)
+        var = fresh_var(fresh(f"any_{command.var.name}"), command.var.sort, ())
+        substituted = replace_func(guarded, command.var, (), var)
+        return s.forall((var,), substituted)
+    if isinstance(command, Assume):
+        return s.implies(command.formula, post)
+    if isinstance(command, Seq):
+        out = post
+        for child in reversed(command.commands):
+            out = _wp(child, out, axioms, fresh, reduce_guards)
+        return out
+    if isinstance(command, Choice):
+        return s.and_(
+            *(_wp(branch, post, axioms, fresh, reduce_guards) for branch in command.branches)
+        )
+    raise TypeError(f"not a command: {command!r}")
+
+
+def wp_body_safe(program: Program) -> s.Formula:
+    """``wp(C_body, true)``: no abort is reachable in one body execution."""
+    return wp(program.body, s.TRUE, program.axiom_formula)
+
+
+def wp_final_safe(program: Program) -> s.Formula:
+    """``wp(C_final, true)``: the finalization command cannot abort."""
+    return wp(program.final, s.TRUE, program.axiom_formula)
+
+
+def iterated_wp(program: Program, post: s.Formula, iterations: int) -> s.Formula:
+    """``wp(C_init; C_body^k, post)`` -- the k-safety obligation (Eq. 1).
+
+    Grows exponentially with ``iterations`` when the body branches; the
+    bounded model checker in :mod:`repro.core.bounded` uses the
+    transition-relation encoding instead, but this direct form is kept for
+    cross-checking the two on small bounds.
+    """
+    out = post
+    axioms = s.TRUE if not program.axioms else program.axiom_formula
+    for _ in range(iterations):
+        out = wp(program.body, out, axioms)
+    return wp(program.init, out, axioms)

@@ -1,0 +1,35 @@
+"""Decision procedures: CDCL SAT, grounding, and the EPR solver.
+
+This package replaces the paper's use of Z3.  The public entry points are
+:class:`~repro.solver.epr.EprSolver` / :func:`~repro.solver.epr.solve_epr`
+for EPR satisfiability with finite-model extraction and unsat cores, and
+:class:`~repro.solver.sat.Solver` for raw propositional problems.
+"""
+
+from .cnf import CnfBuilder, term_key
+from .epr import EprResult, EprSolver, solve_epr
+from .equality import EqualityTheory
+from .grounding import (
+    GroundingExplosion,
+    check_universe_closed,
+    ground_universe,
+    instantiate_universals,
+    universe_size,
+)
+from .sat import SatResult, Solver
+
+__all__ = [
+    "CnfBuilder",
+    "EprResult",
+    "EprSolver",
+    "EqualityTheory",
+    "GroundingExplosion",
+    "SatResult",
+    "Solver",
+    "check_universe_closed",
+    "ground_universe",
+    "instantiate_universals",
+    "solve_epr",
+    "term_key",
+    "universe_size",
+]

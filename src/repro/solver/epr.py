@@ -1,0 +1,508 @@
+"""The EPR decision procedure (Theorem 3.3 of the paper).
+
+:class:`EprSolver` decides satisfiability of conjunctions of closed
+``exists*forall*`` formulas over a vocabulary with stratified functions --
+exactly the shape of every RML verification condition -- and, when
+satisfiable, extracts a finite model as a
+:class:`repro.logic.structures.Structure` (the finite model property in
+action: these models are the paper's counterexamples to induction).
+
+Pipeline per :meth:`EprSolver.check` call:
+
+1. normalize each constraint (NNF, ite-elimination), skolemize its
+   existentials into fresh constants -- sharing constants across disjuncts
+   (:func:`repro.solver.split.hoist_existentials`) -- and name quantified
+   disjuncts with selector propositions
+   (:class:`repro.solver.split.DisjunctSplitter`) so universal blocks stay
+   narrow;
+2. compute the finite ground-term universe (stratified closure);
+3. instantiate *small* universal blocks exhaustively; register blocks whose
+   instance count exceeds a threshold for **model-based quantifier
+   instantiation** (MBQI): they are only instantiated, on demand, over the
+   representatives of the current candidate model;
+4. Tseitin-encode the ground instances into a CDCL SAT solver, with one
+   selector literal per *tracked* constraint;
+5. run a CEGAR loop: refute equality-congruence violations (lazy congruence
+   closure, :mod:`repro.solver.equality`) and violated lazy universal
+   instances until a stable model emerges or the formula is refuted;
+6. on sat, quotient the universe by the model's equality and read off a
+   finite structure; on unsat, report the failed selectors as an unsat core
+   over constraint names.
+
+Symbols occurring in constraints but missing from the vocabulary (e.g. the
+fresh constants a caller mints for diagram elements) are adopted
+automatically: constants join the universe, relations and functions join
+the congruence machinery; extraction still projects onto the declared
+vocabulary.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from ..logic import syntax as s
+from ..logic.sorts import FuncDecl, RelDecl, Sort, Vocabulary
+from ..logic.structures import Elem, Structure
+from ..logic.subst import FreshNames, substitute
+from ..logic.transform import eliminate_ite, nnf, skolemize_ea
+from .cnf import CnfBuilder, term_key
+from .equality import EqualityTheory
+from .grounding import (
+    GroundingExplosion,
+    ground_universe,
+    instantiate_universals,
+    _miniscope,
+)
+from .sat import Solver
+
+
+@dataclass(frozen=True)
+class EprResult:
+    """Outcome of an EPR satisfiability check."""
+
+    satisfiable: bool
+    model: Structure | None = None
+    term_to_elem: Mapping[s.Term, Elem] | None = None
+    core: frozenset[str] = frozenset()
+    statistics: dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.satisfiable
+
+
+@dataclass(frozen=True)
+class _Constraint:
+    name: str
+    formula: s.Formula
+    tracked: bool
+
+
+@dataclass(frozen=True)
+class _LazyBlock:
+    """A universal block instantiated on demand (MBQI)."""
+
+    vars: tuple[s.Var, ...]
+    matrix: s.Formula
+    selector: int | None
+
+
+class EprSolver:
+    """Accumulates closed exists*forall* constraints and decides them.
+
+    ``exclusive_tracked=True`` declares that tracked constraints will only
+    ever be solved one at a time (:meth:`PreparedEpr.solve` with a single
+    name).  Their Skolem constants are then drawn from one shared pool --
+    exactly like disjuncts of a single formula -- which keeps the ground
+    universe proportional to the *largest* tracked constraint instead of
+    their total.  This is what makes batched Houdini over hundreds of
+    template candidates feasible.
+    """
+
+    def __init__(
+        self,
+        vocab: Vocabulary,
+        eager_threshold: int = 3000,
+        exclusive_tracked: bool = False,
+    ) -> None:
+        self.vocab = vocab
+        self.eager_threshold = eager_threshold
+        self.exclusive_tracked = exclusive_tracked
+        self._constraints: list[_Constraint] = []
+        self._names: set[str] = set()
+
+    def add(self, formula: s.Formula, name: str | None = None, track: bool = False) -> str:
+        """Add a constraint; returns its (possibly generated) name.
+
+        Tracked constraints participate in unsat cores; untracked ones are
+        hard background (axioms, transition encodings).
+        """
+        if name is None:
+            name = f"c{len(self._constraints)}"
+        if name in self._names:
+            raise ValueError(f"duplicate constraint name {name!r}")
+        self._names.add(name)
+        self._constraints.append(_Constraint(name, formula, track))
+        return name
+
+    def add_all(self, formulas: Iterable[s.Formula]) -> None:
+        for formula in formulas:
+            self.add(formula)
+
+    # ------------------------------------------------------------- checking
+
+    def prepare(self) -> "PreparedEpr":
+        """Ground all constraints once, returning a reusable solver instance.
+
+        The returned :class:`PreparedEpr` can be solved repeatedly under
+        different subsets of the *tracked* constraints -- the deletion-based
+        core minimization of the auto-generalizer re-solves dozens of
+        subsets, and sharing the grounding makes each re-solve a plain
+        incremental SAT call.
+        """
+        from .split import DisjunctSplitter, SkolemPool, hoist_existentials
+
+        working_vocab, adopted_constants = self._working_vocabulary()
+        fresh = FreshNames(
+            itertools.chain(
+                (decl.name for decl in working_vocab.relations),
+                (decl.name for decl in working_vocab.functions),
+            )
+        )
+        splitter = DisjunctSplitter(fresh)
+        shared_pool = SkolemPool(fresh) if self.exclusive_tracked else None
+        skolemized: list[tuple[_Constraint, s.Formula]] = []
+        extra_constants: list[FuncDecl] = list(adopted_constants)
+        for constraint in self._constraints:
+            pool = shared_pool if constraint.tracked else None
+            hoisted, constants = hoist_existentials(
+                nnf(eliminate_ite(constraint.formula)), fresh, pool=pool
+            )
+            extra_constants.extend(constants)
+            split = splitter.split(hoisted)
+            result = skolemize_ea(split, fresh)
+            skolemized.append((constraint, result.universal))
+            extra_constants.extend(result.constants)
+
+        universe = ground_universe(working_vocab, extra_constants)
+        sat = Solver()
+        builder = CnfBuilder(sat)
+        equality = EqualityTheory(builder, working_vocab, universe)
+        prepared = PreparedEpr(
+            self, working_vocab, universe, sat, builder, equality,
+            exclusive=self.exclusive_tracked,
+        )
+
+        for constraint, universal in skolemized:
+            selector: int | None = None
+            if constraint.tracked:
+                selector = sat.new_var()
+                prepared.selector_of[constraint.name] = selector
+                prepared.selectors[selector] = constraint.name
+            for vars_, matrix in _miniscope(universal):
+                count = 1
+                for var in vars_:
+                    count *= len(universe[var.sort])
+                if count > self.eager_threshold and vars_:
+                    prepared.lazy_blocks.append(_LazyBlock(tuple(vars_), matrix, selector))
+                    continue
+                if not vars_:
+                    prepared.assert_instance(matrix, selector)
+                    continue
+                domains = [universe[var.sort] for var in vars_]
+                for combo in itertools.product(*domains):
+                    instance = substitute(matrix, dict(zip(vars_, combo)))
+                    prepared.assert_instance(instance, selector)
+        return prepared
+
+    def check(self, max_rounds: int = 10_000) -> EprResult:
+        """Decide the conjunction of all added constraints."""
+        return self.prepare().solve(max_rounds=max_rounds)
+
+    # --------------------------------------------------- MBQI refinement
+
+    def _refine_lazy(
+        self,
+        lazy_blocks: list[_LazyBlock],
+        universe: Mapping[Sort, list[s.Term]],
+        reps: Mapping[s.Term, s.Term],
+        builder: CnfBuilder,
+        model: dict[int, bool],
+        assert_instance,
+    ) -> int:
+        """Instantiate lazy universal blocks over the model's representatives,
+        asserting every instance the current model falsifies."""
+        rep_terms: dict[Sort, list[s.Term]] = {}
+        for sort, terms in universe.items():
+            rep_terms[sort] = sorted({reps[t] for t in terms}, key=term_key)
+        # The truth of r(t..) in the candidate *quotient* model: some true
+        # atom exists whose argument classes match.  This is exactly how
+        # model extraction reads relations, so an instance this evaluator
+        # accepts is an instance the extracted structure satisfies.
+        true_canon: set[tuple[RelDecl, tuple[s.Term, ...]]] = set()
+        for atom, var in builder.atoms.items():
+            if isinstance(atom, s.Rel) and model.get(var, False):
+                true_canon.add((atom.rel, tuple(reps[arg] for arg in atom.args)))
+        added = 0
+        for block in lazy_blocks:
+            if block.selector is not None and not model.get(block.selector, False):
+                continue  # tracked constraint currently disabled
+            domains = [rep_terms[var.sort] for var in block.vars]
+            env: dict[s.Var, s.Term] = {}
+            for combo in itertools.product(*domains):
+                env = dict(zip(block.vars, combo))
+                if self._eval_in_env(block.matrix, env, true_canon, reps):
+                    continue
+                instance = substitute(block.matrix, env)
+                if assert_instance(instance, block.selector):
+                    added += 1
+        return added
+
+    def _term_rep(
+        self, term: s.Term, env: Mapping[s.Var, s.Term], reps: Mapping[s.Term, s.Term]
+    ) -> s.Term:
+        if isinstance(term, s.Var):
+            return env[term]  # bound to a representative already
+        assert isinstance(term, s.App)
+        if not term.args:
+            return reps[term]
+        args = tuple(self._term_rep(arg, env, reps) for arg in term.args)
+        return reps[s.App(term.func, args)]
+
+    def _eval_in_env(
+        self,
+        formula: s.Formula,
+        env: Mapping[s.Var, s.Term],
+        true_canon: set[tuple[RelDecl, tuple[s.Term, ...]]],
+        reps: Mapping[s.Term, s.Term],
+    ) -> bool:
+        """Evaluate a QF matrix in the candidate quotient model under ``env``.
+
+        Relation atoms with no true representative-signature atom default to
+        false, matching model extraction.  Avoids building substituted ASTs:
+        only instances found violated get materialized.
+        """
+        if isinstance(formula, s.Rel):
+            signature = tuple(self._term_rep(arg, env, reps) for arg in formula.args)
+            return (formula.rel, signature) in true_canon
+        if isinstance(formula, s.Eq):
+            return self._term_rep(formula.lhs, env, reps) == self._term_rep(
+                formula.rhs, env, reps
+            )
+        if isinstance(formula, s.Not):
+            return not self._eval_in_env(formula.arg, env, true_canon, reps)
+        if isinstance(formula, s.And):
+            return all(
+                self._eval_in_env(a, env, true_canon, reps) for a in formula.args
+            )
+        if isinstance(formula, s.Or):
+            return any(
+                self._eval_in_env(a, env, true_canon, reps) for a in formula.args
+            )
+        if isinstance(formula, s.Implies):
+            return (not self._eval_in_env(formula.lhs, env, true_canon, reps)) or (
+                self._eval_in_env(formula.rhs, env, true_canon, reps)
+            )
+        if isinstance(formula, s.Iff):
+            return self._eval_in_env(formula.lhs, env, true_canon, reps) == (
+                self._eval_in_env(formula.rhs, env, true_canon, reps)
+            )
+        raise TypeError(f"not a ground formula: {formula!r}")
+
+    # -------------------------------------------------- working vocabulary
+
+    def _working_vocabulary(self) -> tuple[Vocabulary, list[FuncDecl]]:
+        """Adopt symbols used in constraints but absent from the vocabulary."""
+        extra_relations: list[RelDecl] = []
+        extra_functions: list[FuncDecl] = []
+        adopted_constants: list[FuncDecl] = []
+        known = set(self.vocab.relations) | set(self.vocab.functions)
+        seen: set = set(known)
+        for constraint in self._constraints:
+            for decl in s.symbols_of(constraint.formula):
+                if decl in seen:
+                    continue
+                seen.add(decl)
+                if decl.name in self.vocab:
+                    raise ValueError(
+                        f"symbol {decl.name!r} conflicts with the vocabulary"
+                    )
+                if isinstance(decl, RelDecl):
+                    extra_relations.append(decl)
+                else:
+                    extra_functions.append(decl)
+                    if decl.is_constant:
+                        adopted_constants.append(decl)
+        if not extra_relations and not extra_functions:
+            return self.vocab, []
+        working = self.vocab.extended(
+            relations=extra_relations, functions=extra_functions
+        )
+        return working, adopted_constants
+
+    @staticmethod
+    def _stats(
+        sat: Solver, instances: int, rounds: int, congruence: int, lazy: int
+    ) -> dict[str, int]:
+        return {
+            "instances": instances,
+            "cegar_rounds": rounds,
+            "congruence_clauses": congruence,
+            "lazy_instances": lazy,
+            "sat_vars": sat.num_vars,
+            **sat.statistics,
+        }
+
+    # ----------------------------------------------------- model extraction
+
+    def _extract(
+        self,
+        builder: CnfBuilder,
+        model: dict[int, bool],
+        reps: Mapping[s.Term, s.Term],
+        universe: Mapping[Sort, list[s.Term]],
+        working_vocab: Vocabulary,
+    ) -> tuple[Structure, dict[s.Term, Elem]]:
+        elem_of_rep: dict[s.Term, Elem] = {}
+        domain: dict[Sort, tuple[Elem, ...]] = {}
+        for sort in self.vocab.sorts:
+            class_reps = sorted({reps[term] for term in universe[sort]}, key=term_key)
+            elems = tuple(
+                Elem(f"{sort.name}{index}", sort) for index in range(len(class_reps))
+            )
+            domain[sort] = elems
+            for rep, elem in zip(class_reps, elems):
+                elem_of_rep[rep] = elem
+        term_to_elem = {
+            term: elem_of_rep[reps[term]]
+            for sort in self.vocab.sorts
+            for term in universe[sort]
+        }
+
+        positive: dict[RelDecl, set[tuple[Elem, ...]]] = {
+            rel: set() for rel in self.vocab.relations
+        }
+        for atom, var in builder.atoms.items():
+            if not isinstance(atom, s.Rel) or not model.get(var, False):
+                continue
+            if atom.rel not in positive:
+                continue  # selector or adopted symbol, not in the base vocabulary
+            positive[atom.rel].add(tuple(term_to_elem[arg] for arg in atom.args))
+        rels = {rel: frozenset(tuples) for rel, tuples in positive.items()}
+
+        funcs: dict[FuncDecl, dict[tuple[Elem, ...], Elem]] = {}
+        rep_term_of_elem = {elem: rep for rep, elem in elem_of_rep.items()}
+        for func in self.vocab.functions:
+            table: dict[tuple[Elem, ...], Elem] = {}
+            for elem_args in itertools.product(
+                *(domain[sort] for sort in func.arg_sorts)
+            ):
+                term_args = tuple(rep_term_of_elem[elem] for elem in elem_args)
+                value_term = s.App(func, term_args)
+                table[elem_args] = term_to_elem[value_term]
+            funcs[func] = table
+
+        structure = Structure(self.vocab, domain, rels, funcs)
+        return structure, term_to_elem
+
+
+class PreparedEpr:
+    """A grounded EPR instance supporting repeated subset solves.
+
+    ``solve(enabled)`` decides the untracked constraints conjoined with the
+    tracked constraints whose names are in ``enabled`` (all of them when
+    ``enabled`` is None).  Congruence clauses and lazy universal instances
+    learned by earlier solves persist: congruence clauses are theory-valid,
+    and lazy instances carry their constraint's selector, so they only bite
+    when that constraint is enabled.
+    """
+
+    def __init__(
+        self, owner, working_vocab, universe, sat, builder, equality, exclusive=False
+    ):
+        self._owner = owner
+        self.exclusive = exclusive
+        self.working_vocab = working_vocab
+        self.universe = universe
+        self.sat = sat
+        self.builder = builder
+        self.equality = equality
+        self.selectors: dict[int, str] = {}
+        self.selector_of: dict[str, int] = {}
+        self.lazy_blocks: list[_LazyBlock] = []
+        self._asserted: set[s.Formula] = set()
+        self.instance_count = 0
+
+    def assert_instance(self, instance: s.Formula, selector: int | None) -> bool:
+        if selector is None:
+            if instance in self._asserted:
+                return False
+            self._asserted.add(instance)
+        self.builder.assert_formula(instance, selector)
+        self.instance_count += 1
+        return True
+
+    def solve(
+        self, enabled: Iterable[str] | None = None, max_rounds: int = 10_000
+    ) -> EprResult:
+        if enabled is None:
+            if self.exclusive and len(self.selectors) > 1:
+                raise ValueError(
+                    "exclusive_tracked solvers must enable one constraint at a time"
+                )
+            assumptions = sorted(self.selectors)
+        else:
+            names = set(enabled)
+            if self.exclusive and len(names) > 1:
+                raise ValueError(
+                    "exclusive_tracked solvers must enable one constraint at a time"
+                )
+            unknown = names - set(self.selector_of)
+            if unknown:
+                raise KeyError(f"unknown tracked constraints: {sorted(unknown)}")
+            assumptions = sorted(self.selector_of[name] for name in names)
+        owner = self._owner
+        rounds = 0
+        congruence_clauses = 0
+        lazy_instances = 0
+        while True:
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("instantiation/congruence loop failed to converge")
+            result = self.sat.solve(assumptions)
+            if not result.satisfiable:
+                core = frozenset(
+                    self.selectors[lit] for lit in result.core if lit in self.selectors
+                )
+                return EprResult(
+                    False,
+                    core=core,
+                    statistics=owner._stats(
+                        self.sat, self.instance_count, rounds,
+                        congruence_clauses, lazy_instances,
+                    ),
+                )
+            reps = self.equality.classes(result.model)
+            violations = self.equality.congruence_violations(result.model, reps)
+            if violations:
+                for clause in violations:
+                    self.sat.add_clause(clause)
+                    congruence_clauses += 1
+                continue
+            new_instances = owner._refine_lazy(
+                self.lazy_blocks, self.universe, reps, self.builder,
+                result.model, self.assert_instance,
+            )
+            if new_instances:
+                lazy_instances += new_instances
+                continue
+            structure, term_to_elem = owner._extract(
+                self.builder, result.model, reps, self.universe, self.working_vocab
+            )
+            return EprResult(
+                True,
+                model=structure,
+                term_to_elem=term_to_elem,
+                statistics=owner._stats(
+                    self.sat, self.instance_count, rounds,
+                    congruence_clauses, lazy_instances,
+                ),
+            )
+
+
+def solve_epr(
+    vocab: Vocabulary,
+    formulas: Iterable[s.Formula | tuple[str, s.Formula]],
+    tracked: Iterable[tuple[str, s.Formula]] = (),
+) -> EprResult:
+    """One-shot convenience wrapper around :class:`EprSolver`."""
+    solver = EprSolver(vocab)
+    for item in formulas:
+        if isinstance(item, tuple):
+            solver.add(item[1], name=item[0])
+        else:
+            solver.add(item)
+    for name, formula in tracked:
+        solver.add(formula, name=name, track=True)
+    return solver.check()

@@ -1,0 +1,153 @@
+"""Grounding for EPR with stratified functions.
+
+Satisfiability of an ``exists*forall*`` formula over a vocabulary with
+stratified functions reduces to propositional satisfiability (Section 3.3 of
+the paper): after skolemizing the existentials into fresh constants, the set
+of ground terms is finite -- stratification means functions can only build
+terms "downward" through the sort order, so the closure of the constants
+under function application terminates.  Instantiating every universal
+quantifier over that finite universe yields an equisatisfiable ground
+formula, and the finite model property holds with the universe as domain
+bound.
+
+This module computes the ground-term universe and the exhaustive
+instantiation.  The equality theory over ground terms lives in
+:mod:`repro.solver.equality`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping, Sequence
+
+from ..logic import syntax as s
+from ..logic.sorts import FuncDecl, Sort, StratificationError, Vocabulary
+from ..logic.subst import substitute
+
+
+class GroundingExplosion(Exception):
+    """Raised when the ground universe or instantiation exceeds safety caps."""
+
+
+def ground_universe(
+    vocab: Vocabulary,
+    extra_constants: Sequence[FuncDecl] = (),
+    max_terms_per_sort: int = 2000,
+) -> dict[Sort, list[s.Term]]:
+    """The finite set of ground terms of each sort.
+
+    Starts from the vocabulary's constants plus ``extra_constants`` (Skolem
+    constants of the query), adds one anonymous constant to any otherwise
+    empty sort (domains are non-empty), and closes under the proper function
+    symbols following the stratification order from the top sorts down.
+    """
+    vocab.check_stratified()
+    constants = list(vocab.constants()) + [c for c in extra_constants if c.is_constant]
+    universe: dict[Sort, list[s.Term]] = {sort: [] for sort in vocab.sorts}
+    for const in constants:
+        universe[const.sort].append(s.App(const, ()))
+    for sort in vocab.sorts:
+        if not universe[sort]:
+            universe[sort].append(s.App(FuncDecl(f"default_{sort.name}", (), sort), ()))
+    # stratification_order lists result sorts before argument sorts, so walk
+    # it from the top (argument) end down: by the time we reach a sort, the
+    # universes of all sorts above it are complete.
+    order = vocab.stratification_order()
+    for sort in reversed(order):
+        for func in vocab.proper_functions():
+            if func.sort != sort:
+                continue
+            arg_spaces = [universe[arg_sort] for arg_sort in func.arg_sorts]
+            for args in itertools.product(*arg_spaces):
+                universe[sort].append(s.App(func, tuple(args)))
+                if len(universe[sort]) > max_terms_per_sort:
+                    raise GroundingExplosion(
+                        f"sort {sort.name!r} exceeds {max_terms_per_sort} ground terms"
+                    )
+    return universe
+
+
+def universe_size(universe: Mapping[Sort, list[s.Term]]) -> int:
+    return sum(len(terms) for terms in universe.values())
+
+
+def instantiate_universals(
+    formula: s.Formula,
+    universe: Mapping[Sort, list[s.Term]],
+    max_instances: int = 500_000,
+) -> Iterator[s.Formula]:
+    """All ground instances of a closed ``forall* QF`` (or ground) formula.
+
+    The input is the output of skolemization: either quantifier free or a
+    single block of universal quantifiers over a QF matrix.  Before
+    enumerating, the block is *miniscoped*: ``forall x. (p & q)`` splits into
+    ``forall x. p`` and ``forall x. q``, and each conjunct keeps only the
+    variables it actually mentions.  Axioms are conjunctions of small
+    universal clauses, so this turns one cross product over the union of all
+    their variables into several small ones.
+    """
+    if s.free_vars(formula):
+        raise ValueError(f"formula is not closed: {formula}")
+    for vars_, matrix in _miniscope(formula):
+        if any(isinstance(sub, (s.Forall, s.Exists)) for sub in _subformulas(matrix)):
+            raise ValueError("expected a single universal block over a QF matrix")
+        domains = [universe[var.sort] for var in vars_]
+        count = 1
+        for domain in domains:
+            count *= len(domain)
+        if count > max_instances:
+            raise GroundingExplosion(
+                f"universal instantiation would create {count} instances"
+            )
+        if not vars_:
+            yield matrix
+            continue
+        for combo in itertools.product(*domains):
+            yield substitute(matrix, dict(zip(vars_, combo)))
+
+
+def _miniscope(formula: s.Formula) -> Iterator[tuple[tuple[s.Var, ...], s.Formula]]:
+    """Yield (variables, matrix) pairs covering ``formula`` conjunctively."""
+    if isinstance(formula, s.And):
+        for arg in formula.args:
+            yield from _miniscope(arg)
+        return
+    if isinstance(formula, s.Forall):
+        inner_vars = formula.vars
+        for vars_, matrix in _miniscope(formula.body):
+            used = s.free_vars(matrix)
+            outer = tuple(v for v in inner_vars if v in used)
+            yield outer + vars_, matrix
+        return
+    yield (), formula
+
+
+def _subformulas(formula: s.Formula) -> Iterator[s.Formula]:
+    yield formula
+    if isinstance(formula, s.Not):
+        yield from _subformulas(formula.arg)
+    elif isinstance(formula, (s.And, s.Or)):
+        for arg in formula.args:
+            yield from _subformulas(arg)
+    elif isinstance(formula, (s.Implies, s.Iff)):
+        yield from _subformulas(formula.lhs)
+        yield from _subformulas(formula.rhs)
+    elif isinstance(formula, (s.Forall, s.Exists)):
+        yield from _subformulas(formula.body)
+
+
+def check_universe_closed(
+    vocab: Vocabulary, universe: Mapping[Sort, list[s.Term]]
+) -> None:
+    """Sanity check: the universe is closed under every proper function.
+
+    Raises :class:`StratificationError`-adjacent assertion failures early
+    rather than producing silently incomplete instantiation.
+    """
+    term_sets = {sort: set(terms) for sort, terms in universe.items()}
+    for func in vocab.proper_functions():
+        for args in itertools.product(*(universe[arg] for arg in func.arg_sorts)):
+            if s.App(func, tuple(args)) not in term_sets[func.sort]:
+                raise StratificationError(
+                    f"universe not closed under {func.name!r}"
+                )

@@ -1,0 +1,221 @@
+"""Definitional splitting of quantified disjunctions.
+
+Negating a weakest precondition turns the conjunction over choice branches
+into a *disjunction*, each disjunct carrying its own quantifiers (havoc
+existentials, axiom-guard universals).  Prenexing such a formula merges all
+those blocks into one prefix, and exhaustive instantiation of the merged
+universal block is exponential in its width -- hundreds of variables for a
+protocol VC.
+
+The classical fix (polarity-aware definitional CNF, lifted to first order)
+is applied here *before* skolemization, while every quantifier is still
+local to its disjunct:
+
+* ``D1 | D2`` with closed quantified disjuncts becomes
+  ``(p1 | p2) & (p1 -> D1) & (p2 -> D2)`` for fresh nullary selector
+  relations ``p_i`` -- only the implication direction is needed because the
+  input is in negation normal form, so every named subformula occurs
+  positively;
+* each guard is *pushed through* the disjunct's quantifiers and conjunctions
+  (:func:`push_guard`), leaving small independent universal blocks that the
+  grounder's miniscoping instantiates separately;
+* an ``Or`` with exactly one quantified disjunct needs no selector at all:
+  the quantifier-free rest is pushed in directly.
+
+The result is a conjunction-equivalent formula in the same exists*forall*
+fragment whose universal blocks have the width of individual axioms (a
+handful of variables) instead of the whole VC.
+"""
+
+from __future__ import annotations
+
+from ..logic import syntax as s
+from ..logic.sorts import FuncDecl, RelDecl
+from ..logic.subst import FreshNames, fresh_var, substitute
+from ..logic.transform import NotInFragment
+
+
+class SkolemPool:
+    """Shared (sort, index) -> constant pool for cross-formula Skolem reuse.
+
+    Formulas that are never jointly asserted (alternative disjuncts, or
+    tracked constraints solved one at a time) may reuse the same Skolem
+    constants; the pool hands them out by position so the ground universe
+    grows with the *widest* formula instead of the sum of all of them.
+    """
+
+    def __init__(self, fresh: FreshNames) -> None:
+        self._fresh = fresh
+        self._pool: dict[tuple[object, int], FuncDecl] = {}
+        self.ordered: list[FuncDecl] = []
+
+    def constant(self, sort, index: int) -> FuncDecl:
+        key = (sort, index)
+        const = self._pool.get(key)
+        if const is None:
+            const = FuncDecl(self._fresh(f"sk_{sort.name}{index}"), (), sort)
+            self._pool[key] = const
+            self.ordered.append(const)
+        return const
+
+
+def hoist_existentials(
+    formula: s.Formula,
+    fresh: FreshNames,
+    pool: SkolemPool | None = None,
+    base_counters: dict | None = None,
+) -> tuple[s.Formula, list["FuncDecl"]]:
+    """Skolemize every (positive) existential of an NNF formula in place.
+
+    In negation normal form each existential occurs positively, so replacing
+    its variables by fresh constants preserves satisfiability wherever the
+    quantifier sits under conjunctions and disjunctions.  Existentials under
+    a universal are outside exists*forall* and raise
+    :class:`~repro.logic.transform.NotInFragment`.
+
+    Two refinements matter for solver performance:
+
+    * existentials in *different disjuncts* share Skolem constants --
+      ``(exists x. P) | (exists x. Q)`` is ``exists x. (P | Q)``, so both
+      sides may use the same constant.  A VC negating a weakest
+      precondition has one disjunct per execution path, each mentioning the
+      same havoc variables and the same negated conjecture; sharing keeps
+      the ground universe (and hence the instantiation of high-arity
+      axioms) small.  Constants are allocated per (sort, nesting index)
+      with the index saved and restored around disjunct boundaries, and
+      conjuncts advance the index so existentials that must coexist stay
+      distinct.
+    * doing all of this *before* :class:`DisjunctSplitter` makes splitting
+      effective: once the existentials are constants, the quantified
+      disjuncts of the VC are closed and can be named by nullary selectors.
+    """
+    if pool is None:
+        pool = SkolemPool(fresh)
+    before = len(pool.ordered)
+    constant_for = pool.constant
+
+    def walk(fml: s.Formula, under_forall: bool, counters: dict) -> s.Formula:
+        if isinstance(fml, (s.Rel, s.Eq, s.Not)):
+            return fml
+        if isinstance(fml, s.And):
+            return s.and_(*(walk(arg, under_forall, counters) for arg in fml.args))
+        if isinstance(fml, s.Or):
+            results = []
+            merged = dict(counters)
+            for arg in fml.args:
+                local = dict(counters)
+                results.append(walk(arg, under_forall, local))
+                for sort, count in local.items():
+                    if count > merged.get(sort, 0):
+                        merged[sort] = count
+            counters.clear()
+            counters.update(merged)
+            return s.or_(*results)
+        if isinstance(fml, s.Forall):
+            return s.forall(fml.vars, walk(fml.body, True, counters))
+        if isinstance(fml, s.Exists):
+            if under_forall:
+                raise NotInFragment(
+                    f"existential under a universal (not exists*forall*): {fml}"
+                )
+            mapping: dict[s.Var, s.Term] = {}
+            for var in fml.vars:
+                index = counters.get(var.sort, 0)
+                counters[var.sort] = index + 1
+                mapping[var] = s.App(constant_for(var.sort, index), ())
+            return walk(substitute(fml.body, mapping), under_forall, counters)
+        raise TypeError(f"formula not in NNF: {fml!r}")
+
+    matrix = walk(formula, False, dict(base_counters or {}))
+    return matrix, pool.ordered[before:]
+
+
+def has_quantifier(formula: s.Formula) -> bool:
+    if isinstance(formula, (s.Forall, s.Exists)):
+        return True
+    if isinstance(formula, s.Not):
+        return has_quantifier(formula.arg)
+    if isinstance(formula, (s.And, s.Or)):
+        return any(has_quantifier(a) for a in formula.args)
+    if isinstance(formula, (s.Implies, s.Iff)):
+        return has_quantifier(formula.lhs) or has_quantifier(formula.rhs)
+    return False
+
+
+def push_guard(guard: s.Formula, formula: s.Formula) -> s.Formula:
+    """An equivalent of ``guard | formula`` friendly to miniscoping.
+
+    ``guard`` must be quantifier free and closed.  The disjunction is
+    distributed over conjunctions and moved inside quantifiers (bound
+    variables never occur in a closed guard, so this is sound).
+    """
+    if isinstance(formula, s.And):
+        return s.and_(*(push_guard(guard, arg) for arg in formula.args))
+    if isinstance(formula, (s.Forall, s.Exists)):
+        guard_frees = s.free_vars(guard)
+        vars_ = formula.vars
+        body = formula.body
+        clash = set(vars_) & guard_frees
+        if clash:
+            avoid = guard_frees | s.free_vars(body) | set(vars_)
+            renaming: dict[s.Var, s.Term] = {}
+            renamed = []
+            for var in vars_:
+                if var in clash:
+                    new = fresh_var(var.name, var.sort, avoid)
+                    avoid.add(new)
+                    renaming[var] = new
+                    renamed.append(new)
+                else:
+                    renamed.append(var)
+            body = substitute(body, renaming)
+            vars_ = tuple(renamed)
+        ctor = s.forall if isinstance(formula, s.Forall) else s.exists
+        return ctor(vars_, push_guard(guard, body))
+    return s.or_(guard, formula)
+
+
+class DisjunctSplitter:
+    """Names quantified disjuncts with fresh selector relations."""
+
+    def __init__(self, fresh: FreshNames) -> None:
+        self._fresh = fresh
+        self.selectors: list[RelDecl] = []
+
+    def split(self, formula: s.Formula) -> s.Formula:
+        """Rewrite an NNF formula; the result is equisatisfiable and every
+        ``Or`` in it has at most one quantified argument with the rest of
+        the arguments pushed inside it."""
+        if isinstance(formula, s.And):
+            return s.and_(*(self.split(arg) for arg in formula.args))
+        if isinstance(formula, (s.Forall, s.Exists)):
+            ctor = s.forall if isinstance(formula, s.Forall) else s.exists
+            return ctor(formula.vars, self.split(formula.body))
+        if isinstance(formula, s.Or):
+            args = [self.split(arg) for arg in formula.args]
+            quantified = [a for a in args if has_quantifier(a)]
+            plain = [a for a in args if not has_quantifier(a)]
+            if not quantified:
+                return s.or_(*args)
+            sides: list[s.Formula] = []
+            if len(quantified) > 1:
+                remaining: list[s.Formula] = []
+                for disjunct in quantified:
+                    if s.free_vars(disjunct):
+                        # Cannot name an open disjunct with a nullary
+                        # selector; leave it in place (rare -- only reachable
+                        # through quantified disjunctions under universals).
+                        remaining.append(disjunct)
+                        continue
+                    selector = RelDecl(self._fresh("dsel"), ())
+                    self.selectors.append(selector)
+                    atom = s.Rel(selector, ())
+                    plain.append(atom)
+                    sides.append(push_guard(s.not_(atom), disjunct))
+                quantified = remaining
+            if len(quantified) == 1:
+                merged = push_guard(s.or_(*plain), quantified[0])
+            else:
+                merged = s.or_(*plain, *quantified)
+            return s.and_(merged, *sides)
+        return formula

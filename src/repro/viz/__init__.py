@@ -1,0 +1,14 @@
+"""Renderers for states, conjectures and traces (text and Graphviz DOT)."""
+
+from .dot import partial_to_dot, structure_to_dot, trace_to_dot
+from .text import diff_to_text, partial_to_text, structure_to_text, trace_to_text
+
+__all__ = [
+    "diff_to_text",
+    "partial_to_dot",
+    "partial_to_text",
+    "structure_to_dot",
+    "structure_to_text",
+    "trace_to_dot",
+    "trace_to_text",
+]

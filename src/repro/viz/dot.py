@@ -1,0 +1,182 @@
+"""Graphviz DOT rendering of structures and partial structures.
+
+Follows the visual conventions of Section 2.1 of the paper:
+
+* domain elements are vertices, with a different shape per sort;
+* unary relations appear as vertex labels (``leader`` / ``~leader``);
+* binary relations and unary functions are directed, labeled edges;
+* higher-arity relations are rendered through user-supplied *derived*
+  binary relations (e.g. the ring's ``btw`` displayed as ``next``), or
+  listed in a note node when no projection is given.
+
+The output is plain DOT text; no Graphviz binary is required to produce it,
+and any renderer can consume it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Mapping
+
+from ..logic.partial import PartialStructure
+from ..logic.sorts import RelDecl
+from ..logic.structures import Elem, Structure
+
+_SHAPES = ("ellipse", "box", "diamond", "hexagon", "trapezium", "octagon")
+
+DerivedRelation = Callable[[Structure], set[tuple[Elem, Elem]]]
+
+
+def _escape(text: str) -> str:
+    return text.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def structure_to_dot(
+    structure: Structure,
+    name: str = "state",
+    derived: Mapping[str, DerivedRelation] | None = None,
+    hide: set[str] | None = None,
+) -> str:
+    """Render a total structure as a DOT digraph.
+
+    ``derived`` maps display names to functions computing binary edge sets
+    (used to project high-arity relations); ``hide`` suppresses symbols by
+    name (e.g. hide ``btw`` once its ``next`` projection is shown).
+    """
+    hide = hide or set()
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;"]
+    shape_of = {
+        sort: _SHAPES[i % len(_SHAPES)] for i, sort in enumerate(structure.vocab.sorts)
+    }
+    unary = [
+        rel
+        for rel in structure.vocab.relations
+        if rel.arity == 1 and rel.name not in hide
+    ]
+    for sort in structure.vocab.sorts:
+        for elem in structure.universe[sort]:
+            labels = [elem.name]
+            for rel in unary:
+                if rel.arg_sorts[0] != sort:
+                    continue
+                mark = "" if structure.rel_holds(rel, (elem,)) else "~"
+                labels.append(f"{mark}{rel.name}")
+            label = _escape("\\n".join(labels))
+            lines.append(
+                f'  "{_escape(elem.name)}" [shape={shape_of[sort]}, label="{label}"];'
+            )
+    for rel in structure.vocab.relations:
+        if rel.name in hide or rel.arity != 2:
+            continue
+        for src, dst in sorted(
+            structure.rels.get(rel, frozenset()), key=lambda t: (t[0].name, t[1].name)
+        ):
+            lines.append(
+                f'  "{_escape(src.name)}" -> "{_escape(dst.name)}" '
+                f'[label="{_escape(rel.name)}"];'
+            )
+    for func in structure.vocab.functions:
+        if func.name in hide or func.arity != 1:
+            continue
+        table = structure.funcs[func]
+        for (arg,), value in sorted(table.items(), key=lambda kv: kv[0][0].name):
+            lines.append(
+                f'  "{_escape(arg.name)}" -> "{_escape(value.name)}" '
+                f'[label="{_escape(func.name)}", style=dashed];'
+            )
+    for display_name, compute in (derived or {}).items():
+        for src, dst in sorted(compute(structure), key=lambda t: (t[0].name, t[1].name)):
+            lines.append(
+                f'  "{_escape(src.name)}" -> "{_escape(dst.name)}" '
+                f'[label="{_escape(display_name)}", color=blue];'
+            )
+    notes = _high_arity_notes(structure, hide, derived or {})
+    if notes:
+        lines.append(f'  "notes" [shape=note, label="{_escape(notes)}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _high_arity_notes(
+    structure: Structure, hide: set[str], derived: Mapping[str, DerivedRelation]
+) -> str:
+    parts: list[str] = []
+    for rel in structure.vocab.relations:
+        if rel.arity < 3 or rel.name in hide:
+            continue
+        tuples = sorted(
+            structure.rels.get(rel, frozenset()),
+            key=lambda t: tuple(e.name for e in t),
+        )
+        for tup in tuples:
+            parts.append(f"{rel.name}(" + ", ".join(e.name for e in tup) + ")")
+    return "\\n".join(parts)
+
+
+def partial_to_dot(partial: PartialStructure, name: str = "conjecture") -> str:
+    """Render a partial structure (a conjecture's forbidden sub-configuration).
+
+    Only *defined* facts are shown, matching the paper's convention that a
+    generalization omits the information abstracted away.
+    """
+    lines = [f'digraph "{_escape(name)}" {{', "  rankdir=LR;"]
+    shape_of = {
+        sort: _SHAPES[i % len(_SHAPES)] for i, sort in enumerate(partial.vocab.sorts)
+    }
+    active = partial.active_elements()
+    unary_labels: dict[Elem, list[str]] = {elem: [elem.name] for elem in active}
+    edge_lines: list[str] = []
+    note_parts: list[str] = []
+    for fact in partial.facts():
+        symbol = fact.symbol
+        if isinstance(symbol, RelDecl) and symbol.arity == 1:
+            mark = "" if fact.positive else "~"
+            unary_labels[fact.args[0]].append(f"{mark}{symbol.name}")
+        elif isinstance(symbol, RelDecl) and symbol.arity == 2:
+            src, dst = fact.args
+            style = "solid" if fact.positive else "dotted"
+            label = symbol.name if fact.positive else f"~{symbol.name}"
+            edge_lines.append(
+                f'  "{_escape(src.name)}" -> "{_escape(dst.name)}" '
+                f'[label="{_escape(label)}", style={style}];'
+            )
+        elif not isinstance(symbol, RelDecl) and symbol.arity == 1:
+            arg, value = fact.args
+            label = symbol.name if fact.positive else f"~{symbol.name}"
+            edge_lines.append(
+                f'  "{_escape(arg.name)}" -> "{_escape(value.name)}" '
+                f'[label="{_escape(label)}", style=dashed];'
+            )
+        else:
+            note_parts.append(str(fact))
+    for elem in active:
+        label = _escape("\\n".join(unary_labels[elem]))
+        lines.append(
+            f'  "{_escape(elem.name)}" [shape={shape_of[elem.sort]}, label="{label}"];'
+        )
+    lines.extend(edge_lines)
+    if note_parts:
+        lines.append(f'  "notes" [shape=note, label="{_escape(chr(92) + "n".join(note_parts))}"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def trace_to_dot(states: list[Structure], name: str = "trace") -> str:
+    """Render a trace as one DOT cluster per state."""
+    lines = [f'digraph "{_escape(name)}" {{', "  compound=true;"]
+    for index, state in enumerate(states):
+        inner = structure_to_dot(state, name=f"state{index}")
+        body = inner.splitlines()[2:-1]  # strip header/rankdir/closing brace
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="state {index}";')
+        for line in body:
+            lines.append("  " + _rename_nodes(line, index))
+        lines.append("  }")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _rename_nodes(line: str, index: int) -> str:
+    # Prefix node identifiers so identically named elements in different
+    # states stay distinct in the combined graph.
+    return line.replace('"', f'"s{index}.', 1).replace('-> "', f'-> "s{index}.')

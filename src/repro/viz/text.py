@@ -1,0 +1,95 @@
+"""ASCII rendering of structures, partial structures and traces.
+
+The paper's Ivy displays states and conjectures graphically in an IPython
+notebook; this reproduction renders the same information as text (this
+module) and as Graphviz DOT (:mod:`repro.viz.dot`).  These renderers are
+what example scripts and the interactive session print.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..logic.partial import PartialStructure
+    from ..logic.structures import Structure
+
+
+def structure_to_text(structure: "Structure") -> str:
+    """A compact multi-line description of a total structure."""
+    lines: list[str] = []
+    for sort in structure.vocab.sorts:
+        names = ", ".join(e.name for e in structure.universe[sort])
+        lines.append(f"sort {sort.name} = {{{names}}}")
+    for rel in structure.vocab.relations:
+        tuples = sorted(
+            structure.rels.get(rel, frozenset()),
+            key=lambda tup: tuple(e.name for e in tup),
+        )
+        shown = ", ".join("(" + ", ".join(e.name for e in t) + ")" for t in tuples)
+        lines.append(f"{rel.name} = {{{shown}}}")
+    for func in structure.vocab.functions:
+        table = structure.funcs[func]
+        if func.is_constant:
+            lines.append(f"{func.name} = {table[()].name}")
+            continue
+        entries = []
+        for args in sorted(table, key=lambda tup: tuple(e.name for e in tup)):
+            inner = ", ".join(e.name for e in args)
+            entries.append(f"{func.name}({inner}) = {table[args].name}")
+        lines.append("; ".join(entries))
+    return "\n".join(lines)
+
+
+def partial_to_text(partial: "PartialStructure") -> str:
+    """List the defined facts of a partial structure (its generalization)."""
+    lines: list[str] = []
+    active = partial.active_elements()
+    names = ", ".join(e.name for e in active) if active else "(none)"
+    lines.append(f"elements: {names}")
+    for fact in partial.facts():
+        lines.append(f"  {fact}")
+    return "\n".join(lines)
+
+
+def diff_to_text(before: "Structure", after: "Structure") -> str:
+    """Describe the mutable-symbol differences between two states.
+
+    Used when printing traces: each step shows only what the transition
+    changed, which is how the paper narrates Figures 4 and 7-9.
+    """
+    lines: list[str] = []
+    for rel in before.vocab.relations:
+        old = before.rels.get(rel, frozenset())
+        new = after.rels.get(rel, frozenset())
+        for tup in sorted(new - old, key=lambda t: tuple(e.name for e in t)):
+            lines.append(f"  + {rel.name}(" + ", ".join(e.name for e in tup) + ")")
+        for tup in sorted(old - new, key=lambda t: tuple(e.name for e in t)):
+            lines.append(f"  - {rel.name}(" + ", ".join(e.name for e in tup) + ")")
+    for func in before.vocab.functions:
+        old_table = before.funcs[func]
+        new_table = after.funcs[func]
+        for args in sorted(old_table, key=lambda t: tuple(e.name for e in t)):
+            if old_table[args] != new_table.get(args):
+                inner = ", ".join(e.name for e in args)
+                app = f"{func.name}({inner})" if args else func.name
+                lines.append(f"  {app}: {old_table[args].name} -> {new_table[args].name}")
+    if not lines:
+        lines.append("  (no change)")
+    return "\n".join(lines)
+
+
+def trace_to_text(states: Iterable["Structure"], labels: Iterable[str] | None = None) -> str:
+    """Render an execution trace as state 0 plus per-step diffs."""
+    states = list(states)
+    if not states:
+        return "(empty trace)"
+    labels = list(labels or [])
+    lines = ["state 0:"]
+    lines.extend("  " + line for line in structure_to_text(states[0]).splitlines())
+    for index, (before, after) in enumerate(itertools.pairwise(states)):
+        label = f" ({labels[index]})" if index < len(labels) else ""
+        lines.append(f"step {index + 1}{label}:")
+        lines.append(diff_to_text(before, after))
+    return "\n".join(lines)

@@ -1,0 +1,46 @@
+"""Shared fixtures: small vocabularies and the leader-election bundle.
+
+The leader bundle is session-scoped -- building it is cheap but it is used
+by dozens of tests, and keeping one instance makes declaration objects
+(`RelDecl`/`FuncDecl`) identical across tests, which the equality-based
+structure helpers rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logic import FuncDecl, RelDecl, Sort, vocabulary
+from repro.protocols import leader_election
+
+
+@pytest.fixture(scope="session")
+def leader_bundle():
+    return leader_election.build()
+
+
+@pytest.fixture(scope="session")
+def ring_vocab():
+    """The leader-election vocabulary, available without the program."""
+    node, ident = Sort("node"), Sort("id")
+    return vocabulary(
+        sorts=[node, ident],
+        relations=[
+            RelDecl("le", (ident, ident)),
+            RelDecl("btw", (node, node, node)),
+            RelDecl("leader", (node,)),
+            RelDecl("pnd", (ident, node)),
+        ],
+        functions=[FuncDecl("idn", (node,), ident)],
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_vocab():
+    """One sort, one unary and one binary relation, one constant."""
+    elem = Sort("elem")
+    return vocabulary(
+        sorts=[elem],
+        relations=[RelDecl("p", (elem,)), RelDecl("r", (elem, elem))],
+        functions=[FuncDecl("c", (), elem)],
+    )

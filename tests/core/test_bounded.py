@@ -1,0 +1,94 @@
+"""Bounded verification (Eq. 3): k-invariance, error traces, Figure 4."""
+
+import pytest
+
+from repro.core.bounded import check_k_invariance, find_error_trace, make_unroller
+from repro.logic import parse_formula
+
+
+class TestKInvariance:
+    def test_trivial_property_holds(self, leader_bundle):
+        vocab = leader_bundle.program.vocab
+        phi = parse_formula("forall N1:node, N2:node. N1 = N1", vocab)
+        result = check_k_invariance(leader_bundle.program, phi, 1)
+        assert result.holds
+
+    def test_initially_true_later_false(self, leader_bundle):
+        """'no leader' holds initially but fails once elections can finish."""
+        vocab = leader_bundle.program.vocab
+        no_leader = parse_formula("forall N:node. ~leader(N)", vocab)
+        assert check_k_invariance(leader_bundle.program, no_leader, 1).holds
+        deeper = check_k_invariance(leader_bundle.program, no_leader, 3)
+        assert not deeper.holds
+        # A singleton ring elects itself in two steps: send own id to
+        # oneself, then receive it back.
+        assert deeper.depth == 2
+        trace = deeper.trace
+        assert trace is not None and trace.length == 2
+        trace.validate()
+        assert not trace.states[-1].satisfies(no_leader)
+
+    def test_safety_is_k_invariant_for_correct_model(self, leader_bundle):
+        result = check_k_invariance(
+            leader_bundle.program, leader_bundle.safety[0].formula, 2
+        )
+        assert result.holds
+
+    def test_rejects_ea_properties(self, leader_bundle):
+        vocab = leader_bundle.program.vocab
+        phi = parse_formula("exists N:node. forall M:node. N = M", vocab)
+        with pytest.raises(ValueError):
+            check_k_invariance(leader_bundle.program, phi, 1)
+
+    def test_invariant_conjectures_are_k_invariant(self, leader_bundle):
+        unroller = make_unroller(leader_bundle.program)
+        for conjecture in leader_bundle.invariant:
+            result = check_k_invariance(
+                leader_bundle.program, conjecture.formula, 2, unroller
+            )
+            assert result.holds, conjecture.name
+
+
+@pytest.fixture(scope="module")
+def figure4(leader_bundle):
+    """The (expensive) depth-4 search on the unique_ids-free model."""
+    buggy = leader_bundle.program.without_axiom("unique_ids")
+    return buggy, find_error_trace(buggy, 4)
+
+
+class TestErrorTraces:
+    def test_correct_model_safe(self, leader_bundle):
+        result = find_error_trace(leader_bundle.program, 2)
+        assert result.holds
+
+    def test_bug_invisible_at_depth_3(self, leader_bundle):
+        buggy = leader_bundle.program.without_axiom("unique_ids")
+        assert find_error_trace(buggy, 3).holds
+
+    def test_figure4_bug(self, leader_bundle, figure4):
+        """Omitting unique_ids admits the Figure 4 two-leader trace at
+        depth 4."""
+        buggy, result = figure4
+        assert not result.holds
+        assert result.depth == 4
+        trace = result.trace
+        assert trace is not None and trace.aborted
+        trace.validate()
+        # The final state indeed has two leaders.
+        leader = buggy.vocab.relation("leader")
+        assert trace.states[-1].positive_count(leader) >= 2
+        # ... reached through duplicate ids.
+        unique_ids = leader_bundle.program.axiom_named("unique_ids")
+        assert not trace.states[-1].satisfies(unique_ids.formula)
+
+    def test_trace_labels_name_actions(self, figure4):
+        _, result = figure4
+        labels = " ".join(result.trace.labels)
+        assert "send" in labels and "receive" in labels
+
+    def test_unbounded_state_size(self, figure4):
+        """BMC bounds iterations, not configuration size: traces may use
+        more nodes than steps (Section 2.2's contrast with Alloy)."""
+        buggy, result = figure4
+        node = buggy.vocab.sorts[0]
+        assert result.trace.states[0].sort_size(node) >= 2

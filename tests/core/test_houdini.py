@@ -1,0 +1,105 @@
+"""Houdini and template enumeration (the Section 5.1 automatic baseline)."""
+
+import pytest
+
+from repro.core.absint import candidate_atoms, candidate_terms, enumerate_candidates
+from repro.core.houdini import houdini, proves
+from repro.core.induction import Conjecture
+from repro.logic import Sort, Var, parse_formula
+from repro.protocols import lock_server
+
+
+@pytest.fixture(scope="module")
+def lock_bundle():
+    return lock_server.build()
+
+
+class TestTemplates:
+    def test_candidate_terms_include_function_apps(self, ring_vocab):
+        node = Sort("node")
+        variables = [Var("N1", node), Var("N2", node)]
+        terms = candidate_terms(ring_vocab, variables)
+        names = {str(t) for t in terms}
+        assert {"N1", "N2", "idn(N1)", "idn(N2)"} <= names
+
+    def test_candidate_atoms_cover_relations(self, ring_vocab):
+        node = Sort("node")
+        variables = [Var("N1", node), Var("N2", node)]
+        atoms = candidate_atoms(ring_vocab, variables, include_equality=False)
+        rels = {a.rel.name for a in atoms}
+        assert {"le", "leader", "pnd", "btw"} <= rels
+
+    def test_enumeration_yields_universal_conjectures(self, lock_bundle):
+        client = Sort("client")
+        variables = [Var("C1", client), Var("C2", client)]
+        pool = list(
+            enumerate_candidates(
+                lock_bundle.program.vocab, variables, max_literals=2, max_candidates=40
+            )
+        )
+        assert len(pool) == 40
+        # Conjecture's constructor enforces universality/closedness.
+        assert all(isinstance(c, Conjecture) for c in pool)
+
+    def test_max_candidates_cap(self, lock_bundle):
+        client = Sort("client")
+        variables = [Var("C1", client)]
+        pool = list(
+            enumerate_candidates(
+                lock_bundle.program.vocab, variables, max_literals=1, max_candidates=5
+            )
+        )
+        assert len(pool) == 5
+
+
+class TestHoudini:
+    def test_known_invariant_survives(self, lock_bundle):
+        result = houdini(lock_bundle.program, list(lock_bundle.invariant))
+        assert {c.name for c in result.invariant} == {
+            c.name for c in lock_bundle.invariant
+        }
+        assert result.dropped_initiation == ()
+        assert result.dropped_consecution == ()
+
+    def test_junk_dropped_at_initiation(self, lock_bundle):
+        vocab = lock_bundle.program.vocab
+        junk = Conjecture("junk", parse_formula("forall C:client. ~server_free", vocab))
+        result = houdini(lock_bundle.program, [*lock_bundle.invariant, junk])
+        assert "junk" in result.dropped_initiation
+
+    def test_non_invariant_dropped_at_consecution(self, lock_bundle):
+        vocab = lock_bundle.program.vocab
+        wrong = Conjecture(
+            "no_holder", parse_formula("forall C:client. ~holds(C)", vocab)
+        )
+        result = houdini(lock_bundle.program, [*lock_bundle.invariant, wrong])
+        assert "no_holder" in result.dropped_consecution
+        assert {c.name for c in result.invariant} >= {"C0", "C1"}
+
+    def test_cascade(self, lock_bundle):
+        """Dropping a supporting conjecture can cascade: alone, C0 falls."""
+        result = houdini(lock_bundle.program, list(lock_bundle.safety))
+        assert result.invariant == ()
+
+    def test_full_automation_proves_lock_server(self, lock_bundle):
+        """Templates + Houdini re-derive the lock server proof end to end
+        (the paper's Chord strategy, dogfooded on the lock server)."""
+        client = Sort("client")
+        variables = [Var("C1", client), Var("C2", client)]
+        pool = list(
+            enumerate_candidates(
+                lock_bundle.program.vocab,
+                variables,
+                max_literals=3,  # the safety property itself has 3 literals
+                include_equality=True,
+                max_candidates=4000,
+            )
+        )
+        result = houdini(lock_bundle.program, pool)
+        assert result.invariant
+        assert proves(lock_bundle.program, result.invariant, lock_bundle.safety[0])
+
+    def test_proves_rejects_unimplied_goal(self, lock_bundle):
+        vocab = lock_bundle.program.vocab
+        goal = Conjecture("strong", parse_formula("forall C:client. ~holds(C)", vocab))
+        assert not proves(lock_bundle.program, lock_bundle.invariant, goal)

@@ -1,0 +1,124 @@
+"""The terminal-interactive driver, exercised with scripted input."""
+
+import io
+
+import pytest
+
+from repro.core.interactive import TerminalPolicy, run_interactive
+from repro.core.session import Session
+
+
+def scripted(lines):
+    return io.StringIO("".join(line + "\n" for line in lines))
+
+
+class TestTerminalSession:
+    def test_lock_server_by_typing_conjectures(self, capsys):
+        """A user typing the exclusion lattice at each CTI reaches a proof."""
+        from repro.protocols import lock_server
+
+        bundle = lock_server.build()
+        answers = [
+            f"add {conjecture.formula}" for conjecture in bundle.invariant[1:]
+        ]
+        session = Session(bundle.program, initial=bundle.safety)
+        output = io.StringIO()
+        outcome = run_interactive(
+            session, input_stream=scripted(answers), output=output
+        )
+        assert outcome.success
+        text = output.getvalue()
+        assert "CTI" in text
+        assert "inductive invariant found" in text
+
+    def test_quit(self):
+        from repro.protocols import lock_server
+
+        bundle = lock_server.build()
+        session = Session(bundle.program, initial=bundle.safety)
+        output = io.StringIO()
+        outcome = run_interactive(
+            session, input_stream=scripted(["quit"]), output=output
+        )
+        assert not outcome.success
+        assert "user quit" in output.getvalue()
+
+    def test_eof_is_quit(self):
+        from repro.protocols import lock_server
+
+        bundle = lock_server.build()
+        session = Session(bundle.program, initial=bundle.safety)
+        output = io.StringIO()
+        outcome = run_interactive(session, input_stream=io.StringIO(""), output=output)
+        assert not outcome.success
+
+    def test_bad_formula_reports_and_continues(self):
+        from repro.protocols import lock_server
+
+        bundle = lock_server.build()
+        session = Session(bundle.program, initial=bundle.safety)
+        output = io.StringIO()
+        outcome = run_interactive(
+            session,
+            input_stream=scripted(["add not a formula ((", "quit"]),
+            output=output,
+        )
+        assert not outcome.success
+        assert "error:" in output.getvalue()
+
+    def test_show_and_conjectures_commands(self):
+        from repro.protocols import lock_server
+
+        bundle = lock_server.build()
+        session = Session(bundle.program, initial=bundle.safety)
+        output = io.StringIO()
+        run_interactive(
+            session,
+            input_stream=scripted(["show", "conjectures", "dot", "quit"]),
+            output=output,
+        )
+        text = output.getvalue()
+        assert "C0:" in text
+        assert "digraph" in text
+
+    @pytest.mark.slow
+    def test_generalize_flow_on_leader(self, leader_bundle):
+        """Scripted generalization: keep everything but topology/pnd facts
+        fails (reachable); keeping the violation slice, the machine suggests
+        a conjecture the user accepts."""
+        from repro.core.minimize import PositiveTuples, SortSize
+        from repro.logic import Sort
+
+        program = leader_bundle.program
+        measures = [
+            SortSize(Sort("node")),
+            SortSize(Sort("id")),
+            PositiveTuples(program.vocab.relation("pnd")),
+            PositiveTuples(program.vocab.relation("leader")),
+        ]
+        session = Session(
+            program, initial=leader_bundle.safety, bmc_bound=3, measures=measures
+        )
+        answers = [
+            # First attempt: forget everything that matters -> reachable.
+            "generalize",
+            "",  # keep all elements
+            "btw, pnd, le, idn, leader",
+            "2",
+            # Second attempt: forget only topology; accept the suggestion.
+            "generalize",
+            "",
+            "btw",
+            "3",
+            "y",
+            # Then bail out (a full proof is the walkthrough test's job).
+            "quit",
+        ]
+        output = io.StringIO()
+        outcome = run_interactive(
+            session, input_stream=scripted(answers), output=output
+        )
+        text = output.getvalue()
+        assert "reachable in" in text  # the rejected over-generalization
+        assert "suggested conjecture" in text
+        assert len(session.conjectures) == 2  # C0 plus the accepted one

@@ -1,0 +1,119 @@
+"""Minimal CTIs: measures and Algorithm 1."""
+
+import pytest
+
+from repro.core.minimize import (
+    NegativeTuples,
+    PositiveTuples,
+    SortSize,
+    default_measures,
+    find_minimal_cti,
+)
+from repro.logic import Sort, parse_formula
+from repro.solver import solve_epr
+
+
+class TestMeasureFormulas:
+    def test_sort_size_constraint(self, ring_vocab):
+        node = Sort("node")
+        measure = SortSize(node)
+        two = parse_formula(
+            "exists A:node, B:node. A ~= B", ring_vocab
+        )
+        # "at most 1 node" contradicts two distinct nodes.
+        result = solve_epr(ring_vocab, [two, measure.at_most(1)])
+        assert not result.satisfiable
+        result = solve_epr(ring_vocab, [two, measure.at_most(2)])
+        assert result.satisfiable
+        assert result.model.sort_size(node) == 2
+
+    def test_sort_size_zero_unsat(self, ring_vocab):
+        measure = SortSize(Sort("node"))
+        result = solve_epr(ring_vocab, [measure.at_most(0)])
+        assert not result.satisfiable  # domains are non-empty
+
+    def test_positive_tuples(self, ring_vocab):
+        leader = ring_vocab.relation("leader")
+        measure = PositiveTuples(leader)
+        two_leaders = parse_formula(
+            "exists A:node, B:node. A ~= B & leader(A) & leader(B)", ring_vocab
+        )
+        assert not solve_epr(ring_vocab, [two_leaders, measure.at_most(1)]).satisfiable
+        assert solve_epr(ring_vocab, [two_leaders, measure.at_most(2)]).satisfiable
+
+    def test_positive_tuples_zero(self, ring_vocab):
+        leader = ring_vocab.relation("leader")
+        some = parse_formula("exists A:node. leader(A)", ring_vocab)
+        result = solve_epr(ring_vocab, [some, PositiveTuples(leader).at_most(0)])
+        assert not result.satisfiable
+
+    def test_negative_tuples(self, ring_vocab):
+        leader = ring_vocab.relation("leader")
+        measure = NegativeTuples(leader)
+        non_leader = parse_formula("exists A:node. ~leader(A)", ring_vocab)
+        result = solve_epr(ring_vocab, [non_leader, measure.at_most(1)])
+        assert result.satisfiable
+        model = result.model
+        assert model.negative_count(leader) <= 1
+
+    def test_binary_relation_bound(self, ring_vocab):
+        pnd = ring_vocab.relation("pnd")
+        measure = PositiveTuples(pnd)
+        two = parse_formula(
+            "exists I:id, A:node, B:node. A ~= B & pnd(I, A) & pnd(I, B)",
+            ring_vocab,
+        )
+        assert not solve_epr(ring_vocab, [two, measure.at_most(1)]).satisfiable
+        result = solve_epr(ring_vocab, [two, measure.at_most(2)])
+        assert result.satisfiable and result.model.positive_count(pnd) == 2
+
+
+class TestAlgorithm1:
+    @pytest.fixture(scope="class")
+    def minimal(self, leader_bundle):
+        program = leader_bundle.program
+        measures = [
+            SortSize(Sort("node")),
+            SortSize(Sort("id")),
+            PositiveTuples(program.vocab.relation("pnd")),
+            PositiveTuples(program.vocab.relation("leader")),
+        ]
+        return find_minimal_cti(program, list(leader_bundle.safety), measures)
+
+    def test_matches_figure7_size(self, leader_bundle, minimal):
+        """The minimal CTI for C0 alone is the Figure 7 (a1) shape: two
+        nodes, two ids, one pending message, one leader."""
+        assert minimal.cti is not None
+        state = minimal.cti.state
+        assert state.sort_size(Sort("node")) == 2
+        assert state.sort_size(Sort("id")) == 2
+        vocab = leader_bundle.program.vocab
+        assert state.positive_count(vocab.relation("pnd")) == 1
+        assert state.positive_count(vocab.relation("leader")) == 1
+
+    def test_reported_bounds(self, minimal):
+        assert dict(minimal.bounds) == {
+            "|node|": 2,
+            "|id|": 2,
+            "#pnd": 1,
+            "#leader": 1,
+        }
+
+    def test_minimal_cti_still_a_cti(self, leader_bundle, minimal):
+        cti = minimal.cti
+        assert cti.state.satisfies(leader_bundle.safety[0].formula)
+        assert cti.successor is not None
+        assert not cti.successor.satisfies(leader_bundle.safety[0].formula)
+
+    def test_inductive_set_returns_none(self, leader_bundle):
+        result = find_minimal_cti(
+            leader_bundle.program, list(leader_bundle.invariant), ()
+        )
+        assert result.cti is None
+
+    def test_default_measures_cover_sorts_and_mutables(self, leader_bundle):
+        measures = default_measures(leader_bundle.program)
+        described = {m.describe() for m in measures}
+        assert "|node|" in described and "|id|" in described
+        assert "#pnd" in described and "#leader" in described
+        assert "#btw" not in described  # rigid relations are not minimized

@@ -1,0 +1,122 @@
+"""User policies and the violation-slice extraction."""
+
+import pytest
+
+from repro.core.induction import check_inductive
+from repro.core.policy import (
+    GeneralizingOraclePolicy,
+    OraclePolicy,
+    violation_subconfiguration,
+)
+from repro.core.session import AddConjecture, Session, Stop
+from repro.logic import Elem, make_structure, parse_formula
+
+
+@pytest.fixture()
+def fig7_state(ring_vocab):
+    node, ident = ring_vocab.sorts
+    node0, node1 = Elem("node0", node), Elem("node1", node)
+    id0, id1 = Elem("id0", ident), Elem("id1", ident)
+    return make_structure(
+        ring_vocab,
+        universe={node: [node0, node1], ident: [id0, id1]},
+        rels={
+            "le": [(id0, id0), (id0, id1), (id1, id1)],
+            "leader": [(node0,)],
+            "pnd": [(id1, node1)],
+        },
+        funcs={"idn": {(node0,): id0, (node1,): id1}},
+    )
+
+
+class TestViolationSubconfiguration:
+    def test_extracts_relevant_facts(self, ring_vocab, fig7_state):
+        c1 = parse_formula(
+            "forall N1, N2. ~(N1 ~= N2 & leader(N1) & le(idn(N1), idn(N2)))",
+            ring_vocab,
+        )
+        assert not fig7_state.satisfies(c1)
+        partial = violation_subconfiguration(fig7_state, c1)
+        facts = {str(f) for f in partial.facts()}
+        assert "leader(node0)" in facts
+        assert "le(id0, id1)" in facts
+        # Function bindings connecting the literals are included.
+        assert "idn(node0) = id0" in facts
+        assert "idn(node1) = id1" in facts
+        # Irrelevant state is not.
+        assert not any("pnd" in f for f in facts)
+        assert not any("btw" in f for f in facts)
+
+    def test_excludes_origin_state(self, ring_vocab, fig7_state):
+        from repro.logic import conjecture
+
+        c1 = parse_formula(
+            "forall N1, N2. ~(N1 ~= N2 & leader(N1) & le(idn(N1), idn(N2)))",
+            ring_vocab,
+        )
+        partial = violation_subconfiguration(fig7_state, c1)
+        assert not fig7_state.satisfies(conjecture(partial))
+
+    def test_satisfied_formula_returns_none(self, ring_vocab, fig7_state):
+        c0 = parse_formula(
+            "forall N1, N2. ~(leader(N1) & leader(N2) & N1 ~= N2)", ring_vocab
+        )
+        assert fig7_state.satisfies(c0)
+        assert violation_subconfiguration(fig7_state, c0) is None
+
+    def test_non_universal_returns_none(self, ring_vocab, fig7_state):
+        f = parse_formula("exists N:node. leader(N)", ring_vocab)
+        assert violation_subconfiguration(fig7_state, f) is None
+
+
+class TestOraclePolicy:
+    def test_skips_present_conjectures(self, leader_bundle):
+        session = Session(leader_bundle.program, initial=leader_bundle.invariant[:2])
+        result = session.find_cti()
+        policy = OraclePolicy(leader_bundle.invariant)
+        action = policy.decide(session, result.cti)
+        assert isinstance(action, AddConjecture)
+        assert action.conjecture.name in ("C2", "C3")
+
+    def test_stops_without_matching_conjecture(self, leader_bundle):
+        session = Session(leader_bundle.program, initial=leader_bundle.safety)
+        result = session.find_cti()
+        policy = OraclePolicy(leader_bundle.safety)  # nothing new to offer
+        action = policy.decide(session, result.cti)
+        assert isinstance(action, Stop)
+
+
+class TestGeneralizingOraclePolicy:
+    @pytest.mark.slow
+    def test_produces_equivalent_conjecture(self, leader_bundle):
+        from repro.core.minimize import PositiveTuples, SortSize
+        from repro.logic import Sort, and_, not_
+        from repro.solver import EprSolver
+
+        program = leader_bundle.program
+        measures = [
+            SortSize(Sort("node")),
+            SortSize(Sort("id")),
+            PositiveTuples(program.vocab.relation("pnd")),
+            PositiveTuples(program.vocab.relation("leader")),
+        ]
+        session = Session(
+            program, initial=leader_bundle.safety, bmc_bound=3, measures=measures
+        )
+        result = session.find_cti()
+        policy = GeneralizingOraclePolicy(leader_bundle.invariant[1:], bound=3)
+        action = policy.decide(session, result.cti)
+        assert isinstance(action, AddConjecture)
+        # It must eliminate the CTI...
+        assert not result.cti.state.satisfies(action.conjecture.formula)
+        # ...and be equivalent (under the axioms) to a published conjecture.
+        axioms = program.axiom_formula
+        matches = 0
+        for target in leader_bundle.invariant[1:]:
+            a = EprSolver(program.vocab)
+            a.add(and_(axioms, action.conjecture.formula, not_(target.formula)))
+            b = EprSolver(program.vocab)
+            b.add(and_(axioms, target.formula, not_(action.conjecture.formula)))
+            if not a.check().satisfiable and not b.check().satisfiable:
+                matches += 1
+        assert matches == 1

@@ -1,0 +1,120 @@
+"""The Figure 5 session loop with scriptable user policies."""
+
+import pytest
+
+from repro.core.induction import Conjecture
+from repro.core.policy import OraclePolicy, ScriptedPolicy
+from repro.core.session import (
+    AddConjecture,
+    RemoveConjecture,
+    Session,
+    SessionError,
+    Stop,
+)
+from repro.logic import parse_formula
+
+
+class TestSessionBasics:
+    def test_add_and_remove(self, leader_bundle):
+        session = Session(leader_bundle.program, initial=leader_bundle.safety)
+        session.add_conjecture(leader_bundle.invariant[1])
+        assert session.conjecture_named("C1") is not None
+        session.remove_conjecture("C1")
+        assert session.conjecture_named("C1") is None
+
+    def test_duplicate_name_rejected(self, leader_bundle):
+        session = Session(leader_bundle.program, initial=leader_bundle.safety)
+        with pytest.raises(SessionError, match="already present"):
+            session.add_conjecture(leader_bundle.safety[0])
+
+    def test_initiation_enforced(self, leader_bundle):
+        """The search maintains that every conjecture satisfies initiation
+        (Section 4.2); a conjecture false initially is rejected."""
+        session = Session(leader_bundle.program, initial=leader_bundle.safety)
+        vocab = leader_bundle.program.vocab
+        bad = Conjecture("bad", parse_formula("forall N:node. leader(N)", vocab))
+        with pytest.raises(SessionError, match="initiation"):
+            session.add_conjecture(bad)
+
+    def test_remove_unknown_rejected(self, leader_bundle):
+        session = Session(leader_bundle.program)
+        with pytest.raises(SessionError):
+            session.remove_conjecture("nope")
+
+    def test_check_inductive_with_full_invariant(self, leader_bundle):
+        session = Session(leader_bundle.program, initial=leader_bundle.invariant)
+        assert session.check().holds
+
+    def test_cti_partial_drops_scratch(self, leader_bundle):
+        session = Session(leader_bundle.program, initial=leader_bundle.safety)
+        result = session.find_cti()
+        partial = session.cti_partial(result.cti)
+        names = {fact.symbol.name for fact in partial.facts()}
+        assert names.isdisjoint({"n", "m", "i"})
+        with_scratch = session.cti_partial(result.cti, include_scratch=True)
+        scratch_names = {fact.symbol.name for fact in with_scratch.facts()}
+        assert {"n", "m", "i"} <= scratch_names
+
+
+class TestOracleSession:
+    def test_leader_election_g_is_3(self, leader_bundle):
+        """Replaying with the paper's invariant measures G = 3 CTIs, the
+        Figure 14 leader-election row."""
+        session = Session(leader_bundle.program, initial=leader_bundle.safety)
+        outcome = session.run(OraclePolicy(leader_bundle.invariant))
+        assert outcome.success
+        assert outcome.cti_count == 3
+        names = {c.name for c in outcome.conjectures}
+        assert names == {"C0", "C1", "C2", "C3"}
+
+    def test_oracle_stops_when_exhausted(self, leader_bundle):
+        session = Session(leader_bundle.program, initial=leader_bundle.safety)
+        # Only C1 available: the session adds it, then cannot proceed.
+        outcome = session.run(OraclePolicy(leader_bundle.invariant[:2]))
+        assert not outcome.success
+        assert "no remaining oracle conjecture" in outcome.reason
+
+
+class TestScriptedPolicy:
+    def test_script_steps_run_in_order(self, leader_bundle):
+        session = Session(leader_bundle.program, initial=leader_bundle.safety)
+        seen = []
+
+        def step1(session_, cti):
+            seen.append("one")
+            return AddConjecture(leader_bundle.invariant[2])  # C2 first
+
+        def step2(session_, cti):
+            seen.append("two")
+            return Stop("enough")
+
+        outcome = session.run(ScriptedPolicy([step1, step2]))
+        assert seen == ["one", "two"]
+        assert not outcome.success and outcome.reason == "enough"
+
+    def test_weakening_via_remove(self, leader_bundle):
+        """A 'wrong' conjecture can be removed when a CTI reveals it."""
+        vocab = leader_bundle.program.vocab
+        wrong = Conjecture(
+            "wrong", parse_formula("forall N:node. ~leader(N)", vocab)
+        )
+        session = Session(leader_bundle.program, initial=(*leader_bundle.invariant, wrong))
+
+        def drop_wrong(session_, cti):
+            return RemoveConjecture("wrong")
+
+        outcome = session.run(ScriptedPolicy([drop_wrong]))
+        assert outcome.success  # after removal the rest is inductive
+        assert outcome.cti_count == 1
+
+    def test_exhausted_script_stops(self, leader_bundle):
+        session = Session(leader_bundle.program, initial=leader_bundle.safety)
+        outcome = session.run(ScriptedPolicy([]))
+        assert not outcome.success
+        assert outcome.reason == "script exhausted"
+
+    def test_transcript_records_events(self, leader_bundle):
+        session = Session(leader_bundle.program, initial=leader_bundle.safety)
+        session.run(OraclePolicy(leader_bundle.invariant))
+        text = "\n".join(session.transcript)
+        assert "CTI #1" in text and "add" in text and "inductive" in text

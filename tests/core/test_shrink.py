@@ -1,0 +1,56 @@
+"""Invariant shrinking: minimal inductive cores."""
+
+import pytest
+
+from repro.core.induction import Conjecture, check_inductive
+from repro.core.shrink import shrink_invariant
+from repro.logic import parse_formula
+
+
+class TestShrink:
+    def test_chord_core_is_smaller(self):
+        from repro.protocols import chord
+
+        bundle = chord.build()
+        result = shrink_invariant(
+            bundle.program, bundle.invariant, safety=bundle.safety
+        )
+        assert len(result.core) < len(bundle.invariant)
+        assert check_inductive(bundle.program, list(result.core)).holds
+        # Safety is preserved in the core.
+        names = {c.name for c in result.core}
+        assert "C0" in names
+
+    def test_lock_server_core_is_everything(self):
+        """The lock server's exclusion lattice has no redundancy."""
+        from repro.protocols import lock_server
+
+        bundle = lock_server.build()
+        result = shrink_invariant(
+            bundle.program, bundle.invariant, safety=bundle.safety
+        )
+        assert result.dropped == ()
+        assert len(result.core) == len(bundle.invariant)
+
+    def test_redundant_conjecture_dropped(self, leader_bundle):
+        vocab = leader_bundle.program.vocab
+        redundant = Conjecture(
+            "weak", parse_formula(
+                "forall N1, N2, N3. ~(leader(N1) & leader(N2) & leader(N3)"
+                " & N1 ~= N2 & N2 ~= N3 & N1 ~= N3)", vocab
+            )
+        )
+        result = shrink_invariant(
+            leader_bundle.program,
+            (*leader_bundle.invariant, redundant),
+            safety=leader_bundle.safety,
+        )
+        assert "weak" in result.dropped
+
+    def test_non_inductive_input_rejected(self, leader_bundle):
+        with pytest.raises(AssertionError):
+            shrink_invariant(
+                leader_bundle.program,
+                leader_bundle.safety,
+                safety=leader_bundle.safety,
+            )

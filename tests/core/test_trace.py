@@ -1,0 +1,68 @@
+"""Trace objects: validation, rendering, and label bookkeeping."""
+
+import pytest
+
+from repro.core.bounded import check_k_invariance
+from repro.core.trace import Trace
+from repro.logic import parse_formula
+
+
+@pytest.fixture(scope="module")
+def election_trace(leader_bundle):
+    vocab = leader_bundle.program.vocab
+    no_leader = parse_formula("forall N:node. ~leader(N)", vocab)
+    result = check_k_invariance(leader_bundle.program, no_leader, 2)
+    assert not result.holds
+    return result.trace
+
+
+class TestTrace:
+    def test_lengths_consistent(self, election_trace):
+        assert election_trace.length == len(election_trace.states) - 1
+        assert len(election_trace.labels) == election_trace.length
+
+    def test_label_count_validated(self, leader_bundle, election_trace):
+        with pytest.raises(ValueError):
+            Trace(
+                leader_bundle.program,
+                election_trace.states,
+                election_trace.labels[:-1],
+            )
+
+    def test_validate_accepts_genuine_trace(self, election_trace):
+        election_trace.validate()
+
+    def test_validate_rejects_fake_step(self, leader_bundle, election_trace):
+        """Swapping in an unrelated state must fail validation."""
+        states = list(election_trace.states)
+        vocab = leader_bundle.program.vocab
+        pnd = vocab.relation("pnd")
+        # Empty the pnd relation in the final state: no action removes
+        # pending messages, so this cannot be a transition result.
+        assert states[-2].positive_count(pnd) >= 1
+        fake_final = states[-1].with_rel(pnd, set())
+        fake = Trace(
+            leader_bundle.program,
+            tuple(states[:-1] + [fake_final]),
+            election_trace.labels,
+        )
+        with pytest.raises(AssertionError):
+            fake.validate()
+
+    def test_str_mentions_steps_and_actions(self, election_trace):
+        text = str(election_trace)
+        assert "state 0:" in text
+        assert "step 1" in text
+        for label in election_trace.labels:
+            for part in label.split(" / "):
+                assert part  # labels are non-empty action paths
+
+    def test_final_state_elects_leader(self, leader_bundle, election_trace):
+        leader = leader_bundle.program.vocab.relation("leader")
+        assert election_trace.states[-1].positive_count(leader) >= 1
+        assert election_trace.states[0].positive_count(leader) == 0
+
+    def test_to_dot(self, election_trace):
+        dot = election_trace.to_dot()
+        assert dot.startswith("digraph")
+        assert "cluster_0" in dot

@@ -1,0 +1,175 @@
+"""The concrete-syntax parser, sort inference, and printer round-trips."""
+
+import pytest
+
+from repro.logic import (
+    And,
+    App,
+    Eq,
+    Exists,
+    Forall,
+    Implies,
+    Not,
+    Or,
+    Rel,
+    Sort,
+    Var,
+    free_vars,
+    parse_formula,
+    parse_term,
+)
+from repro.logic.lexer import LexError, ParseError, tokenize
+
+node = Sort("node")
+ident = Sort("id")
+
+
+class TestLexer:
+    def test_tokens(self):
+        kinds = [(t.kind, t.text) for t in tokenize("forall X. p(X) -> X ~= c")]
+        assert kinds == [
+            ("ident", "forall"),
+            ("ident", "X"),
+            ("punct", "."),
+            ("ident", "p"),
+            ("punct", "("),
+            ("ident", "X"),
+            ("punct", ")"),
+            ("punct", "->"),
+            ("ident", "X"),
+            ("punct", "~="),
+            ("ident", "c"),
+            ("eof", ""),
+        ]
+
+    def test_comments_and_positions(self):
+        tokens = tokenize("a # comment\n b")
+        assert [t.text for t in tokens[:-1]] == ["a", "b"]
+        assert tokens[1].line == 2
+
+    def test_bad_character(self):
+        with pytest.raises(LexError):
+            tokenize("p(x) $ q(x)")
+
+
+class TestParsing:
+    def test_quantifier_and_precedence(self, ring_vocab):
+        f = parse_formula("forall N1, N2. leader(N1) & leader(N2) -> N1 = N2", ring_vocab)
+        assert isinstance(f, Forall)
+        assert isinstance(f.body, Implies)
+        assert isinstance(f.body.lhs, And)
+
+    def test_or_binds_looser_than_and(self, ring_vocab):
+        f = parse_formula("leader(N) | leader(N) & leader(N)", ring_vocab, free={"N": node})
+        assert isinstance(f, Or)
+
+    def test_implies_right_associative(self, ring_vocab):
+        f = parse_formula(
+            "leader(N) -> leader(N) -> leader(N)", ring_vocab, free={"N": node}
+        )
+        assert isinstance(f, Implies)
+        assert isinstance(f.rhs, Implies)
+
+    def test_negated_equality(self, ring_vocab):
+        f = parse_formula("N1 ~= N2", ring_vocab, free={"N1": node, "N2": node})
+        assert isinstance(f, Not) and isinstance(f.arg, Eq)
+
+    def test_nullary_relation(self):
+        from repro.logic import RelDecl, vocabulary
+
+        vocab = vocabulary(sorts=[node], relations=[RelDecl("flag", ())])
+        f = parse_formula("flag & ~flag", vocab)
+        assert isinstance(f, And)
+
+    def test_parse_term_with_ite(self, ring_vocab):
+        t = parse_term("ite(leader(N), idn(N), idn(M))", ring_vocab, free={"N": node, "M": node})
+        assert t.sort == ident
+
+    def test_true_false(self, ring_vocab):
+        from repro.logic import FALSE, TRUE
+
+        assert parse_formula("true", ring_vocab) == TRUE
+        assert parse_formula("false", ring_vocab) == FALSE
+
+
+class TestSortInference:
+    def test_inferred_from_relation_position(self, ring_vocab):
+        f = parse_formula("forall X, Y. le(X, Y)", ring_vocab)
+        assert all(v.sort == ident for v in f.vars)
+
+    def test_inferred_through_function(self, ring_vocab):
+        f = parse_formula("forall N. le(idn(N), idn(N))", ring_vocab)
+        assert f.vars[0].sort == node
+
+    def test_annotation_respected(self, ring_vocab):
+        f = parse_formula("forall X:id. le(X, X)", ring_vocab)
+        assert f.vars[0].sort == ident
+
+    def test_equality_unifies_unknowns(self, ring_vocab):
+        f = parse_formula("forall X, Y. X = Y -> le(X, Y)", ring_vocab)
+        assert all(v.sort == ident for v in f.vars)
+
+    def test_conflicting_sorts_rejected(self, ring_vocab):
+        with pytest.raises(ParseError, match="sort"):
+            parse_formula("forall X. leader(X) & le(X, X)", ring_vocab)
+
+    def test_uninferable_sort_rejected(self, ring_vocab):
+        with pytest.raises(ParseError):
+            parse_formula("forall X, Y. X = Y", ring_vocab)
+
+    def test_free_variable_sorts_supplied(self, ring_vocab):
+        f = parse_formula("pnd(I, N)", ring_vocab, free={"I": ident, "N": node})
+        assert free_vars(f) == frozenset({Var("I", ident), Var("N", node)})
+
+    def test_free_variable_sort_inferred(self, ring_vocab):
+        f = parse_formula("leader(N)", ring_vocab)
+        assert free_vars(f) == frozenset({Var("N", node)})
+
+    def test_annotation_unknown_sort(self, ring_vocab):
+        with pytest.raises(ParseError, match="unknown sort"):
+            parse_formula("forall X:color. le(X, X)", ring_vocab)
+
+
+class TestParseErrors:
+    def test_unknown_relation(self, ring_vocab):
+        with pytest.raises(ParseError):
+            parse_formula("unknown_rel(N1)", ring_vocab)
+
+    def test_arity_mismatch(self, ring_vocab):
+        with pytest.raises(ParseError, match="arguments"):
+            parse_formula("le(X)", ring_vocab)
+
+    def test_relation_as_term(self, ring_vocab):
+        with pytest.raises(ParseError):
+            parse_formula("idn(leader(N)) = idn(N)", ring_vocab)
+
+    def test_function_as_formula(self, ring_vocab):
+        with pytest.raises(ParseError):
+            parse_formula("idn(N)", ring_vocab)
+
+    def test_trailing_input(self, ring_vocab):
+        with pytest.raises(ParseError, match="trailing"):
+            parse_formula("leader(N) leader(N)", ring_vocab)
+
+    def test_shadowing_declared_symbol(self, ring_vocab):
+        with pytest.raises(ParseError, match="shadows"):
+            parse_formula("forall le. leader(le)", ring_vocab)
+
+
+class TestRoundTrip:
+    CASES = [
+        "forall N1, N2. ~(leader(N1) & leader(N2) & N1 ~= N2)",
+        "forall N1, N2. ~(N1 ~= N2 & pnd(idn(N1), N1) & le(idn(N1), idn(N2)))",
+        "exists X:id. forall Y:id. le(X, Y)",
+        "(forall X:id. le(X, X)) & (forall X, Y:id. le(X, Y) | le(Y, X))",
+        "forall W, X, Y. btw(W, X, Y) -> ~btw(W, Y, X)",
+        "leader(N) <-> ~leader(N)",
+        "true",
+        "false",
+    ]
+
+    @pytest.mark.parametrize("source", CASES)
+    def test_print_parse_round_trip(self, ring_vocab, source):
+        first = parse_formula(source, ring_vocab, free={"N": node})
+        second = parse_formula(str(first), ring_vocab, free={"N": node})
+        assert first == second

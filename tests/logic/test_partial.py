@@ -1,0 +1,199 @@
+"""Partial structures, generalization order, diagrams, conjectures
+(Definitions 2-5, Lemma 4.2)."""
+
+import pytest
+
+from repro.logic import (
+    Elem,
+    Fact,
+    conjecture,
+    diagram,
+    embeds_into,
+    from_structure,
+    generalizes,
+    make_structure,
+    parse_formula,
+)
+from repro.logic.partial import PartialStructure
+
+
+@pytest.fixture()
+def state(ring_vocab):
+    node, ident = ring_vocab.sorts
+    node0, node1 = Elem("node0", node), Elem("node1", node)
+    id0, id1 = Elem("id0", ident), Elem("id1", ident)
+    return make_structure(
+        ring_vocab,
+        universe={node: [node0, node1], ident: [id0, id1]},
+        rels={
+            "le": [(id0, id0), (id0, id1), (id1, id1)],
+            "leader": [(node0,)],
+            "pnd": [(id1, node1)],
+        },
+        funcs={"idn": {(node0,): id0, (node1,): id1}},
+    )
+
+
+class TestFromStructure:
+    def test_total_structure_fully_defined(self, ring_vocab, state):
+        partial = from_structure(state)
+        node, ident = ring_vocab.sorts
+        # le: 4 entries, btw: 8, leader: 2, pnd: 4, idn: 2x2 = 4
+        assert partial.fact_count() == 4 + 8 + 2 + 4 + 4
+
+    def test_function_facts_have_single_positive(self, state):
+        partial = from_structure(state)
+        idn_positive = [
+            fact
+            for fact in partial.facts()
+            if not hasattr(fact.symbol, "arg_sorts") or fact.symbol.name == "idn"
+            if fact.symbol.name == "idn" and fact.positive
+        ]
+        assert len(idn_positive) == 2
+
+    def test_two_positive_results_rejected(self, ring_vocab, state):
+        idn = ring_vocab.function("idn")
+        node, ident = ring_vocab.sorts
+        node0 = state.universe[node][0]
+        id0, id1 = state.universe[ident]
+        with pytest.raises(ValueError, match="two positive"):
+            PartialStructure(
+                ring_vocab,
+                dict(state.universe),
+                {},
+                {idn: {(node0, id0): True, (node0, id1): True}},
+            )
+
+
+class TestGeneralizationOps:
+    def test_forget_symbol(self, state):
+        partial = from_structure(state).forget("btw").forget("pnd")
+        assert all(fact.symbol.name not in ("btw", "pnd") for fact in partial.facts())
+
+    def test_forget_polarity(self, state):
+        partial = from_structure(state).forget("leader", polarity=False)
+        leader_facts = [f for f in partial.facts() if f.symbol.name == "leader"]
+        assert len(leader_facts) == 1 and leader_facts[0].positive
+
+    def test_restrict_elements(self, ring_vocab, state):
+        node, ident = ring_vocab.sorts
+        keep = [state.universe[node][0], *state.universe[ident]]
+        partial = from_structure(state).restrict_elements(keep)
+        for fact in partial.facts():
+            assert all(elem in keep for elem in fact.args)
+
+    def test_drop_fact(self, state):
+        partial = from_structure(state)
+        fact = next(iter(partial.facts()))
+        smaller = partial.drop_fact(fact)
+        assert smaller.fact_count() == partial.fact_count() - 1
+
+    def test_keep_facts(self, ring_vocab, state):
+        partial = from_structure(state)
+        wanted = [f for f in partial.facts() if f.symbol.name == "leader" and f.positive]
+        kept = partial.keep_facts(wanted)
+        assert list(kept.facts()) == wanted
+
+
+class TestGeneralizationOrder:
+    def test_forgetting_generalizes(self, state):
+        full = from_structure(state)
+        smaller = full.forget("btw").forget("pnd")
+        assert generalizes(smaller, full)
+        assert not generalizes(full, smaller)
+
+    def test_reflexive(self, state):
+        full = from_structure(state)
+        assert generalizes(full, full)
+
+    def test_conflicting_fact_not_comparable(self, ring_vocab, state):
+        full = from_structure(state)
+        leader = ring_vocab.relation("leader")
+        node0 = state.universe[ring_vocab.sorts[0]][0]
+        flipped = PartialStructure(
+            ring_vocab, dict(state.universe), {leader: {(node0,): False}}, {}
+        )
+        assert not generalizes(flipped, full)
+
+
+class TestDiagramAndConjecture:
+    def test_conjecture_excludes_own_state(self, state):
+        partial = from_structure(state).forget("btw")
+        phi = conjecture(partial)
+        assert not state.satisfies(phi)  # Lemma 4.2 with s' = s
+
+    def test_diagram_holds_in_own_state(self, state):
+        partial = from_structure(state).forget("btw")
+        assert state.satisfies(diagram(partial))
+
+    def test_smaller_partial_gives_stronger_conjecture(self, ring_vocab, state):
+        """phi(s2) => phi(s1) when s2 <= s1 (more states excluded)."""
+        from repro.solver import solve_epr
+        from repro.logic import and_, not_
+
+        full = from_structure(state).forget("btw")
+        smaller = full.forget("pnd").forget("leader", polarity=False)
+        result = solve_epr(
+            ring_vocab, [and_(conjecture(smaller), not_(conjecture(full)))]
+        )
+        assert not result.satisfiable
+
+    def test_conjecture_is_universal(self, state):
+        from repro.logic import is_universal
+
+        partial = from_structure(state).forget("btw")
+        assert is_universal(conjecture(partial))
+
+    def test_conjecture_of_empty_partial(self, ring_vocab, state):
+        empty = PartialStructure(ring_vocab, dict(state.universe), {}, {})
+        from repro.logic import FALSE, TRUE
+
+        assert diagram(empty) == TRUE
+        assert conjecture(empty) == FALSE
+
+    def test_paper_c1_shape(self, ring_vocab, state):
+        """Keeping only {leader+, le+, idn} facts yields a conjecture
+        equivalent (under the axioms) to the paper's C1."""
+        partial = from_structure(state)
+        facts = [
+            f
+            for f in partial.facts()
+            if (f.symbol.name == "leader" and f.positive and f.args[0].name == "node0")
+            or (f.symbol.name == "le" and f.positive and f.args[0].name != f.args[1].name)
+            or (f.symbol.name == "idn" and f.positive)
+        ]
+        kept = partial.keep_facts(facts)
+        phi = conjecture(kept)
+        # The state itself is excluded:
+        assert not state.satisfies(phi)
+
+
+class TestEmbedding:
+    def test_embedding_exists(self, state):
+        partial = from_structure(state).forget("btw").forget("pnd")
+        assert embeds_into(partial, state) is not None
+
+    def test_embedding_respects_negative_facts(self, ring_vocab, state):
+        leader = ring_vocab.relation("leader")
+        node = ring_vocab.sorts[0]
+        node0, node1 = state.universe[node]
+        # Require two distinct leaders: no embedding into a 1-leader state.
+        partial = PartialStructure(
+            ring_vocab,
+            dict(state.universe),
+            {leader: {(node0,): True, (node1,): True}},
+            {},
+        )
+        assert embeds_into(partial, state) is None
+
+    def test_embedding_agrees_with_conjecture(self, ring_vocab, state):
+        """t |= phi(s) iff s does not embed into t -- on a few slices."""
+        full = from_structure(state)
+        slices = [
+            full.forget("btw"),
+            full.forget("btw").forget("pnd"),
+            full.forget("btw").forget("le").forget("idn"),
+        ]
+        for partial in slices:
+            phi = conjecture(partial)
+            assert state.satisfies(phi) == (embeds_into(partial, state) is None)

@@ -1,0 +1,123 @@
+"""Vocabulary construction, lookup and stratification (Section 3.1)."""
+
+import pytest
+
+from repro.logic import (
+    FuncDecl,
+    RelDecl,
+    Sort,
+    StratificationError,
+    Vocabulary,
+    vocabulary,
+)
+
+
+class TestSortsAndDecls:
+    def test_sort_identity(self):
+        assert Sort("node") == Sort("node")
+        assert Sort("node") != Sort("id")
+
+    def test_empty_sort_name_rejected(self):
+        with pytest.raises(ValueError):
+            Sort("")
+
+    def test_rel_decl_arity(self):
+        node = Sort("node")
+        assert RelDecl("leader", (node,)).arity == 1
+        assert RelDecl("btw", (node, node, node)).arity == 3
+
+    def test_func_decl_constant(self):
+        node = Sort("node")
+        const = FuncDecl("n", (), node)
+        assert const.is_constant
+        assert const.arity == 0
+        assert not FuncDecl("f", (node,), node is node and Sort("id")).is_constant
+
+
+class TestVocabulary:
+    def test_lookup_by_name(self, ring_vocab):
+        assert ring_vocab.relation("le").arity == 2
+        assert ring_vocab.function("idn").sort == Sort("id")
+        assert "le" in ring_vocab
+        assert "nonexistent" not in ring_vocab
+        assert ring_vocab.get("nonexistent") is None
+
+    def test_relation_lookup_rejects_functions(self, ring_vocab):
+        with pytest.raises(KeyError):
+            ring_vocab.relation("idn")
+        with pytest.raises(KeyError):
+            ring_vocab.function("le")
+
+    def test_duplicate_symbol_rejected(self):
+        node = Sort("node")
+        with pytest.raises(ValueError, match="duplicate"):
+            vocabulary(
+                sorts=[node],
+                relations=[RelDecl("p", (node,))],
+                functions=[FuncDecl("p", (), node)],
+            )
+
+    def test_undeclared_sort_rejected(self):
+        node, ident = Sort("node"), Sort("id")
+        with pytest.raises(ValueError, match="undeclared sort"):
+            vocabulary(sorts=[node], relations=[RelDecl("le", (ident, ident))])
+
+    def test_duplicate_sort_rejected(self):
+        node = Sort("node")
+        with pytest.raises(ValueError, match="duplicate sort"):
+            Vocabulary((node, node), (), ())
+
+    def test_extended_adds_symbols(self, ring_vocab):
+        extra = RelDecl("extra", ())
+        bigger = ring_vocab.extended(relations=[extra])
+        assert bigger.get("extra") == extra
+        assert ring_vocab.get("extra") is None  # original untouched
+
+    def test_constants_and_proper_functions(self, ring_vocab):
+        assert [f.name for f in ring_vocab.proper_functions()] == ["idn"]
+        assert list(ring_vocab.constants()) == []
+
+
+class TestStratification:
+    def test_ring_vocab_is_stratified(self, ring_vocab):
+        order = ring_vocab.stratification_order()
+        # idn : node -> id requires id < node.
+        assert order.index(Sort("id")) < order.index(Sort("node"))
+
+    def test_cycle_detected(self):
+        a, b = Sort("a"), Sort("b")
+        vocab = vocabulary(
+            sorts=[a, b],
+            functions=[FuncDecl("f", (a,), b), FuncDecl("g", (b,), a)],
+        )
+        assert not vocab.is_stratified()
+        with pytest.raises(StratificationError, match="cyclic"):
+            vocab.check_stratified()
+
+    def test_self_loop_detected(self):
+        a = Sort("a")
+        vocab = vocabulary(sorts=[a], functions=[FuncDecl("f", (a,), a)])
+        with pytest.raises(StratificationError):
+            vocab.check_stratified()
+
+    def test_three_level_chain(self):
+        a, b, c = Sort("a"), Sort("b"), Sort("c")
+        vocab = vocabulary(
+            sorts=[c, a, b],
+            functions=[FuncDecl("f", (a,), b), FuncDecl("g", (b,), c)],
+        )
+        order = vocab.stratification_order()
+        assert order.index(c) < order.index(b) < order.index(a)
+
+    def test_constants_do_not_affect_stratification(self):
+        a = Sort("a")
+        vocab = vocabulary(sorts=[a], functions=[FuncDecl("x", (), a)])
+        assert vocab.is_stratified()
+
+    def test_paper_example(self):
+        """Fig. 1's shape: messages -> nodes allowed, not both directions."""
+        node, msg = Sort("node"), Sort("msg")
+        ok = vocabulary(sorts=[node, msg], functions=[FuncDecl("src", (msg,), node)])
+        assert ok.is_stratified()
+        bad = ok.extended(functions=[FuncDecl("inbox", (node,), msg)])
+        assert not bad.is_stratified()

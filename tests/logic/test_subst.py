@@ -1,0 +1,158 @@
+"""Substitution: variables, wp symbol replacement, symbol renaming."""
+
+import pytest
+
+from repro.logic import (
+    App,
+    Eq,
+    FreshNames,
+    FuncDecl,
+    Ite,
+    Not,
+    Rel,
+    RelDecl,
+    Sort,
+    Var,
+    and_,
+    eq,
+    exists,
+    forall,
+    fresh_var,
+    instantiate,
+    not_,
+    or_,
+    rename_symbols,
+    replace_func,
+    replace_rel,
+    substitute,
+    substitute_term,
+)
+
+elem = Sort("elem")
+p = RelDecl("p", (elem,))
+r = RelDecl("r", (elem, elem))
+c = FuncDecl("c", (), elem)
+f = FuncDecl("f", (elem,), elem)
+X, Y, Z = Var("X", elem), Var("Y", elem), Var("Z", elem)
+C = App(c, ())
+
+
+class TestFreshNames:
+    def test_fresh_progression(self):
+        fresh = FreshNames(["x"])
+        assert fresh("x") == "x_1"
+        assert fresh("x") == "x_2"
+        assert fresh("y") == "y"
+        assert fresh("y") == "y_1"
+
+    def test_fresh_var_avoids(self):
+        var = fresh_var("X", elem, [X, Var("X_1", elem)])
+        assert var.name == "X_2"
+
+
+class TestVariableSubstitution:
+    def test_simple(self):
+        formula = Rel(p, (X,))
+        assert substitute(formula, {X: C}) == Rel(p, (C,))
+
+    def test_through_function(self):
+        term = App(f, (X,))
+        assert substitute_term(term, {X: C}) == App(f, (C,))
+
+    def test_through_ite(self):
+        term = Ite(Rel(p, (X,)), X, Y)
+        out = substitute_term(term, {X: C})
+        assert out == Ite(Rel(p, (C,)), C, Y)
+
+    def test_bound_variables_shadow(self):
+        formula = forall((X,), Rel(r, (X, Y)))
+        out = substitute(formula, {X: C, Y: C})
+        assert out == forall((X,), Rel(r, (X, C)))
+
+    def test_capture_avoidance(self):
+        # (forall X. r(X, Y))[X/Y] must NOT capture: the bound X is renamed.
+        formula = forall((X,), Rel(r, (X, Y)))
+        out = substitute(formula, {Y: X})
+        assert isinstance(out.vars[0], Var)
+        bound = out.vars[0]
+        assert bound != X
+        assert out.body == Rel(r, (bound, X))
+
+    def test_instantiate(self):
+        formula = forall((X, Y), Rel(r, (X, Y)))
+        assert instantiate(formula, (C, C)) == Rel(r, (C, C))
+        with pytest.raises(ValueError):
+            instantiate(formula, (C,))
+
+
+class TestReplaceRel:
+    def test_wp_style_update(self):
+        # Q = p(c); update p(x) := r(x, c)  =>  Q' = r(c, c)
+        post = Rel(p, (C,))
+        out = replace_rel(post, p, (X,), Rel(r, (X, C)))
+        assert out == Rel(r, (C, C))
+
+    def test_old_value_semantics(self):
+        # p(x) := ~p(x); occurrences of p inside the definition are OLD.
+        post = Rel(p, (C,))
+        out = replace_rel(post, p, (X,), not_(Rel(p, (X,))))
+        assert out == not_(Rel(p, (C,)))
+        # Applying twice gives double negation, not oscillation artifacts.
+        from repro.logic import nnf
+
+        out2 = replace_rel(out, p, (X,), not_(Rel(p, (X,))))
+        assert nnf(out2) == Rel(p, (C,))
+
+    def test_rewrites_under_quantifiers(self):
+        post = forall((Y,), Rel(p, (Y,)))
+        out = replace_rel(post, p, (X,), Rel(r, (X, X)))
+        assert out == forall((Y,), Rel(r, (Y, Y)))
+
+    def test_quantifier_capture_avoided(self):
+        # Q = forall X. p(X); definition mentions free X? use fresh def var.
+        post = forall((X,), or_(Rel(p, (X,)), Rel(r, (X, Y))))
+        out = replace_rel(post, p, (Z,), Rel(r, (Z, Y)))
+        # The bound X must not capture the definition's free Y.
+        assert isinstance(out.vars[0], Var)
+
+    def test_untouched_relations_stay(self):
+        post = and_(Rel(p, (C,)), Rel(r, (C, C)))
+        out = replace_rel(post, p, (X,), eq(X, C))
+        assert Rel(r, (C, C)) in out.args
+
+
+class TestReplaceFunc:
+    def test_constant_replacement(self):
+        post = Rel(p, (C,))
+        out = replace_func(post, c, (), X)
+        assert out == Rel(p, (X,))
+
+    def test_unary_function(self):
+        post = Eq(App(f, (C,)), C)
+        out = replace_func(post, f, (X,), Ite(Rel(p, (X,)), X, App(f, (X,))))
+        # f(c) becomes ite(p(c), c, f(c)) -- the inner f is the OLD f.
+        assert out == Eq(Ite(Rel(p, (C,)), C, App(f, (C,))), C)
+
+    def test_nested_applications_innermost_first(self):
+        post = Eq(App(f, (App(f, (C,)),)), C)
+        out = replace_func(post, f, (X,), X)  # f := identity
+        assert out == Eq(C, C)
+
+
+class TestRenameSymbols:
+    def test_relation_and_function(self):
+        p2 = RelDecl("p_v1", (elem,))
+        c2 = FuncDecl("c_v1", (), elem)
+        out = rename_symbols(Rel(p, (App(c, ()),)), {p: p2, c: c2})
+        assert out == Rel(p2, (App(c2, ()),))
+
+    def test_sort_mismatch_rejected(self):
+        other = RelDecl("q", (elem, elem))
+        with pytest.raises(ValueError):
+            rename_symbols(Rel(p, (C,)), {p: other})
+
+    def test_rename_under_quantifier(self):
+        p2 = RelDecl("p_v1", (elem,))
+        formula = forall((X,), Rel(p, (X,)))
+        out = rename_symbols(formula, {p: p2})
+        assert out == forall((X,), Rel(p2, (X,)))

@@ -1,0 +1,170 @@
+"""Term/formula ASTs, smart constructors and traversal helpers."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    App,
+    Eq,
+    Exists,
+    Forall,
+    FuncDecl,
+    Implies,
+    Ite,
+    Not,
+    Or,
+    Rel,
+    RelDecl,
+    Sort,
+    Var,
+    and_,
+    constant,
+    distinct,
+    eq,
+    exists,
+    forall,
+    free_vars,
+    iff,
+    implies,
+    is_closed,
+    not_,
+    or_,
+    symbols_of,
+)
+
+node = Sort("node")
+ident = Sort("id")
+leader = RelDecl("leader", (node,))
+le = RelDecl("le", (ident, ident))
+idn = FuncDecl("idn", (node,), ident)
+n_const = FuncDecl("n", (), node)
+
+X = Var("X", node)
+Y = Var("Y", node)
+I = Var("I", ident)
+
+
+class TestTermConstruction:
+    def test_app_sort(self):
+        assert App(idn, (X,)).sort == ident
+        assert App(n_const, ()).sort == node
+
+    def test_app_arity_checked(self):
+        with pytest.raises(ValueError):
+            App(idn, ())
+        with pytest.raises(ValueError):
+            App(n_const, (X,))
+
+    def test_constant_helper(self):
+        assert constant(n_const) == App(n_const, ())
+        with pytest.raises(ValueError):
+            constant(idn)
+
+    def test_ite_sorts_checked(self):
+        good = Ite(Rel(leader, (X,)), App(idn, (X,)), I)
+        assert good.sort == ident
+        with pytest.raises(ValueError):
+            Ite(Rel(leader, (X,)), X, I)  # node vs id branches
+
+    def test_structural_equality_and_hash(self):
+        a = Rel(leader, (X,))
+        b = Rel(leader, (Var("X", node),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Rel(leader, (Y,))
+
+
+class TestFormulaConstruction:
+    def test_rel_arity_checked(self):
+        with pytest.raises(ValueError):
+            Rel(leader, (X, Y))
+
+    def test_eq_sorts_checked(self):
+        with pytest.raises(ValueError):
+            Eq(X, I)
+
+    def test_quantifier_needs_vars(self):
+        with pytest.raises(ValueError):
+            Forall((), Rel(leader, (X,)))
+
+
+class TestSmartConstructors:
+    def test_and_flattens(self):
+        p, q, r = Rel(leader, (X,)), Rel(leader, (Y,)), Eq(X, Y)
+        assert and_(p, and_(q, r)) == And((p, q, r))
+
+    def test_and_units(self):
+        p = Rel(leader, (X,))
+        assert and_() == TRUE
+        assert and_(p) == p
+        assert and_(p, FALSE) == FALSE
+        assert and_(TRUE, p) == And((p,)) or and_(TRUE, p) == p
+
+    def test_or_units(self):
+        p = Rel(leader, (X,))
+        assert or_() == FALSE
+        assert or_(p) == p
+        assert or_(p, TRUE) == TRUE
+
+    def test_not_involution(self):
+        p = Rel(leader, (X,))
+        assert not_(not_(p)) == p
+        assert not_(TRUE) == FALSE
+        assert not_(FALSE) == TRUE
+
+    def test_implies_simplifications(self):
+        p = Rel(leader, (X,))
+        assert implies(TRUE, p) == p
+        assert implies(FALSE, p) == TRUE
+        assert implies(p, TRUE) == TRUE
+        assert implies(p, FALSE) == not_(p)
+
+    def test_iff_simplifications(self):
+        p = Rel(leader, (X,))
+        assert iff(p, p) == TRUE
+        assert iff(TRUE, p) == p
+        assert iff(p, FALSE) == not_(p)
+
+    def test_eq_reflexive(self):
+        assert eq(X, X) == TRUE
+        assert eq(X, Y) == Eq(X, Y)
+
+    def test_forall_merges_nested(self):
+        body = Rel(leader, (X,))
+        assert forall((Y,), forall((X,), body)) == Forall((Y, X), body)
+        assert forall((), body) == body
+
+    def test_exists_merges_nested(self):
+        body = Rel(leader, (X,))
+        assert exists((Y,), exists((X,), body)) == Exists((Y, X), body)
+
+    def test_distinct(self):
+        d = distinct(X, Y)
+        assert d == not_(eq(X, Y))
+        z = Var("Z", node)
+        three = distinct(X, Y, z)
+        assert isinstance(three, And) and len(three.args) == 3
+
+    def test_distinct_single(self):
+        assert distinct(X) == TRUE
+
+
+class TestTraversal:
+    def test_free_vars(self):
+        f = forall((X,), or_(Rel(leader, (X,)), eq(App(idn, (X,)), I)))
+        assert free_vars(f) == frozenset({I})
+        assert not is_closed(f)
+        assert is_closed(forall((X,), Rel(leader, (X,))))
+
+    def test_free_vars_through_ite(self):
+        term = Ite(Rel(leader, (X,)), App(idn, (Y,)), I)
+        assert free_vars(term) == frozenset({X, Y, I})
+
+    def test_symbols_of(self):
+        f = forall((X, Y), implies(Rel(leader, (X,)), eq(App(idn, (X,)), App(idn, (Y,)))))
+        assert symbols_of(f) == frozenset({leader, idn})
+
+    def test_symbols_of_term(self):
+        assert symbols_of(App(idn, (App(n_const, ()),))) == frozenset({idn, n_const})

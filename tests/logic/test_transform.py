@@ -1,0 +1,245 @@
+"""NNF, ite-elimination, prenexing, skolemization, fragment checks."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    App,
+    Eq,
+    Exists,
+    Forall,
+    FreshNames,
+    FuncDecl,
+    Ite,
+    Not,
+    Or,
+    Rel,
+    RelDecl,
+    Sort,
+    Var,
+    and_,
+    eliminate_ite,
+    exists,
+    forall,
+    iff,
+    implies,
+    is_alternation_free,
+    is_exists_forall,
+    is_forall_exists,
+    is_quantifier_free,
+    is_universal,
+    nnf,
+    not_,
+    or_,
+    parse_formula,
+    prenex,
+    skolemize_ea,
+    vocabulary,
+)
+from repro.logic.structures import all_structures
+from repro.logic.transform import NotInFragment
+
+elem = Sort("elem")
+p = RelDecl("p", (elem,))
+r = RelDecl("r", (elem, elem))
+f = FuncDecl("f", (), elem)
+X, Y, Z = Var("X", elem), Var("Y", elem), Var("Z", elem)
+VOCAB = vocabulary(sorts=[elem], relations=[p, r], functions=[f])
+
+
+def _px(v=X):
+    return Rel(p, (v,))
+
+
+def _equivalent(a, b, sizes=(1, 2)) -> bool:
+    """Semantic equivalence of closed formulas checked by enumeration."""
+    for size in sizes:
+        for structure in all_structures(VOCAB, {elem: size}):
+            if structure.satisfies(a) != structure.satisfies(b):
+                return False
+    return True
+
+
+class TestNnf:
+    def test_atoms_untouched(self):
+        assert nnf(_px()) == _px()
+        assert nnf(not_(_px())) == not_(_px())
+
+    def test_demorgan(self):
+        g = not_(and_(_px(X), _px(Y)))
+        assert nnf(g) == or_(not_(_px(X)), not_(_px(Y)))
+
+    def test_implication_expanded(self):
+        g = implies(_px(X), _px(Y))
+        assert nnf(g) == or_(not_(_px(X)), _px(Y))
+
+    def test_negated_quantifiers_flip(self):
+        g = not_(forall((X,), _px(X)))
+        assert nnf(g) == exists((X,), not_(_px(X)))
+        g = not_(exists((X,), _px(X)))
+        assert nnf(g) == forall((X,), not_(_px(X)))
+
+    def test_iff_expansion_preserves_semantics(self):
+        g = forall((X, Y), iff(Rel(r, (X, Y)), _px(X)))
+        assert _equivalent(g, nnf(g))
+
+    def test_no_negation_above_literals(self):
+        g = not_(implies(and_(_px(X), not_(_px(Y))), or_(_px(Z), _px(X))))
+        result = nnf(forall((X, Y, Z), g))
+
+        def check(formula):
+            if isinstance(formula, Not):
+                assert isinstance(formula.arg, (Rel, Eq))
+                return
+            for attr in ("args",):
+                for child in getattr(formula, attr, ()):
+                    check(child)
+            if isinstance(formula, (Forall, Exists)):
+                check(formula.body)
+
+        check(result)
+
+
+class TestEliminateIte:
+    def test_simple_split(self):
+        term = Ite(_px(X), X, Y)
+        atom = Rel(p, (term,))
+        result = eliminate_ite(atom)
+        expected_then = and_(_px(X), _px(X))
+        assert isinstance(result, Or)
+        assert _equivalent(
+            forall((X, Y), result), forall((X, Y), or_(and_(_px(X), _px(X)), and_(not_(_px(X)), _px(Y))))
+        )
+
+    def test_nested_ite(self):
+        inner = Ite(_px(X), X, Y)
+        outer = Ite(_px(Y), inner, Z)
+        atom = Rel(p, (outer,))
+        result = eliminate_ite(atom)
+        closed = forall((X, Y, Z), result)
+        # Semantics: p(ite(p(Y), ite(p(X), X, Y), Z))
+        reference = forall(
+            (X, Y, Z),
+            or_(
+                and_(_px(Y), or_(and_(_px(X), _px(X)), and_(not_(_px(X)), _px(Y)))),
+                and_(not_(_px(Y)), _px(Z)),
+            ),
+        )
+        assert _equivalent(closed, reference)
+
+    def test_ite_free_unchanged(self):
+        g = forall((X,), implies(_px(X), _px(X)))
+        assert eliminate_ite(g) == g
+
+    def test_ite_in_equality(self):
+        term = Ite(_px(X), App(f, ()), X)
+        atom = Eq(term, X)
+        result = eliminate_ite(atom)
+        assert _equivalent(
+            forall((X,), result),
+            forall((X,), or_(and_(_px(X), Eq(App(f, ()), X)), and_(not_(_px(X)), TRUE))),
+        )
+
+
+class TestPrenex:
+    def test_already_prenex(self):
+        g = forall((X,), _px(X))
+        result = prenex(g)
+        assert result.collapsed() == "A"
+        assert is_quantifier_free(result.matrix)
+
+    def test_merge_prefers_exists(self):
+        g = and_(exists((X,), _px(X)), forall((Y,), _px(Y)))
+        assert prenex(g, prefer="E").collapsed() == "EA"
+
+    def test_cannot_reorder_nested(self):
+        g = forall((X,), exists((Y,), Rel(r, (X, Y))))
+        assert prenex(g, prefer="E").collapsed() == "AE"
+
+    def test_renames_apart(self):
+        g = and_(forall((X,), _px(X)), forall((X,), not_(_px(X))))
+        result = prenex(g)
+        names = [v.name for _, v in result.prefix]
+        assert len(set(names)) == len(names) == 2
+
+    def test_roundtrip_semantics(self):
+        g = and_(
+            exists((X,), _px(X)),
+            forall((Y,), or_(_px(Y), exists((Z,), Rel(r, (Y, Z))))),
+        )
+        result = prenex(g)
+        assert _equivalent(g, result.to_formula())
+
+
+class TestFragments:
+    def test_qf(self, ring_vocab):
+        g = parse_formula("leader(N) & ~leader(N)", ring_vocab)
+        assert is_quantifier_free(g)
+        assert is_alternation_free(g)
+
+    def test_universal(self, ring_vocab):
+        g = parse_formula("forall N1, N2. leader(N1) -> N1 = N2", ring_vocab)
+        assert is_universal(g)
+        assert is_exists_forall(g)
+        assert is_forall_exists(g)
+
+    def test_ea_not_ae(self, ring_vocab):
+        g = parse_formula("exists X:id. forall Y:id. le(X, Y)", ring_vocab)
+        assert is_exists_forall(g)
+        assert not is_forall_exists(g)
+        assert not is_universal(g)
+
+    def test_ae_not_ea(self, ring_vocab):
+        g = parse_formula("forall X:id. exists Y:id. le(X, Y)", ring_vocab)
+        assert is_forall_exists(g)
+        assert not is_exists_forall(g)
+
+    def test_conjunction_of_ea_is_ea(self, ring_vocab):
+        g = parse_formula(
+            "(exists X:id. forall Y:id. le(X, Y)) & (forall Z:id. le(Z, Z))",
+            ring_vocab,
+        )
+        assert is_exists_forall(g)
+
+    def test_alternation_free(self, ring_vocab):
+        g = parse_formula(
+            "(forall N:node. leader(N)) | (exists N:node. ~leader(N))", ring_vocab
+        )
+        assert is_alternation_free(g)
+        nested = parse_formula("forall X:id. exists Y:id. le(X, Y)", ring_vocab)
+        assert not is_alternation_free(nested)
+
+
+class TestSkolemize:
+    def test_simple(self):
+        g = exists((X,), forall((Y,), Rel(r, (X, Y))))
+        result = skolemize_ea(g, FreshNames())
+        assert len(result.constants) == 1
+        const = result.constants[0]
+        assert const.sort == elem and const.is_constant
+        assert isinstance(result.universal, Forall)
+
+    def test_pure_universal_unchanged_shape(self):
+        g = forall((X,), _px(X))
+        result = skolemize_ea(g, FreshNames())
+        assert result.constants == ()
+        assert isinstance(result.universal, Forall)
+
+    def test_rejects_ae(self):
+        g = forall((X,), exists((Y,), Rel(r, (X, Y))))
+        with pytest.raises(NotInFragment):
+            skolemize_ea(g, FreshNames())
+
+    def test_rejects_open_formula(self):
+        with pytest.raises(ValueError):
+            skolemize_ea(_px(X), FreshNames())
+
+    def test_equisatisfiable(self):
+        from repro.solver import solve_epr
+
+        g = exists((X, Y), and_(_px(X), not_(_px(Y))))
+        result = solve_epr(VOCAB, [g])
+        assert result.satisfiable
+        assert result.model.satisfies(g)

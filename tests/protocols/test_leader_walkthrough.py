@@ -1,0 +1,76 @@
+"""End-to-end reproduction of the paper's Section 2.3 walkthrough:
+the interactive session discovers an invariant equivalent to Figure 6's
+C0 & C1 & C2 & C3 in exactly G = 3 CTI/generalization iterations."""
+
+import pytest
+
+from repro.core.minimize import PositiveTuples, SortSize
+from repro.core.policy import GeneralizingOraclePolicy
+from repro.core.session import Session
+from repro.logic import Sort, and_, not_
+from repro.solver import EprSolver
+
+
+def equivalent_under_axioms(program, f, g) -> bool:
+    a = EprSolver(program.vocab)
+    a.add(and_(program.axiom_formula, f, not_(g)))
+    b = EprSolver(program.vocab)
+    b.add(and_(program.axiom_formula, g, not_(f)))
+    return not a.check().satisfiable and not b.check().satisfiable
+
+
+@pytest.fixture(scope="module")
+def outcome(leader_bundle):
+    program = leader_bundle.program
+    measures = [
+        SortSize(Sort("node")),
+        SortSize(Sort("id")),
+        PositiveTuples(program.vocab.relation("pnd")),
+        PositiveTuples(program.vocab.relation("leader")),
+    ]
+    session = Session(
+        program, initial=leader_bundle.safety, bmc_bound=3, measures=measures
+    )
+    policy = GeneralizingOraclePolicy(leader_bundle.invariant[1:], bound=3)
+    result = session.run(policy, max_iterations=6)
+    return session, result
+
+
+@pytest.mark.slow
+class TestWalkthrough:
+    def test_session_succeeds(self, outcome):
+        _, result = outcome
+        assert result.success
+
+    def test_g_column_matches_figure14(self, outcome):
+        """Figure 14, row 'Leader election in ring': G = 3."""
+        _, result = outcome
+        assert result.cti_count == 3
+
+    def test_conjectures_match_figure6(self, leader_bundle, outcome):
+        """Each generalized conjecture is equivalent, under the ring and
+        order axioms, to one of the paper's C1, C2, C3 -- and all three are
+        covered."""
+        _, result = outcome
+        program = leader_bundle.program
+        found = [c for c in result.conjectures if c.name != "C0"]
+        assert len(found) == 3
+        matched = set()
+        for conjecture in found:
+            for target in leader_bundle.invariant[1:]:
+                if equivalent_under_axioms(program, conjecture.formula, target.formula):
+                    matched.add(target.name)
+                    break
+            else:
+                pytest.fail(f"{conjecture.name} matches no paper conjecture")
+        assert matched == {"C1", "C2", "C3"}
+
+    def test_final_set_is_inductive(self, outcome):
+        session, result = outcome
+        assert session.check().holds
+
+    def test_i_column_matches_figure14(self, leader_bundle):
+        """Figure 14: the leader election invariant has 12 literals (counted
+        on the paper's published C0..C3)."""
+        assert leader_bundle.literal_count(leader_bundle.invariant) == 12
+        assert leader_bundle.literal_count(leader_bundle.safety) == 3

@@ -1,0 +1,80 @@
+"""Text models must verify exactly like the programmatic ones."""
+
+import pytest
+
+from repro.core.induction import Conjecture, check_inductive
+from repro.logic import parse_formula
+from repro.protocols import rml_sources
+from repro.rml.parser import parse_program
+from repro.rml.typecheck import check_program
+
+
+def _conjectures(program, pairs):
+    return [
+        Conjecture(name, parse_formula(source, program.vocab))
+        for name, source in pairs
+    ]
+
+
+class TestLockServerText:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return parse_program(rml_sources.LOCK_SERVER)
+
+    def test_well_formed(self, program):
+        check_program(program)
+        assert {r.name for r in program.vocab.relations} == {
+            "lock_msg",
+            "grant_msg",
+            "unlock_msg",
+            "holds",
+            "server_free",
+        }
+
+    def test_invariant_inductive(self, program):
+        conjectures = _conjectures(program, rml_sources.LOCK_SERVER_INVARIANT)
+        assert check_inductive(program, conjectures).holds
+
+    def test_safety_alone_not_inductive(self, program):
+        conjectures = _conjectures(program, rml_sources.LOCK_SERVER_INVARIANT[:1])
+        assert not check_inductive(program, conjectures).holds
+
+    def test_matches_programmatic_statistics(self, program):
+        from repro.protocols import lock_server
+
+        bundle = lock_server.build()
+        assert len(program.vocab.relations) == len(bundle.program.vocab.relations)
+        assert len(program.vocab.sorts) == len(bundle.program.vocab.sorts)
+
+
+class TestDistributedLockText:
+    @pytest.fixture(scope="class")
+    def program(self):
+        return parse_program(rml_sources.DISTRIBUTED_LOCK)
+
+    def test_well_formed(self, program):
+        check_program(program)
+        ep = program.vocab.function("ep")
+        assert ep.arity == 1 and ep.sort.name == "epoch"
+
+    def test_point_update_parsed_as_sugar(self, program):
+        """``ep(n) := e`` expands to the Figure 12 ite update."""
+        from repro.logic import Ite
+        from repro.rml.ast import UpdateFunc, subcommands
+
+        updates = [
+            c
+            for c in subcommands(program.body)
+            if isinstance(c, UpdateFunc) and c.func.name == "ep"
+        ]
+        assert updates
+        assert isinstance(updates[0].term, Ite)
+
+    def test_invariant_inductive(self, program):
+        conjectures = _conjectures(program, rml_sources.DISTRIBUTED_LOCK_INVARIANT)
+        assert check_inductive(program, conjectures).holds
+
+    def test_bmc_clean(self, program):
+        from repro.core.bounded import find_error_trace
+
+        assert find_error_trace(program, 2).holds

@@ -1,0 +1,67 @@
+"""Two-phase commit, the beyond-the-paper example written in RML text
+(examples/two_phase_commit.py): parse, verify, and session-replay."""
+
+import pytest
+
+from repro.core.induction import Conjecture, check_inductive
+from repro.core.bounded import find_error_trace
+from repro.core.policy import OraclePolicy
+from repro.core.session import Session
+from repro.logic import parse_formula
+from repro.rml.parser import parse_program
+from repro.rml.typecheck import check_program
+
+import importlib.util
+import pathlib
+
+_SPEC = importlib.util.spec_from_file_location(
+    "two_phase_commit_example",
+    pathlib.Path(__file__).parent.parent.parent / "examples" / "two_phase_commit.py",
+)
+_MODULE = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(_MODULE)
+
+
+@pytest.fixture(scope="module")
+def program():
+    return parse_program(_MODULE.SOURCE)
+
+
+@pytest.fixture(scope="module")
+def conjectures(program):
+    return [
+        Conjecture(name, parse_formula(source, program.vocab))
+        for name, source in _MODULE.INVARIANT
+    ]
+
+
+class TestTwoPhaseCommit:
+    def test_well_formed(self, program):
+        check_program(program)
+        assert program.name == "two_phase_commit"
+
+    def test_no_error_within_three(self, program):
+        assert find_error_trace(program, 3).holds
+
+    def test_invariant_inductive(self, program, conjectures):
+        assert check_inductive(program, conjectures).holds
+
+    def test_safety_alone_not_inductive(self, program, conjectures):
+        result = check_inductive(program, conjectures[:2])
+        assert not result.holds
+
+    def test_session_replay(self, program, conjectures):
+        session = Session(program, initial=conjectures[:2])
+        outcome = session.run(OraclePolicy(conjectures))
+        assert outcome.success
+        assert outcome.cti_count <= 5
+
+    def test_broken_variant_caught_by_bmc(self, program):
+        """Dropping decide_commit's unanimity assume breaks validity."""
+        source = _MODULE.SOURCE.replace(
+            "assume forall N:node. vote_yes(N);", ""
+        )
+        broken = parse_program(source)
+        result = find_error_trace(broken, 3)
+        assert not result.holds
+        result.trace.validate()

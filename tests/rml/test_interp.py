@@ -1,0 +1,165 @@
+"""The concrete RML interpreter: operational semantics on finite states."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    App,
+    Elem,
+    FuncDecl,
+    RelDecl,
+    Sort,
+    Var,
+    eq,
+    make_structure,
+    not_,
+    parse_formula,
+    vocabulary,
+)
+from repro.rml.ast import (
+    Abort,
+    Assume,
+    Choice,
+    Havoc,
+    Seq,
+    Skip,
+    UpdateFunc,
+    UpdateRel,
+    seq,
+)
+from repro.rml.interp import execute
+
+elem = Sort("elem")
+p = RelDecl("p", (elem,))
+r = RelDecl("r", (elem, elem))
+c = FuncDecl("c", (), elem)
+VOCAB = vocabulary(sorts=[elem], relations=[p, r], functions=[c])
+X, Y = Var("X", elem), Var("Y", elem)
+
+e0, e1 = Elem("e0", elem), Elem("e1", elem)
+
+
+def fml(source, free=None):
+    return parse_formula(source, VOCAB, free=free)
+
+
+@pytest.fixture()
+def state():
+    return make_structure(
+        VOCAB,
+        universe={elem: [e0, e1]},
+        rels={"p": [(e0,)], "r": [(e0, e1)]},
+        funcs={"c": {(): e0}},
+    )
+
+
+class TestBasicCommands:
+    def test_skip(self, state):
+        outcomes = execute(Skip(), state)
+        assert len(outcomes) == 1 and outcomes[0].state is state
+
+    def test_abort(self, state):
+        outcomes = execute(Abort(), state)
+        assert len(outcomes) == 1 and outcomes[0].aborted
+
+    def test_assume_filters(self, state):
+        assert execute(Assume(fml("p(c)")), state)
+        assert not execute(Assume(fml("~p(c)")), state)
+
+    def test_update_rel_pointwise(self, state):
+        # p(x) := ~p(x)
+        flip = UpdateRel(p, (X,), not_(fml("p(X)", free={"X": elem})))
+        (outcome,) = execute(flip, state)
+        assert not outcome.state.rel_holds(p, (e0,))
+        assert outcome.state.rel_holds(p, (e1,))
+
+    def test_update_rel_reads_old_values(self, state):
+        # r(x, y) := r(y, x) (transpose, simultaneous)
+        transpose = UpdateRel(r, (X, Y), fml("r(Y, X)", free={"X": elem, "Y": elem}))
+        (outcome,) = execute(transpose, state)
+        assert outcome.state.rel_holds(r, (e1, e0))
+        assert not outcome.state.rel_holds(r, (e0, e1))
+
+    def test_update_func(self, state):
+        update = UpdateFunc(c, (), App(c, ()))
+        (outcome,) = execute(update, state)
+        assert outcome.state.func_value(c) == e0
+
+    def test_havoc_branches_over_domain(self, state):
+        outcomes = execute(Havoc(c), state)
+        values = {o.state.func_value(c) for o in outcomes}
+        assert values == {e0, e1}
+
+    def test_seq_threads_state(self, state):
+        program = seq(
+            UpdateRel(p, (X,), TRUE),
+            Assume(fml("forall X. p(X)")),
+        )
+        outcomes = execute(program, state)
+        assert len(outcomes) == 1
+
+    def test_seq_abort_short_circuits(self, state):
+        program = Seq((Abort(), Assume(FALSE)))
+        outcomes = execute(program, state)
+        assert outcomes[0].aborted
+
+    def test_choice_collects_labels(self, state):
+        program = Choice((Skip(), Abort()), ("left", "right"))
+        outcomes = execute(program, state)
+        labels = {o.labels[0] for o in outcomes}
+        assert labels == {"left", "right"}
+
+    def test_dedupe(self, state):
+        program = Choice((Skip(), Skip()))  # identical outcomes, same labels?
+        outcomes = execute(program, state)
+        # labels differ (branch0/branch1) so both kept; states equal
+        assert len(outcomes) == 2
+
+
+class TestAxiomPruning:
+    def test_mutation_violating_axiom_blocked(self, state):
+        axiom = fml("exists X. p(X)")  # someone always satisfies p
+        wipe = UpdateRel(p, (X,), FALSE)
+        assert execute(wipe, state, axiom) == []
+
+    def test_mutation_preserving_axiom_allowed(self, state):
+        axiom = fml("exists X. p(X)")
+        fill = UpdateRel(p, (X,), TRUE)
+        assert len(execute(fill, state, axiom)) == 1
+
+    def test_intermediate_violation_blocks_path(self, state):
+        """wp guards apply at every mutation, not only at the end."""
+        axiom = fml("exists X. p(X)")
+        program = seq(
+            UpdateRel(p, (X,), FALSE),  # leaves the axiom space...
+            UpdateRel(p, (X,), TRUE),  # ...and this must not repair it
+        )
+        assert execute(program, state, axiom) == []
+
+    def test_havoc_respects_axioms(self, state):
+        axiom = fml("p(c)")  # c must satisfy p; only e0 qualifies
+        outcomes = execute(Havoc(c), state, axiom)
+        assert {o.state.func_value(c) for o in outcomes} == {e0}
+
+
+class TestLeaderElectionSuccessors:
+    def test_successors_of_fig7_cti(self, leader_bundle):
+        """From the Figure 7 (a1)-like CTI, a receive produces two leaders."""
+        from repro.core.induction import check_inductive
+        from repro.rml.interp import successors
+
+        bundle = leader_bundle
+        result = check_inductive(bundle.program, list(bundle.safety))
+        assert not result.holds
+        cti = result.cti
+        outcomes = successors(bundle.program, cti.state)
+        assert outcomes, "the CTI must have successors"
+        leader = bundle.program.vocab.relation("leader")
+        violating = [
+            o
+            for o in outcomes
+            if o.state is not None and o.state.positive_count(leader) >= 2
+        ]
+        assert violating, "some successor must have two leaders"
+        assert any("receive" in o.labels for o in violating)

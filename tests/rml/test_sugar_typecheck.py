@@ -1,0 +1,239 @@
+"""Figure 12 sugar expansions and the RML well-formedness checks."""
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    App,
+    Elem,
+    FuncDecl,
+    RelDecl,
+    Sort,
+    Var,
+    make_structure,
+    parse_formula,
+    parse_term,
+    vocabulary,
+)
+from repro.rml.ast import (
+    Abort,
+    Assume,
+    Axiom,
+    Choice,
+    Havoc,
+    Program,
+    Seq,
+    Skip,
+    UpdateFunc,
+    UpdateRel,
+    assigned_symbols,
+    havocked_symbols,
+    seq,
+)
+from repro.rml.interp import execute
+from repro.rml.sugar import (
+    SugarError,
+    assert_,
+    assign,
+    clear,
+    if_,
+    insert,
+    insert_where,
+    remove,
+    remove_where,
+)
+from repro.rml.typecheck import ProgramError, check_command, check_program
+
+elem = Sort("elem")
+p = RelDecl("p", (elem,))
+r = RelDecl("r", (elem, elem))
+c = FuncDecl("c", (), elem)
+f = FuncDecl("f", (elem,), elem)
+
+VOCAB = vocabulary(sorts=[elem], relations=[p, r], functions=[c])
+X = Var("X", elem)
+
+e0, e1 = Elem("e0", elem), Elem("e1", elem)
+
+
+def fml(source, free=None):
+    return parse_formula(source, VOCAB, free=free)
+
+
+@pytest.fixture()
+def state():
+    return make_structure(
+        VOCAB,
+        universe={elem: [e0, e1]},
+        rels={"p": [(e0,)], "r": []},
+        funcs={"c": {(): e1}},
+    )
+
+
+class TestSugarSemantics:
+    def test_assert_aborts_on_violation(self, state):
+        command = assert_(fml("forall X. p(X)"))
+        outcomes = execute(command, state)
+        assert any(o.aborted for o in outcomes)
+
+    def test_assert_passes_when_true(self, state):
+        command = assert_(fml("exists X. p(X)"))
+        outcomes = execute(command, state)
+        assert not any(o.aborted for o in outcomes)
+
+    def test_assert_requires_ae(self):
+        # exists-forall is outside the assert fragment of Figure 12.
+        with pytest.raises(SugarError):
+            assert_(fml("exists X. forall Y. r(X, Y)"))
+
+    def test_if_branches(self, state):
+        command = if_(
+            fml("p(c)"),
+            insert(p, parse_term("c", VOCAB)),
+            clear(p),
+        )
+        # c = e1, p(e1) false -> else branch: p cleared.
+        outcomes = [o for o in execute(command, state) if o.state]
+        assert len(outcomes) == 1
+        assert outcomes[0].state.positive_count(p) == 0
+        assert outcomes[0].labels == ("else",)
+
+    def test_if_requires_alternation_free(self):
+        with pytest.raises(SugarError):
+            if_(fml("forall X. exists Y. r(X, Y)"), Skip())
+
+    def test_insert_tuple(self, state):
+        command = insert(r, parse_term("c", VOCAB), parse_term("c", VOCAB))
+        (outcome,) = execute(command, state)
+        assert outcome.state.rel_holds(r, (e1, e1))
+        assert outcome.state.positive_count(r) == 1
+
+    def test_remove_tuple(self, state):
+        command = remove(p, parse_term("c", VOCAB))
+        (outcome,) = execute(command, state)
+        assert outcome.state.positive_count(p) == 1  # c=e1, p held only e0
+
+    def test_insert_where(self, state):
+        command = insert_where(p, (X,), fml("X ~= c", free={"X": elem}))
+        (outcome,) = execute(command, state)
+        assert outcome.state.rel_holds(p, (e0,))
+
+    def test_remove_where(self, state):
+        command = remove_where(p, (X,), TRUE)
+        (outcome,) = execute(command, state)
+        assert outcome.state.positive_count(p) == 0
+
+    def test_assign_program_variable(self, state):
+        command = assign(c, (), App(c, ()))
+        (outcome,) = execute(command, state)
+        assert outcome.state.func_value(c) == e1
+
+    def test_assign_point_update(self):
+        vocab = vocabulary(sorts=[elem], relations=[p], functions=[c, f])
+        st = make_structure(
+            vocab,
+            universe={elem: [e0, e1]},
+            rels={"p": []},
+            funcs={"c": {(): e0}, "f": {(e0,): e0, (e1,): e1}},
+        )
+        command = assign(f, (App(c, ()),), App(c, ()))  # f(c) := c (no-op here)
+        (outcome,) = execute(command, st)
+        assert outcome.state.func_value(f, (e0,)) == e0
+        # now redirect f(e1)... via constant: c stays e0, so f(e0) := e0
+        assert outcome.state.func_value(f, (e1,)) == e1  # untouched point
+
+
+class TestAstHelpers:
+    def test_seq_flattens(self):
+        command = seq(Skip(), seq(Abort(), Skip()), Skip())
+        assert isinstance(command, Abort)
+
+    def test_choice_requires_two(self):
+        with pytest.raises(ValueError):
+            Choice((Skip(),))
+
+    def test_assigned_symbols(self):
+        command = seq(UpdateRel(p, (X,), TRUE), Havoc(c))
+        assert assigned_symbols(command) == frozenset({p, c})
+
+    def test_havocked_symbols(self):
+        command = seq(UpdateRel(p, (X,), TRUE), Havoc(c))
+        assert havocked_symbols(command) == frozenset({c})
+
+    def test_update_params_validated(self):
+        with pytest.raises(ValueError):
+            UpdateRel(p, (X, X), TRUE)
+        with pytest.raises(ValueError):
+            UpdateRel(p, (), TRUE)
+
+    def test_program_without_axiom(self, leader_bundle):
+        program = leader_bundle.program
+        reduced = program.without_axiom("unique_ids")
+        assert len(reduced.axioms) == len(program.axioms) - 1
+        with pytest.raises(KeyError):
+            program.without_axiom("nonexistent")
+
+
+class TestTypecheck:
+    def _program(self, body=Skip(), axioms=(), init=Skip()):
+        return Program(name="t", vocab=VOCAB, axioms=tuple(axioms), init=init, body=body)
+
+    def test_valid_program(self, leader_bundle):
+        check_program(leader_bundle.program)
+
+    def test_quantified_update_rejected(self):
+        body = UpdateRel(p, (X,), fml("exists Y. r(X, Y)", free={"X": elem}))
+        with pytest.raises(ProgramError, match="quantifier free"):
+            check_program(self._program(body))
+
+    def test_stray_free_variable_rejected(self):
+        body = UpdateRel(p, (X,), fml("r(X, Y)", free={"X": elem, "Y": elem}))
+        with pytest.raises(ProgramError, match="stray"):
+            check_program(self._program(body))
+
+    def test_open_assume_rejected(self):
+        body = Assume(fml("p(X)", free={"X": elem}))
+        with pytest.raises(ProgramError, match="closed"):
+            check_program(self._program(body))
+
+    def test_ae_assume_rejected(self):
+        body = Assume(fml("forall X. exists Y. r(X, Y)"))
+        with pytest.raises(ProgramError, match="exists\\*forall\\*"):
+            check_program(self._program(body))
+
+    def test_ae_axiom_rejected(self):
+        axiom = Axiom("bad", fml("forall X. exists Y. r(X, Y)"))
+        with pytest.raises(ProgramError):
+            check_program(self._program(axioms=[axiom]))
+
+    def test_foreign_symbol_rejected(self):
+        other = RelDecl("q", (elem,))
+        from repro.logic import Rel
+
+        body = Assume(parse_formula("forall X. p(X)", VOCAB))
+        bad = Assume(
+            parse_formula(
+                "forall X. p(X)",
+                vocabulary(sorts=[elem], relations=[p, other], functions=[c]),
+            )
+        )
+        # build an assume over 'q' which VOCAB does not declare
+        from repro.logic import forall
+
+        q_formula = forall((X,), Rel(other, (X,)))
+        with pytest.raises(ProgramError, match="not in the program vocabulary"):
+            check_command(Assume(q_formula), VOCAB)
+
+    def test_unstratified_vocabulary_rejected(self):
+        loop = FuncDecl("g", (elem,), elem)
+        vocab = vocabulary(sorts=[elem], relations=[p], functions=[loop])
+        program = Program(name="bad", vocab=vocab, axioms=())
+        with pytest.raises(ProgramError):
+            check_program(program)
+
+    def test_all_protocols_typecheck(self):
+        from repro.protocols import ALL_PROTOCOLS
+
+        for module in ALL_PROTOCOLS.values():
+            check_program(module.build().program)

@@ -1,0 +1,257 @@
+"""The wp operator (Figure 13): rules, Lemma 3.2 closure, and the
+wp/interpreter agreement property."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    App,
+    FuncDecl,
+    RelDecl,
+    Sort,
+    Var,
+    and_,
+    eq,
+    forall,
+    is_exists_forall,
+    is_forall_exists,
+    not_,
+    parse_formula,
+    vocabulary,
+)
+from repro.logic.structures import all_structures
+from repro.rml.ast import (
+    Abort,
+    Assume,
+    Choice,
+    Havoc,
+    Seq,
+    Skip,
+    UpdateFunc,
+    UpdateRel,
+    seq,
+)
+from repro.rml.interp import execute
+from repro.rml.wp import wp
+
+elem = Sort("elem")
+p = RelDecl("p", (elem,))
+r = RelDecl("r", (elem, elem))
+c = FuncDecl("c", (), elem)
+VOCAB = vocabulary(sorts=[elem], relations=[p, r], functions=[c])
+X, Y = Var("X", elem), Var("Y", elem)
+
+
+def fml(source, free=None):
+    return parse_formula(source, VOCAB, free=free)
+
+
+class TestRules:
+    def test_skip(self):
+        post = fml("p(c)")
+        assert wp(Skip(), post) == post
+
+    def test_abort(self):
+        assert wp(Abort(), fml("p(c)")) == FALSE
+
+    def test_assume(self):
+        post = fml("p(c)")
+        pre = wp(Assume(fml("forall X. r(X, X)")), post)
+        assert pre == parse_formula("(forall X. r(X, X)) -> p(c)", VOCAB)
+
+    def test_update_rel_substitutes(self):
+        # p(x) := r(x, c); then wp(_, p(c)) = r(c, c)
+        update = UpdateRel(p, (X,), fml("r(X, c)", free={"X": elem}))
+        assert wp(update, fml("p(c)")) == fml("r(c, c)")
+
+    def test_update_rel_old_value_not_rewritten(self):
+        # p(x) := ~p(x) flips p; wp(_, p(c)) = ~p(c)
+        update = UpdateRel(p, (X,), not_(fml("p(X)", free={"X": elem})))
+        assert wp(update, fml("p(c)")) == not_(fml("p(c)"))
+
+    def test_update_func(self):
+        update = UpdateFunc(c, (), App(c, ()))  # c := c (no-op)
+        post = fml("p(c)")
+        assert wp(update, post) == post
+
+    def test_havoc_quantifies(self):
+        pre = wp(Havoc(c), fml("p(c)"))
+        # forall v. p(v)
+        assert is_forall_exists(pre)
+        for structure in all_structures(VOCAB, {elem: 2}):
+            expected = all(
+                structure.rel_holds(p, (e,)) for e in structure.universe[elem]
+            )
+            assert structure.satisfies(pre) == expected
+
+    def test_seq_composes(self):
+        update = UpdateRel(p, (X,), fml("r(X, c)", free={"X": elem}))
+        two = Seq((update, Assume(fml("p(c)"))))
+        assert wp(two, fml("p(c)")) == wp(update, wp(Assume(fml("p(c)")), fml("p(c)")))
+
+    def test_choice_conjoins(self):
+        left = Assume(fml("p(c)"))
+        right = Assume(fml("~p(c)"))
+        pre = wp(Choice((left, right)), FALSE)
+        assert pre == and_(fml("~p(c)"), fml("p(c)")) or set(pre.args) == {
+            not_(fml("p(c)")),
+            fml("p(c)"),
+        }
+
+
+class TestAxiomGuards:
+    AXIOM = None
+
+    def _axiom(self):
+        return fml("forall X. r(X, X)")  # reflexivity of r
+
+    def test_guard_appears_when_axiom_touched(self):
+        update = UpdateRel(r, (X, Y), FALSE)  # wipe r -> breaks reflexivity
+        pre = wp(update, FALSE, self._axiom())
+        # wp = (A -> false)[false/r] = ~A[false/r] = ~(forall X. false) = true
+        for structure in all_structures(VOCAB, {elem: 2}, max_count=16):
+            assert structure.satisfies(pre)
+
+    def test_reduced_equals_full_guard_under_axioms(self):
+        """reduce_guards=True agrees with the literal Figure 13 operator on
+        every axiom-satisfying state."""
+        axiom = self._axiom()
+        post = fml("forall X. p(X) -> r(X, X)")
+        commands = [
+            UpdateRel(p, (X,), fml("r(X, c)", free={"X": elem})),
+            UpdateRel(r, (X, Y), fml("r(Y, X)", free={"X": elem, "Y": elem})),
+            Havoc(c),
+            Seq((Havoc(c), UpdateRel(p, (X,), eq(X, App(c, ()))))),
+        ]
+        for command in commands:
+            reduced = wp(command, post, axiom, reduce_guards=True)
+            full = wp(command, post, axiom, reduce_guards=False)
+            for structure in all_structures(VOCAB, {elem: 2}):
+                if not structure.satisfies(axiom):
+                    continue
+                assert structure.satisfies(reduced) == structure.satisfies(full)
+
+
+class TestLemma32Closure:
+    """Lemma 3.2: forall*exists* formulas are closed under wp."""
+
+    POSTS = [
+        "forall X. p(X)",
+        "forall X. exists Y. r(X, Y)",
+        "p(c)",
+        "forall X, Y. r(X, Y) -> exists Z. r(Y, Z)",
+    ]
+
+    COMMANDS = [
+        Skip(),
+        Abort(),
+        UpdateRel(p, (X,), parse_formula("r(X, c)", VOCAB, free={"X": elem})),
+        Havoc(c),
+        Assume(parse_formula("exists X. forall Y. r(X, Y)", VOCAB)),
+        Seq(
+            (
+                Havoc(c),
+                Assume(parse_formula("p(c)", VOCAB)),
+                UpdateRel(p, (X,), parse_formula("X = c", VOCAB, free={"X": elem})),
+            )
+        ),
+        Choice(
+            (
+                UpdateRel(p, (X,), TRUE),
+                UpdateRel(p, (X,), FALSE),
+            )
+        ),
+    ]
+
+    @pytest.mark.parametrize("post_source", POSTS)
+    @pytest.mark.parametrize("command", COMMANDS, ids=lambda c: type(c).__name__)
+    def test_wp_stays_ae(self, post_source, command):
+        post = fml(post_source)
+        axiom = fml("forall X. r(X, X)")
+        pre = wp(command, post, axiom)
+        assert is_forall_exists(pre)
+        assert is_exists_forall(not_(pre))
+
+
+def random_command(rng, depth=2):
+    """A random well-formed command over VOCAB."""
+    options = ["skip", "update_p", "update_r", "update_c", "havoc", "assume"]
+    if depth > 0:
+        options += ["seq", "choice"]
+    kind = rng.choice(options)
+    if kind == "skip":
+        return Skip()
+    if kind == "update_p":
+        body = rng.choice(
+            [
+                fml("r(X, c)", free={"X": elem}),
+                not_(fml("p(X)", free={"X": elem})),
+                eq(X, App(c, ())),
+                TRUE,
+                FALSE,
+            ]
+        )
+        return UpdateRel(p, (X,), body)
+    if kind == "update_r":
+        body = rng.choice(
+            [
+                fml("r(Y, X)", free={"X": elem, "Y": elem}),
+                and_(fml("p(X)", free={"X": elem}), fml("p(Y)", free={"Y": elem})),
+                eq(X, Y),
+            ]
+        )
+        return UpdateRel(r, (X, Y), body)
+    if kind == "update_c":
+        return UpdateFunc(c, (), App(c, ()))
+    if kind == "havoc":
+        return Havoc(c)
+    if kind == "assume":
+        return Assume(rng.choice([fml("p(c)"), fml("exists X. ~p(X)"), fml("forall X. r(X,X) -> p(X)")]))
+    if kind == "seq":
+        return seq(random_command(rng, depth - 1), random_command(rng, depth - 1))
+    return Choice((random_command(rng, depth - 1), random_command(rng, depth - 1)))
+
+
+class TestWpAgainstInterpreter:
+    """The fundamental soundness property: s |= wp(C, Q) iff every outcome
+    of C from s satisfies Q (aborts falsify wp)."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_differential(self, seed):
+        rng = random.Random(seed)
+        posts = [fml("p(c)"), fml("forall X. p(X)"), fml("exists X. r(X, c)")]
+        axiom = TRUE
+        structures = list(all_structures(VOCAB, {elem: 2}, max_count=24))
+        for _ in range(12):
+            command = random_command(rng)
+            post = rng.choice(posts)
+            pre = wp(command, post, axiom)
+            for state in structures:
+                outcomes = execute(command, state, axiom)
+                all_ok = all(
+                    (not o.aborted) and o.state.satisfies(post) for o in outcomes
+                )
+                assert state.satisfies(pre) == all_ok, (command, post, state)
+
+    def test_differential_with_axiom(self):
+        rng = random.Random(42)
+        axiom = fml("forall X. r(X, X)")
+        post = fml("forall X. p(X) -> r(X, c)")
+        structures = [
+            s for s in all_structures(VOCAB, {elem: 2}, max_count=600)
+            if s.satisfies(axiom)
+        ]
+        assert structures, "need axiom-satisfying states"
+        for _ in range(10):
+            command = random_command(rng)
+            pre = wp(command, post, axiom)
+            for state in structures[:20]:
+                outcomes = execute(command, state, axiom)
+                all_ok = all(
+                    (not o.aborted) and o.state.satisfies(post) for o in outcomes
+                )
+                assert state.satisfies(pre) == all_ok, (command,)

@@ -1,0 +1,142 @@
+"""Property-based EPR tests over a stratified-function vocabulary."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.logic import (
+    App,
+    Eq,
+    FuncDecl,
+    Not,
+    Rel,
+    RelDecl,
+    Sort,
+    Var,
+    all_structures,
+    and_,
+    exists,
+    forall,
+    not_,
+    or_,
+    vocabulary,
+)
+from repro.logic.transform import NotInFragment
+from repro.solver import EprSolver
+from repro.solver.grounding import GroundingExplosion
+
+node = Sort("node")
+ident = Sort("id")
+leader = RelDecl("leader", (node,))
+le = RelDecl("le", (ident, ident))
+idn = FuncDecl("idn", (node,), ident)
+VOCAB = vocabulary(sorts=[node, ident], relations=[leader, le], functions=[idn])
+
+N1, N2 = Var("N1", node), Var("N2", node)
+
+
+@st.composite
+def literals(draw):
+    """Literals over two node variables and their idn images."""
+    n_terms = [N1, N2]
+    id_terms = [App(idn, (N1,)), App(idn, (N2,))]
+    kind = draw(st.sampled_from(["leader", "le", "eq_node", "eq_id"]))
+    if kind == "leader":
+        atom = Rel(leader, (draw(st.sampled_from(n_terms)),))
+    elif kind == "le":
+        atom = Rel(le, (draw(st.sampled_from(id_terms)), draw(st.sampled_from(id_terms))))
+    elif kind == "eq_node":
+        atom = Eq(N1, N2)
+    else:
+        atom = Eq(draw(st.sampled_from(id_terms)), draw(st.sampled_from(id_terms)))
+    if draw(st.booleans()):
+        return not_(atom)
+    return atom
+
+
+@st.composite
+def ea_formulas(draw):
+    """Closed formulas of the shape exists?/forall? over literal combos."""
+    count = draw(st.integers(min_value=1, max_value=3))
+    body = and_(*[draw(literals()) for _ in range(count)]) if draw(
+        st.booleans()
+    ) else or_(*[draw(literals()) for _ in range(count)])
+    shape = draw(st.sampled_from(["AA", "EE", "EA", "A", "E"]))
+    if shape == "AA":
+        return forall((N1, N2), body)
+    if shape == "EE":
+        return exists((N1, N2), body)
+    if shape == "EA":
+        return exists((N1,), forall((N2,), body))
+    if shape == "A":
+        return forall((N1,), body) if N2 not in _frees(body) else forall((N1, N2), body)
+    return exists((N1,), body) if N2 not in _frees(body) else exists((N1, N2), body)
+
+
+def _frees(formula):
+    from repro.logic import free_vars
+
+    return free_vars(formula)
+
+
+def _brute_force(formulas) -> bool:
+    conjunction = and_(*formulas)
+    for node_size in (1, 2):
+        for id_size in (1, 2, 3):
+            for structure in all_structures(
+                VOCAB, {node: node_size, ident: id_size}, max_count=4096
+            ):
+                if structure.satisfies(conjunction):
+                    return True
+    return False
+
+
+class TestEprSoundAndComplete:
+    @given(st.lists(ea_formulas(), min_size=1, max_size=3))
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_against_brute_force(self, formulas):
+        solver = EprSolver(VOCAB)
+        for formula in formulas:
+            solver.add(formula)
+        try:
+            result = solver.check()
+        except (NotInFragment, GroundingExplosion):
+            return
+        if result.satisfiable:
+            # Soundness: the extracted model satisfies every constraint.
+            for formula in formulas:
+                assert result.model.satisfies(formula)
+        else:
+            # Completeness over the finite-model bound: the constraints here
+            # have at most 2+2 existential witnesses per sort, so a model of
+            # the brute-force sizes would exist if any model did.
+            assert not _brute_force(formulas)
+
+    @given(st.lists(ea_formulas(), min_size=2, max_size=4))
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_unsat_cores_are_unsat(self, formulas):
+        solver = EprSolver(VOCAB)
+        names = []
+        for index, formula in enumerate(formulas):
+            names.append(solver.add(formula, name=f"f{index}", track=True))
+        try:
+            result = solver.check()
+        except (NotInFragment, GroundingExplosion):
+            return
+        if result.satisfiable:
+            return
+        assert result.core <= set(names)
+        # The core alone must already be unsatisfiable.
+        by_name = dict(zip(names, formulas))
+        core_solver = EprSolver(VOCAB)
+        for name in result.core:
+            core_solver.add(by_name[name])
+        assert not core_solver.check().satisfiable

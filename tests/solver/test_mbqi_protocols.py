@@ -1,0 +1,51 @@
+"""Cross-validation: protocol obligations decided identically by the eager
+and MBQI instantiation paths, and extracted CTIs really are CTIs."""
+
+import pytest
+
+from repro.core.induction import obligations
+from repro.solver.epr import EprSolver
+
+
+@pytest.mark.parametrize(
+    "protocol", ["leader_election", "lock_server", "distributed_lock"]
+)
+class TestEagerVsLazyOnObligations:
+    def test_same_verdicts(self, protocol):
+        from repro.protocols import ALL_PROTOCOLS
+
+        bundle = ALL_PROTOCOLS[protocol].build()
+        # Mixed conjecture sets exercise both sat and unsat obligations.
+        conjectures = list(bundle.invariant[:2])
+        for obligation in obligations(bundle.program, conjectures):
+            eager = EprSolver(bundle.program.vocab, eager_threshold=10**9)
+            eager.add(obligation.vc, name="vc")
+            lazy = EprSolver(bundle.program.vocab, eager_threshold=0)
+            lazy.add(obligation.vc, name="vc")
+            eager_result = eager.check()
+            lazy_result = lazy.check()
+            assert eager_result.satisfiable == lazy_result.satisfiable, (
+                protocol,
+                obligation.description,
+            )
+
+    def test_models_are_genuine_cti_states(self, protocol):
+        """A sat obligation's model satisfies the axioms and premises."""
+        from repro.protocols import ALL_PROTOCOLS
+
+        bundle = ALL_PROTOCOLS[protocol].build()
+        conjectures = list(bundle.safety)
+        found = 0
+        for obligation in obligations(bundle.program, conjectures):
+            solver = EprSolver(bundle.program.vocab)
+            solver.add(obligation.vc, name="vc")
+            result = solver.check()
+            if not result.satisfiable:
+                continue
+            found += 1
+            model = result.model
+            assert model.satisfies(bundle.program.axiom_formula)
+            if obligation.kind == "consecution":
+                for conjecture in conjectures:
+                    assert model.satisfies(conjecture.formula)
+        assert found >= 1  # safety alone is never inductive

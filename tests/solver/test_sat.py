@@ -1,0 +1,194 @@
+"""The CDCL SAT solver: differential tests, cores, classic hard instances."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.solver.sat import Solver, _luby
+
+
+def brute_force(num_vars, cnf, assumptions=()):
+    for bits in itertools.product([False, True], repeat=num_vars):
+        if all((a > 0) == bits[abs(a) - 1] for a in assumptions) and all(
+            any((lit > 0) == bits[abs(lit) - 1] for lit in clause) for clause in cnf
+        ):
+            return True
+    return False
+
+
+def make_solver(num_vars, cnf):
+    solver = Solver()
+    for _ in range(num_vars):
+        solver.new_var()
+    solver.add_clauses(cnf)
+    return solver
+
+
+class TestBasics:
+    def test_empty_formula_sat(self):
+        assert Solver().solve().satisfiable
+
+    def test_unit_propagation(self):
+        solver = make_solver(2, [[1], [-1, 2]])
+        result = solver.solve()
+        assert result.satisfiable
+        assert result.model[1] and result.model[2]
+
+    def test_trivial_unsat(self):
+        solver = make_solver(1, [[1], [-1]])
+        assert not solver.solve().satisfiable
+
+    def test_empty_clause_unsat(self):
+        solver = make_solver(1, [[]])
+        assert not solver.solve().satisfiable
+
+    def test_tautology_dropped(self):
+        solver = make_solver(2, [[1, -1], [2]])
+        result = solver.solve()
+        assert result.satisfiable and result.model[2]
+
+    def test_duplicate_literals_merged(self):
+        solver = make_solver(1, [[1, 1, 1]])
+        assert solver.solve().model[1]
+
+    def test_unknown_variable_rejected(self):
+        solver = Solver()
+        with pytest.raises(ValueError):
+            solver.add_clause([1])
+        solver.new_var()
+        with pytest.raises(ValueError):
+            solver.solve([2])
+
+    def test_incremental_reuse(self):
+        solver = make_solver(3, [[1, 2]])
+        assert solver.solve().satisfiable
+        solver.add_clause([-1])
+        result = solver.solve()
+        assert result.satisfiable and result.model[2]
+        solver.add_clause([-2])
+        assert not solver.solve().satisfiable
+        # Solver stays unsat once a contradiction is added.
+        assert not solver.solve().satisfiable
+
+
+class TestRandomDifferential:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_against_brute_force(self, seed):
+        rng = random.Random(seed)
+        for _ in range(60):
+            num_vars = rng.randint(1, 8)
+            num_clauses = rng.randint(1, 32)
+            cnf = [
+                [
+                    rng.choice([1, -1]) * rng.randint(1, num_vars)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                for _ in range(num_clauses)
+            ]
+            solver = make_solver(num_vars, cnf)
+            result = solver.solve()
+            assert result.satisfiable == brute_force(num_vars, cnf)
+            if result.satisfiable:
+                assert all(
+                    any((lit > 0) == result.model[abs(lit)] for lit in clause)
+                    for clause in cnf
+                )
+
+
+class TestAssumptions:
+    def test_failed_assumption_core(self):
+        solver = make_solver(3, [[-1, -2]])
+        result = solver.solve([1, 2, 3])
+        assert not result.satisfiable
+        assert result.core <= {1, 2}
+        assert result.core
+
+    def test_core_is_unsat_with_formula(self):
+        rng = random.Random(7)
+        for _ in range(60):
+            num_vars = rng.randint(2, 7)
+            cnf = [
+                [
+                    rng.choice([1, -1]) * rng.randint(1, num_vars)
+                    for _ in range(rng.randint(1, 3))
+                ]
+                for _ in range(rng.randint(1, 24))
+            ]
+            assumptions = sorted(
+                {rng.choice([1, -1]) * rng.randint(1, num_vars) for _ in range(3)}
+            )
+            assumptions = [a for a in assumptions if -a not in assumptions]
+            solver = make_solver(num_vars, cnf)
+            result = solver.solve(assumptions)
+            expected = brute_force(num_vars, cnf, assumptions)
+            assert result.satisfiable == expected
+            if not result.satisfiable:
+                assert result.core <= set(assumptions)
+                assert not brute_force(num_vars, cnf, sorted(result.core))
+
+    def test_solver_reusable_after_assumption_unsat(self):
+        solver = make_solver(2, [[-1, -2]])
+        assert not solver.solve([1, 2]).satisfiable
+        assert solver.solve([1]).satisfiable
+        assert solver.solve().satisfiable
+
+    def test_assumption_conflicts_level_zero(self):
+        solver = make_solver(1, [[-1]])
+        result = solver.solve([1])
+        assert not result.satisfiable
+        assert result.core == {1}
+
+
+def pigeonhole(holes):
+    """PHP(holes+1, holes): classic exponentially hard unsat family."""
+    solver = Solver()
+    var = {}
+    for pigeon in range(holes + 1):
+        for hole in range(holes):
+            var[pigeon, hole] = solver.new_var()
+    for pigeon in range(holes + 1):
+        solver.add_clause([var[pigeon, hole] for hole in range(holes)])
+    for hole in range(holes):
+        for p1 in range(holes + 1):
+            for p2 in range(p1 + 1, holes + 1):
+                solver.add_clause([-var[p1, hole], -var[p2, hole]])
+    return solver
+
+
+class TestHardInstances:
+    def test_pigeonhole_unsat(self):
+        assert not pigeonhole(5).solve().satisfiable
+
+    def test_pigeonhole_sat_when_enough_holes(self):
+        solver = Solver()
+        var = {}
+        for pigeon in range(4):
+            for hole in range(4):
+                var[pigeon, hole] = solver.new_var()
+        for pigeon in range(4):
+            solver.add_clause([var[pigeon, hole] for hole in range(4)])
+        for hole in range(4):
+            for p1 in range(4):
+                for p2 in range(p1 + 1, 4):
+                    solver.add_clause([-var[p1, hole], -var[p2, hole]])
+        assert solver.solve().satisfiable
+
+    def test_xor_chain_unsat(self):
+        """An odd cycle of forced xors is unsatisfiable (parity argument)."""
+        n = 11
+        solver = Solver()
+        for _ in range(n):
+            solver.new_var()
+        for i in range(1, n):
+            solver.add_clauses([[i, i + 1], [-i, -(i + 1)]])
+        solver.add_clauses([[n, 1], [-n, -1]])
+        # Chain of xors around an odd cycle is unsat.
+        assert not solver.solve().satisfiable
+
+
+class TestLuby:
+    def test_prefix(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]

@@ -1,0 +1,99 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "leader_election" in out and "chord" in out
+
+    def test_table(self, capsys):
+        assert main(["table"]) == 0
+        out = capsys.readouterr().out
+        assert "lock_server" in out
+        assert " 21" in out  # the lock server's I column
+
+    def test_check_lock_server(self, capsys):
+        assert main(["check", "lock_server"]) == 0
+        out = capsys.readouterr().out
+        assert "invariant inductive: True" in out
+        assert "C8" in out
+
+    def test_bmc_clean(self, capsys):
+        assert main(["bmc", "lock_server", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "no assertion violation" in out
+
+    def test_bmc_finds_figure4_bug(self, capsys):
+        code = main(["bmc", "leader_election", "-k", "4", "--drop-axiom", "unique_ids"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "assertion violation at depth 4" in out
+        assert "send" in out
+
+    def test_session_lock_server(self, capsys):
+        assert main(["session", "lock_server"]) == 0
+        out = capsys.readouterr().out
+        assert "G = 8 CTIs" in out
+
+    def test_unknown_protocol(self):
+        with pytest.raises(SystemExit, match="unknown protocol"):
+            main(["check", "nonexistent"])
+
+    def test_verify_rml_file(self, tmp_path, capsys):
+        from repro.protocols import rml_sources
+
+        path = tmp_path / "lock_server.rml"
+        path.write_text(rml_sources.LOCK_SERVER)
+        code = main(
+            [
+                "verify",
+                str(path),
+                "-k",
+                "2",
+                "--conjecture",
+                "forall C1, C2. ~(holds(C1) & holds(C2) & C1 ~= C2)",
+                "--conjecture",
+                "forall C1, C2. ~(grant_msg(C1) & grant_msg(C2) & C1 ~= C2)",
+                "--conjecture",
+                "forall C1, C2. ~(unlock_msg(C1) & unlock_msg(C2) & C1 ~= C2)",
+                "--conjecture",
+                "forall C1, C2. ~(grant_msg(C1) & holds(C2))",
+                "--conjecture",
+                "forall C1, C2. ~(grant_msg(C1) & unlock_msg(C2))",
+                "--conjecture",
+                "forall C1, C2. ~(holds(C1) & unlock_msg(C2))",
+                "--conjecture",
+                "forall C1:client. ~(grant_msg(C1) & server_free)",
+                "--conjecture",
+                "forall C1:client. ~(holds(C1) & server_free)",
+                "--conjecture",
+                "forall C1:client. ~(unlock_msg(C1) & server_free)",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "inductive: True" in out
+
+    def test_verify_reports_cti(self, tmp_path, capsys):
+        from repro.protocols import rml_sources
+
+        path = tmp_path / "lock_server.rml"
+        path.write_text(rml_sources.LOCK_SERVER)
+        code = main(
+            [
+                "verify",
+                str(path),
+                "-k",
+                "1",
+                "--conjecture",
+                "forall C1, C2. ~(holds(C1) & holds(C2) & C1 ~= C2)",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "inductive: False" in out

@@ -1,0 +1,256 @@
+"""Property-based tests (hypothesis) on the core data structures and the
+solver/evaluator agreement invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.logic import (
+    FALSE,
+    TRUE,
+    And,
+    App,
+    Elem,
+    Eq,
+    FuncDecl,
+    Not,
+    Or,
+    Rel,
+    RelDecl,
+    Sort,
+    Var,
+    all_structures,
+    conjecture,
+    diagram,
+    embeds_into,
+    forall,
+    exists,
+    from_structure,
+    generalizes,
+    make_structure,
+    nnf,
+    not_,
+    prenex,
+    vocabulary,
+)
+from repro.logic.fragments import is_quantifier_free
+from repro.logic.lexer import tokenize
+from repro.logic.printer import formula_to_str
+from repro.solver import Solver
+
+elem = Sort("elem")
+p = RelDecl("p", (elem,))
+r = RelDecl("r", (elem, elem))
+c = FuncDecl("c", (), elem)
+VOCAB = vocabulary(sorts=[elem], relations=[p, r], functions=[c])
+
+X, Y, Z = Var("X", elem), Var("Y", elem), Var("Z", elem)
+VARS = [X, Y, Z]
+
+# --------------------------------------------------------------- strategies
+
+terms = st.sampled_from([X, Y, Z, App(c, ())])
+
+
+@st.composite
+def atoms(draw):
+    kind = draw(st.sampled_from(["p", "r", "eq"]))
+    if kind == "p":
+        return Rel(p, (draw(terms),))
+    if kind == "r":
+        return Rel(r, (draw(terms), draw(terms)))
+    return Eq(draw(terms), draw(terms))
+
+
+def formulas(max_depth=3):
+    def extend(children):
+        return st.one_of(
+            st.builds(lambda a: Not(a), children),
+            st.builds(lambda a, b: And((a, b)), children, children),
+            st.builds(lambda a, b: Or((a, b)), children, children),
+            st.builds(
+                lambda v, a: forall((v,), a), st.sampled_from(VARS), children
+            ),
+            st.builds(
+                lambda v, a: exists((v,), a), st.sampled_from(VARS), children
+            ),
+        )
+
+    return st.recursive(atoms(), extend, max_leaves=8)
+
+
+def closed(formula):
+    from repro.logic import free_vars
+
+    frees = tuple(free_vars(formula))
+    return forall(frees, formula) if frees else formula
+
+
+small_structures = st.builds(
+    lambda bits, rbits, cv: _structure(bits, rbits, cv),
+    st.tuples(st.booleans(), st.booleans()),
+    st.tuples(st.booleans(), st.booleans(), st.booleans(), st.booleans()),
+    st.integers(min_value=0, max_value=1),
+)
+
+E0, E1 = Elem("e0", elem), Elem("e1", elem)
+
+
+def _structure(bits, rbits, c_index):
+    pairs = [(E0, E0), (E0, E1), (E1, E0), (E1, E1)]
+    return make_structure(
+        VOCAB,
+        universe={elem: [E0, E1]},
+        rels={
+            "p": [(e,) for e, bit in zip((E0, E1), bits) if bit],
+            "r": [pair for pair, bit in zip(pairs, rbits) if bit],
+        },
+        funcs={"c": {(): (E0, E1)[c_index]}},
+    )
+
+
+# ------------------------------------------------------------------- tests
+
+
+class TestNormalForms:
+    @given(formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_nnf_preserves_semantics(self, formula):
+        closed_formula = closed(formula)
+        transformed = nnf(closed_formula)
+        for structure in all_structures(VOCAB, {elem: 2}, max_count=8):
+            assert structure.satisfies(closed_formula) == structure.satisfies(
+                transformed
+            )
+
+    @given(formulas())
+    @settings(max_examples=40, deadline=None)
+    def test_prenex_roundtrip_semantics(self, formula):
+        closed_formula = closed(formula)
+        result = prenex(closed_formula)
+        assert is_quantifier_free(result.matrix)
+        rebuilt = result.to_formula()
+        for structure in all_structures(VOCAB, {elem: 2}, max_count=8):
+            assert structure.satisfies(closed_formula) == structure.satisfies(rebuilt)
+
+    @given(formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_double_negation_nnf_stable(self, formula):
+        closed_formula = closed(formula)
+        assert nnf(not_(not_(closed_formula))) == nnf(closed_formula)
+
+    @given(formulas())
+    @settings(max_examples=60, deadline=None)
+    def test_printer_output_tokenizes(self, formula):
+        tokenize(formula_to_str(closed(formula)))
+
+    @given(formulas())
+    @settings(max_examples=40, deadline=None)
+    def test_print_parse_roundtrip(self, formula):
+        from repro.logic import parse_formula
+
+        closed_formula = closed(formula)
+        printed = formula_to_str(closed_formula)
+        reparsed = parse_formula(printed, VOCAB)
+        for structure in all_structures(VOCAB, {elem: 2}, max_count=6):
+            assert structure.satisfies(closed_formula) == structure.satisfies(reparsed)
+
+
+class TestEprAgainstEvaluator:
+    @given(formulas())
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_sat_iff_some_small_model(self, formula):
+        """For this tiny vocabulary every satisfiable closed formula in our
+        query fragment has a model of size <= #existentials + 1, so EPR
+        satisfiability must agree with brute-force over sizes 1..3 --
+        whenever the formula lies in the supported fragment."""
+        from repro.logic.transform import NotInFragment
+        from repro.solver import EprSolver
+        from repro.solver.grounding import GroundingExplosion
+
+        closed_formula = closed(formula)
+        solver = EprSolver(VOCAB)
+        solver.add(closed_formula)
+        try:
+            result = solver.check()
+        except (NotInFragment, GroundingExplosion):
+            return  # outside exists*forall*: rejection is the contract
+        brute = any(
+            structure.satisfies(closed_formula)
+            for size in (1, 2, 3)
+            for structure in all_structures(VOCAB, {elem: size}, max_count=4096)
+        )
+        assert result.satisfiable == brute
+        if result.satisfiable:
+            assert result.model.satisfies(closed_formula)
+
+
+class TestPartialStructures:
+    @given(small_structures, st.integers(min_value=0, max_value=4095))
+    @settings(max_examples=60, deadline=None)
+    def test_conjecture_vs_embedding(self, structure, mask):
+        """t |= phi(s) iff s does not embed into t, for random slices s of
+        random states and random targets t (Lemma 4.2 generalized)."""
+        full = from_structure(structure)
+        facts = list(full.facts())
+        chosen = [fact for i, fact in enumerate(facts) if mask >> (i % 12) & 1]
+        partial = full.keep_facts(chosen)
+        phi = conjecture(partial)
+        assert structure.satisfies(phi) == (embeds_into(partial, structure) is None)
+
+    @given(small_structures)
+    @settings(max_examples=30, deadline=None)
+    def test_diagram_is_satisfied_by_origin(self, structure):
+        partial = from_structure(structure)
+        assert structure.satisfies(diagram(partial))
+        assert not structure.satisfies(conjecture(partial))
+
+    @given(small_structures, st.integers(min_value=0, max_value=63))
+    @settings(max_examples=40, deadline=None)
+    def test_generalization_order_monotone(self, structure, mask):
+        full = from_structure(structure)
+        facts = list(full.facts())
+        subset = [fact for i, fact in enumerate(facts) if mask >> (i % 6) & 1]
+        partial = full.keep_facts(subset)
+        assert generalizes(partial, full)
+
+
+class TestSatSolverProperties:
+    @given(
+        st.lists(
+            st.lists(
+                st.integers(min_value=1, max_value=5).flatmap(
+                    lambda v: st.sampled_from([v, -v])
+                ),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_model_satisfies_clauses(self, cnf):
+        solver = Solver()
+        for _ in range(5):
+            solver.new_var()
+        solver.add_clauses(cnf)
+        result = solver.solve()
+        if result.satisfiable:
+            assert all(
+                any((lit > 0) == result.model[abs(lit)] for lit in clause)
+                for clause in cnf
+            )
+        else:
+            import itertools
+
+            assert not any(
+                all(
+                    any((lit > 0) == bits[abs(lit) - 1] for lit in clause)
+                    for clause in cnf
+                )
+                for bits in itertools.product([False, True], repeat=5)
+            )

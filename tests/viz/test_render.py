@@ -1,0 +1,133 @@
+"""Text and DOT renderers for states, partial structures, and traces."""
+
+import pytest
+
+from repro.logic import Elem, from_structure, make_structure
+from repro.viz import (
+    diff_to_text,
+    partial_to_dot,
+    partial_to_text,
+    structure_to_dot,
+    structure_to_text,
+    trace_to_text,
+)
+
+
+@pytest.fixture()
+def state(ring_vocab):
+    node, ident = ring_vocab.sorts
+    node0, node1 = Elem("node0", node), Elem("node1", node)
+    id0, id1 = Elem("id0", ident), Elem("id1", ident)
+    return make_structure(
+        ring_vocab,
+        universe={node: [node0, node1], ident: [id0, id1]},
+        rels={
+            "le": [(id0, id1)],
+            "leader": [(node0,)],
+            "pnd": [(id1, node1)],
+            "btw": [],
+        },
+        funcs={"idn": {(node0,): id0, (node1,): id1}},
+    )
+
+
+class TestText:
+    def test_structure_text_lists_everything(self, state):
+        text = structure_to_text(state)
+        assert "sort node = {node0, node1}" in text
+        assert "leader = {(node0)}" in text
+        assert "idn(node0) = id0" in text
+
+    def test_partial_text_lists_defined_facts_only(self, state):
+        partial = from_structure(state).forget("btw").forget("le").forget("pnd")
+        text = partial_to_text(partial)
+        assert "leader(node0)" in text
+        assert "~leader(node1)" in text
+        assert "pnd" not in text
+
+    def test_diff_shows_changes(self, state, ring_vocab):
+        leader = ring_vocab.relation("leader")
+        node1 = state.universe[ring_vocab.sorts[0]][1]
+        after = state.with_rel(leader, set(state.rels[leader]) | {(node1,)})
+        diff = diff_to_text(state, after)
+        assert "+ leader(node1)" in diff
+
+    def test_diff_no_change(self, state):
+        assert "(no change)" in diff_to_text(state, state)
+
+    def test_trace_text(self, state, ring_vocab):
+        leader = ring_vocab.relation("leader")
+        node1 = state.universe[ring_vocab.sorts[0]][1]
+        after = state.with_rel(leader, set(state.rels[leader]) | {(node1,)})
+        text = trace_to_text([state, after], ["receive"])
+        assert "state 0:" in text
+        assert "step 1 (receive):" in text
+
+
+class TestDot:
+    def test_structure_dot_is_valid_digraph(self, state):
+        dot = structure_to_dot(state, hide={"btw"})
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"node0"' in dot
+        assert "leader" in dot
+
+    def test_unary_relations_as_labels(self, state):
+        dot = structure_to_dot(state)
+        assert "~leader" in dot  # node1's negative label
+
+    def test_high_arity_in_notes(self, ring_vocab, state):
+        node = ring_vocab.sorts[0]
+        node0, node1 = state.universe[node]
+        btw = ring_vocab.relation("btw")
+        with_btw = state.with_rel(btw, {(node0, node1, node0)})
+        dot = structure_to_dot(with_btw)
+        assert "btw(node0, node1, node0)" in dot
+
+    def test_derived_relation_edges(self, state, ring_vocab):
+        node = ring_vocab.sorts[0]
+        node0, node1 = state.universe[node]
+
+        def next_edges(structure):
+            return {(node0, node1)}
+
+        dot = structure_to_dot(state, derived={"next": next_edges}, hide={"btw"})
+        assert 'label="next"' in dot
+
+    def test_partial_dot_negative_edges_dotted(self, state, ring_vocab):
+        partial = (
+            from_structure(state)
+            .forget("btw")
+            .forget("idn")
+            .forget("le")
+            .forget("leader", polarity=False)
+        )
+        dot = partial_to_dot(partial)
+        assert "style=dotted" in dot  # negative pnd facts
+        assert "digraph" in dot
+
+    def test_escaping(self, ring_vocab):
+        node, ident = ring_vocab.sorts
+        weird = Elem('no"de', node)
+        id0 = Elem("id0", ident)
+        structure = make_structure(
+            ring_vocab,
+            universe={node: [weird], ident: [id0]},
+            funcs={"idn": {(weird,): id0}},
+        )
+        dot = structure_to_dot(structure)
+        assert '\\"' in dot
+
+
+class TestTraceDot:
+    def test_trace_dot_clusters(self, leader_bundle):
+        from repro.core.bounded import check_k_invariance
+        from repro.logic import parse_formula
+
+        vocab = leader_bundle.program.vocab
+        no_leader = parse_formula("forall N:node. ~leader(N)", vocab)
+        result = check_k_invariance(leader_bundle.program, no_leader, 2)
+        assert not result.holds
+        dot = result.trace.to_dot()
+        assert "subgraph cluster_0" in dot
+        assert "subgraph cluster_2" in dot
