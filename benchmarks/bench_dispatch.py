@@ -1,0 +1,149 @@
+"""Parallel dispatch and query-cache benchmarks.
+
+Measures the two wins of the solver-dispatch layer:
+
+* fanning the independent per-depth BMC queries of
+  :func:`~repro.core.bounded.check_k_invariance` across worker processes
+  (``--jobs``), which turns sum-of-depth-costs into max-of-depth-costs on
+  multi-core machines -- the wall-clock speedup assertion is skipped on
+  single-core machines, where forked workers just time-slice one CPU;
+* answering repeated obligations from the query cache: re-running Houdini
+  over an unchanged candidate pool (the common edit-recheck loop) re-solves
+  nothing, and a repeated multi-depth BMC sweep is answered entirely from
+  the cache.
+
+All numbers are reported through :class:`~repro.solver.stats.SolverStats`.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.core.bounded import check_k_invariance
+from repro.core.houdini import houdini
+from repro.logic import Sort, Var
+from repro.solver import QueryCache, SolverStats, install_cache
+
+from .conftest import record
+
+BMC_BOUND = 3
+JOBS = 4
+
+
+@pytest.fixture
+def no_cache():
+    """Disable the query cache so timings measure actual solving."""
+    old = install_cache(None)
+    yield
+    install_cache(old)
+
+
+@pytest.fixture
+def fresh_cache():
+    cache = QueryCache()
+    old = install_cache(cache)
+    yield cache
+    install_cache(old)
+
+
+def _bmc_once(bundle, jobs, stats):
+    safety = bundle.safety[0].formula
+    start = time.perf_counter()
+    result = check_k_invariance(bundle.program, safety, BMC_BOUND, jobs=jobs, stats=stats)
+    return result, time.perf_counter() - start
+
+
+def test_parallel_bmc_speedup(benchmark, bundles, results_dir, no_cache):
+    """Multi-depth BMC, serial vs ``--jobs 4``."""
+    bundle = bundles["leader_election"]
+    serial_stats, parallel_stats = SolverStats(), SolverStats()
+    with serial_stats.phase("bmc-serial"):
+        serial_result, serial_time = _bmc_once(bundle, 1, serial_stats)
+
+    def run():
+        with parallel_stats.phase("bmc-parallel"):
+            return _bmc_once(bundle, JOBS, parallel_stats)
+
+    parallel_result, parallel_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert serial_result.holds and parallel_result.holds
+    speedup = serial_time / parallel_time if parallel_time else float("inf")
+    benchmark.extra_info.update(
+        {"serial_s": round(serial_time, 2), "jobs": JOBS, "speedup": round(speedup, 2)}
+    )
+    summary = (
+        f"BMC k={BMC_BOUND} leader_election: serial {serial_time:.2f}s, "
+        f"--jobs {JOBS} {parallel_time:.2f}s, speedup {speedup:.2f}x "
+        f"(on {os.cpu_count()} cpu)\n\n{serial_stats.format()}\n\n"
+        f"{parallel_stats.format()}\n"
+    )
+    record(results_dir, "dispatch_bmc_speedup", summary)
+    assert parallel_stats.dispatched == BMC_BOUND + 1
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip(f"single-core machine: measured {speedup:.2f}x, not asserted")
+    assert speedup >= 1.5
+
+
+def test_cached_bmc_rerun_speedup(benchmark, bundles, results_dir, fresh_cache):
+    """Repeating an identical multi-depth BMC sweep is answered from cache."""
+    bundle = bundles["leader_election"]
+    cold_stats, warm_stats = SolverStats(), SolverStats()
+    _, cold_time = _bmc_once(bundle, 1, cold_stats)
+
+    def run():
+        return _bmc_once(bundle, 1, warm_stats)
+
+    result, warm_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.holds
+    speedup = cold_time / warm_time if warm_time else float("inf")
+    benchmark.extra_info.update(
+        {"cold_s": round(cold_time, 2), "speedup": round(speedup, 2)}
+    )
+    record(
+        results_dir,
+        "dispatch_bmc_cached_rerun",
+        f"BMC k={BMC_BOUND} rerun: cold {cold_time:.2f}s, warm {warm_time:.2f}s "
+        f"({speedup:.1f}x)\n\n{warm_stats.format()}\n",
+    )
+    assert warm_stats.cache_hit_rate == 1.0
+    assert speedup >= 1.5
+
+
+def test_houdini_rerun_cache_hit_rate(benchmark, bundles, results_dir, fresh_cache):
+    """Re-running Houdini over an unchanged pool hits the cache >= 90%."""
+    from repro.core.absint import enumerate_candidates
+
+    bundle = bundles["lock_server"]
+    client = Sort("client")
+    variables = [Var("C1", client), Var("C2", client)]
+    pool = list(
+        enumerate_candidates(
+            bundle.program.vocab,
+            variables,
+            max_literals=2,
+            include_equality=True,
+            max_candidates=400,
+        )
+    )
+    first_stats, second_stats = SolverStats(), SolverStats()
+    first = houdini(bundle.program, pool, stats=first_stats)
+
+    def run():
+        return houdini(bundle.program, pool, stats=second_stats)
+
+    second = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert [c.name for c in second.invariant] == [c.name for c in first.invariant]
+    benchmark.extra_info.update(
+        {
+            "pool": len(pool),
+            "hit_rate": round(second_stats.cache_hit_rate, 3),
+        }
+    )
+    record(
+        results_dir,
+        "dispatch_houdini_cache",
+        f"houdini rerun over {len(pool)} candidates: "
+        f"{second_stats.cache_hits}/{second_stats.queries} queries from cache "
+        f"({second_stats.cache_hit_rate:.0%})\n\n{second_stats.format()}\n",
+    )
+    assert second_stats.cache_hit_rate >= 0.9

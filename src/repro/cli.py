@@ -27,6 +27,18 @@ from .core.policy import OraclePolicy
 from .core.session import Session
 from .logic import parse_formula
 from .protocols import ALL_PROTOCOLS
+from .solver.stats import SolverStats
+
+
+def _stats_of(args: argparse.Namespace) -> SolverStats | None:
+    """A SolverStats collector when ``--stats`` was passed, else None."""
+    return SolverStats() if getattr(args, "stats", False) else None
+
+
+def _print_stats(stats: SolverStats | None) -> None:
+    if stats is not None:
+        print()
+        print(stats.format())
 
 
 def _bundle(name: str):
@@ -54,23 +66,29 @@ def cmd_bmc(args: argparse.Namespace) -> int:
     program = bundle.program
     if args.drop_axiom:
         program = program.without_axiom(args.drop_axiom)
+    stats = _stats_of(args)
     start = time.time()
-    result = find_error_trace(program, args.bound)
+    result = find_error_trace(program, args.bound, jobs=args.jobs, stats=stats)
     elapsed = time.time() - start
     if result.holds:
         print(f"no assertion violation within {args.bound} iterations "
               f"({elapsed:.1f}s)")
+        _print_stats(stats)
         return 0
     print(f"assertion violation at depth {result.depth} ({elapsed:.1f}s):")
     print()
     print(result.trace)
+    _print_stats(stats)
     return 1
 
 
 def cmd_check(args: argparse.Namespace) -> int:
     bundle = _bundle(args.protocol)
+    stats = _stats_of(args)
     start = time.time()
-    result = check_inductive(bundle.program, list(bundle.invariant))
+    result = check_inductive(
+        bundle.program, list(bundle.invariant), jobs=args.jobs, stats=stats
+    )
     elapsed = time.time() - start
     print(f"invariant inductive: {result.holds} ({elapsed:.1f}s)")
     for conjecture in bundle.invariant:
@@ -78,6 +96,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     if not result.holds and result.cti is not None:
         print()
         print(result.cti)
+    _print_stats(stats)
     return 0 if result.holds else 1
 
 
@@ -124,10 +143,12 @@ def cmd_verify(args: argparse.Namespace) -> int:
     program = parse_program(source)
     print(f"parsed {program.name!r}: {len(program.vocab.sorts)} sorts, "
           f"{len(program.vocab.relations)} relations")
-    result = find_error_trace(program, args.bound)
+    stats = _stats_of(args)
+    result = find_error_trace(program, args.bound, jobs=args.jobs, stats=stats)
     if not result.holds:
         print(f"assertion violation at depth {result.depth}:")
         print(result.trace)
+        _print_stats(stats)
         return 1
     print(f"no assertion violation within {args.bound} iterations")
     if args.conjecture:
@@ -135,12 +156,14 @@ def cmd_verify(args: argparse.Namespace) -> int:
             Conjecture(f"C{i}", parse_formula(text, program.vocab))
             for i, text in enumerate(args.conjecture)
         ]
-        check = check_inductive(program, conjectures)
+        check = check_inductive(program, conjectures, jobs=args.jobs, stats=stats)
         print(f"conjunction of {len(conjectures)} conjectures inductive: "
               f"{check.holds}")
         if not check.holds and check.cti is not None:
             print(check.cti)
+        _print_stats(stats)
         return 0 if check.holds else 1
+    _print_stats(stats)
     return 0
 
 
@@ -156,14 +179,27 @@ def build_parser() -> argparse.ArgumentParser:
         func=cmd_list
     )
 
+    def add_solver_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "-j", "--jobs", type=int, default=None,
+            help="solve independent queries on N worker processes "
+                 "(default: REPRO_JOBS or serial)",
+        )
+        subparser.add_argument(
+            "--stats", action="store_true",
+            help="print aggregate solver statistics after the run",
+        )
+
     bmc = commands.add_parser("bmc", help="bounded debugging (Section 4.1)")
     bmc.add_argument("protocol")
     bmc.add_argument("-k", "--bound", type=int, default=3)
     bmc.add_argument("--drop-axiom", help="remove an axiom first (Figure 4)")
+    add_solver_options(bmc)
     bmc.set_defaults(func=cmd_bmc)
 
     check = commands.add_parser("check", help="check the published invariant")
     check.add_argument("protocol")
+    add_solver_options(check)
     check.set_defaults(func=cmd_check)
 
     session = commands.add_parser("session", help="replay the interactive search")
@@ -189,6 +225,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         help="invariant conjecture (repeatable); checked for inductiveness",
     )
+    add_solver_options(verify)
     verify.set_defaults(func=cmd_verify)
     return parser
 

@@ -24,7 +24,9 @@ from ..logic.fragments import is_forall_exists
 from ..logic.structures import Structure
 from ..rml.ast import Program
 from ..rml.encode import Env, StepEncoding, TransitionEncoder, project_state
+from ..solver.dispatch import query_of, resolve_jobs, solve_queries
 from ..solver.epr import EprResult, EprSolver
+from ..solver.stats import SolverStats
 from .trace import Trace
 
 
@@ -114,39 +116,72 @@ class _Unroller:
 
 
 def check_k_invariance(
-    program: Program, phi: s.Formula, k: int, unroller: _Unroller | None = None
+    program: Program,
+    phi: s.Formula,
+    k: int,
+    unroller: _Unroller | None = None,
+    jobs: int | None = None,
+    stats: SolverStats | None = None,
 ) -> BoundedResult:
     """Decide Eq. 3: does ``phi`` hold at the loop head for all j <= k?
 
     ``phi`` must be a closed forall*exists* assertion (so its negation is
     exists*forall*).  On failure the returned trace ends in a state
     violating ``phi`` after ``depth`` iterations.
+
+    The per-depth queries are independent; with ``jobs > 1`` (or
+    ``REPRO_JOBS`` set) they are solved in parallel across worker
+    processes, reporting the shallowest violation.  Serial mode stops at
+    the first violating depth instead.
     """
     if not is_forall_exists(phi):
         raise ValueError(f"k-invariance needs a forall*exists* formula, got: {phi}")
     unroller = unroller or _Unroller(program)
     statistics: dict[str, int] = {}
+    if resolve_jobs(jobs) > 1 and k > 0:
+        queries = []
+        for depth in range(k + 1):
+            solver = unroller.solver_at(depth)
+            goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
+            solver.add(goal, name="goal")
+            queries.append(query_of(solver, name=f"depth{depth}"))
+        batches = solve_queries(queries, jobs=jobs, stats=stats)
+        for depth, (result,) in enumerate(batches):
+            _accumulate(statistics, result.statistics)
+            if result.satisfiable:
+                trace = unroller.trace_from(result, depth, aborted=False)
+                return BoundedResult(False, k, trace, depth, statistics)
+        return BoundedResult(True, k, statistics=statistics)
     for depth in range(k + 1):
         solver = unroller.solver_at(depth)
         goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
         solver.add(goal, name="goal")
         result = solver.check()
         _accumulate(statistics, result.statistics)
+        _record(stats, result)
         if result.satisfiable:
             trace = unroller.trace_from(result, depth, aborted=False)
             return BoundedResult(False, k, trace, depth, statistics)
     return BoundedResult(True, k, statistics=statistics)
 
 
-def find_error_trace(program: Program, k: int) -> BoundedResult:
+def find_error_trace(
+    program: Program,
+    k: int,
+    jobs: int | None = None,
+    stats: SolverStats | None = None,
+) -> BoundedResult:
     """Search for an assertion violation within ``k`` loop iterations.
 
     Checks, at each depth j <= k, whether executing the body or the
     finalization command from the j-th loop-head state can reach ``abort``.
-    This is the bounded-debugging phase of Figure 3.
+    This is the bounded-debugging phase of Figure 3.  The depth/command
+    probes are independent and are fanned out like
+    :func:`check_k_invariance` when ``jobs > 1``.
     """
     unroller = _Unroller(program)
     statistics: dict[str, int] = {}
+    probes: list[tuple[int, EprSolver]] = []
     for depth in range(k + 1):
         unroller.extend_to(depth)
         env = unroller.envs[depth]
@@ -158,11 +193,27 @@ def find_error_trace(program: Program, k: int) -> BoundedResult:
                 continue
             solver = unroller.solver_at(depth)
             solver.add(abort, name="abort")
+            probes.append((depth, solver))
+    if resolve_jobs(jobs) > 1 and len(probes) > 1:
+        queries = [
+            query_of(solver, name=f"abort{index}")
+            for index, (_, solver) in enumerate(probes)
+        ]
+        batches = solve_queries(queries, jobs=jobs, stats=stats)
+        results = [result for (result,) in batches]
+    else:
+        results = []
+        for _, solver in probes:
             result = solver.check()
-            _accumulate(statistics, result.statistics)
+            _record(stats, result)
+            results.append(result)
             if result.satisfiable:
-                trace = unroller.trace_from(result, depth, aborted=True)
-                return BoundedResult(False, k, trace, depth, statistics)
+                break
+    for (depth, _), result in zip(probes, results):
+        _accumulate(statistics, result.statistics)
+        if result.satisfiable:
+            trace = unroller.trace_from(result, depth, aborted=True)
+            return BoundedResult(False, k, trace, depth, statistics)
     return BoundedResult(True, k, statistics=statistics)
 
 
@@ -174,3 +225,13 @@ def make_unroller(program: Program) -> _Unroller:
 def _accumulate(into: dict[str, int], new: dict[str, int]) -> None:
     for key, value in new.items():
         into[key] = into.get(key, 0) + value
+
+
+def _record(stats: SolverStats | None, result: EprResult) -> None:
+    """Fold one in-process solver result into an optional SolverStats."""
+    if stats is not None:
+        stats.record(
+            result.statistics,
+            satisfiable=result.satisfiable,
+            cached="cache_hits" in result.statistics,
+        )

@@ -35,7 +35,9 @@ from ..logic import syntax as s
 from ..logic.partial import Fact, PartialStructure, conjecture
 from ..logic.sorts import FuncDecl, RelDecl
 from ..rml.ast import Program
+from ..solver.dispatch import query_of, resolve_jobs, solve_queries
 from ..solver.epr import EprResult, EprSolver, PreparedEpr
+from ..solver.stats import SolverStats
 from .bounded import _Unroller, make_unroller
 from .trace import Trace
 
@@ -85,17 +87,29 @@ def _fact_literal(
 
 
 def _diagram_parts(
-    partial: PartialStructure, env: Mapping, prefix: str
+    partial: PartialStructure, env: Mapping, label: str = "diag"
 ) -> tuple[list[s.Formula], list[tuple[Fact, s.Formula]]]:
     """Hand-skolemized ``Diag(partial)`` at a vocabulary version ``env``.
 
-    Element witnesses become fresh constants named after the elements;
-    returns the hard distinctness constraints and one formula per fact so
+    Element witnesses become fresh constants named *canonically after the
+    elements* -- NOT after the caller's ``label``.  This is the pre-state
+    snapshot convention: when two diagrams over the same elements are
+    asserted into one solver (e.g. the diagram of a pre-state at version 0
+    and of a post-state at the step's post versions), the same element maps
+    to the same witness constant, so the post-state is pinned pointwise
+    against the pre-state snapshot.  Witnesses named per *caller* would let
+    the solver re-match elements by permutation, admitting relabeled
+    (isomorphic-but-wrong) pre/post pairs -- e.g. ``p(X) := ~p(X)`` run
+    from ``p = {e1}`` would accept the identity post-state ``p = {e1}``
+    with the nullary constants drifted, which disagrees with the
+    interpreter.  ``label`` is kept only for diagnostics.
+
+    Returns the hard distinctness constraints and one formula per fact so
     facts can be tracked individually.
     """
     elems = partial.active_elements()
     const_of = {
-        elem: s.App(FuncDecl(f"{prefix}_{elem.name}", (), elem.sort), ())
+        elem: s.App(FuncDecl(f"diag!{elem.name}", (), elem.sort), ())
         for elem in elems
     }
     hard: list[s.Formula] = []
@@ -117,15 +131,20 @@ def check_unreachable(
     partial: PartialStructure,
     k: int,
     unroller: _Unroller | None = None,
+    jobs: int | None = None,
+    stats: SolverStats | None = None,
 ) -> ReachabilityResult:
     """Is ``phi(partial)`` k-invariant?  (Eq. 3 applied to the conjecture.)
 
     Equivalently: is every state containing ``partial`` as a
-    sub-configuration unreachable within ``k`` loop iterations?
+    sub-configuration unreachable within ``k`` loop iterations?  The
+    per-depth queries are independent; ``jobs > 1`` fans them across
+    worker processes and reports the shallowest reachable depth.
     """
     unroller = unroller or make_unroller(program)
     statistics: dict[str, int] = {}
-    for depth in range(k + 1):
+
+    def loaded_solver(depth: int) -> EprSolver:
         solver = unroller.solver_at(depth)
         env = unroller.envs[depth]
         hard, fact_formulas = _diagram_parts(partial, env, f"diag{depth}")
@@ -133,8 +152,30 @@ def check_unreachable(
             solver.add(constraint, name=f"distinct{index}")
         for index, (_, formula) in enumerate(fact_formulas):
             solver.add(formula, name=f"fact{index}")
-        result = solver.check()
+        return solver
+
+    if resolve_jobs(jobs) > 1 and k > 0:
+        queries = [
+            query_of(loaded_solver(depth), name=f"diag{depth}")
+            for depth in range(k + 1)
+        ]
+        batches = solve_queries(queries, jobs=jobs, stats=stats)
+        for depth, (result,) in enumerate(batches):
+            _accumulate(statistics, result.statistics)
+            if result.satisfiable:
+                trace = unroller.trace_from(result, depth, aborted=False)
+                return ReachabilityResult(False, k, trace, depth, statistics)
+        return ReachabilityResult(True, k, statistics=statistics)
+
+    for depth in range(k + 1):
+        result = loaded_solver(depth).check()
         _accumulate(statistics, result.statistics)
+        if stats is not None:
+            stats.record(
+                result.statistics,
+                satisfiable=result.satisfiable,
+                cached="cache_hits" in result.statistics,
+            )
         if result.satisfiable:
             trace = unroller.trace_from(result, depth, aborted=False)
             return ReachabilityResult(False, k, trace, depth, statistics)

@@ -29,7 +29,9 @@ from typing import Sequence
 from ..logic import syntax as s
 from ..rml.ast import Program
 from ..rml.wp import wp
+from ..solver.dispatch import query_of, resolve_jobs, solve_queries
 from ..solver.epr import EprSolver
+from ..solver.stats import SolverStats
 from .induction import Conjecture
 
 
@@ -42,29 +44,68 @@ class HoudiniResult:
     statistics: dict[str, int] = field(default_factory=dict)
 
 
-def _batched_failures(
+def _candidate_solver(
     program: Program,
     candidates: Sequence[Conjecture],
     command,
     premises: s.Formula,
-    statistics: dict[str, int],
-) -> set[str]:
-    """Names of candidates whose ``premises => wp(command, c)`` fails.
-
-    One grounded solver; candidate ``c``'s negated obligation is a tracked
-    constraint solved in isolation under its selector.
-    """
+) -> EprSolver:
+    """A solver with every candidate's negated obligation tracked."""
     axioms = program.axiom_formula
     solver = EprSolver(program.vocab, exclusive_tracked=True)
     solver.add(s.and_(axioms, premises), name="premises")
     for candidate in candidates:
         obligation = s.not_(wp(command, candidate.formula, axioms))
         solver.add(obligation, name=candidate.name, track=True)
-    prepared = solver.prepare()
+    return solver
+
+
+def _batched_failures(
+    program: Program,
+    candidates: Sequence[Conjecture],
+    command,
+    premises: s.Formula,
+    statistics: dict[str, int],
+    jobs: int | None = None,
+    stats: SolverStats | None = None,
+) -> set[str]:
+    """Names of candidates whose ``premises => wp(command, c)`` fails.
+
+    One grounded solver; candidate ``c``'s negated obligation is a tracked
+    constraint solved in isolation under its selector.  With ``jobs > 1``
+    the candidate pool is split into per-worker chunks, each chunk sharing
+    one grounding in its worker process.
+    """
     failing: set[str] = set()
+    workers = resolve_jobs(jobs)
+    if workers > 1 and len(candidates) > 1:
+        chunks = [list(candidates[index::workers]) for index in range(workers)]
+        chunks = [chunk for chunk in chunks if chunk]
+        queries = [
+            query_of(
+                _candidate_solver(program, chunk, command, premises),
+                solve_sets=[frozenset({c.name}) for c in chunk],
+                name=f"houdini-chunk{index}",
+            )
+            for index, chunk in enumerate(chunks)
+        ]
+        batches = solve_queries(queries, jobs=jobs, stats=stats)
+        for chunk, batch in zip(chunks, batches):
+            for candidate, result in zip(chunk, batch):
+                _accumulate(statistics, result.statistics)
+                if result.satisfiable:
+                    failing.add(candidate.name)
+        return failing
+    prepared = _candidate_solver(program, candidates, command, premises).prepare()
     for candidate in candidates:
         result = prepared.solve({candidate.name})
         _accumulate(statistics, result.statistics)
+        if stats is not None:
+            stats.record(
+                result.statistics,
+                satisfiable=result.satisfiable,
+                cached="cache_hits" in result.statistics,
+            )
         if result.satisfiable:
             failing.add(candidate.name)
     return failing
@@ -74,11 +115,13 @@ def houdini(
     program: Program,
     candidates: Sequence[Conjecture],
     max_rounds: int = 1000,
+    jobs: int | None = None,
+    stats: SolverStats | None = None,
 ) -> HoudiniResult:
     """Compute the strongest inductive subset of ``candidates``."""
     statistics: dict[str, int] = {}
     failing_init = _batched_failures(
-        program, candidates, program.init, s.TRUE, statistics
+        program, candidates, program.init, s.TRUE, statistics, jobs, stats
     )
     surviving = [c for c in candidates if c.name not in failing_init]
     dropped_consec: list[str] = []
@@ -89,7 +132,7 @@ def houdini(
             raise RuntimeError("houdini failed to converge")
         invariant = s.and_(*(c.formula for c in surviving))
         failing = _batched_failures(
-            program, surviving, program.body, invariant, statistics
+            program, surviving, program.body, invariant, statistics, jobs, stats
         )
         if not failing:
             break

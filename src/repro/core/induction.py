@@ -27,7 +27,9 @@ from ..logic.structures import Structure
 from ..rml.ast import Program
 from ..rml.interp import Outcome, execute, successors
 from ..rml.wp import wp
+from ..solver.dispatch import query_of, resolve_jobs, solve_queries
 from ..solver.epr import EprResult, EprSolver
+from ..solver.stats import SolverStats
 
 ObligationKind = Literal["initiation", "safety", "consecution"]
 
@@ -184,19 +186,45 @@ def _witness(
 
 
 def check_inductive(
-    program: Program, conjectures: Sequence[Conjecture]
+    program: Program,
+    conjectures: Sequence[Conjecture],
+    jobs: int | None = None,
+    stats: SolverStats | None = None,
 ) -> InductionResult:
     """Check Eq. 2 for the conjunction of ``conjectures``.
 
     Returns the first failing obligation's CTI (obligations are checked in
     the order initiation, safety, consecution, matching the search loop of
-    Figure 5).
+    Figure 5).  The obligations are mutually independent; ``jobs > 1``
+    solves them in parallel and still reports the first failure in order.
     """
     statistics: dict[str, int] = {}
-    for obligation in obligations(program, conjectures):
+    pending = obligations(program, conjectures)
+    if resolve_jobs(jobs) > 1 and len(pending) > 1:
+        queries = []
+        for obligation in pending:
+            solver = EprSolver(program.vocab)
+            solver.add(obligation.vc, name="vc")
+            queries.append(query_of(solver, name=obligation.description))
+        batches = solve_queries(queries, jobs=jobs, stats=stats)
+        for obligation, (result,) in zip(pending, batches):
+            for key, value in result.statistics.items():
+                statistics[key] = statistics.get(key, 0) + value
+            if result.satisfiable:
+                assert result.model is not None
+                cti = cti_from_model(program, obligation, result.model)
+                return InductionResult(False, cti, statistics)
+        return InductionResult(True, statistics=statistics)
+    for obligation in pending:
         result = check_obligation(program, obligation)
         for key, value in result.statistics.items():
             statistics[key] = statistics.get(key, 0) + value
+        if stats is not None:
+            stats.record(
+                result.statistics,
+                satisfiable=result.satisfiable,
+                cached="cache_hits" in result.statistics,
+            )
         if result.satisfiable:
             assert result.model is not None
             cti = cti_from_model(program, obligation, result.model)

@@ -165,6 +165,14 @@ def _minimize(
             # No bound up to max_bound is satisfiable together with the
             # earlier constraints; leave this measure unconstrained.
             bounds.append((measure.describe(), -1))
+    # Measures pin the CTI's *size*, not its identity: several
+    # non-isomorphic models can tie on every bound.  A final solve with
+    # canonical model selection picks the lexicographically sparsest of
+    # them, so the CTI handed to the user does not depend on SAT-solver
+    # heuristics (decision order, phase saving, restart timing).
+    final = _solve(program, obligation, tuple(psi_min), statistics, canonical=True)
+    if final.satisfiable:
+        best = final
     assert best.model is not None
     cti = cti_from_model(program, obligation, best.model)
     return MinimalCTIResult(cti, tuple(bounds), statistics)
@@ -175,8 +183,9 @@ def _solve(
     obligation: Obligation,
     extra: Sequence[s.Formula],
     statistics: dict[str, int],
+    canonical: bool = False,
 ) -> EprResult:
-    solver = EprSolver(program.vocab)
+    solver = EprSolver(program.vocab, canonical_models=canonical)
     solver.add(obligation.vc, name="vc")
     for index, constraint in enumerate(extra):
         solver.add(constraint, name=f"min{index}")

@@ -38,7 +38,9 @@ from ..logic.sorts import FuncDecl, RelDecl
 from ..rml.ast import Program, havocked_symbols
 from ..rml.encode import TransitionEncoder, project_state
 from ..rml.wp import wp, wp_body_safe, wp_final_safe
+from ..solver.dispatch import query_of, resolve_jobs, solve_queries
 from ..solver.epr import EprSolver
+from ..solver.stats import SolverStats
 from .bounded import make_unroller
 from .generalize import _diagram_parts
 from .induction import Conjecture, check_inductive
@@ -63,10 +65,19 @@ class UpdrResult:
 
 
 class _Updr:
-    def __init__(self, program: Program, max_frames: int, max_obligations: int):
+    def __init__(
+        self,
+        program: Program,
+        max_frames: int,
+        max_obligations: int,
+        jobs: int | None = None,
+        stats: SolverStats | None = None,
+    ):
         self.program = program
         self.max_frames = max_frames
         self.max_obligations = max_obligations
+        self.jobs = jobs
+        self.solver_stats = stats
         self.axioms = program.axiom_formula
         self.safety = s.and_(wp_body_safe(program), wp_final_safe(program))
         # frames[i]: list of blocked partial structures (clauses are their
@@ -101,6 +112,12 @@ class _Updr:
         for key, value in result.statistics.items():
             if key in ("instances", "conflicts"):
                 self.statistics[key] = self.statistics.get(key, 0) + value
+        if self.solver_stats is not None:
+            self.solver_stats.record(
+                result.statistics,
+                satisfiable=result.satisfiable,
+                cached="cache_hits" in result.statistics,
+            )
 
     # ------------------------------------------------------------- checks
 
@@ -124,39 +141,39 @@ class _Updr:
         self._count(result)
         return result.satisfiable
 
+    def _predecessor_query(self, partial: PartialStructure, frame: int):
+        """The F_{frame-1} predecessor query for ``partial``: a loaded
+        solver plus the version environment to project a model through."""
+        if frame <= 1:
+            solver = self.unroller.solver_at(1)
+            env = self.unroller.envs[1]
+            hard, fact_formulas = _diagram_parts(partial, env, "post")
+            project_env = self.unroller.envs[0]
+        else:
+            solver = EprSolver(self.encoder.extended_vocab())
+            solver.add(self.axioms, name="axioms")
+            solver.add(self._frame_formula(frame - 1), name="frame")
+            solver.add(self.step.formula, name="step")
+            hard, fact_formulas = _diagram_parts(partial, self.step.post_env, "post")
+            project_env = self.encoder.base_env()
+        for index, constraint in enumerate(hard):
+            solver.add(constraint, name=f"distinct{index}")
+        for index, (_, formula) in enumerate(fact_formulas):
+            solver.add(formula, name=f"fact{index}")
+        return solver, project_env
+
     def _predecessor(self, partial: PartialStructure, frame: int):
         """A state in F_{frame-1} with a successor containing ``partial``.
 
         At ``frame == 1`` the predecessor must be an *initial* state, so the
         query runs over the init encoding plus one body transition.
         """
-        if frame <= 1:
-            solver = self.unroller.solver_at(1)
-            env = self.unroller.envs[1]
-            hard, fact_formulas = _diagram_parts(partial, env, "post")
-            for index, constraint in enumerate(hard):
-                solver.add(constraint, name=f"distinct{index}")
-            for index, (_, formula) in enumerate(fact_formulas):
-                solver.add(formula, name=f"fact{index}")
-            result = solver.check()
-            self._count(result)
-            if not result.satisfiable:
-                return None
-            return project_state(result.model, self.program, self.unroller.envs[0])
-        solver = EprSolver(self.encoder.extended_vocab())
-        solver.add(self.axioms, name="axioms")
-        solver.add(self._frame_formula(frame - 1), name="frame")
-        solver.add(self.step.formula, name="step")
-        hard, fact_formulas = _diagram_parts(partial, self.step.post_env, "post")
-        for index, constraint in enumerate(hard):
-            solver.add(constraint, name=f"distinct{index}")
-        for index, (_, formula) in enumerate(fact_formulas):
-            solver.add(formula, name=f"fact{index}")
+        solver, project_env = self._predecessor_query(partial, frame)
         result = solver.check()
         self._count(result)
         if not result.satisfiable:
             return None
-        return project_state(result.model, self.program, self.encoder.base_env())
+        return project_state(result.model, self.program, project_env)
 
     def _generalize(self, partial: PartialStructure, frame: int) -> PartialStructure:
         """Drop facts while the structure stays unpreceded and init-excluded."""
@@ -255,14 +272,25 @@ class _Updr:
         )
 
     def _propagate(self) -> UpdrResult | None:
-        """Push clauses forward; equal adjacent frames => inductive."""
+        """Push clauses forward; equal adjacent frames => inductive.
+
+        Push attempts within one frame are mutually independent (a
+        successful push only adds a clause the *source* frame already has,
+        so sibling queries are unaffected); they are batched and, with
+        ``jobs > 1``, solved in parallel.
+        """
         for index in range(1, len(self.frames)):
-            for partial in list(self.frames[index]):
-                if index + 1 < len(self.frames) and partial in self.frames[index + 1]:
-                    continue
-                if index + 1 >= len(self.frames):
-                    continue
-                if self._pushable(partial, index):
+            if index + 1 >= len(self.frames):
+                continue
+            candidates = [
+                partial
+                for partial in list(self.frames[index])
+                if partial not in self.frames[index + 1]
+            ]
+            for partial, pushable in zip(
+                candidates, self._pushable_batch(candidates, index)
+            ):
+                if pushable:
                     self.frames[index + 1].append(partial)
         for index in range(1, len(self.frames) - 1):
             this_frame = {conjecture(p) for p in self.frames[index]}
@@ -275,6 +303,26 @@ class _Updr:
 
     def _pushable(self, partial: PartialStructure, index: int) -> bool:
         return self._predecessor(partial, index + 1) is None
+
+    def _pushable_batch(
+        self, partials: Sequence[PartialStructure], index: int
+    ) -> list[bool]:
+        if resolve_jobs(self.jobs) <= 1 or len(partials) <= 1:
+            return [self._pushable(partial, index) for partial in partials]
+        queries = [
+            query_of(
+                self._predecessor_query(partial, index + 1)[0],
+                name=f"push{index}.{position}",
+            )
+            for position, partial in enumerate(partials)
+        ]
+        batches = solve_queries(queries, jobs=self.jobs, stats=self.solver_stats)
+        for (result,) in batches:
+            self.statistics["solver_calls"] += 1
+            for key, value in result.statistics.items():
+                if key in ("instances", "conflicts"):
+                    self.statistics[key] = self.statistics.get(key, 0) + value
+        return [not result.satisfiable for (result,) in batches]
 
     def _harvest(self, index: int) -> UpdrResult | None:
         conjectures = [
@@ -294,7 +342,11 @@ class _Updr:
 
 
 def updr(
-    program: Program, max_frames: int = 12, max_obligations: int = 400
+    program: Program,
+    max_frames: int = 12,
+    max_obligations: int = 400,
+    jobs: int | None = None,
+    stats: SolverStats | None = None,
 ) -> UpdrResult:
     """Run UPDR on ``program``; see the module docstring."""
-    return _Updr(program, max_frames, max_obligations).run()
+    return _Updr(program, max_frames, max_obligations, jobs, stats).run()

@@ -6,7 +6,9 @@ for EPR satisfiability with finite-model extraction and unsat cores, and
 :class:`~repro.solver.sat.Solver` for raw propositional problems.
 """
 
+from .cache import QueryCache, install_cache, query_cache
 from .cnf import CnfBuilder, term_key
+from .dispatch import Query, query_of, resolve_jobs, solve_queries
 from .epr import EprResult, EprSolver, solve_epr
 from .equality import EqualityTheory
 from .grounding import (
@@ -17,6 +19,7 @@ from .grounding import (
     universe_size,
 )
 from .sat import SatResult, Solver
+from .stats import SolverStats
 
 __all__ = [
     "CnfBuilder",
@@ -24,12 +27,20 @@ __all__ = [
     "EprSolver",
     "EqualityTheory",
     "GroundingExplosion",
+    "Query",
+    "QueryCache",
     "SatResult",
     "Solver",
+    "SolverStats",
     "check_universe_closed",
     "ground_universe",
+    "install_cache",
     "instantiate_universals",
+    "query_cache",
+    "query_of",
+    "resolve_jobs",
     "solve_epr",
+    "solve_queries",
     "term_key",
     "universe_size",
 ]

@@ -1,0 +1,87 @@
+"""Memoization of EPR query results.
+
+:class:`PreparedEpr.solve` consults the process-global :class:`QueryCache`
+before running its CEGAR loop.  Keys are content hashes of the *grounded*
+problem -- the SAT clause database as of grounding (variable count, root
+units, problem clauses), the registered lazy universal blocks, the working
+vocabulary -- paired with the assumption literals of the particular solve.
+Everything downstream of that pair is deterministic, so a hit returns
+exactly what a re-solve would have computed, minus the solving.
+
+This is what lets Houdini re-checks and UPDR frame pushes that repeat an
+earlier obligation be answered without re-solving.  The cache is enabled
+by default and bounded (FIFO eviction); set ``REPRO_CACHE=0`` to disable
+it, e.g. when benchmarking raw solver performance.  Worker processes
+forked by :mod:`repro.solver.dispatch` inherit the parent's entries at
+fork time; entries they add are not propagated back.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Hashable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .epr import EprResult
+
+
+class QueryCache:
+    """A bounded FIFO map from query fingerprints to :class:`EprResult`."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, EprResult]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, key: Hashable) -> "EprResult | None":
+        result = self._entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: Hashable, result: "EprResult") -> None:
+        if key in self._entries:
+            return
+        while len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = result
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+_cache: QueryCache | None = None
+_installed = False
+_disabled_by_env = os.environ.get("REPRO_CACHE", "1") in ("0", "false", "no")
+
+
+def query_cache() -> QueryCache | None:
+    """The process-global cache, or None when caching is disabled."""
+    global _cache, _installed
+    if _disabled_by_env:
+        return None
+    if not _installed:
+        _cache = QueryCache()
+        _installed = True
+    return _cache
+
+
+def install_cache(cache: QueryCache | None) -> QueryCache | None:
+    """Replace the process-global cache (None disables); returns the old one.
+
+    Tests use this to isolate cache state; ``REPRO_CACHE=0`` still wins.
+    """
+    global _cache, _installed
+    old = _cache
+    _cache = cache
+    _installed = True
+    return old

@@ -1,0 +1,137 @@
+"""Parallel dispatch of independent EPR queries.
+
+Bounded model checking solves one query per unrolling depth, Houdini one
+per candidate conjecture, UPDR one per clause-push attempt -- all mutually
+independent.  This module fans such batches across worker processes.
+
+A :class:`Query` is a self-contained description of one
+:class:`~repro.solver.epr.EprSolver` instance -- vocabulary, constraints,
+solver options -- plus the list of tracked-constraint subsets to solve it
+under.  :func:`solve_queries` runs a batch either in-process (``jobs <=
+1``, the default) or on a ``multiprocessing`` fork pool.  Workers rebuild
+the solver from the description, so only plain syntax-tree dataclasses
+cross the process boundary; results come back as picklable
+:class:`~repro.solver.epr.EprResult` values, models included.
+
+Worker count resolution: the explicit ``jobs`` argument wins, then the
+``REPRO_JOBS`` environment variable, then 1 (serial).  Serial and parallel
+runs return identical answers: workers run the same deterministic solver
+code, and each forked worker inherits the parent's query cache as of the
+fork.  Platforms without the ``fork`` start method fall back to serial
+execution rather than paying spawn-and-reimport per query.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..logic import syntax as s
+from ..logic.sorts import Vocabulary
+from .epr import EprResult, EprSolver
+from .stats import SolverStats
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """The worker count to use: argument, else ``REPRO_JOBS``, else 1."""
+    if jobs is not None:
+        return max(1, jobs)
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+@dataclass(frozen=True)
+class Query:
+    """One solver instance and the subsets of tracked constraints to solve.
+
+    ``solve_sets`` entries are frozensets of tracked-constraint names, or
+    None for "all tracked constraints enabled" -- the same contract as
+    :meth:`PreparedEpr.solve`.  A query with ``n`` solve sets yields ``n``
+    results, all sharing one grounding.
+    """
+
+    name: str
+    vocab: Vocabulary
+    constraints: tuple[tuple[str, s.Formula, bool], ...]
+    solve_sets: tuple[frozenset[str] | None, ...] = (None,)
+    exclusive_tracked: bool = False
+    canonical_models: bool = False
+    eager_threshold: int = 3000
+
+
+def query_of(
+    solver: EprSolver,
+    solve_sets: Sequence[frozenset[str] | None] = (None,),
+    name: str = "query",
+) -> Query:
+    """Snapshot an :class:`EprSolver`'s constraints into a :class:`Query`."""
+    return Query(
+        name=name,
+        vocab=solver.vocab,
+        constraints=tuple(
+            (c.name, c.formula, c.tracked) for c in solver._constraints
+        ),
+        solve_sets=tuple(solve_sets),
+        exclusive_tracked=solver.exclusive_tracked,
+        canonical_models=solver.canonical_models,
+        eager_threshold=solver.eager_threshold,
+    )
+
+
+def _run_query(query: Query) -> list[EprResult]:
+    """Rebuild and solve one query (runs in a worker or in-process)."""
+    solver = EprSolver(
+        query.vocab,
+        eager_threshold=query.eager_threshold,
+        exclusive_tracked=query.exclusive_tracked,
+        canonical_models=query.canonical_models,
+    )
+    for name, formula, tracked in query.constraints:
+        solver.add(formula, name=name, track=tracked)
+    prepared = solver.prepare()
+    return [
+        prepared.solve(enabled if enabled is None else set(enabled))
+        for enabled in query.solve_sets
+    ]
+
+
+def _fork_context() -> multiprocessing.context.BaseContext | None:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return None
+
+
+def solve_queries(
+    queries: Sequence[Query],
+    jobs: int | None = None,
+    stats: SolverStats | None = None,
+) -> list[list[EprResult]]:
+    """Solve a batch of independent queries, one result list per query."""
+    jobs = resolve_jobs(jobs)
+    workers = min(jobs, len(queries))
+    context = _fork_context() if workers > 1 else None
+    if context is None or workers <= 1:
+        batches = [_run_query(query) for query in queries]
+        dispatched = False
+    else:
+        with context.Pool(workers) as pool:
+            batches = pool.map(_run_query, queries, chunksize=1)
+        dispatched = True
+    if stats is not None:
+        for batch in batches:
+            for result in batch:
+                stats.record(
+                    result.statistics,
+                    satisfiable=result.satisfiable,
+                    cached="cache_hits" in result.statistics,
+                    dispatched=dispatched,
+                )
+    return batches

@@ -38,8 +38,10 @@ vocabulary.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping
 
 from ..logic import syntax as s
@@ -47,6 +49,7 @@ from ..logic.sorts import FuncDecl, RelDecl, Sort, Vocabulary
 from ..logic.structures import Elem, Structure
 from ..logic.subst import FreshNames, substitute
 from ..logic.transform import eliminate_ite, nnf, skolemize_ea
+from .cache import query_cache
 from .cnf import CnfBuilder, term_key
 from .equality import EqualityTheory
 from .grounding import (
@@ -105,10 +108,12 @@ class EprSolver:
         vocab: Vocabulary,
         eager_threshold: int = 3000,
         exclusive_tracked: bool = False,
+        canonical_models: bool = False,
     ) -> None:
         self.vocab = vocab
         self.eager_threshold = eager_threshold
         self.exclusive_tracked = exclusive_tracked
+        self.canonical_models = canonical_models
         self._constraints: list[_Constraint] = []
         self._names: set[str] = set()
 
@@ -413,6 +418,7 @@ class PreparedEpr:
         self.lazy_blocks: list[_LazyBlock] = []
         self._asserted: set[s.Formula] = set()
         self.instance_count = 0
+        self._digest: str | None = None
 
     def assert_instance(self, instance: s.Formula, selector: int | None) -> bool:
         if selector is None:
@@ -443,52 +449,154 @@ class PreparedEpr:
                 raise KeyError(f"unknown tracked constraints: {sorted(unknown)}")
             assumptions = sorted(self.selector_of[name] for name in names)
         owner = self._owner
-        rounds = 0
-        congruence_clauses = 0
-        lazy_instances = 0
+        cache = query_cache()
+        key = None
+        if cache is not None:
+            key = (self._fingerprint(), tuple(assumptions))
+            hit = cache.lookup(key)
+            if hit is not None:
+                # Solving is deterministic downstream of the grounded CNF
+                # and assumptions, so the stored result is exactly what a
+                # re-solve would compute; only the statistics differ.
+                return replace(hit, statistics={"cache_hits": 1})
+        start = time.perf_counter()
+        counters = {"rounds": 0, "congruence": 0, "lazy": 0}
+        result, reps = self._stable_solve(assumptions, counters, max_rounds)
+        if result.satisfiable and owner.canonical_models:
+            result, reps = self._canonicalize(
+                assumptions, result, reps, counters, max_rounds
+            )
+        statistics = owner._stats(
+            self.sat, self.instance_count, counters["rounds"],
+            counters["congruence"], counters["lazy"],
+        )
+        statistics["solve_ms"] = int((time.perf_counter() - start) * 1000)
+        if not result.satisfiable:
+            core = frozenset(
+                self.selectors[lit] for lit in result.core if lit in self.selectors
+            )
+            outcome = EprResult(False, core=core, statistics=statistics)
+        else:
+            structure, term_to_elem = owner._extract(
+                self.builder, result.model, reps, self.universe, self.working_vocab
+            )
+            outcome = EprResult(
+                True,
+                model=structure,
+                term_to_elem=term_to_elem,
+                statistics=statistics,
+            )
+        if cache is not None:
+            cache.store(key, outcome)
+        return outcome
+
+    def _fingerprint(self) -> str:
+        """Content hash of the grounded problem, computed once on first use.
+
+        Captured before any solving mutates the clause database, the digest
+        covers the SAT snapshot (variables, root units, problem clauses),
+        the lazy universal blocks, the tracked-selector assignment, and the
+        working vocabulary/universe shape -- everything the answer and the
+        extracted model can depend on.
+        """
+        if self._digest is None:
+            digest = hashlib.sha256()
+            digest.update(repr(self.sat.snapshot()).encode())
+            # The CEGAR loop's behaviour depends on what each SAT variable
+            # *means* (congruence refutation, MBQI evaluation), not just on
+            # the clause shapes -- the atom map must be part of the key.
+            digest.update(
+                repr(sorted(
+                    (var, atom) for atom, var in self.builder.atoms.items()
+                )).encode()
+            )
+            digest.update(
+                repr([
+                    (block.vars, block.matrix, block.selector)
+                    for block in self.lazy_blocks
+                ]).encode()
+            )
+            digest.update(repr(sorted(self.selectors.items())).encode())
+            digest.update(
+                repr((
+                    sorted(decl.name for decl in self.working_vocab.relations),
+                    sorted(decl.name for decl in self.working_vocab.functions),
+                    sorted(
+                        (sort.name, len(terms))
+                        for sort, terms in self.universe.items()
+                    ),
+                    self._owner.canonical_models,
+                )).encode()
+            )
+            self._digest = digest.hexdigest()
+        return self._digest
+
+    def _stable_solve(self, assumptions, counters, max_rounds):
+        """Run the CEGAR loop to a stable SAT model (with its equality
+        representatives) or an UNSAT result; refutes congruence violations
+        and violated lazy universal instances along the way."""
+        owner = self._owner
         while True:
-            rounds += 1
-            if rounds > max_rounds:
+            counters["rounds"] += 1
+            if counters["rounds"] > max_rounds:
                 raise RuntimeError("instantiation/congruence loop failed to converge")
             result = self.sat.solve(assumptions)
             if not result.satisfiable:
-                core = frozenset(
-                    self.selectors[lit] for lit in result.core if lit in self.selectors
-                )
-                return EprResult(
-                    False,
-                    core=core,
-                    statistics=owner._stats(
-                        self.sat, self.instance_count, rounds,
-                        congruence_clauses, lazy_instances,
-                    ),
-                )
+                return result, None
             reps = self.equality.classes(result.model)
             violations = self.equality.congruence_violations(result.model, reps)
             if violations:
                 for clause in violations:
                     self.sat.add_clause(clause)
-                    congruence_clauses += 1
+                    counters["congruence"] += 1
                 continue
             new_instances = owner._refine_lazy(
                 self.lazy_blocks, self.universe, reps, self.builder,
                 result.model, self.assert_instance,
             )
             if new_instances:
-                lazy_instances += new_instances
+                counters["lazy"] += new_instances
                 continue
-            structure, term_to_elem = owner._extract(
-                self.builder, result.model, reps, self.universe, self.working_vocab
+            return result, reps
+
+    def _canonicalize(self, assumptions, result, reps, counters, max_rounds):
+        """Refine a stable model into the lexicographically sparsest one.
+
+        Scans base-vocabulary relation atoms in a fixed semantic order --
+        sorted by ``(relation name, argument term keys)`` -- and greedily
+        commits each to false whenever a stable model allows it (one
+        assumption-based re-solve per atom that is currently true).  The
+        scan repeats because MBQI trials can mint new ground atoms.  The
+        outcome is model-choice determinism: solver heuristics (decision
+        order, phase saving, restart timing) no longer pick which of several
+        minimal models is returned.
+        """
+        base_rels = set(self._owner.vocab.relations)
+        forced: list[int] = []
+        decided: set[int] = set()
+        while True:
+            pending = sorted(
+                ((atom.rel.name, tuple(term_key(a) for a in atom.args)), var)
+                for atom, var in self.builder.atoms.items()
+                if isinstance(atom, s.Rel)
+                and atom.rel in base_rels
+                and var not in decided
             )
-            return EprResult(
-                True,
-                model=structure,
-                term_to_elem=term_to_elem,
-                statistics=owner._stats(
-                    self.sat, self.instance_count, rounds,
-                    congruence_clauses, lazy_instances,
-                ),
-            )
+            if not pending:
+                return result, reps
+            for _, var in pending:
+                decided.add(var)
+                if not result.model.get(var, False):
+                    forced.append(-var)
+                    continue
+                trial, trial_reps = self._stable_solve(
+                    assumptions + forced + [-var], counters, max_rounds
+                )
+                if trial.satisfiable:
+                    forced.append(-var)
+                    result, reps = trial, trial_reps
+                else:
+                    forced.append(var)
 
 
 def solve_epr(

@@ -153,6 +153,7 @@ class Solver:
         self._var_decay = 0.95
         self._cla_inc = 1.0
         self._cla_decay = 0.999
+        self._order = _VarHeap(self._activity)
         self._unsat = False
         self.statistics = {"conflicts": 0, "decisions": 0, "propagations": 0, "restarts": 0}
 
@@ -170,6 +171,8 @@ class Solver:
         self._activity.append(0.0)
         self._polarity.append(False)
         self._seen.append(False)
+        self._order.register_var()
+        self._order.push(self._num_vars)
         return self._num_vars
 
     def add_clause(self, lits: Iterable[int]) -> None:
@@ -208,6 +211,24 @@ class Solver:
     def add_clauses(self, clauses: Iterable[Iterable[int]]) -> None:
         for clause in clauses:
             self.add_clause(clause)
+
+    def snapshot(
+        self,
+    ) -> tuple[bool, int, tuple[int, ...], tuple[tuple[int, ...], ...]]:
+        """Content snapshot of the problem: the root-conflict flag (a clause
+        reduced to empty at level 0 leaves no other trace), variable count,
+        root-level implied literals (unit clauses live on the trail, not in
+        the clause list), and the problem clauses.  Used for query-cache
+        fingerprints; learned clauses are excluded -- they are implied, so
+        two solvers with equal snapshots decide every assumption set
+        identically."""
+        self._backtrack(0)
+        return (
+            self._unsat,
+            self._num_vars,
+            tuple(sorted(self._trail)),
+            tuple(tuple(clause.lits) for clause in self._clauses),
+        )
 
     def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
         """Decide satisfiability under the given assumption literals."""
@@ -448,22 +469,19 @@ class Solver:
             var = abs(lit)
             self._values[var] = _UNASSIGNED
             self._reasons[var] = None
+            self._order.push(var)
         del self._trail[boundary:]
         del self._trail_lim[level:]
         self._propagate_head = min(self._propagate_head, len(self._trail))
 
     def _decide(self) -> int | None:
-        best_var = 0
-        best_activity = -1.0
         values = self._values
-        activity = self._activity
-        for var in range(1, self._num_vars + 1):
-            if values[var] == _UNASSIGNED and activity[var] > best_activity:
-                best_var = var
-                best_activity = activity[var]
-        if best_var == 0:
-            return None
-        return best_var if self._polarity[best_var] else -best_var
+        while True:
+            var = self._order.pop()
+            if var is None:
+                return None
+            if values[var] == _UNASSIGNED:
+                return var if self._polarity[var] else -var
 
     def _learn(self, lits: list[int]) -> None:
         if len(lits) == 1:
@@ -480,6 +498,7 @@ class Solver:
             for index in range(1, self._num_vars + 1):
                 self._activity[index] *= 1e-100
             self._var_inc *= 1e-100
+        self._order.update(var)
 
     def _bump_clause(self, clause: _Clause) -> None:
         if not clause.learned:

@@ -157,7 +157,7 @@ def push_guard(guard: s.Formula, formula: s.Formula) -> s.Formula:
         body = formula.body
         clash = set(vars_) & guard_frees
         if clash:
-            avoid = guard_frees | s.free_vars(body) | set(vars_)
+            avoid = set(guard_frees | s.free_vars(body) | set(vars_))
             renaming: dict[s.Var, s.Term] = {}
             renamed = []
             for var in vars_:

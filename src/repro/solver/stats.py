@@ -1,0 +1,111 @@
+"""Structured solver statistics.
+
+Every solver entry point in this codebase used to report an ad-hoc
+``dict[str, int]`` of counters and callers folded them together with
+copy-pasted ``_accumulate`` helpers.  :class:`SolverStats` is the one
+record they now share: aggregate query counters (sat/unsat answers, cache
+hits, queries dispatched to worker processes), the merged EPR/SAT engine
+counters, and wall-clock time per named phase.
+
+The raw ``statistics`` dicts on result objects (:class:`EprResult`,
+:class:`~repro.core.bounded.BoundedResult`, ...) are kept for
+compatibility; a :class:`SolverStats` absorbs them via :meth:`record` and
+is what the ``--stats`` CLI flag prints.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+
+@dataclass
+class SolverStats:
+    """Aggregate counters and per-phase timing for a batch of solver work."""
+
+    queries: int = 0
+    sat_answers: int = 0
+    unsat_answers: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    dispatched: int = 0  # queries solved in worker processes
+    counters: dict[str, int] = field(default_factory=dict)
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------ recording
+
+    def record(
+        self,
+        statistics: Mapping[str, int] | None = None,
+        *,
+        satisfiable: bool | None = None,
+        cached: bool = False,
+        dispatched: bool = False,
+    ) -> None:
+        """Absorb one query outcome and its engine counters."""
+        self.queries += 1
+        if satisfiable is True:
+            self.sat_answers += 1
+        elif satisfiable is False:
+            self.unsat_answers += 1
+        if cached:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+        if dispatched:
+            self.dispatched += 1
+        if statistics:
+            self.add_counters(statistics)
+
+    def add_counters(self, statistics: Mapping[str, int]) -> None:
+        for key, value in statistics.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a named phase; nested/repeated phases accumulate."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+
+    def merge(self, other: "SolverStats") -> None:
+        self.queries += other.queries
+        self.sat_answers += other.sat_answers
+        self.unsat_answers += other.unsat_answers
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.dispatched += other.dispatched
+        self.add_counters(other.counters)
+        for name, seconds in other.phase_seconds.items():
+            self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    # ------------------------------------------------------------ reporting
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of queries answered from the cache (0.0 when none ran)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def format(self) -> str:
+        """A human-readable multi-line summary (what ``--stats`` prints)."""
+        lines = ["solver statistics:"]
+        lines.append(
+            f"  queries        {self.queries}"
+            f" (sat {self.sat_answers}, unsat {self.unsat_answers})"
+        )
+        lines.append(
+            f"  cache          {self.cache_hits} hits / "
+            f"{self.cache_misses} misses ({self.cache_hit_rate:.0%} hit rate)"
+        )
+        lines.append(f"  dispatched     {self.dispatched} to worker processes")
+        for key in sorted(self.counters):
+            lines.append(f"  {key:14s} {self.counters[key]}")
+        for name in sorted(self.phase_seconds):
+            lines.append(f"  [{name}] {self.phase_seconds[name]:.2f}s")
+        return "\n".join(lines)

@@ -13,6 +13,7 @@ class TestKInvariance:
         result = check_k_invariance(leader_bundle.program, phi, 1)
         assert result.holds
 
+    @pytest.mark.slow
     def test_initially_true_later_false(self, leader_bundle):
         """'no leader' holds initially but fails once elections can finish."""
         vocab = leader_bundle.program.vocab
@@ -28,6 +29,7 @@ class TestKInvariance:
         trace.validate()
         assert not trace.states[-1].satisfies(no_leader)
 
+    @pytest.mark.slow
     def test_safety_is_k_invariant_for_correct_model(self, leader_bundle):
         result = check_k_invariance(
             leader_bundle.program, leader_bundle.safety[0].formula, 2
@@ -40,6 +42,7 @@ class TestKInvariance:
         with pytest.raises(ValueError):
             check_k_invariance(leader_bundle.program, phi, 1)
 
+    @pytest.mark.slow
     def test_invariant_conjectures_are_k_invariant(self, leader_bundle):
         unroller = make_unroller(leader_bundle.program)
         for conjecture in leader_bundle.invariant:
@@ -56,6 +59,7 @@ def figure4(leader_bundle):
     return buggy, find_error_trace(buggy, 4)
 
 
+@pytest.mark.slow
 class TestErrorTraces:
     def test_correct_model_safe(self, leader_bundle):
         result = find_error_trace(leader_bundle.program, 2)

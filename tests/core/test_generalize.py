@@ -42,6 +42,7 @@ def equivalent_under_axioms(program, f, g) -> bool:
 
 
 class TestCheckUnreachable:
+    @pytest.mark.slow
     def test_full_cti_unreachable(self, leader_bundle, leader_cti, unroller):
         """The CTI state itself (as a diagram) is unreachable within 3."""
         partial = from_structure(leader_cti.state)
@@ -51,6 +52,7 @@ class TestCheckUnreachable:
         result = check_unreachable(leader_bundle.program, partial, 2, unroller)
         assert result.unreachable
 
+    @pytest.mark.slow
     def test_overgeneralization_is_reachable(self, leader_bundle, leader_cti, unroller):
         """Forgetting the pnd information of this CTI leaves only 'a leader
         and a non-leader exist', which *is* reachable -- Ivy would show the
@@ -76,6 +78,7 @@ class TestCheckUnreachable:
         assert result.depth == 0
 
 
+@pytest.mark.slow
 class TestAutoGeneralize:
     def test_produces_paper_conjecture(self, leader_bundle, leader_cti, unroller):
         """Generalizing the violation slice of the first CTI yields a

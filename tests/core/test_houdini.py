@@ -81,6 +81,7 @@ class TestHoudini:
         result = houdini(lock_bundle.program, list(lock_bundle.safety))
         assert result.invariant == ()
 
+    @pytest.mark.slow
     def test_full_automation_proves_lock_server(self, lock_bundle):
         """Templates + Houdini re-derive the lock server proof end to end
         (the paper's Chord strategy, dogfooded on the lock server)."""

@@ -50,6 +50,7 @@ class TestObligations:
 
 
 class TestLeaderElection:
+    @pytest.mark.slow
     def test_full_invariant_inductive(self, leader_bundle):
         result = check_inductive(leader_bundle.program, list(leader_bundle.invariant))
         assert result.holds
@@ -73,6 +74,7 @@ class TestLeaderElection:
         else:
             assert cti.successor is None  # an abort, not a conjecture violation
 
+    @pytest.mark.slow
     def test_dropping_c3_gives_cti_on_c2(self, leader_bundle):
         result = check_inductive(
             leader_bundle.program, list(leader_bundle.invariant[:3])
@@ -82,6 +84,7 @@ class TestLeaderElection:
         assert result.cti.obligation.target == "C2"
         assert "receive" in result.cti.action
 
+    @pytest.mark.slow
     def test_missing_axiom_breaks_invariant(self, leader_bundle):
         buggy = leader_bundle.program.without_axiom("unique_ids")
         result = check_inductive(buggy, list(leader_bundle.invariant))
@@ -94,6 +97,7 @@ class TestLeaderElection:
         bad = Conjecture("b", parse_formula("forall N:node. leader(N)", vocab))
         assert check_initiation(leader_bundle.program, bad).satisfiable
 
+    @pytest.mark.slow
     def test_obligation_vc_satisfiability_matches(self, leader_bundle):
         obls = obligations(leader_bundle.program, list(leader_bundle.invariant))
         for obligation in obls:

@@ -80,6 +80,7 @@ class TestAlgorithm1:
         ]
         return find_minimal_cti(program, list(leader_bundle.safety), measures)
 
+    @pytest.mark.slow
     def test_matches_figure7_size(self, leader_bundle, minimal):
         """The minimal CTI for C0 alone is the Figure 7 (a1) shape: two
         nodes, two ids, one pending message, one leader."""
@@ -91,6 +92,7 @@ class TestAlgorithm1:
         assert state.positive_count(vocab.relation("pnd")) == 1
         assert state.positive_count(vocab.relation("leader")) == 1
 
+    @pytest.mark.slow
     def test_reported_bounds(self, minimal):
         assert dict(minimal.bounds) == {
             "|node|": 2,
@@ -99,12 +101,14 @@ class TestAlgorithm1:
             "#leader": 1,
         }
 
+    @pytest.mark.slow
     def test_minimal_cti_still_a_cti(self, leader_bundle, minimal):
         cti = minimal.cti
         assert cti.state.satisfies(leader_bundle.safety[0].formula)
         assert cti.successor is not None
         assert not cti.successor.satisfies(leader_bundle.safety[0].formula)
 
+    @pytest.mark.slow
     def test_inductive_set_returns_none(self, leader_bundle):
         result = find_minimal_cti(
             leader_bundle.program, list(leader_bundle.invariant), ()

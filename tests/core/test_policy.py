@@ -70,6 +70,7 @@ class TestViolationSubconfiguration:
 
 
 class TestOraclePolicy:
+    @pytest.mark.slow
     def test_skips_present_conjectures(self, leader_bundle):
         session = Session(leader_bundle.program, initial=leader_bundle.invariant[:2])
         result = session.find_cti()
@@ -78,6 +79,7 @@ class TestOraclePolicy:
         assert isinstance(action, AddConjecture)
         assert action.conjecture.name in ("C2", "C3")
 
+    @pytest.mark.slow
     def test_stops_without_matching_conjecture(self, leader_bundle):
         session = Session(leader_bundle.program, initial=leader_bundle.safety)
         result = session.find_cti()

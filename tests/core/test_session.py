@@ -41,10 +41,12 @@ class TestSessionBasics:
         with pytest.raises(SessionError):
             session.remove_conjecture("nope")
 
+    @pytest.mark.slow
     def test_check_inductive_with_full_invariant(self, leader_bundle):
         session = Session(leader_bundle.program, initial=leader_bundle.invariant)
         assert session.check().holds
 
+    @pytest.mark.slow
     def test_cti_partial_drops_scratch(self, leader_bundle):
         session = Session(leader_bundle.program, initial=leader_bundle.safety)
         result = session.find_cti()
@@ -57,6 +59,7 @@ class TestSessionBasics:
 
 
 class TestOracleSession:
+    @pytest.mark.slow
     def test_leader_election_g_is_3(self, leader_bundle):
         """Replaying with the paper's invariant measures G = 3 CTIs, the
         Figure 14 leader-election row."""
@@ -76,6 +79,7 @@ class TestOracleSession:
 
 
 class TestScriptedPolicy:
+    @pytest.mark.slow
     def test_script_steps_run_in_order(self, leader_bundle):
         session = Session(leader_bundle.program, initial=leader_bundle.safety)
         seen = []
@@ -92,6 +96,7 @@ class TestScriptedPolicy:
         assert seen == ["one", "two"]
         assert not outcome.success and outcome.reason == "enough"
 
+    @pytest.mark.slow
     def test_weakening_via_remove(self, leader_bundle):
         """A 'wrong' conjecture can be removed when a CTI reveals it."""
         vocab = leader_bundle.program.vocab
@@ -113,6 +118,7 @@ class TestScriptedPolicy:
         assert not outcome.success
         assert outcome.reason == "script exhausted"
 
+    @pytest.mark.slow
     def test_transcript_records_events(self, leader_bundle):
         session = Session(leader_bundle.program, initial=leader_bundle.safety)
         session.run(OraclePolicy(leader_bundle.invariant))

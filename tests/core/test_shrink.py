@@ -8,6 +8,7 @@ from repro.logic import parse_formula
 
 
 class TestShrink:
+    @pytest.mark.slow
     def test_chord_core_is_smaller(self):
         from repro.protocols import chord
 
@@ -32,6 +33,7 @@ class TestShrink:
         assert result.dropped == ()
         assert len(result.core) == len(bundle.invariant)
 
+    @pytest.mark.slow
     def test_redundant_conjecture_dropped(self, leader_bundle):
         vocab = leader_bundle.program.vocab
         redundant = Conjecture(

@@ -16,6 +16,7 @@ def election_trace(leader_bundle):
     return result.trace
 
 
+@pytest.mark.slow
 class TestTrace:
     def test_lengths_consistent(self, election_trace):
         assert election_trace.length == len(election_trace.states) - 1

@@ -61,6 +61,7 @@ class TestWellFormedness:
         assert {c.name for c in b.safety} <= invariant_names
 
 
+@pytest.mark.slow
 class TestInvariants:
     def test_conjectures_satisfy_initiation(self, bundle):
         _, b = bundle
@@ -87,6 +88,7 @@ class TestInvariants:
             assert result.cti.state.satisfies(conjecture.formula)
 
 
+@pytest.mark.slow
 class TestBoundedSafety:
     def test_no_error_within_small_bound(self, bundle):
         from repro.core.bounded import find_error_trace

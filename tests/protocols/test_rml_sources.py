@@ -69,11 +69,12 @@ class TestDistributedLockText:
         ]
         assert updates
         assert isinstance(updates[0].term, Ite)
-
+    @pytest.mark.slow
     def test_invariant_inductive(self, program):
         conjectures = _conjectures(program, rml_sources.DISTRIBUTED_LOCK_INVARIANT)
         assert check_inductive(program, conjectures).holds
 
+    @pytest.mark.slow
     def test_bmc_clean(self, program):
         from repro.core.bounded import find_error_trace
 

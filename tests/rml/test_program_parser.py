@@ -103,6 +103,7 @@ class TestParsing:
 class TestSemanticEquivalence:
     """The text model verifies exactly like the programmatic Figure 1 model."""
 
+    @pytest.mark.slow
     def test_invariant_inductive(self, text_program):
         vocab = text_program.vocab
         conjectures = [
@@ -141,6 +142,7 @@ class TestSemanticEquivalence:
         result = check_inductive(text_program, conjectures)
         assert result.holds
 
+    @pytest.mark.slow
     def test_bug_reappears_without_axiom(self, text_program):
         buggy = text_program.without_axiom("unique_ids")
         result = find_error_trace(buggy, 4)

@@ -1,0 +1,212 @@
+"""Parallel dispatch, query caching, and structured solver statistics."""
+
+import pytest
+
+from repro.logic import FALSE, TRUE, FuncDecl, RelDecl, Sort, Var, vocabulary
+from repro.logic import syntax as s
+from repro.solver import (
+    EprSolver,
+    Query,
+    QueryCache,
+    SolverStats,
+    install_cache,
+    query_of,
+    resolve_jobs,
+    solve_queries,
+)
+
+elem = Sort("elem")
+p = RelDecl("p", (elem,))
+q = RelDecl("q", (elem,))
+VOCAB = vocabulary(sorts=[elem], relations=[p, q], functions=[])
+X = Var("X", elem)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Isolate the process-global query cache per test."""
+    cache = QueryCache()
+    old = install_cache(cache)
+    yield cache
+    install_cache(old)
+
+
+def _solver(formulas, **kw):
+    solver = EprSolver(VOCAB, **kw)
+    for index, formula in enumerate(formulas):
+        solver.add(formula, name=f"f{index}")
+    return solver
+
+
+SOME_P = s.exists((X,), s.Rel(p, (X,)))
+NO_P = s.forall((X,), s.not_(s.Rel(p, (X,))))
+SOME_Q = s.exists((X,), s.Rel(q, (X,)))
+
+
+class TestQueryCache:
+    def test_identical_query_hits(self, fresh_cache):
+        first = _solver([SOME_P, NO_P]).check()
+        second = _solver([SOME_P, NO_P]).check()
+        assert not first.satisfiable and not second.satisfiable
+        assert second.statistics == {"cache_hits": 1}
+        assert fresh_cache.hits == 1
+
+    def test_different_queries_miss(self, fresh_cache):
+        _solver([SOME_P, NO_P]).check()
+        other = _solver([SOME_P, SOME_Q]).check()
+        assert other.satisfiable
+        assert "cache_hits" not in other.statistics
+        assert fresh_cache.hits == 0
+        assert len(fresh_cache) == 2
+
+    def test_hit_preserves_answer_and_model(self, fresh_cache):
+        first = _solver([SOME_P]).check()
+        second = _solver([SOME_P]).check()
+        assert second.satisfiable
+        assert second.model == first.model
+        assert second.core == first.core
+
+    def test_tracked_and_untracked_do_not_collide(self, fresh_cache):
+        tracked = EprSolver(VOCAB)
+        tracked.add(NO_P, name="all")
+        tracked.add(SOME_P, name="some", track=True)
+        with_core = tracked.check()
+        assert not with_core.satisfiable and with_core.core == {"some"}
+        plain = _solver([NO_P, SOME_P]).check()
+        assert not plain.satisfiable and plain.core == frozenset()
+
+    def test_assumption_sets_are_separate_keys(self, fresh_cache):
+        def prepared():
+            solver = EprSolver(VOCAB)
+            solver.add(SOME_P, name="base")
+            solver.add(NO_P, name="no_p", track=True)
+            solver.add(SOME_Q, name="some_q", track=True)
+            return solver.prepare()
+
+        assert not prepared().solve({"no_p"}).satisfiable
+        assert prepared().solve({"some_q"}).satisfiable
+        repeat = prepared().solve({"no_p"})
+        assert not repeat.satisfiable
+        assert repeat.statistics == {"cache_hits": 1}
+
+    def test_install_none_disables(self):
+        install_cache(None)
+        _solver([SOME_P]).check()
+        result = _solver([SOME_P]).check()
+        assert "cache_hits" not in result.statistics
+
+    def test_capacity_evicts_fifo(self):
+        cache = QueryCache(capacity=1)
+        install_cache(cache)
+        _solver([SOME_P]).check()
+        _solver([SOME_Q]).check()
+        assert len(cache) == 1
+        result = _solver([SOME_P]).check()  # evicted: solved again
+        assert "cache_hits" not in result.statistics
+
+
+class TestDispatch:
+    QUERIES = [
+        [SOME_P, NO_P],  # unsat
+        [SOME_P, SOME_Q],  # sat
+        [SOME_Q],  # sat
+        [s.and_(SOME_Q, s.forall((X,), s.not_(s.Rel(q, (X,)))))],  # unsat
+    ]
+
+    def _queries(self):
+        return [
+            query_of(_solver(formulas), name=f"q{index}")
+            for index, formulas in enumerate(self.QUERIES)
+        ]
+
+    def test_parallel_matches_serial(self):
+        install_cache(None)  # make both paths actually solve
+        serial = solve_queries(self._queries(), jobs=1)
+        parallel = solve_queries(self._queries(), jobs=4)
+        assert [r.satisfiable for (r,) in serial] == [False, True, True, False]
+        assert [r.satisfiable for (r,) in parallel] == [
+            r.satisfiable for (r,) in serial
+        ]
+        for (a,), (b,) in zip(serial, parallel):
+            assert a.core == b.core
+            assert (a.model is None) == (b.model is None)
+
+    def test_multiple_solve_sets_share_grounding(self):
+        solver = EprSolver(VOCAB)
+        solver.add(SOME_P, name="base")
+        solver.add(NO_P, name="no_p", track=True)
+        solver.add(SOME_Q, name="some_q", track=True)
+        query = query_of(
+            solver, solve_sets=[frozenset({"no_p"}), frozenset({"some_q"})]
+        )
+        (results,) = solve_queries([query], jobs=1)
+        assert [r.satisfiable for r in results] == [False, True]
+
+    def test_stats_recorded(self):
+        stats = SolverStats()
+        solve_queries(self._queries(), jobs=2, stats=stats)
+        assert stats.queries == 4
+        assert stats.sat_answers == 2
+        assert stats.unsat_answers == 2
+        assert stats.dispatched == 4
+
+    def test_resolve_jobs_priority(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == 1
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        assert resolve_jobs(2) == 2
+        monkeypatch.setenv("REPRO_JOBS", "junk")
+        assert resolve_jobs(None) == 1
+
+
+@pytest.mark.slow
+class TestParallelEntryPoints:
+    def test_check_k_invariance_parallel_matches_serial(self, leader_bundle):
+        from repro.core.bounded import check_k_invariance
+
+        program = leader_bundle.program
+        safety = leader_bundle.safety[0].formula
+        install_cache(None)
+        serial = check_k_invariance(program, safety, 1, jobs=1)
+        parallel = check_k_invariance(program, safety, 1, jobs=2)
+        assert serial.holds and parallel.holds
+
+    def test_check_inductive_parallel_matches_serial(self, leader_bundle):
+        from repro.core.induction import check_inductive
+
+        program = leader_bundle.program
+        conjectures = list(leader_bundle.invariant)
+        install_cache(None)
+        serial = check_inductive(program, conjectures, jobs=1)
+        parallel = check_inductive(program, conjectures, jobs=2)
+        assert serial.holds == parallel.holds
+
+
+class TestSolverStats:
+    def test_record_and_rates(self):
+        stats = SolverStats()
+        stats.record({"instances": 5}, satisfiable=True, cached=False)
+        stats.record({"instances": 2}, satisfiable=False, cached=True)
+        assert stats.queries == 2
+        assert stats.sat_answers == 1 and stats.unsat_answers == 1
+        assert stats.cache_hit_rate == 0.5
+        assert stats.counters["instances"] == 7
+
+    def test_merge(self):
+        a, b = SolverStats(), SolverStats()
+        a.record({}, satisfiable=True)
+        b.record({}, satisfiable=False, dispatched=True)
+        with b.phase("solve"):
+            pass
+        a.merge(b)
+        assert a.queries == 2 and a.dispatched == 1
+        assert "solve" in a.phase_seconds
+
+    def test_format_mentions_cache_and_queries(self):
+        stats = SolverStats()
+        stats.record({"conflicts": 3}, satisfiable=False, cached=True)
+        text = stats.format()
+        assert "queries" in text and "cache" in text and "conflicts" in text

@@ -18,7 +18,7 @@ from repro.logic import (
     parse_formula,
     vocabulary,
 )
-from repro.logic.syntax import App, Rel
+from repro.logic.syntax import App, Rel, free_vars
 from repro.solver.grounding import (
     GroundingExplosion,
     check_universe_closed,
@@ -192,6 +192,17 @@ class TestSplitter:
         out = push_guard(guard, body)
         # Both conjuncts receive the guard disjunct, the forall keeps scope.
         assert isinstance(out, type(and_(guard, guard)))
+
+    def test_push_guard_renames_clashing_binder(self):
+        """An open guard whose free variable is captured by the quantifier
+        must force a binder rename, not capture (or crash)."""
+        X = Var("X", node)
+        guard = Rel(p, (X,))
+        out = push_guard(guard, forall((X,), Rel(p, (X,))))
+        assert isinstance(out, forall((X,), guard).__class__)
+        (bound,) = out.vars
+        assert bound != X  # renamed away from the guard's free X
+        assert X in free_vars(out)
 
     def test_split_preserves_satisfiability(self):
         """Splitting is equisatisfiable: check both ways on the EPR solver."""

@@ -28,6 +28,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "no assertion violation" in out
 
+    @pytest.mark.slow
     def test_bmc_finds_figure4_bug(self, capsys):
         code = main(["bmc", "leader_election", "-k", "4", "--drop-axiom", "unique_ids"])
         assert code == 1

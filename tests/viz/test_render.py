@@ -120,6 +120,7 @@ class TestDot:
 
 
 class TestTraceDot:
+    @pytest.mark.slow
     def test_trace_dot_clusters(self, leader_bundle):
         from repro.core.bounded import check_k_invariance
         from repro.logic import parse_formula
