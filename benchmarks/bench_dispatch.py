@@ -147,3 +147,41 @@ def test_houdini_rerun_cache_hit_rate(benchmark, bundles, results_dir, fresh_cac
         f"({second_stats.cache_hit_rate:.0%})\n\n{second_stats.format()}\n",
     )
     assert second_stats.cache_hit_rate >= 0.9
+
+
+def test_budget_metering_overhead(benchmark, bundles, results_dir, no_cache):
+    """A generous budget must not measurably slow solving down.
+
+    The meter is charged on every conflict and amortized elsewhere; this
+    pins the cooperative-enforcement overhead on a real workload (serial
+    multi-depth BMC) to under 25%.
+    """
+    from repro.solver import Budget
+
+    bundle = bundles["leader_election"]
+    safety = bundle.safety[0].formula
+    start = time.perf_counter()
+    plain = check_k_invariance(bundle.program, safety, BMC_BOUND, jobs=1)
+    plain_time = time.perf_counter() - start
+    budget = Budget(wall_seconds=600.0, conflicts=50_000_000, instances=50_000_000)
+
+    def run():
+        return check_k_invariance(
+            bundle.program, safety, BMC_BOUND, jobs=1, budget=budget
+        )
+
+    start = time.perf_counter()
+    metered = benchmark.pedantic(run, rounds=1, iterations=1)
+    metered_time = time.perf_counter() - start
+    assert plain.holds and metered.holds and not metered.unknown
+    overhead = metered_time / plain_time - 1.0 if plain_time else 0.0
+    benchmark.extra_info.update(
+        {"plain_s": round(plain_time, 2), "overhead": round(overhead, 3)}
+    )
+    record(
+        results_dir,
+        "dispatch_budget_overhead",
+        f"BMC k={BMC_BOUND} leader_election: unbudgeted {plain_time:.2f}s, "
+        f"budgeted {metered_time:.2f}s ({overhead:+.1%} overhead)\n",
+    )
+    assert overhead < 0.25

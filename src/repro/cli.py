@@ -18,16 +18,23 @@ Subcommands mirror the paper's workflow:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
-from .core.bounded import find_error_trace
+from .core.bounded import BoundedResult, find_error_trace
 from .core.induction import Conjecture, check_inductive
 from .core.policy import OraclePolicy
 from .core.session import Session
 from .logic import parse_formula
 from .protocols import ALL_PROTOCOLS
+from .solver.budget import Budget, resolve_budget
+from .solver.cache import query_cache
 from .solver.stats import SolverStats
+
+#: Exit code for UNKNOWN outcomes (budget exhausted), distinct from
+#: 0 = verified and 1 = violation/not-inductive.
+EXIT_UNKNOWN = 2
 
 
 def _stats_of(args: argparse.Namespace) -> SolverStats | None:
@@ -37,8 +44,33 @@ def _stats_of(args: argparse.Namespace) -> SolverStats | None:
 
 def _print_stats(stats: SolverStats | None) -> None:
     if stats is not None:
+        stats.note_cache(query_cache())
         print()
         print(stats.format())
+
+
+def _budget_of(args: argparse.Namespace) -> Budget | None:
+    """Build the query budget from CLI flags (which override env vars)."""
+    if getattr(args, "retries", None) is not None:
+        # solve_queries reads retries through resolve_retries; the env var
+        # is the channel that reaches every dispatch site.
+        os.environ["REPRO_RETRIES"] = str(args.retries)
+    return resolve_budget(
+        wall_seconds=getattr(args, "timeout", None),
+        conflicts=getattr(args, "conflict_budget", None),
+        rss_mb=getattr(args, "memory_mb", None),
+    )
+
+
+def _report_unknown(result: BoundedResult, bound: int) -> None:
+    """Print the graceful-degradation summary for an unknown BMC result."""
+    verified = result.verified_depth
+    if verified is not None and verified >= 0:
+        print(f"safe up to depth {verified}", end=", ")
+    reasons = ", ".join(
+        f"depth {depth} unknown ({reason.value})" for depth, reason in result.failures
+    )
+    print(f"bound {bound} not fully explored: {reasons}")
 
 
 def _bundle(name: str):
@@ -67,14 +99,21 @@ def cmd_bmc(args: argparse.Namespace) -> int:
     if args.drop_axiom:
         program = program.without_axiom(args.drop_axiom)
     stats = _stats_of(args)
+    budget = _budget_of(args)
     start = time.time()
-    result = find_error_trace(program, args.bound, jobs=args.jobs, stats=stats)
+    result = find_error_trace(
+        program, args.bound, jobs=args.jobs, stats=stats, budget=budget
+    )
     elapsed = time.time() - start
     if result.holds:
         print(f"no assertion violation within {args.bound} iterations "
               f"({elapsed:.1f}s)")
         _print_stats(stats)
         return 0
+    if result.unknown:
+        _report_unknown(result, args.bound)
+        _print_stats(stats)
+        return EXIT_UNKNOWN
     print(f"assertion violation at depth {result.depth} ({elapsed:.1f}s):")
     print()
     print(result.trace)
@@ -85,18 +124,30 @@ def cmd_bmc(args: argparse.Namespace) -> int:
 def cmd_check(args: argparse.Namespace) -> int:
     bundle = _bundle(args.protocol)
     stats = _stats_of(args)
+    budget = _budget_of(args)
     start = time.time()
     result = check_inductive(
-        bundle.program, list(bundle.invariant), jobs=args.jobs, stats=stats
+        bundle.program, list(bundle.invariant), jobs=args.jobs, stats=stats,
+        budget=budget,
     )
     elapsed = time.time() - start
-    print(f"invariant inductive: {result.holds} ({elapsed:.1f}s)")
+    inconclusive = result.unknown_obligations and result.cti is None
+    if inconclusive:
+        print(f"invariant inductive: unknown ({elapsed:.1f}s)")
+    else:
+        print(f"invariant inductive: {result.holds} ({elapsed:.1f}s)")
     for conjecture in bundle.invariant:
         print(f"  {conjecture.name}: {conjecture.formula}")
+    if result.unknown_obligations:
+        print("obligations exhausting their budget:")
+        for description in result.unknown_obligations:
+            print(f"  {description}")
     if not result.holds and result.cti is not None:
         print()
         print(result.cti)
     _print_stats(stats)
+    if inconclusive:
+        return EXIT_UNKNOWN
     return 0 if result.holds else 1
 
 
@@ -144,19 +195,34 @@ def cmd_verify(args: argparse.Namespace) -> int:
     print(f"parsed {program.name!r}: {len(program.vocab.sorts)} sorts, "
           f"{len(program.vocab.relations)} relations")
     stats = _stats_of(args)
-    result = find_error_trace(program, args.bound, jobs=args.jobs, stats=stats)
-    if not result.holds:
+    budget = _budget_of(args)
+    result = find_error_trace(
+        program, args.bound, jobs=args.jobs, stats=stats, budget=budget
+    )
+    if result.trace is not None:
         print(f"assertion violation at depth {result.depth}:")
         print(result.trace)
         _print_stats(stats)
         return 1
+    if result.unknown:
+        _report_unknown(result, args.bound)
+        _print_stats(stats)
+        return EXIT_UNKNOWN
     print(f"no assertion violation within {args.bound} iterations")
     if args.conjecture:
         conjectures = [
             Conjecture(f"C{i}", parse_formula(text, program.vocab))
             for i, text in enumerate(args.conjecture)
         ]
-        check = check_inductive(program, conjectures, jobs=args.jobs, stats=stats)
+        check = check_inductive(
+            program, conjectures, jobs=args.jobs, stats=stats, budget=budget
+        )
+        if check.unknown_obligations and check.cti is None:
+            print(f"conjunction of {len(conjectures)} conjectures inductive: "
+                  "unknown (budget exhausted on: "
+                  + ", ".join(check.unknown_obligations) + ")")
+            _print_stats(stats)
+            return EXIT_UNKNOWN
         print(f"conjunction of {len(conjectures)} conjectures inductive: "
               f"{check.holds}")
         if not check.holds and check.cti is not None:
@@ -188,6 +254,26 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument(
             "--stats", action="store_true",
             help="print aggregate solver statistics after the run",
+        )
+        subparser.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="wall-clock budget per query; exhausted queries degrade to "
+                 "UNKNOWN (default: REPRO_TIMEOUT or unlimited)",
+        )
+        subparser.add_argument(
+            "--conflict-budget", type=int, default=None, metavar="N",
+            help="SAT conflict cap per query "
+                 "(default: REPRO_CONFLICT_BUDGET or unlimited)",
+        )
+        subparser.add_argument(
+            "--memory-mb", type=int, default=None, metavar="MB",
+            help="address-space cap for worker processes "
+                 "(default: REPRO_MEMORY_MB or unlimited)",
+        )
+        subparser.add_argument(
+            "--retries", type=int, default=None, metavar="N",
+            help="crashed/hung worker retries before the in-process "
+                 "fallback (default: REPRO_RETRIES or 2)",
         )
 
     bmc = commands.add_parser("bmc", help="bounded debugging (Section 4.1)")

@@ -24,6 +24,7 @@ from ..logic.fragments import is_forall_exists
 from ..logic.structures import Structure
 from ..rml.ast import Program
 from ..rml.encode import Env, StepEncoding, TransitionEncoder, project_state
+from ..solver.budget import Budget, FailureReason
 from ..solver.dispatch import query_of, resolve_jobs, solve_queries
 from ..solver.epr import EprResult, EprSolver
 from ..solver.stats import SolverStats
@@ -32,13 +33,25 @@ from .trace import Trace
 
 @dataclass(frozen=True)
 class BoundedResult:
-    """Outcome of a bounded check."""
+    """Outcome of a bounded check.
+
+    Three verdicts.  ``holds`` means every depth up to ``bound`` was
+    conclusively refuted.  A violation carries a ``trace`` (and is a real
+    violation regardless of unknowns at other depths).  When some depth
+    exhausted its budget and no violation was found, ``unknown`` is True:
+    ``verified_depth`` is the deepest prefix of conclusively-safe depths
+    ("safe up to depth d") and ``failures`` lists the ``(depth, reason)``
+    pairs that went unanswered.
+    """
 
     holds: bool
     bound: int
     trace: Trace | None = None  # counterexample when the check fails
     depth: int | None = None  # loop iterations executed by the counterexample
     statistics: dict[str, int] = field(default_factory=dict)
+    unknown: bool = False
+    verified_depth: int | None = None
+    failures: tuple[tuple[int, FailureReason], ...] = ()
 
     def __bool__(self) -> bool:
         return self.holds
@@ -47,8 +60,9 @@ class BoundedResult:
 class _Unroller:
     """Incrementally unrolls a program, sharing encodings across depths."""
 
-    def __init__(self, program: Program) -> None:
+    def __init__(self, program: Program, budget: Budget | None = None) -> None:
         self.program = program
+        self.budget = budget
         self.encoder = TransitionEncoder(program)
         init = self.encoder.encode_step(program.init, self.encoder.base_env(), "init")
         self.init = init
@@ -91,7 +105,7 @@ class _Unroller:
             decl for decl in self.encoder.new_functions if decl in used and decl not in known
         ]
         vocab = self.program.vocab.extended(relations=extra_rels, functions=extra_funcs)
-        solver = EprSolver(vocab)
+        solver = EprSolver(vocab, budget=self.budget)
         for index, constraint in enumerate(constraints):
             solver.add(constraint, name=f"c{index}")
         return solver
@@ -122,6 +136,7 @@ def check_k_invariance(
     unroller: _Unroller | None = None,
     jobs: int | None = None,
     stats: SolverStats | None = None,
+    budget: Budget | None = None,
 ) -> BoundedResult:
     """Decide Eq. 3: does ``phi`` hold at the loop head for all j <= k?
 
@@ -133,10 +148,16 @@ def check_k_invariance(
     ``REPRO_JOBS`` set) they are solved in parallel across worker
     processes, reporting the shallowest violation.  Serial mode stops at
     the first violating depth instead.
+
+    With a ``budget``, depths that exhaust it degrade to UNKNOWN instead
+    of hanging: a violation found at *any* depth is still reported (it is
+    real regardless of unanswered siblings); otherwise the result reports
+    "safe up to ``verified_depth``" with the unanswered depths and their
+    failure reasons.
     """
     if not is_forall_exists(phi):
         raise ValueError(f"k-invariance needs a forall*exists* formula, got: {phi}")
-    unroller = unroller or _Unroller(program)
+    unroller = unroller or _Unroller(program, budget)
     statistics: dict[str, int] = {}
     if resolve_jobs(jobs) > 1 and k > 0:
         queries = []
@@ -146,22 +167,32 @@ def check_k_invariance(
             solver.add(goal, name="goal")
             queries.append(query_of(solver, name=f"depth{depth}"))
         batches = solve_queries(queries, jobs=jobs, stats=stats)
-        for depth, (result,) in enumerate(batches):
-            _accumulate(statistics, result.statistics)
+        results = [result for (result,) in batches]
+    else:
+        results = []
+        for depth in range(k + 1):
+            solver = unroller.solver_at(depth)
+            goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
+            solver.add(goal, name="goal")
+            result = solver.check()
+            _record(stats, result)
+            results.append(result)
             if result.satisfiable:
-                trace = unroller.trace_from(result, depth, aborted=False)
-                return BoundedResult(False, k, trace, depth, statistics)
-        return BoundedResult(True, k, statistics=statistics)
-    for depth in range(k + 1):
-        solver = unroller.solver_at(depth)
-        goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
-        solver.add(goal, name="goal")
-        result = solver.check()
+                break
+    failures: list[tuple[int, FailureReason]] = []
+    for depth, result in enumerate(results):
         _accumulate(statistics, result.statistics)
-        _record(stats, result)
         if result.satisfiable:
             trace = unroller.trace_from(result, depth, aborted=False)
             return BoundedResult(False, k, trace, depth, statistics)
+        if result.unknown:
+            failures.append((depth, result.failure))
+    if failures:
+        return BoundedResult(
+            False, k, statistics=statistics, unknown=True,
+            verified_depth=min(depth for depth, _ in failures) - 1,
+            failures=tuple(failures),
+        )
     return BoundedResult(True, k, statistics=statistics)
 
 
@@ -170,6 +201,7 @@ def find_error_trace(
     k: int,
     jobs: int | None = None,
     stats: SolverStats | None = None,
+    budget: Budget | None = None,
 ) -> BoundedResult:
     """Search for an assertion violation within ``k`` loop iterations.
 
@@ -177,9 +209,10 @@ def find_error_trace(
     finalization command from the j-th loop-head state can reach ``abort``.
     This is the bounded-debugging phase of Figure 3.  The depth/command
     probes are independent and are fanned out like
-    :func:`check_k_invariance` when ``jobs > 1``.
+    :func:`check_k_invariance` when ``jobs > 1``.  Probes that exhaust the
+    ``budget`` degrade to UNKNOWN; see :class:`BoundedResult`.
     """
-    unroller = _Unroller(program)
+    unroller = _Unroller(program, budget)
     statistics: dict[str, int] = {}
     probes: list[tuple[int, EprSolver]] = []
     for depth in range(k + 1):
@@ -209,17 +242,26 @@ def find_error_trace(
             results.append(result)
             if result.satisfiable:
                 break
+    failures: list[tuple[int, FailureReason]] = []
     for (depth, _), result in zip(probes, results):
         _accumulate(statistics, result.statistics)
         if result.satisfiable:
             trace = unroller.trace_from(result, depth, aborted=True)
             return BoundedResult(False, k, trace, depth, statistics)
+        if result.unknown:
+            failures.append((depth, result.failure))
+    if failures:
+        return BoundedResult(
+            False, k, statistics=statistics, unknown=True,
+            verified_depth=min(depth for depth, _ in failures) - 1,
+            failures=tuple(failures),
+        )
     return BoundedResult(True, k, statistics=statistics)
 
 
-def make_unroller(program: Program) -> _Unroller:
+def make_unroller(program: Program, budget: Budget | None = None) -> _Unroller:
     """Expose the incremental unroller for callers issuing repeated checks."""
-    return _Unroller(program)
+    return _Unroller(program, budget)
 
 
 def _accumulate(into: dict[str, int], new: dict[str, int]) -> None:
@@ -230,8 +272,4 @@ def _accumulate(into: dict[str, int], new: dict[str, int]) -> None:
 def _record(stats: SolverStats | None, result: EprResult) -> None:
     """Fold one in-process solver result into an optional SolverStats."""
     if stats is not None:
-        stats.record(
-            result.statistics,
-            satisfiable=result.satisfiable,
-            cached="cache_hits" in result.statistics,
-        )
+        stats.record_result(result)

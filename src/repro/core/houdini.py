@@ -29,6 +29,7 @@ from typing import Sequence
 from ..logic import syntax as s
 from ..rml.ast import Program
 from ..rml.wp import wp
+from ..solver.budget import Budget
 from ..solver.dispatch import query_of, resolve_jobs, solve_queries
 from ..solver.epr import EprSolver
 from ..solver.stats import SolverStats
@@ -37,11 +38,21 @@ from .induction import Conjecture
 
 @dataclass(frozen=True)
 class HoudiniResult:
+    """The strongest inductive subset, plus why each candidate was dropped.
+
+    ``dropped_unknown`` lists candidates whose check exhausted its budget:
+    they are dropped *conservatively*.  This keeps the final fixpoint sound
+    -- every surviving candidate's obligations were conclusively refuted
+    against exactly the surviving conjunction -- at the price of a weaker
+    (never wrong) invariant.
+    """
+
     invariant: tuple[Conjecture, ...]  # the strongest inductive subset
     dropped_initiation: tuple[str, ...]
     dropped_consecution: tuple[str, ...]
     rounds: int
     statistics: dict[str, int] = field(default_factory=dict)
+    dropped_unknown: tuple[str, ...] = ()
 
 
 def _candidate_solver(
@@ -49,10 +60,11 @@ def _candidate_solver(
     candidates: Sequence[Conjecture],
     command,
     premises: s.Formula,
+    budget: Budget | None = None,
 ) -> EprSolver:
     """A solver with every candidate's negated obligation tracked."""
     axioms = program.axiom_formula
-    solver = EprSolver(program.vocab, exclusive_tracked=True)
+    solver = EprSolver(program.vocab, exclusive_tracked=True, budget=budget)
     solver.add(s.and_(axioms, premises), name="premises")
     for candidate in candidates:
         obligation = s.not_(wp(command, candidate.formula, axioms))
@@ -68,22 +80,26 @@ def _batched_failures(
     statistics: dict[str, int],
     jobs: int | None = None,
     stats: SolverStats | None = None,
-) -> set[str]:
-    """Names of candidates whose ``premises => wp(command, c)`` fails.
+    budget: Budget | None = None,
+) -> tuple[set[str], set[str]]:
+    """Candidates whose ``premises => wp(command, c)`` fails or is unknown.
 
-    One grounded solver; candidate ``c``'s negated obligation is a tracked
-    constraint solved in isolation under its selector.  With ``jobs > 1``
-    the candidate pool is split into per-worker chunks, each chunk sharing
-    one grounding in its worker process.
+    Returns ``(failing, unknown)`` name sets.  One grounded solver;
+    candidate ``c``'s negated obligation is a tracked constraint solved in
+    isolation under its selector.  With ``jobs > 1`` the candidate pool is
+    split into per-worker chunks, each chunk sharing one grounding in its
+    worker process.  A whole-chunk grounding blowup marks every candidate
+    in the chunk unknown.
     """
     failing: set[str] = set()
+    unknown: set[str] = set()
     workers = resolve_jobs(jobs)
     if workers > 1 and len(candidates) > 1:
         chunks = [list(candidates[index::workers]) for index in range(workers)]
         chunks = [chunk for chunk in chunks if chunk]
         queries = [
             query_of(
-                _candidate_solver(program, chunk, command, premises),
+                _candidate_solver(program, chunk, command, premises, budget),
                 solve_sets=[frozenset({c.name}) for c in chunk],
                 name=f"houdini-chunk{index}",
             )
@@ -93,22 +109,31 @@ def _batched_failures(
         for chunk, batch in zip(chunks, batches):
             for candidate, result in zip(chunk, batch):
                 _accumulate(statistics, result.statistics)
-                if result.satisfiable:
+                if result.unknown:
+                    unknown.add(candidate.name)
+                elif result.satisfiable:
                     failing.add(candidate.name)
-        return failing
-    prepared = _candidate_solver(program, candidates, command, premises).prepare()
+        return failing, unknown
+    solver = _candidate_solver(program, candidates, command, premises, budget)
+    try:
+        prepared = solver.prepare()
+    except Exception as error:  # grounding blowup / budget exhausted
+        from ..solver.budget import BudgetExceeded
+        from ..solver.grounding import GroundingExplosion
+
+        if not isinstance(error, (BudgetExceeded, GroundingExplosion)):
+            raise
+        return failing, {candidate.name for candidate in candidates}
     for candidate in candidates:
         result = prepared.solve({candidate.name})
         _accumulate(statistics, result.statistics)
         if stats is not None:
-            stats.record(
-                result.statistics,
-                satisfiable=result.satisfiable,
-                cached="cache_hits" in result.statistics,
-            )
-        if result.satisfiable:
+            stats.record_result(result)
+        if result.unknown:
+            unknown.add(candidate.name)
+        elif result.satisfiable:
             failing.add(candidate.name)
-    return failing
+    return failing, unknown
 
 
 def houdini(
@@ -117,13 +142,26 @@ def houdini(
     max_rounds: int = 1000,
     jobs: int | None = None,
     stats: SolverStats | None = None,
+    budget: Budget | None = None,
 ) -> HoudiniResult:
-    """Compute the strongest inductive subset of ``candidates``."""
+    """Compute the strongest inductive subset of ``candidates``.
+
+    With a ``budget``, a candidate whose check comes back UNKNOWN is
+    *dropped* exactly like a refuted one (and reported in
+    ``dropped_unknown``).  Dropping is conservative: the fixpoint test
+    only ever concludes on conclusively-refuted obligations, so the final
+    conjunction is still inductive -- just possibly weaker than an
+    unbudgeted run would find.
+    """
     statistics: dict[str, int] = {}
-    failing_init = _batched_failures(
-        program, candidates, program.init, s.TRUE, statistics, jobs, stats
+    failing_init, unknown_init = _batched_failures(
+        program, candidates, program.init, s.TRUE, statistics, jobs, stats, budget
     )
-    surviving = [c for c in candidates if c.name not in failing_init]
+    dropped_unknown: list[str] = sorted(unknown_init)
+    surviving = [
+        c for c in candidates
+        if c.name not in failing_init and c.name not in unknown_init
+    ]
     dropped_consec: list[str] = []
     rounds = 0
     while True:
@@ -131,19 +169,23 @@ def houdini(
         if rounds > max_rounds:
             raise RuntimeError("houdini failed to converge")
         invariant = s.and_(*(c.formula for c in surviving))
-        failing = _batched_failures(
-            program, surviving, program.body, invariant, statistics, jobs, stats
+        failing, unknown = _batched_failures(
+            program, surviving, program.body, invariant, statistics, jobs, stats,
+            budget,
         )
-        if not failing:
+        if not failing and not unknown:
             break
         dropped_consec.extend(sorted(failing))
-        surviving = [c for c in surviving if c.name not in failing]
+        dropped_unknown.extend(sorted(unknown))
+        dropped = failing | unknown
+        surviving = [c for c in surviving if c.name not in dropped]
     return HoudiniResult(
         tuple(surviving),
         tuple(sorted(failing_init)),
         tuple(dropped_consec),
         rounds,
         statistics,
+        tuple(dropped_unknown),
     )
 
 

@@ -27,6 +27,7 @@ from ..logic.structures import Structure
 from ..rml.ast import Program
 from ..rml.interp import Outcome, execute, successors
 from ..rml.wp import wp
+from ..solver.budget import Budget
 from ..solver.dispatch import query_of, resolve_jobs, solve_queries
 from ..solver.epr import EprResult, EprSolver
 from ..solver.stats import SolverStats
@@ -94,9 +95,18 @@ class CTI:
 
 @dataclass(frozen=True)
 class InductionResult:
+    """Outcome of an inductiveness check.
+
+    ``unknown_obligations`` names obligations whose query exhausted its
+    budget.  When it is non-empty and no CTI was found the check is
+    *inconclusive*: ``holds`` is False but ``cti`` is None -- the candidate
+    was neither proved nor refuted.
+    """
+
     holds: bool
     cti: CTI | None = None
     statistics: dict[str, int] = field(default_factory=dict)
+    unknown_obligations: tuple[str, ...] = ()
 
     def __bool__(self) -> bool:
         return self.holds
@@ -150,9 +160,10 @@ def check_obligation(
     program: Program,
     obligation: Obligation,
     extra_constraints: Iterable[s.Formula] = (),
+    budget: Budget | None = None,
 ) -> EprResult:
     """Satisfiability of one obligation's negated VC (sat = CTI exists)."""
-    solver = EprSolver(program.vocab)
+    solver = EprSolver(program.vocab, budget=budget)
     solver.add(obligation.vc, name="vc")
     for index, constraint in enumerate(extra_constraints):
         solver.add(constraint, name=f"extra{index}")
@@ -190,6 +201,7 @@ def check_inductive(
     conjectures: Sequence[Conjecture],
     jobs: int | None = None,
     stats: SolverStats | None = None,
+    budget: Budget | None = None,
 ) -> InductionResult:
     """Check Eq. 2 for the conjunction of ``conjectures``.
 
@@ -197,39 +209,47 @@ def check_inductive(
     the order initiation, safety, consecution, matching the search loop of
     Figure 5).  The obligations are mutually independent; ``jobs > 1``
     solves them in parallel and still reports the first failure in order.
+
+    With a ``budget``, obligations that exhaust it are collected in
+    ``unknown_obligations``: a CTI found elsewhere is still a real CTI,
+    but an otherwise-clean run with unknowns is inconclusive (holds=False,
+    cti=None) rather than a proof.
     """
     statistics: dict[str, int] = {}
     pending = obligations(program, conjectures)
+    unknown: list[str] = []
     if resolve_jobs(jobs) > 1 and len(pending) > 1:
         queries = []
         for obligation in pending:
-            solver = EprSolver(program.vocab)
+            solver = EprSolver(program.vocab, budget=budget)
             solver.add(obligation.vc, name="vc")
             queries.append(query_of(solver, name=obligation.description))
         batches = solve_queries(queries, jobs=jobs, stats=stats)
         for obligation, (result,) in zip(pending, batches):
             for key, value in result.statistics.items():
                 statistics[key] = statistics.get(key, 0) + value
-            if result.satisfiable:
+            if result.unknown:
+                unknown.append(obligation.description)
+            elif result.satisfiable:
                 assert result.model is not None
                 cti = cti_from_model(program, obligation, result.model)
-                return InductionResult(False, cti, statistics)
-        return InductionResult(True, statistics=statistics)
+                return InductionResult(False, cti, statistics, tuple(unknown))
+        return InductionResult(not unknown, statistics=statistics,
+                               unknown_obligations=tuple(unknown))
     for obligation in pending:
-        result = check_obligation(program, obligation)
+        result = check_obligation(program, obligation, budget=budget)
         for key, value in result.statistics.items():
             statistics[key] = statistics.get(key, 0) + value
         if stats is not None:
-            stats.record(
-                result.statistics,
-                satisfiable=result.satisfiable,
-                cached="cache_hits" in result.statistics,
-            )
-        if result.satisfiable:
+            stats.record_result(result)
+        if result.unknown:
+            unknown.append(obligation.description)
+        elif result.satisfiable:
             assert result.model is not None
             cti = cti_from_model(program, obligation, result.model)
-            return InductionResult(False, cti, statistics)
-    return InductionResult(True, statistics=statistics)
+            return InductionResult(False, cti, statistics, tuple(unknown))
+    return InductionResult(not unknown, statistics=statistics,
+                           unknown_obligations=tuple(unknown))
 
 
 def check_initiation(program: Program, conjecture: Conjecture) -> EprResult:

@@ -38,6 +38,7 @@ from ..logic.sorts import FuncDecl, RelDecl
 from ..rml.ast import Program, havocked_symbols
 from ..rml.encode import TransitionEncoder, project_state
 from ..rml.wp import wp, wp_body_safe, wp_final_safe
+from ..solver.budget import Budget, FailureReason
 from ..solver.dispatch import query_of, resolve_jobs, solve_queries
 from ..solver.epr import EprSolver
 from ..solver.stats import SolverStats
@@ -56,12 +57,27 @@ class UpdrStatus(enum.Enum):
 
 @dataclass
 class UpdrResult:
+    """``failure`` is set when the run ended because a *load-bearing* solver
+    query exhausted its budget even after ``restarts`` reruns with doubled
+    budgets; such an UNKNOWN is a resource verdict, distinct from the
+    spurious-abstract-counterexample UNKNOWN (``failure is None``)."""
+
     status: UpdrStatus
     invariant: tuple[Conjecture, ...] = ()
     frames_used: int = 0
     clauses_learned: int = 0
     trace: Trace | None = None
     statistics: dict[str, int] = field(default_factory=dict)
+    failure: FailureReason | None = None
+    restarts: int = 0
+
+
+class _BudgetExhausted(Exception):
+    """A blocking-path query came back UNKNOWN; the run must restart."""
+
+    def __init__(self, failure: FailureReason | None) -> None:
+        super().__init__(failure.value if failure else "unknown")
+        self.failure = failure or FailureReason.TIMEOUT
 
 
 class _Updr:
@@ -72,12 +88,14 @@ class _Updr:
         max_obligations: int,
         jobs: int | None = None,
         stats: SolverStats | None = None,
+        budget: Budget | None = None,
     ):
         self.program = program
         self.max_frames = max_frames
         self.max_obligations = max_obligations
         self.jobs = jobs
         self.solver_stats = stats
+        self.budget = budget
         self.axioms = program.axiom_formula
         self.safety = s.and_(wp_body_safe(program), wp_final_safe(program))
         # frames[i]: list of blocked partial structures (clauses are their
@@ -90,7 +108,7 @@ class _Updr:
         )
         # Frame 0 is the initial condition; one-step-from-init queries go
         # through the bounded unroller (init encoding + one transition).
-        self.unroller = make_unroller(program)
+        self.unroller = make_unroller(program, budget)
         self.scratch = frozenset(
             havocked_symbols(program.init)
             | havocked_symbols(program.body)
@@ -113,32 +131,41 @@ class _Updr:
             if key in ("instances", "conflicts"):
                 self.statistics[key] = self.statistics.get(key, 0) + value
         if self.solver_stats is not None:
-            self.solver_stats.record(
-                result.statistics,
-                satisfiable=result.satisfiable,
-                cached="cache_hits" in result.statistics,
-            )
+            self.solver_stats.record_result(result)
 
     # ------------------------------------------------------------- checks
 
     def _violates_safety(self, frame: int):
-        """A state in F_frame that can fail an assertion, or None."""
-        solver = EprSolver(self.program.vocab)
+        """A state in F_frame that can fail an assertion, or None.
+
+        An UNKNOWN here is load-bearing -- without an answer the frame can
+        neither be declared safe nor mined for a bad state -- so it aborts
+        the run for a restart with a larger budget.
+        """
+        solver = EprSolver(self.program.vocab, budget=self.budget)
         solver.add(self.axioms, name="axioms")
         solver.add(self._frame_formula(frame), name="frame")
         solver.add(s.not_(self.safety), name="unsafe")
         result = solver.check()
         self._count(result)
+        if result.unknown:
+            raise _BudgetExhausted(result.failure)
         return result.model if result.satisfiable else None
 
     def _initial_violation(self, partial: PartialStructure) -> bool:
-        """Can C_init produce a state containing ``partial``?"""
+        """Can C_init produce a state containing ``partial``?
+
+        UNKNOWN aborts for restart: blocking needs a definite answer
+        (callers on conservative paths catch :class:`_BudgetExhausted`).
+        """
         phi = conjecture(partial)
         vc = s.and_(self.axioms, s.not_(wp(self.program.init, phi, self.axioms)))
-        solver = EprSolver(self.program.vocab)
+        solver = EprSolver(self.program.vocab, budget=self.budget)
         solver.add(vc, name="init")
         result = solver.check()
         self._count(result)
+        if result.unknown:
+            raise _BudgetExhausted(result.failure)
         return result.satisfiable
 
     def _predecessor_query(self, partial: PartialStructure, frame: int):
@@ -150,7 +177,7 @@ class _Updr:
             hard, fact_formulas = _diagram_parts(partial, env, "post")
             project_env = self.unroller.envs[0]
         else:
-            solver = EprSolver(self.encoder.extended_vocab())
+            solver = EprSolver(self.encoder.extended_vocab(), budget=self.budget)
             solver.add(self.axioms, name="axioms")
             solver.add(self._frame_formula(frame - 1), name="frame")
             solver.add(self.step.formula, name="step")
@@ -171,18 +198,28 @@ class _Updr:
         solver, project_env = self._predecessor_query(partial, frame)
         result = solver.check()
         self._count(result)
+        if result.unknown:
+            raise _BudgetExhausted(result.failure)
         if not result.satisfiable:
             return None
         return project_state(result.model, self.program, project_env)
 
     def _generalize(self, partial: PartialStructure, frame: int) -> PartialStructure:
-        """Drop facts while the structure stays unpreceded and init-excluded."""
+        """Drop facts while the structure stays unpreceded and init-excluded.
+
+        Generalization is best-effort: an UNKNOWN on a drop attempt just
+        keeps the fact (the learned clause stays sound, merely less
+        general), rather than aborting the whole run.
+        """
         candidate = partial
         for fact in list(candidate.facts()):
             attempt = candidate.drop_fact(fact)
-            if self._initial_violation(attempt):
-                continue
-            if self._predecessor(attempt, frame) is not None:
+            try:
+                if self._initial_violation(attempt):
+                    continue
+                if self._predecessor(attempt, frame) is not None:
+                    continue
+            except _BudgetExhausted:
                 continue
             candidate = attempt
         return candidate
@@ -253,8 +290,10 @@ class _Updr:
         """An obligation chain reached the initial frame: check concretely."""
         from .bounded import find_error_trace
 
-        concrete = find_error_trace(self.program, max(depth, len(self.frames)))
-        if not concrete.holds:
+        concrete = find_error_trace(
+            self.program, max(depth, len(self.frames)), budget=self.budget
+        )
+        if concrete.trace is not None:
             return UpdrResult(
                 UpdrStatus.UNSAFE,
                 trace=concrete.trace,
@@ -262,6 +301,10 @@ class _Updr:
                 clauses_learned=self.clauses_learned,
                 statistics=self.statistics,
             )
+        if concrete.unknown:
+            # Could not even decide whether the abstract counterexample is
+            # concrete -- restart with a larger budget.
+            raise _BudgetExhausted(concrete.failures[0][1])
         # Spurious abstract counterexample: the universal abstraction cannot
         # decide this program -- the fragility the paper describes.
         return UpdrResult(
@@ -302,7 +345,12 @@ class _Updr:
         return None
 
     def _pushable(self, partial: PartialStructure, index: int) -> bool:
-        return self._predecessor(partial, index + 1) is None
+        """UNKNOWN means non-pushable: pushing a clause whose consecution
+        was not conclusively proved would make later frames unsound."""
+        try:
+            return self._predecessor(partial, index + 1) is None
+        except _BudgetExhausted:
+            return False
 
     def _pushable_batch(
         self, partials: Sequence[PartialStructure], index: int
@@ -322,14 +370,17 @@ class _Updr:
             for key, value in result.statistics.items():
                 if key in ("instances", "conflicts"):
                     self.statistics[key] = self.statistics.get(key, 0) + value
-        return [not result.satisfiable for (result,) in batches]
+        return [
+            not result.satisfiable and not result.unknown
+            for (result,) in batches
+        ]
 
     def _harvest(self, index: int) -> UpdrResult | None:
         conjectures = [
             Conjecture(f"U{i}", conjecture(p))
             for i, p in enumerate(self.frames[index])
         ]
-        result = check_inductive(self.program, conjectures)
+        result = check_inductive(self.program, conjectures, budget=self.budget)
         if result.holds:
             return UpdrResult(
                 UpdrStatus.SAFE,
@@ -347,6 +398,38 @@ def updr(
     max_obligations: int = 400,
     jobs: int | None = None,
     stats: SolverStats | None = None,
+    budget: Budget | None = None,
+    max_restarts: int = 2,
 ) -> UpdrResult:
-    """Run UPDR on ``program``; see the module docstring."""
-    return _Updr(program, max_frames, max_obligations, jobs, stats).run()
+    """Run UPDR on ``program``; see the module docstring.
+
+    With a ``budget``, a load-bearing UNKNOWN (safety probe, blocking
+    query, or concrete refutation) restarts the whole run with all budget
+    caps doubled, up to ``max_restarts`` times; if the final attempt still
+    exhausts its budget the result is UNKNOWN with ``failure`` set.
+    Conservative paths (generalization drops, clause pushes) degrade in
+    place and never trigger a restart.
+    """
+    attempt_budget = budget
+    restarts = 0
+    while True:
+        engine = _Updr(
+            program, max_frames, max_obligations, jobs, stats, attempt_budget
+        )
+        try:
+            result = engine.run()
+        except _BudgetExhausted as exhausted:
+            if restarts < max_restarts and attempt_budget is not None:
+                restarts += 1
+                attempt_budget = attempt_budget.escalated()
+                continue
+            return UpdrResult(
+                UpdrStatus.UNKNOWN,
+                frames_used=len(engine.frames),
+                clauses_learned=engine.clauses_learned,
+                statistics=engine.statistics,
+                failure=exhausted.failure,
+                restarts=restarts,
+            )
+        result.restarts = restarts
+        return result

@@ -6,11 +6,20 @@ for EPR satisfiability with finite-model extraction and unsat cores, and
 :class:`~repro.solver.sat.Solver` for raw propositional problems.
 """
 
+from .budget import (
+    Budget,
+    BudgetExceeded,
+    BudgetMeter,
+    FailureReason,
+    resolve_budget,
+    resolve_retries,
+)
 from .cache import QueryCache, install_cache, query_cache
 from .cnf import CnfBuilder, term_key
 from .dispatch import Query, query_of, resolve_jobs, solve_queries
-from .epr import EprResult, EprSolver, solve_epr
+from .epr import EprResult, EprSolver, solve_epr, unknown_result
 from .equality import EqualityTheory
+from .faults import FaultPlan, install_fault_plan, parse_fault_spec
 from .grounding import (
     GroundingExplosion,
     check_universe_closed,
@@ -22,10 +31,15 @@ from .sat import SatResult, Solver
 from .stats import SolverStats
 
 __all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "BudgetMeter",
     "CnfBuilder",
     "EprResult",
     "EprSolver",
     "EqualityTheory",
+    "FailureReason",
+    "FaultPlan",
     "GroundingExplosion",
     "Query",
     "QueryCache",
@@ -35,12 +49,17 @@ __all__ = [
     "check_universe_closed",
     "ground_universe",
     "install_cache",
+    "install_fault_plan",
     "instantiate_universals",
+    "parse_fault_spec",
     "query_cache",
     "query_of",
+    "resolve_budget",
     "resolve_jobs",
+    "resolve_retries",
     "solve_epr",
     "solve_queries",
     "term_key",
     "universe_size",
+    "unknown_result",
 ]

@@ -10,10 +10,15 @@ exactly what a re-solve would have computed, minus the solving.
 
 This is what lets Houdini re-checks and UPDR frame pushes that repeat an
 earlier obligation be answered without re-solving.  The cache is enabled
-by default and bounded (FIFO eviction); set ``REPRO_CACHE=0`` to disable
-it, e.g. when benchmarking raw solver performance.  Worker processes
-forked by :mod:`repro.solver.dispatch` inherit the parent's entries at
-fork time; entries they add are not propagated back.
+by default and bounded with **LRU eviction** (a long UPDR run cycles
+through thousands of one-off obligations; FIFO would evict the hot
+recurring ones).  ``REPRO_CACHE_SIZE`` overrides the default capacity,
+``REPRO_CACHE=0`` disables caching entirely, e.g. when benchmarking raw
+solver performance.  UNKNOWN results (budget exhaustion, worker crashes)
+are never stored: they prove nothing, and a retry with a larger budget
+must actually re-solve.  Worker processes forked by
+:mod:`repro.solver.dispatch` inherit the parent's entries at fork time;
+entries they add are not propagated back.
 """
 
 from __future__ import annotations
@@ -22,38 +27,53 @@ import os
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
+from .budget import _env_int
+
 if TYPE_CHECKING:  # pragma: no cover
     from .epr import EprResult
 
+DEFAULT_CAPACITY = 4096
+
 
 class QueryCache:
-    """A bounded FIFO map from query fingerprints to :class:`EprResult`."""
+    """A bounded LRU map from query fingerprints to :class:`EprResult`.
 
-    def __init__(self, capacity: int = 4096) -> None:
+    ``hits``/``misses``/``evictions`` are surfaced through
+    :class:`~repro.solver.stats.SolverStats` (``--stats``).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, EprResult]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def lookup(self, key: Hashable) -> "EprResult | None":
         result = self._entries.get(key)
         if result is None:
             self.misses += 1
             return None
+        self._entries.move_to_end(key)
         self.hits += 1
         return result
 
     def store(self, key: Hashable, result: "EprResult") -> None:
+        if getattr(result, "unknown", False):
+            return  # UNKNOWN proves nothing; a retry must re-solve
         if key in self._entries:
+            self._entries.move_to_end(key)
             return
         while len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
+            self.evictions += 1
         self._entries[key] = result
 
     def clear(self) -> None:
         self._entries.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -64,13 +84,22 @@ _installed = False
 _disabled_by_env = os.environ.get("REPRO_CACHE", "1") in ("0", "false", "no")
 
 
-def query_cache() -> QueryCache | None:
-    """The process-global cache, or None when caching is disabled."""
+def _env_capacity() -> int:
+    value = _env_int("REPRO_CACHE_SIZE")
+    return value if value is not None else DEFAULT_CAPACITY
+
+
+def query_cache(refresh: bool = False) -> QueryCache | None:
+    """The process-global cache, or None when caching is disabled.
+
+    ``refresh=True`` discards the current cache and rebuilds it from the
+    environment (used by tests exercising ``REPRO_CACHE_SIZE``).
+    """
     global _cache, _installed
     if _disabled_by_env:
         return None
-    if not _installed:
-        _cache = QueryCache()
+    if refresh or not _installed:
+        _cache = QueryCache(capacity=_env_capacity())
         _installed = True
     return _cache
 

@@ -1,37 +1,72 @@
-"""Parallel dispatch of independent EPR queries.
+"""Parallel, fault-tolerant dispatch of independent EPR queries.
 
 Bounded model checking solves one query per unrolling depth, Houdini one
 per candidate conjecture, UPDR one per clause-push attempt -- all mutually
-independent.  This module fans such batches across worker processes.
+independent.  This module fans such batches across worker processes and
+keeps the batch alive when individual workers misbehave.
 
 A :class:`Query` is a self-contained description of one
 :class:`~repro.solver.epr.EprSolver` instance -- vocabulary, constraints,
-solver options -- plus the list of tracked-constraint subsets to solve it
-under.  :func:`solve_queries` runs a batch either in-process (``jobs <=
-1``, the default) or on a ``multiprocessing`` fork pool.  Workers rebuild
-the solver from the description, so only plain syntax-tree dataclasses
-cross the process boundary; results come back as picklable
+solver options, resource :class:`~repro.solver.budget.Budget` -- plus the
+list of tracked-constraint subsets to solve it under.
+:func:`solve_queries` runs a batch either in-process (``jobs <= 1``, the
+default) or on per-query forked workers.  Workers rebuild the solver from
+the description, so only plain syntax-tree dataclasses cross the process
+boundary; results come back as picklable
 :class:`~repro.solver.epr.EprResult` values, models included.
 
+Fault tolerance (the parent never trusts a worker):
+
+* each worker gets an **external deadline** derived from its query's wall
+  budget; a worker still running past it is SIGKILLed (cooperative budget
+  checks inside the worker normally answer first -- the external deadline
+  is the backstop for hung groundings and injected hangs);
+* a worker that dies without sending a result (segfault, OOM kill,
+  injected crash) is detected by EOF on its result pipe;
+* crashed and killed attempts are **retried** up to ``retries`` times with
+  exponentially escalated budgets, then finished by an in-process serial
+  fallback (fault-free by construction: :mod:`repro.solver.faults` only
+  fires inside workers) -- or reported as typed UNKNOWNs when
+  ``fallback=False``;
+* after repeated crashes the worker pool is resized down, so a poisoned
+  environment degrades to serial execution instead of thrashing;
+* workers apply ``resource.setrlimit`` for the budget's RSS cap and
+  convert ``MemoryError`` into an UNKNOWN(MEMORY) answer.
+
 Worker count resolution: the explicit ``jobs`` argument wins, then the
-``REPRO_JOBS`` environment variable, then 1 (serial).  Serial and parallel
-runs return identical answers: workers run the same deterministic solver
-code, and each forked worker inherits the parent's query cache as of the
-fork.  Platforms without the ``fork`` start method fall back to serial
-execution rather than paying spawn-and-reimport per query.
+``REPRO_JOBS`` environment variable (malformed values are warned about on
+stderr, not silently ignored), then 1 (serial).  Serial and parallel runs
+return identical conclusive answers: workers run the same deterministic
+solver code, and each forked worker inherits the parent's query cache as
+of the fork.  Platforms without the ``fork`` start method fall back to
+serial execution rather than paying spawn-and-reimport per query.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import multiprocessing.connection
 import os
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from ..logic import syntax as s
 from ..logic.sorts import Vocabulary
-from .epr import EprResult, EprSolver
+from . import faults
+from .budget import Budget, BudgetExceeded, FailureReason, resolve_retries, warn_env
+from .epr import EprResult, EprSolver, unknown_result
+from .grounding import GroundingExplosion
 from .stats import SolverStats
+
+#: grace multiplier/offset over the cooperative wall budget before the
+#: parent declares a worker hung: fork + solver rebuild + pickling all
+#: happen inside the window, and cooperative checks need a chance to fire.
+_DEADLINE_FACTOR = 2.0
+_DEADLINE_GRACE = 1.0
+
+#: cumulative crash/kill count at which the pool is first halved.
+_SHRINK_THRESHOLD = 3
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -43,7 +78,7 @@ def resolve_jobs(jobs: int | None = None) -> int:
         try:
             return max(1, int(env))
         except ValueError:
-            pass
+            warn_env("REPRO_JOBS", env, "expected a positive integer")
     return 1
 
 
@@ -54,7 +89,9 @@ class Query:
     ``solve_sets`` entries are frozensets of tracked-constraint names, or
     None for "all tracked constraints enabled" -- the same contract as
     :meth:`PreparedEpr.solve`.  A query with ``n`` solve sets yields ``n``
-    results, all sharing one grounding.
+    results, all sharing one grounding.  ``budget`` bounds the whole query
+    (grounding plus every solve), both cooperatively inside the solver and
+    externally by the dispatch parent.
     """
 
     name: str
@@ -64,6 +101,7 @@ class Query:
     exclusive_tracked: bool = False
     canonical_models: bool = False
     eager_threshold: int = 3000
+    budget: Budget | None = None
 
 
 def query_of(
@@ -82,20 +120,36 @@ def query_of(
         exclusive_tracked=solver.exclusive_tracked,
         canonical_models=solver.canonical_models,
         eager_threshold=solver.eager_threshold,
+        budget=solver.budget,
     )
 
 
+def _unknown_batch(query: Query, reason: FailureReason) -> list[EprResult]:
+    return [unknown_result(reason) for _ in query.solve_sets]
+
+
 def _run_query(query: Query) -> list[EprResult]:
-    """Rebuild and solve one query (runs in a worker or in-process)."""
+    """Rebuild and solve one query (runs in a worker or in-process).
+
+    Degrades gracefully: a grounding explosion or budget exhaustion during
+    ``prepare`` yields one UNKNOWN per solve set; per-solve budget
+    exhaustion is handled inside :meth:`PreparedEpr.solve`.
+    """
     solver = EprSolver(
         query.vocab,
         eager_threshold=query.eager_threshold,
         exclusive_tracked=query.exclusive_tracked,
         canonical_models=query.canonical_models,
+        budget=query.budget,
     )
     for name, formula, tracked in query.constraints:
         solver.add(formula, name=name, track=tracked)
-    prepared = solver.prepare()
+    try:
+        prepared = solver.prepare()
+    except BudgetExceeded as exceeded:
+        return _unknown_batch(query, exceeded.reason)
+    except GroundingExplosion:
+        return _unknown_batch(query, FailureReason.GROUNDING_BLOWUP)
     return [
         prepared.solve(enabled if enabled is None else set(enabled))
         for enabled in query.solve_sets
@@ -109,29 +163,221 @@ def _fork_context() -> multiprocessing.context.BaseContext | None:
         return None
 
 
+def _apply_rss_limit(rss_mb: int) -> None:
+    """Best-effort address-space cap for the current (worker) process."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return
+    limit = rss_mb * 1024 * 1024
+    try:
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        soft = limit if hard == resource.RLIM_INFINITY else min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (soft, hard))
+    except (ValueError, OSError):  # pragma: no cover - restricted envs
+        pass
+
+
+def _lift_rss_limit() -> None:
+    """Raise the soft cap back so result pickling is not what hits it."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover
+        return
+    try:
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        resource.setrlimit(resource.RLIMIT_AS, (hard, hard))
+    except (ValueError, OSError):  # pragma: no cover
+        pass
+
+
+def _worker_main(conn, query: Query, attempt: int) -> None:
+    """Worker entry point: solve one query and send the results back.
+
+    ``MemoryError`` under the RSS cap becomes an UNKNOWN(MEMORY) answer.
+    Any other exception is allowed to crash the worker: the parent retries
+    and the in-process fallback reproduces deterministic errors with a
+    real traceback in the parent.
+    """
+    faults.mark_worker()
+    limited = query.budget is not None and query.budget.rss_mb is not None
+    if limited:
+        _apply_rss_limit(query.budget.rss_mb)
+    faults.maybe_inject(query.name, attempt)
+    try:
+        results = _run_query(query)
+    except MemoryError:
+        _lift_rss_limit()
+        results = _unknown_batch(query, FailureReason.MEMORY)
+    else:
+        if limited:
+            _lift_rss_limit()
+    conn.send(results)
+    conn.close()
+
+
+@dataclass
+class _Running:
+    process: multiprocessing.process.BaseProcess
+    index: int
+    attempt: int
+    query: Query
+    deadline: float | None
+
+
+def _external_deadline(budget: Budget | None) -> float | None:
+    """Seconds a worker may run before the parent SIGKILLs it, or None."""
+    if budget is None or budget.wall_seconds is None:
+        return None
+    return budget.wall_seconds * _DEADLINE_FACTOR + _DEADLINE_GRACE
+
+
+def _escalate(query: Query) -> Query:
+    if query.budget is None:
+        return query
+    return replace(query, budget=query.budget.escalated())
+
+
 def solve_queries(
     queries: Sequence[Query],
     jobs: int | None = None,
     stats: SolverStats | None = None,
+    retries: int | None = None,
+    fallback: bool = True,
 ) -> list[list[EprResult]]:
-    """Solve a batch of independent queries, one result list per query."""
+    """Solve a batch of independent queries, one result list per query.
+
+    Fault-tolerant in parallel mode: crashed or hung workers are retried
+    up to ``retries`` times (argument, else ``REPRO_RETRIES``, else 2)
+    with exponentially escalated budgets; a query still unanswered after
+    that is finished in-process (``fallback=True``, the default) or
+    reported as UNKNOWN with the failure that killed its last attempt.
+    """
     jobs = resolve_jobs(jobs)
     workers = min(jobs, len(queries))
     context = _fork_context() if workers > 1 else None
     if context is None or workers <= 1:
         batches = [_run_query(query) for query in queries]
-        dispatched = False
-    else:
-        with context.Pool(workers) as pool:
-            batches = pool.map(_run_query, queries, chunksize=1)
-        dispatched = True
-    if stats is not None:
-        for batch in batches:
-            for result in batch:
-                stats.record(
-                    result.statistics,
-                    satisfiable=result.satisfiable,
-                    cached="cache_hits" in result.statistics,
-                    dispatched=dispatched,
-                )
+        if stats is not None:
+            for batch in batches:
+                for result in batch:
+                    stats.record_result(result, dispatched=False)
+        return batches
+    batches = _solve_parallel(
+        list(queries), workers, context, stats, resolve_retries(retries), fallback
+    )
     return batches
+
+
+def _solve_parallel(
+    queries: list[Query],
+    workers: int,
+    context,
+    stats: SolverStats | None,
+    retries: int,
+    fallback: bool,
+) -> list[list[EprResult]]:
+    batches: list[list[EprResult] | None] = [None] * len(queries)
+    via_worker = [True] * len(queries)
+    pending: list[tuple[int, int, Query]] = [
+        (index, 0, query) for index, query in enumerate(queries)
+    ]
+    running: dict[object, _Running] = {}
+    pool_size = workers
+    crash_count = kill_count = retry_count = fallback_count = 0
+    next_shrink = _SHRINK_THRESHOLD
+
+    def finish_attempt(record: _Running, reason: FailureReason) -> None:
+        """A worker died or was killed: retry, fall back, or give up."""
+        nonlocal retry_count, fallback_count
+        if record.attempt < retries:
+            retry_count += 1
+            pending.append(
+                (record.index, record.attempt + 1, _escalate(record.query))
+            )
+        elif fallback:
+            # Final in-process serial attempt: fault injection never fires
+            # in the parent, so deterministic queries always complete here;
+            # cooperative budget checks still bound it.
+            fallback_count += 1
+            via_worker[record.index] = False
+            batches[record.index] = _run_query(_escalate(record.query))
+        else:
+            batches[record.index] = _unknown_batch(record.query, reason)
+
+    try:
+        while pending or running:
+            while pending and len(running) < pool_size:
+                index, attempt, query = pending.pop(0)
+                recv_conn, send_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_worker_main,
+                    args=(send_conn, query, attempt),
+                    daemon=True,
+                )
+                process.start()
+                send_conn.close()
+                external = _external_deadline(query.budget)
+                running[recv_conn] = _Running(
+                    process,
+                    index,
+                    attempt,
+                    query,
+                    time.monotonic() + external if external is not None else None,
+                )
+            deadlines = [
+                record.deadline
+                for record in running.values()
+                if record.deadline is not None
+            ]
+            timeout = None
+            if deadlines:
+                timeout = max(0.01, min(deadlines) - time.monotonic())
+            ready = multiprocessing.connection.wait(
+                list(running.keys()), timeout=timeout
+            )
+            now = time.monotonic()
+            for conn in ready:
+                record = running.pop(conn)
+                try:
+                    batches[record.index] = conn.recv()
+                except (EOFError, OSError):
+                    crash_count += 1
+                    finish_attempt(record, FailureReason.WORKER_CRASHED)
+                finally:
+                    conn.close()
+                record.process.join(timeout=5)
+                if record.process.is_alive():  # pragma: no cover - paranoia
+                    record.process.kill()
+                    record.process.join()
+            for conn in [
+                conn
+                for conn, record in running.items()
+                if record.deadline is not None and now > record.deadline
+            ]:
+                record = running.pop(conn)
+                record.process.kill()
+                record.process.join()
+                conn.close()
+                kill_count += 1
+                finish_attempt(record, FailureReason.TIMEOUT)
+            if crash_count + kill_count >= next_shrink and pool_size > 1:
+                pool_size = max(1, pool_size // 2)
+                next_shrink *= 2
+    finally:
+        for conn, record in running.items():
+            record.process.kill()
+            record.process.join()
+            conn.close()
+
+    complete = [batch for batch in batches if batch is not None]
+    assert len(complete) == len(queries), "dispatch lost a query"
+    if stats is not None:
+        stats.retries += retry_count
+        stats.worker_kills += kill_count
+        stats.worker_crashes += crash_count
+        stats.serial_fallbacks += fallback_count
+        for index, batch in enumerate(batches):
+            for result in batch:
+                stats.record_result(result, dispatched=via_worker[index])
+    return batches  # type: ignore[return-value]

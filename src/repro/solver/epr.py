@@ -49,6 +49,7 @@ from ..logic.sorts import FuncDecl, RelDecl, Sort, Vocabulary
 from ..logic.structures import Elem, Structure
 from ..logic.subst import FreshNames, substitute
 from ..logic.transform import eliminate_ite, nnf, skolemize_ea
+from .budget import Budget, BudgetExceeded, BudgetMeter, FailureReason
 from .cache import query_cache
 from .cnf import CnfBuilder, term_key
 from .equality import EqualityTheory
@@ -63,16 +64,46 @@ from .sat import Solver
 
 @dataclass(frozen=True)
 class EprResult:
-    """Outcome of an EPR satisfiability check."""
+    """Outcome of an EPR satisfiability check.
+
+    Three verdicts, not two: ``satisfiable`` / refuted / **unknown**.  An
+    unknown result (``unknown=True``, with ``satisfiable=False`` and a
+    typed :class:`~repro.solver.budget.FailureReason` in ``failure``) means
+    the query exhausted its resource budget or its worker died -- it proves
+    nothing.  Callers that interpret "not satisfiable" as a proof MUST
+    check ``unknown`` first; :attr:`is_unsat` bundles both checks.
+    """
 
     satisfiable: bool
     model: Structure | None = None
     term_to_elem: Mapping[s.Term, Elem] | None = None
     core: frozenset[str] = frozenset()
     statistics: dict[str, int] = field(default_factory=dict)
+    unknown: bool = False
+    failure: FailureReason | None = None
 
     def __bool__(self) -> bool:
         return self.satisfiable
+
+    @property
+    def is_unsat(self) -> bool:
+        """Conclusively refuted (not merely "no model produced")."""
+        return not self.satisfiable and not self.unknown
+
+    @property
+    def verdict(self) -> str:
+        if self.unknown:
+            return "unknown"
+        return "sat" if self.satisfiable else "unsat"
+
+
+def unknown_result(
+    reason: FailureReason, statistics: dict[str, int] | None = None
+) -> EprResult:
+    """An UNKNOWN outcome carrying its typed failure reason."""
+    return EprResult(
+        False, unknown=True, failure=reason, statistics=statistics or {}
+    )
 
 
 @dataclass(frozen=True)
@@ -109,11 +140,13 @@ class EprSolver:
         eager_threshold: int = 3000,
         exclusive_tracked: bool = False,
         canonical_models: bool = False,
+        budget: Budget | None = None,
     ) -> None:
         self.vocab = vocab
         self.eager_threshold = eager_threshold
         self.exclusive_tracked = exclusive_tracked
         self.canonical_models = canonical_models
+        self.budget = budget if budget is not None and not budget.unlimited else None
         self._constraints: list[_Constraint] = []
         self._names: set[str] = set()
 
@@ -145,8 +178,15 @@ class EprSolver:
         core minimization of the auto-generalizer re-solves dozens of
         subsets, and sharing the grounding makes each re-solve a plain
         incremental SAT call.
+
+        When the solver carries a :class:`Budget`, grounding runs under a
+        fresh meter: the wall deadline and the grounded-instance cap are
+        checked cooperatively, raising :class:`BudgetExceeded` (use
+        :meth:`check` for the catching, UNKNOWN-returning wrapper).
         """
         from .split import DisjunctSplitter, SkolemPool, hoist_existentials
+
+        meter = self.budget.start() if self.budget is not None else None
 
         working_vocab, adopted_constants = self._working_vocabulary()
         fresh = FreshNames(
@@ -170,7 +210,7 @@ class EprSolver:
             skolemized.append((constraint, result.universal))
             extra_constants.extend(result.constants)
 
-        universe = ground_universe(working_vocab, extra_constants)
+        universe = ground_universe(working_vocab, extra_constants, meter=meter)
         sat = Solver()
         builder = CnfBuilder(sat)
         equality = EqualityTheory(builder, working_vocab, universe)
@@ -178,6 +218,7 @@ class EprSolver:
             self, working_vocab, universe, sat, builder, equality,
             exclusive=self.exclusive_tracked,
         )
+        prepared._meter = meter
 
         for constraint, universal in skolemized:
             selector: int | None = None
@@ -199,11 +240,23 @@ class EprSolver:
                 for combo in itertools.product(*domains):
                     instance = substitute(matrix, dict(zip(vars_, combo)))
                     prepared.assert_instance(instance, selector)
+        prepared._meter = None
         return prepared
 
     def check(self, max_rounds: int = 10_000) -> EprResult:
-        """Decide the conjunction of all added constraints."""
-        return self.prepare().solve(max_rounds=max_rounds)
+        """Decide the conjunction of all added constraints.
+
+        Degrades gracefully: a grounding explosion or an exhausted budget
+        yields an UNKNOWN :class:`EprResult` (with the typed failure
+        reason) instead of an exception.
+        """
+        try:
+            prepared = self.prepare()
+        except BudgetExceeded as exceeded:
+            return unknown_result(exceeded.reason)
+        except GroundingExplosion:
+            return unknown_result(FailureReason.GROUNDING_BLOWUP)
+        return prepared.solve(max_rounds=max_rounds)
 
     # --------------------------------------------------- MBQI refinement
 
@@ -215,6 +268,7 @@ class EprSolver:
         builder: CnfBuilder,
         model: dict[int, bool],
         assert_instance,
+        meter: BudgetMeter | None = None,
     ) -> int:
         """Instantiate lazy universal blocks over the model's representatives,
         asserting every instance the current model falsifies."""
@@ -230,12 +284,16 @@ class EprSolver:
             if isinstance(atom, s.Rel) and model.get(var, False):
                 true_canon.add((atom.rel, tuple(reps[arg] for arg in atom.args)))
         added = 0
+        evaluated = 0
         for block in lazy_blocks:
             if block.selector is not None and not model.get(block.selector, False):
                 continue  # tracked constraint currently disabled
             domains = [rep_terms[var.sort] for var in block.vars]
             env: dict[s.Var, s.Term] = {}
             for combo in itertools.product(*domains):
+                evaluated += 1
+                if meter is not None and evaluated % 256 == 0:
+                    meter.check_deadline()
                 env = dict(zip(block.vars, combo))
                 if self._eval_in_env(block.matrix, env, true_canon, reps):
                     continue
@@ -419,8 +477,11 @@ class PreparedEpr:
         self._asserted: set[s.Formula] = set()
         self.instance_count = 0
         self._digest: str | None = None
+        self._meter: BudgetMeter | None = None  # active during prepare/solve
 
     def assert_instance(self, instance: s.Formula, selector: int | None) -> bool:
+        if self._meter is not None:
+            self._meter.charge_instances()
         if selector is None:
             if instance in self._asserted:
                 return False
@@ -461,11 +522,23 @@ class PreparedEpr:
                 return replace(hit, statistics={"cache_hits": 1})
         start = time.perf_counter()
         counters = {"rounds": 0, "congruence": 0, "lazy": 0}
-        result, reps = self._stable_solve(assumptions, counters, max_rounds)
-        if result.satisfiable and owner.canonical_models:
-            result, reps = self._canonicalize(
-                assumptions, result, reps, counters, max_rounds
+        self._meter = owner.budget.start() if owner.budget is not None else None
+        try:
+            result, reps = self._stable_solve(assumptions, counters, max_rounds)
+            if result.satisfiable and owner.canonical_models:
+                result, reps = self._canonicalize(
+                    assumptions, result, reps, counters, max_rounds
+                )
+        except BudgetExceeded as exceeded:
+            statistics = owner._stats(
+                self.sat, self.instance_count, counters["rounds"],
+                counters["congruence"], counters["lazy"],
             )
+            statistics["solve_ms"] = int((time.perf_counter() - start) * 1000)
+            # UNKNOWN proves nothing and must never be served from cache.
+            return unknown_result(exceeded.reason, statistics)
+        finally:
+            self._meter = None
         statistics = owner._stats(
             self.sat, self.instance_count, counters["rounds"],
             counters["congruence"], counters["lazy"],
@@ -540,7 +613,9 @@ class PreparedEpr:
             counters["rounds"] += 1
             if counters["rounds"] > max_rounds:
                 raise RuntimeError("instantiation/congruence loop failed to converge")
-            result = self.sat.solve(assumptions)
+            if self._meter is not None:
+                self._meter.check_deadline()
+            result = self.sat.solve(assumptions, self._meter)
             if not result.satisfiable:
                 return result, None
             reps = self.equality.classes(result.model)
@@ -552,7 +627,7 @@ class PreparedEpr:
                 continue
             new_instances = owner._refine_lazy(
                 self.lazy_blocks, self.universe, reps, self.builder,
-                result.model, self.assert_instance,
+                result.model, self.assert_instance, meter=self._meter,
             )
             if new_instances:
                 counters["lazy"] += new_instances

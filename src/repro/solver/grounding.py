@@ -23,6 +23,7 @@ from typing import Iterator, Mapping, Sequence
 from ..logic import syntax as s
 from ..logic.sorts import FuncDecl, Sort, StratificationError, Vocabulary
 from ..logic.subst import substitute
+from .budget import BudgetMeter
 
 
 class GroundingExplosion(Exception):
@@ -33,6 +34,7 @@ def ground_universe(
     vocab: Vocabulary,
     extra_constants: Sequence[FuncDecl] = (),
     max_terms_per_sort: int = 2000,
+    meter: BudgetMeter | None = None,
 ) -> dict[Sort, list[s.Term]]:
     """The finite set of ground terms of each sort.
 
@@ -40,6 +42,10 @@ def ground_universe(
     constants of the query), adds one anonymous constant to any otherwise
     empty sort (domains are non-empty), and closes under the proper function
     symbols following the stratification order from the top sorts down.
+
+    ``meter`` adds cooperative budget checks to the closure loop (wall
+    deadline via :meth:`BudgetMeter.check_deadline`); the hard
+    ``max_terms_per_sort`` cap applies regardless.
     """
     vocab.check_stratified()
     constants = list(vocab.constants()) + [c for c in extra_constants if c.is_constant]
@@ -64,6 +70,8 @@ def ground_universe(
                     raise GroundingExplosion(
                         f"sort {sort.name!r} exceeds {max_terms_per_sort} ground terms"
                     )
+                if meter is not None and len(universe[sort]) % 256 == 0:
+                    meter.check_deadline()
     return universe
 
 

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from .budget import BudgetMeter
+
 _UNASSIGNED = 0
 _TRUE = 1
 _FALSE = -1
@@ -230,8 +232,18 @@ class Solver:
             tuple(tuple(clause.lits) for clause in self._clauses),
         )
 
-    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
-        """Decide satisfiability under the given assumption literals."""
+    def solve(
+        self, assumptions: Sequence[int] = (), meter: BudgetMeter | None = None
+    ) -> SatResult:
+        """Decide satisfiability under the given assumption literals.
+
+        ``meter`` enables cooperative budget enforcement: every conflict
+        and decision is charged against it, and it raises
+        :class:`~repro.solver.budget.BudgetExceeded` when the conflict/
+        decision cap or the wall-clock deadline is crossed.  The solver is
+        left in a consistent state (the next ``solve`` backtracks to the
+        root), so a budget-exceeded search can be retried or abandoned.
+        """
         for lit in assumptions:
             if not 1 <= abs(lit) <= self._num_vars:
                 raise ValueError(f"unknown variable in assumption {lit}")
@@ -250,6 +262,8 @@ class Solver:
             if conflict is not None:
                 self.statistics["conflicts"] += 1
                 conflict_count += 1
+                if meter is not None:
+                    meter.charge_conflict()
                 if self._decision_level() == 0:
                     self._unsat = True
                     return SatResult(False)
@@ -292,6 +306,8 @@ class Solver:
                 self._backtrack(0)
                 return SatResult(True, model=model)
             self.statistics["decisions"] += 1
+            if meter is not None:
+                meter.charge_decision()
             self._new_decision_level()
             self._enqueue(lit, None)
 

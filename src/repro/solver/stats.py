@@ -28,9 +28,15 @@ class SolverStats:
     queries: int = 0
     sat_answers: int = 0
     unsat_answers: int = 0
+    unknown_answers: int = 0  # budget exhaustion / worker failure verdicts
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
     dispatched: int = 0  # queries solved in worker processes
+    retries: int = 0  # worker attempts re-queued after crash/kill
+    worker_kills: int = 0  # hung workers SIGKILLed on deadline
+    worker_crashes: int = 0  # workers that died without an answer
+    serial_fallbacks: int = 0  # queries finished in-process after retries
     counters: dict[str, int] = field(default_factory=dict)
     phase_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -41,12 +47,15 @@ class SolverStats:
         statistics: Mapping[str, int] | None = None,
         *,
         satisfiable: bool | None = None,
+        unknown: bool = False,
         cached: bool = False,
         dispatched: bool = False,
     ) -> None:
         """Absorb one query outcome and its engine counters."""
         self.queries += 1
-        if satisfiable is True:
+        if unknown:
+            self.unknown_answers += 1
+        elif satisfiable is True:
             self.sat_answers += 1
         elif satisfiable is False:
             self.unsat_answers += 1
@@ -58,6 +67,21 @@ class SolverStats:
             self.dispatched += 1
         if statistics:
             self.add_counters(statistics)
+
+    def record_result(self, result, *, dispatched: bool = False) -> None:
+        """Absorb an :class:`~repro.solver.epr.EprResult` directly."""
+        self.record(
+            result.statistics,
+            satisfiable=result.satisfiable,
+            unknown=getattr(result, "unknown", False),
+            cached="cache_hits" in result.statistics,
+            dispatched=dispatched,
+        )
+
+    def note_cache(self, cache) -> None:
+        """Absorb eviction counts from a :class:`QueryCache` (or None)."""
+        if cache is not None:
+            self.cache_evictions = cache.evictions
 
     def add_counters(self, statistics: Mapping[str, int]) -> None:
         for key, value in statistics.items():
@@ -77,9 +101,15 @@ class SolverStats:
         self.queries += other.queries
         self.sat_answers += other.sat_answers
         self.unsat_answers += other.unsat_answers
+        self.unknown_answers += other.unknown_answers
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
+        self.cache_evictions += other.cache_evictions
         self.dispatched += other.dispatched
+        self.retries += other.retries
+        self.worker_kills += other.worker_kills
+        self.worker_crashes += other.worker_crashes
+        self.serial_fallbacks += other.serial_fallbacks
         self.add_counters(other.counters)
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
@@ -95,15 +125,24 @@ class SolverStats:
     def format(self) -> str:
         """A human-readable multi-line summary (what ``--stats`` prints)."""
         lines = ["solver statistics:"]
-        lines.append(
-            f"  queries        {self.queries}"
-            f" (sat {self.sat_answers}, unsat {self.unsat_answers})"
-        )
-        lines.append(
+        verdicts = f"sat {self.sat_answers}, unsat {self.unsat_answers}"
+        if self.unknown_answers:
+            verdicts += f", unknown {self.unknown_answers}"
+        lines.append(f"  queries        {self.queries} ({verdicts})")
+        cache_line = (
             f"  cache          {self.cache_hits} hits / "
             f"{self.cache_misses} misses ({self.cache_hit_rate:.0%} hit rate)"
         )
+        if self.cache_evictions:
+            cache_line += f", {self.cache_evictions} evictions"
+        lines.append(cache_line)
         lines.append(f"  dispatched     {self.dispatched} to worker processes")
+        if self.retries or self.worker_kills or self.worker_crashes:
+            lines.append(
+                f"  faults         {self.worker_crashes} crashes, "
+                f"{self.worker_kills} kills, {self.retries} retries, "
+                f"{self.serial_fallbacks} serial fallbacks"
+            )
         for key in sorted(self.counters):
             lines.append(f"  {key:14s} {self.counters[key]}")
         for name in sorted(self.phase_seconds):

@@ -8,10 +8,47 @@ structure helpers rely on.
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.logic import FuncDecl, RelDecl, Sort, vocabulary
 from repro.protocols import leader_election
+
+#: Hard per-test deadline (seconds); REPRO_TEST_TIMEOUT overrides.  The
+#: fault-tolerance suite deliberately hangs worker processes, and a bug in
+#: the kill path must fail the test, not wedge the whole run.  Generous by
+#: default: single-CPU machines run some slow-tier protocol checks for
+#: several minutes (CI tiers set tighter explicit values).
+_TEST_DEADLINE = 900
+
+
+@pytest.fixture(autouse=True)
+def _test_deadline():
+    """SIGALRM-based per-test timeout (no pytest-timeout dependency).
+
+    ``fork`` clears pending alarms in children, so worker processes are
+    unaffected.  Skipped on platforms without SIGALRM.
+    """
+    if not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    try:
+        seconds = int(os.environ.get("REPRO_TEST_TIMEOUT", _TEST_DEADLINE))
+    except ValueError:
+        seconds = _TEST_DEADLINE
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"test exceeded {seconds}s deadline")
+
+    old_handler = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, old_handler)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,120 @@
+"""Graceful degradation: every engine survives budget exhaustion.
+
+An exhausted budget must never crash an engine or flip a verdict -- it can
+only widen the answer to UNKNOWN (BMC, induction), drop candidates
+conservatively (Houdini), or trigger a restart with a larger budget
+(UPDR).  ``Budget(wall_seconds=-1.0)`` is a deterministic way to starve
+every query: the deadline is already in the past when the meter starts.
+"""
+
+import pytest
+
+from repro.core.bounded import check_k_invariance, find_error_trace
+from repro.core.houdini import houdini
+from repro.core.induction import check_inductive
+from repro.core.updr import UpdrStatus, updr
+from repro.solver import Budget, FailureReason, QueryCache, install_cache
+from repro.protocols import lock_server
+from tests.core.test_updr import _broken_program, _monotone_program
+
+STARVED = Budget(wall_seconds=-1.0)
+GENEROUS = Budget(wall_seconds=120.0, conflicts=10_000_000)
+
+
+@pytest.fixture(scope="module")
+def lock_bundle():
+    return lock_server.build()
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    old = install_cache(QueryCache())
+    yield
+    install_cache(old)
+
+
+class TestBoundedDegradation:
+    def test_starved_bmc_reports_unknown_not_violation(self, lock_bundle):
+        result = find_error_trace(lock_bundle.program, 2, budget=STARVED)
+        assert result.unknown
+        assert not result.holds and result.trace is None
+        assert result.failures
+        assert all(reason is FailureReason.TIMEOUT for _, reason in result.failures)
+        assert result.verified_depth == result.failures[0][0] - 1
+
+    def test_starved_k_invariance_unknown(self, lock_bundle):
+        safety = lock_bundle.safety[0].formula
+        result = check_k_invariance(lock_bundle.program, safety, 1, budget=STARVED)
+        assert result.unknown and result.trace is None
+        assert result.verified_depth == -1  # not even depth 0 answered
+
+    def test_generous_budget_matches_unbudgeted(self, lock_bundle):
+        unbudgeted = find_error_trace(lock_bundle.program, 2)
+        budgeted = find_error_trace(lock_bundle.program, 2, budget=GENEROUS)
+        assert budgeted.holds == unbudgeted.holds
+        assert not budgeted.unknown
+
+    def test_violation_beats_unknown(self):
+        """A real counterexample is reported even under a tight budget --
+        if any depth finds it, sibling unknowns do not mask it."""
+        program = _broken_program()
+        unbudgeted = find_error_trace(program, 3)
+        assert unbudgeted.trace is not None
+        budgeted = find_error_trace(program, 3, budget=GENEROUS)
+        assert budgeted.trace is not None
+        assert budgeted.depth == unbudgeted.depth
+
+
+class TestInductionDegradation:
+    def test_starved_obligations_are_inconclusive(self, lock_bundle):
+        result = check_inductive(
+            lock_bundle.program, list(lock_bundle.invariant), budget=STARVED
+        )
+        assert not result.holds
+        assert result.cti is None
+        assert result.unknown_obligations  # every obligation starved
+
+    def test_generous_budget_still_proves(self, lock_bundle):
+        result = check_inductive(
+            lock_bundle.program, list(lock_bundle.invariant), budget=GENEROUS
+        )
+        assert result.holds
+        assert result.unknown_obligations == ()
+
+
+class TestHoudiniDegradation:
+    def test_starved_candidates_dropped_conservatively(self, lock_bundle):
+        candidates = list(lock_bundle.invariant)
+        result = houdini(lock_bundle.program, candidates, budget=STARVED)
+        assert result.invariant == ()
+        assert set(result.dropped_unknown) == {c.name for c in candidates}
+        # Unknown drops are not misreported as refutations.
+        assert result.dropped_initiation == ()
+        assert result.dropped_consecution == ()
+
+    def test_generous_budget_matches_unbudgeted(self, lock_bundle):
+        candidates = list(lock_bundle.invariant)
+        unbudgeted = houdini(lock_bundle.program, candidates)
+        budgeted = houdini(lock_bundle.program, candidates, budget=GENEROUS)
+        assert {c.name for c in budgeted.invariant} == {
+            c.name for c in unbudgeted.invariant
+        }
+        assert budgeted.dropped_unknown == ()
+
+
+class TestUpdrDegradation:
+    def test_starved_updr_returns_unknown_after_restarts(self):
+        result = updr(_monotone_program(), budget=STARVED, max_restarts=2)
+        assert result.status == UpdrStatus.UNKNOWN
+        assert result.failure is FailureReason.TIMEOUT
+        assert result.restarts == 2
+
+    def test_budgeted_updr_still_proves_safe(self):
+        result = updr(_monotone_program(), budget=GENEROUS)
+        assert result.status == UpdrStatus.SAFE
+        assert result.failure is None
+
+    def test_budgeted_updr_still_refutes_unsafe(self):
+        result = updr(_broken_program(), budget=GENEROUS)
+        assert result.status == UpdrStatus.UNSAFE
+        assert result.trace is not None

@@ -101,8 +101,46 @@ class TestQueryCache:
         _solver([SOME_P]).check()
         _solver([SOME_Q]).check()
         assert len(cache) == 1
+        assert cache.evictions == 1
         result = _solver([SOME_P]).check()  # evicted: solved again
         assert "cache_hits" not in result.statistics
+
+    def test_lru_eviction_keeps_recently_used(self):
+        cache = QueryCache(capacity=2)
+        install_cache(cache)
+        _solver([SOME_P]).check()
+        _solver([SOME_Q]).check()
+        _solver([SOME_P]).check()  # hit: refreshes SOME_P's recency
+        _solver([SOME_P, SOME_Q]).check()  # evicts SOME_Q, not SOME_P
+        hit = _solver([SOME_P]).check()
+        assert hit.statistics == {"cache_hits": 1}
+        missed = _solver([SOME_Q]).check()
+        assert "cache_hits" not in missed.statistics
+
+    def test_eviction_count_reaches_stats(self):
+        cache = QueryCache(capacity=1)
+        install_cache(cache)
+        _solver([SOME_P]).check()
+        _solver([SOME_Q]).check()
+        stats = SolverStats()
+        stats.note_cache(cache)
+        assert stats.cache_evictions == 1
+        assert "evictions" in stats.format()
+
+    def test_cache_size_env(self, monkeypatch):
+        from repro.solver.cache import DEFAULT_CAPACITY, query_cache
+
+        monkeypatch.setenv("REPRO_CACHE_SIZE", "2")
+        assert query_cache(refresh=True).capacity == 2
+        monkeypatch.delenv("REPRO_CACHE_SIZE")
+        assert query_cache(refresh=True).capacity == DEFAULT_CAPACITY
+
+    def test_cache_size_env_malformed_warns(self, monkeypatch, capsys):
+        from repro.solver.cache import DEFAULT_CAPACITY, query_cache
+
+        monkeypatch.setenv("REPRO_CACHE_SIZE", "big")
+        assert query_cache(refresh=True).capacity == DEFAULT_CAPACITY
+        assert "REPRO_CACHE_SIZE" in capsys.readouterr().err
 
 
 class TestDispatch:
@@ -160,6 +198,33 @@ class TestDispatch:
         assert resolve_jobs(2) == 2
         monkeypatch.setenv("REPRO_JOBS", "junk")
         assert resolve_jobs(None) == 1
+
+    def test_malformed_jobs_warns_on_stderr(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_JOBS", "8x")
+        assert resolve_jobs(None) == 1
+        err = capsys.readouterr().err
+        assert "REPRO_JOBS" in err and "'8x'" in err
+
+    def test_serial_fallback_when_fork_unavailable(self, monkeypatch):
+        from repro.solver import dispatch
+
+        monkeypatch.setattr(dispatch, "_fork_context", lambda: None)
+        install_cache(None)
+        stats = SolverStats()
+        batches = solve_queries(self._queries(), jobs=4, stats=stats)
+        assert [r.satisfiable for (r,) in batches] == [False, True, True, False]
+        assert stats.dispatched == 0  # everything solved in-process
+
+    def test_more_jobs_than_queries(self):
+        install_cache(None)
+        batches = solve_queries(self._queries(), jobs=32)
+        assert [r.satisfiable for (r,) in batches] == [False, True, True, False]
+
+    def test_single_query_runs_serial(self):
+        stats = SolverStats()
+        (batch,) = solve_queries(self._queries()[:1], jobs=8, stats=stats)
+        assert not batch[0].satisfiable
+        assert stats.dispatched == 0
 
 
 @pytest.mark.slow

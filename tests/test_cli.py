@@ -98,3 +98,49 @@ class TestCli:
         assert code == 1
         out = capsys.readouterr().out
         assert "inductive: False" in out
+
+
+class TestCliBudgets:
+    """The --timeout/--conflict-budget flags and the UNKNOWN exit code."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        # Isolate the global query cache: a hit legitimately bypasses the
+        # budget, so starved runs must not see earlier tests' answers.
+        from repro.solver import QueryCache, install_cache
+
+        old = install_cache(QueryCache())
+        yield
+        install_cache(old)
+
+    def test_bmc_starved_exits_2_with_degradation_report(self, capsys):
+        code = main(["bmc", "lock_server", "-k", "2", "--timeout", "0.000001"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "unknown" in out and "timeout" in out
+
+    def test_bmc_generous_budget_unchanged(self, capsys):
+        code = main(["bmc", "lock_server", "-k", "1", "--timeout", "120"])
+        assert code == 0
+        assert "no assertion violation" in capsys.readouterr().out
+
+    def test_check_starved_exits_2(self, capsys):
+        code = main(["check", "lock_server", "--timeout", "0.000001", "--stats"])
+        assert code == 2
+        out = capsys.readouterr().out
+        assert "invariant inductive: unknown" in out
+        assert "obligations exhausting their budget" in out
+        assert "unknown" in out  # stats verdict line includes the count
+
+    def test_retries_flag_sets_env(self, monkeypatch):
+        import os
+
+        from repro.cli import build_parser, _budget_of
+
+        monkeypatch.delenv("REPRO_RETRIES", raising=False)
+        args = build_parser().parse_args(
+            ["bmc", "lock_server", "--retries", "4"]
+        )
+        _budget_of(args)
+        assert os.environ.get("REPRO_RETRIES") == "4"
+        monkeypatch.delenv("REPRO_RETRIES", raising=False)
