@@ -12,20 +12,29 @@ Measures the two wins of the solver-dispatch layer:
   nothing, and a repeated multi-depth BMC sweep is answered entirely from
   the cache.
 
-All numbers are reported through :class:`~repro.solver.stats.SolverStats`.
+All numbers are reported through :class:`~repro.solver.stats.SolverStats`
+and, machine-readably, merged into ``BENCH_dispatch.json`` at the repo
+root (see :mod:`benchmarks.telemetry`).
+
+``test_tracing_overhead`` pins the observability tentpole's promise:
+span tracing on a serial BMC workload must cost no more than 5% wall
+time over the untraced run.
 """
 
+import io
 import os
 import time
 
 import pytest
 
+from repro import obs
 from repro.core.bounded import check_k_invariance
 from repro.core.houdini import houdini
 from repro.logic import Sort, Var
 from repro.solver import QueryCache, SolverStats, install_cache
 
 from .conftest import record
+from .telemetry import update_bench
 
 BMC_BOUND = 3
 JOBS = 4
@@ -78,6 +87,18 @@ def test_parallel_bmc_speedup(benchmark, bundles, results_dir, no_cache):
         f"{parallel_stats.format()}\n"
     )
     record(results_dir, "dispatch_bmc_speedup", summary)
+    update_bench(
+        "dispatch",
+        "bmc_speedup",
+        {
+            "serial_s": round(serial_time, 3),
+            "parallel_s": round(parallel_time, 3),
+            "jobs": JOBS,
+            "speedup": round(speedup, 2),
+            "queries": parallel_stats.queries,
+            "dispatched": parallel_stats.dispatched,
+        },
+    )
     assert parallel_stats.dispatched == BMC_BOUND + 1
     if (os.cpu_count() or 1) < 2:
         pytest.skip(f"single-core machine: measured {speedup:.2f}x, not asserted")
@@ -104,6 +125,16 @@ def test_cached_bmc_rerun_speedup(benchmark, bundles, results_dir, fresh_cache):
         "dispatch_bmc_cached_rerun",
         f"BMC k={BMC_BOUND} rerun: cold {cold_time:.2f}s, warm {warm_time:.2f}s "
         f"({speedup:.1f}x)\n\n{warm_stats.format()}\n",
+    )
+    update_bench(
+        "dispatch",
+        "cached_rerun",
+        {
+            "cold_s": round(cold_time, 3),
+            "warm_s": round(warm_time, 3),
+            "speedup": round(speedup, 2),
+            "cache_hit_rate": round(warm_stats.cache_hit_rate, 3),
+        },
     )
     assert warm_stats.cache_hit_rate == 1.0
     assert speedup >= 1.5
@@ -146,6 +177,16 @@ def test_houdini_rerun_cache_hit_rate(benchmark, bundles, results_dir, fresh_cac
         f"{second_stats.cache_hits}/{second_stats.queries} queries from cache "
         f"({second_stats.cache_hit_rate:.0%})\n\n{second_stats.format()}\n",
     )
+    update_bench(
+        "dispatch",
+        "houdini_cache",
+        {
+            "pool": len(pool),
+            "queries": second_stats.queries,
+            "cache_hits": second_stats.cache_hits,
+            "cache_hit_rate": round(second_stats.cache_hit_rate, 3),
+        },
+    )
     assert second_stats.cache_hit_rate >= 0.9
 
 
@@ -184,4 +225,80 @@ def test_budget_metering_overhead(benchmark, bundles, results_dir, no_cache):
         f"BMC k={BMC_BOUND} leader_election: unbudgeted {plain_time:.2f}s, "
         f"budgeted {metered_time:.2f}s ({overhead:+.1%} overhead)\n",
     )
+    update_bench(
+        "dispatch",
+        "budget_overhead",
+        {
+            "plain_s": round(plain_time, 3),
+            "metered_s": round(metered_time, 3),
+            "overhead": round(overhead, 4),
+        },
+    )
     assert overhead < 0.25
+
+
+def test_tracing_overhead(benchmark, bundles, results_dir, no_cache):
+    """Tracing on must cost <= 5% wall time on serial BMC; fail loudly.
+
+    Both configurations run best-of-2 to damp scheduler noise: tracing
+    writes one small JSON line per span into an in-memory buffer, so any
+    real regression here means the hot-path guards in :mod:`repro.obs`
+    stopped being cheap.
+    """
+    bundle = bundles["leader_election"]
+    safety = bundle.safety[0].formula
+
+    def bmc():
+        return check_k_invariance(bundle.program, safety, BMC_BOUND, jobs=1)
+
+    def best_of(runs, setup=None, teardown=None):
+        best = float("inf")
+        result = None
+        for _ in range(runs):
+            state = setup() if setup else None
+            start = time.perf_counter()
+            result = bmc()
+            elapsed = time.perf_counter() - start
+            if teardown:
+                teardown(state)
+            best = min(best, elapsed)
+        return result, best
+
+    plain_result, plain_time = best_of(2)
+
+    def install():
+        tracer = obs.Tracer(sink=io.StringIO())
+        obs.install_tracer(tracer)
+        return tracer
+
+    def uninstall(tracer):
+        obs.install_tracer(None)
+
+    def run():
+        return best_of(2, setup=install, teardown=uninstall)
+
+    traced_result, traced_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert plain_result.holds and traced_result.holds
+    overhead = traced_time / plain_time - 1.0 if plain_time else 0.0
+    benchmark.extra_info.update(
+        {"plain_s": round(plain_time, 3), "overhead": round(overhead, 3)}
+    )
+    record(
+        results_dir,
+        "dispatch_tracing_overhead",
+        f"BMC k={BMC_BOUND} leader_election: untraced {plain_time:.2f}s, "
+        f"traced {traced_time:.2f}s ({overhead:+.1%} overhead)\n",
+    )
+    update_bench(
+        "dispatch",
+        "tracing_overhead",
+        {
+            "plain_s": round(plain_time, 3),
+            "traced_s": round(traced_time, 3),
+            "overhead": round(overhead, 4),
+        },
+    )
+    assert overhead <= 0.05, (
+        f"tracing overhead {overhead:+.1%} exceeds the 5% budget "
+        f"(untraced {plain_time:.2f}s, traced {traced_time:.2f}s)"
+    )

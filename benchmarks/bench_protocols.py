@@ -1,0 +1,75 @@
+"""Per-protocol verification telemetry: the Fig. 14 shape, machine-readable.
+
+Runs the inductiveness check of every bundled protocol's published
+invariant with a fresh query cache and a :class:`SolverStats` collector,
+and writes one row per protocol -- wall time, query count, verdict
+counts, cache hit rate, and whether the invariant held -- into
+``BENCH_protocols.json`` at the repository root (schema documented in
+:mod:`benchmarks.telemetry`).
+
+This is the regression baseline the paper evaluation table grows from:
+diffing two BENCH files across commits shows exactly which protocol got
+slower, chattier, or (catastrophically) stopped verifying.
+"""
+
+import time
+
+import pytest
+
+from repro.core.induction import check_inductive
+from repro.protocols import ALL_PROTOCOLS
+from repro.solver import QueryCache, SolverStats, install_cache
+
+from .conftest import record
+from .telemetry import write_bench
+
+
+@pytest.fixture
+def fresh_cache():
+    cache = QueryCache()
+    old = install_cache(cache)
+    yield cache
+    install_cache(old)
+
+
+def _protocol_row(name, bundle) -> dict:
+    stats = SolverStats()
+    start = time.perf_counter()
+    result = check_inductive(bundle.program, list(bundle.invariant), stats=stats)
+    wall = time.perf_counter() - start
+    return {
+        "wall_s": round(wall, 3),
+        "holds": result.holds,
+        "queries": stats.queries,
+        "sat": stats.sat_answers,
+        "unsat": stats.unsat_answers,
+        "unknown": stats.unknown_answers,
+        "cache_hit_rate": round(stats.cache_hit_rate, 3),
+        "conjectures": len(bundle.invariant),
+        "sorts": bundle.sort_count(),
+        "symbols": bundle.symbol_count(),
+    }
+
+
+def test_protocol_telemetry(benchmark, bundles, results_dir, fresh_cache):
+    """Check every bundled invariant; emit BENCH_protocols.json."""
+
+    def run():
+        return {name: _protocol_row(name, bundles[name]) for name in sorted(bundles)}
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_bench("protocols", rows)
+    lines = [
+        f"{'protocol':22s} {'wall':>7s} {'queries':>7s} {'unsat':>6s} "
+        f"{'hit%':>5s} holds"
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:22s} {row['wall_s']:6.2f}s {row['queries']:7d} "
+            f"{row['unsat']:6d} {row['cache_hit_rate']:5.0%} {row['holds']}"
+        )
+    record(results_dir, "protocols_telemetry", "\n".join(lines) + "\n")
+    assert set(rows) == set(ALL_PROTOCOLS)
+    # Every bundled invariant is the paper's published one; all must hold.
+    failing = [name for name, row in rows.items() if not row["holds"]]
+    assert not failing, f"published invariants no longer inductive: {failing}"

@@ -1,0 +1,95 @@
+"""Machine-readable benchmark telemetry: ``BENCH_<name>.json`` emitters.
+
+Every benchmark run leaves a JSON artifact at the repository root so CI
+and regression tooling can diff numbers across commits without scraping
+pytest output.  Schema (version 1)::
+
+    {
+      "schema": 1,
+      "bench": "<name>",
+      "generated_unix": <float>,
+      "git_rev": "<short rev or null>",
+      "config": {"python": "...", "platform": "...", "cpus": N},
+      "sections": {"<section>": {...}, ...}
+    }
+
+``sections`` is the per-benchmark payload: one entry per test (for
+``BENCH_dispatch.json``) or per protocol row (for
+``BENCH_protocols.json``, whose rows carry ``wall_s``, ``queries``,
+verdict counts, ``cache_hit_rate``, and ``holds``).
+
+:func:`update_bench` is incremental -- each test merges its own section
+into the existing file -- so a partial benchmark run refreshes only the
+numbers it measured.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+SCHEMA_VERSION = 1
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def git_rev() -> str | None:
+    """The current short commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def run_config() -> dict:
+    """The environment snapshot embedded in every BENCH file."""
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpus": os.cpu_count(),
+        "argv": sys.argv[1:],
+    }
+
+
+def bench_path(name: str) -> pathlib.Path:
+    return REPO_ROOT / f"BENCH_{name}.json"
+
+
+def write_bench(name: str, sections: dict) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` from scratch with the given sections."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "bench": name,
+        "generated_unix": time.time(),
+        "git_rev": git_rev(),
+        "config": run_config(),
+        "sections": sections,
+    }
+    path = bench_path(name)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def update_bench(name: str, section: str, data: dict) -> pathlib.Path:
+    """Merge one section into ``BENCH_<name>.json``, creating it if needed."""
+    path = bench_path(name)
+    sections: dict = {}
+    if path.exists():
+        try:
+            sections = json.loads(path.read_text()).get("sections", {})
+        except (json.JSONDecodeError, AttributeError):
+            sections = {}
+    sections[section] = data
+    return write_bench(name, sections)

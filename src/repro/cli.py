@@ -12,16 +12,24 @@ Subcommands mirror the paper's workflow:
   policy, printing the transcript and the G count (Figure 14);
 * ``table`` -- print the Figure 14 reproduction table;
 * ``verify <file.rml>`` -- parse an RML text model, run bounded debugging,
-  and check any invariant conjectures passed via ``--conjecture``.
+  and check any invariant conjectures passed via ``--conjecture``;
+* ``report <trace.jsonl>`` -- render the per-phase / per-query breakdown
+  of a trace produced with ``--trace``.
+
+Every solving subcommand accepts the observability flags ``--trace FILE``
+(JSONL span trace), ``--metrics FILE`` (JSON metrics snapshot), and
+``--progress`` (live span echo on stderr); see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import time
 
+from . import obs
 from .core.bounded import BoundedResult, find_error_trace
 from .core.induction import Conjecture, check_inductive
 from .core.policy import OraclePolicy
@@ -233,6 +241,22 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    try:
+        events = obs.load_trace(args.trace_file)
+    except OSError as error:
+        print(f"cannot read trace: {error}", file=sys.stderr)
+        return 1
+    except obs.TraceParseError as error:
+        print(f"malformed trace: {error}", file=sys.stderr)
+        return 1
+    try:
+        print(obs.render_report(events))
+    except BrokenPipeError:  # report | head: the reader left, that's fine
+        sys.stderr.close()  # suppress the shutdown-time flush warning too
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -241,11 +265,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
-    commands.add_parser("list", help="list protocol models").set_defaults(
-        func=cmd_list
-    )
+    def add_obs_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--trace", default=None, metavar="FILE",
+            help="write a JSONL span trace (render with: repro report FILE)",
+        )
+        subparser.add_argument(
+            "--metrics", default=None, metavar="FILE",
+            help="write a JSON metrics snapshot (counters/histograms/rates)",
+        )
+        subparser.add_argument(
+            "--progress", action="store_true",
+            help="echo top-level trace spans to stderr as they run",
+        )
+
+    list_parser = commands.add_parser("list", help="list protocol models")
+    add_obs_options(list_parser)
+    list_parser.set_defaults(func=cmd_list)
 
     def add_solver_options(subparser: argparse.ArgumentParser) -> None:
+        add_obs_options(subparser)
         subparser.add_argument(
             "-j", "--jobs", type=int, default=None,
             help="solve independent queries on N worker processes "
@@ -290,6 +329,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     session = commands.add_parser("session", help="replay the interactive search")
     session.add_argument("protocol")
+    add_obs_options(session)
     session.set_defaults(func=cmd_session)
 
     interactive = commands.add_parser(
@@ -297,11 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     interactive.add_argument("protocol")
     interactive.add_argument("-k", "--bound", type=int, default=3)
+    add_obs_options(interactive)
     interactive.set_defaults(func=cmd_interactive)
 
-    commands.add_parser("table", help="print the Figure 14 model statistics").set_defaults(
-        func=cmd_table
-    )
+    table = commands.add_parser("table", help="print the Figure 14 model statistics")
+    add_obs_options(table)
+    table.set_defaults(func=cmd_table)
 
     verify = commands.add_parser("verify", help="verify an RML text model")
     verify.add_argument("file")
@@ -313,14 +354,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_solver_options(verify)
     verify.set_defaults(func=cmd_verify)
+
+    report = commands.add_parser(
+        "report", help="render the breakdown of a --trace JSONL file"
+    )
+    report.add_argument("trace_file", metavar="TRACE")
+    report.set_defaults(func=cmd_report)
     return parser
+
+
+def _install_obs(args: argparse.Namespace, argv: list[str]):
+    """Install tracer/metrics from the CLI flags; returns a teardown hook.
+
+    The teardown uninstalls both layers, closes the trace file, and dumps
+    the metrics snapshot -- it runs in ``main``'s finally block so traces
+    and metrics survive crashed runs too.
+    """
+    trace_path = getattr(args, "trace", None)
+    metrics_path = getattr(args, "metrics", None)
+    progress = getattr(args, "progress", False)
+    trace_file = open(trace_path, "w") if trace_path else None
+    if trace_file is not None or progress:
+        tracer = obs.Tracer(sink=trace_file, progress=progress)
+        obs.install_tracer(tracer)
+        tracer.emit_header(argv)
+    registry: obs.MetricsRegistry | None = None
+    if metrics_path:
+        registry = obs.MetricsRegistry()
+        obs.install_metrics(registry)
+
+    def teardown() -> None:
+        obs.install_tracer(None)
+        obs.install_metrics(None)
+        if trace_file is not None:
+            trace_file.close()
+        if registry is not None:
+            with open(metrics_path, "w") as handle:
+                json.dump(registry.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+
+    return teardown
 
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    teardown = _install_obs(args, list(argv) if argv is not None else sys.argv[1:])
+    try:
+        if not obs.enabled():
+            return args.func(args)
+        attrs = {
+            key: value
+            for key, value in (
+                ("protocol", getattr(args, "protocol", None)),
+                ("file", getattr(args, "file", None)),
+                ("bound", getattr(args, "bound", None)),
+                ("jobs", getattr(args, "jobs", None)),
+            )
+            if value is not None
+        }
+        with obs.span(f"repro.{args.command}", **attrs) as sp:
+            code = args.func(args)
+            sp.set(exit_code=code)
+            return code
+    finally:
+        teardown()
 
 
 if __name__ == "__main__":  # pragma: no cover

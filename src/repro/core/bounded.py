@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from .. import obs
 from ..logic import syntax as s
 from ..logic.fragments import is_forall_exists
 from ..logic.structures import Structure
@@ -159,41 +160,49 @@ def check_k_invariance(
         raise ValueError(f"k-invariance needs a forall*exists* formula, got: {phi}")
     unroller = unroller or _Unroller(program, budget)
     statistics: dict[str, int] = {}
-    if resolve_jobs(jobs) > 1 and k > 0:
-        queries = []
-        for depth in range(k + 1):
-            solver = unroller.solver_at(depth)
-            goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
-            solver.add(goal, name="goal")
-            queries.append(query_of(solver, name=f"depth{depth}"))
-        batches = solve_queries(queries, jobs=jobs, stats=stats)
-        results = [result for (result,) in batches]
-    else:
-        results = []
-        for depth in range(k + 1):
-            solver = unroller.solver_at(depth)
-            goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
-            solver.add(goal, name="goal")
-            result = solver.check()
-            _record(stats, result)
-            results.append(result)
+    with obs.span("bmc", kind="invariance", bound=k) as sp:
+        if resolve_jobs(jobs) > 1 and k > 0:
+            queries = []
+            for depth in range(k + 1):
+                solver = unroller.solver_at(depth)
+                goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
+                solver.add(goal, name="goal")
+                queries.append(query_of(solver, name=f"depth{depth}"))
+            with obs.span("bmc.dispatch", queries=len(queries)):
+                batches = solve_queries(queries, jobs=jobs, stats=stats)
+            results = [result for (result,) in batches]
+        else:
+            results = []
+            for depth in range(k + 1):
+                solver = unroller.solver_at(depth)
+                goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
+                solver.add(goal, name="goal")
+                with obs.span("bmc.depth", depth=depth) as depth_span:
+                    result = solver.check()
+                    depth_span.set(verdict=result.verdict)
+                _record(stats, result)
+                results.append(result)
+                if result.satisfiable:
+                    break
+        _engine_metrics("bmc", results)
+        failures: list[tuple[int, FailureReason]] = []
+        for depth, result in enumerate(results):
+            _accumulate(statistics, result.statistics)
             if result.satisfiable:
-                break
-    failures: list[tuple[int, FailureReason]] = []
-    for depth, result in enumerate(results):
-        _accumulate(statistics, result.statistics)
-        if result.satisfiable:
-            trace = unroller.trace_from(result, depth, aborted=False)
-            return BoundedResult(False, k, trace, depth, statistics)
-        if result.unknown:
-            failures.append((depth, result.failure))
-    if failures:
-        return BoundedResult(
-            False, k, statistics=statistics, unknown=True,
-            verified_depth=min(depth for depth, _ in failures) - 1,
-            failures=tuple(failures),
-        )
-    return BoundedResult(True, k, statistics=statistics)
+                trace = unroller.trace_from(result, depth, aborted=False)
+                sp.set(holds=False, violation_depth=depth)
+                return BoundedResult(False, k, trace, depth, statistics)
+            if result.unknown:
+                failures.append((depth, result.failure))
+        if failures:
+            sp.set(holds=False, unknown=True)
+            return BoundedResult(
+                False, k, statistics=statistics, unknown=True,
+                verified_depth=min(depth for depth, _ in failures) - 1,
+                failures=tuple(failures),
+            )
+        sp.set(holds=True)
+        return BoundedResult(True, k, statistics=statistics)
 
 
 def find_error_trace(
@@ -214,54 +223,66 @@ def find_error_trace(
     """
     unroller = _Unroller(program, budget)
     statistics: dict[str, int] = {}
-    probes: list[tuple[int, EprSolver]] = []
-    for depth in range(k + 1):
-        unroller.extend_to(depth)
-        env = unroller.envs[depth]
-        for command, label in ((program.body, "body"), (program.final, "final")):
-            abort = unroller.encoder.encode_step(
-                command, env, f"abort{depth}_{label}"
-            ).abort_formula
-            if abort == s.FALSE:
-                continue
-            solver = unroller.solver_at(depth)
-            solver.add(abort, name="abort")
-            probes.append((depth, solver))
-    if resolve_jobs(jobs) > 1 and len(probes) > 1:
-        queries = [
-            query_of(solver, name=f"abort{index}")
-            for index, (_, solver) in enumerate(probes)
-        ]
-        batches = solve_queries(queries, jobs=jobs, stats=stats)
-        results = [result for (result,) in batches]
-    else:
-        results = []
-        for _, solver in probes:
-            result = solver.check()
-            _record(stats, result)
-            results.append(result)
+    with obs.span("bmc", kind="error-trace", bound=k) as sp:
+        probes: list[tuple[int, EprSolver]] = []
+        for depth in range(k + 1):
+            unroller.extend_to(depth)
+            env = unroller.envs[depth]
+            for command, label in ((program.body, "body"), (program.final, "final")):
+                abort = unroller.encoder.encode_step(
+                    command, env, f"abort{depth}_{label}"
+                ).abort_formula
+                if abort == s.FALSE:
+                    continue
+                solver = unroller.solver_at(depth)
+                solver.add(abort, name="abort")
+                probes.append((depth, solver))
+        if resolve_jobs(jobs) > 1 and len(probes) > 1:
+            queries = [
+                query_of(solver, name=f"abort{index}")
+                for index, (_, solver) in enumerate(probes)
+            ]
+            with obs.span("bmc.dispatch", queries=len(queries)):
+                batches = solve_queries(queries, jobs=jobs, stats=stats)
+            results = [result for (result,) in batches]
+        else:
+            results = []
+            for depth, solver in probes:
+                with obs.span("bmc.probe", depth=depth) as probe_span:
+                    result = solver.check()
+                    probe_span.set(verdict=result.verdict)
+                _record(stats, result)
+                results.append(result)
+                if result.satisfiable:
+                    break
+        _engine_metrics("bmc", results)
+        failures: list[tuple[int, FailureReason]] = []
+        for (depth, _), result in zip(probes, results):
+            _accumulate(statistics, result.statistics)
             if result.satisfiable:
-                break
-    failures: list[tuple[int, FailureReason]] = []
-    for (depth, _), result in zip(probes, results):
-        _accumulate(statistics, result.statistics)
-        if result.satisfiable:
-            trace = unroller.trace_from(result, depth, aborted=True)
-            return BoundedResult(False, k, trace, depth, statistics)
-        if result.unknown:
-            failures.append((depth, result.failure))
-    if failures:
-        return BoundedResult(
-            False, k, statistics=statistics, unknown=True,
-            verified_depth=min(depth for depth, _ in failures) - 1,
-            failures=tuple(failures),
-        )
-    return BoundedResult(True, k, statistics=statistics)
+                trace = unroller.trace_from(result, depth, aborted=True)
+                sp.set(holds=False, violation_depth=depth)
+                return BoundedResult(False, k, trace, depth, statistics)
+            if result.unknown:
+                failures.append((depth, result.failure))
+        if failures:
+            sp.set(holds=False, unknown=True)
+            return BoundedResult(
+                False, k, statistics=statistics, unknown=True,
+                verified_depth=min(depth for depth, _ in failures) - 1,
+                failures=tuple(failures),
+            )
+        sp.set(holds=True)
+        return BoundedResult(True, k, statistics=statistics)
 
 
 def make_unroller(program: Program, budget: Budget | None = None) -> _Unroller:
     """Expose the incremental unroller for callers issuing repeated checks."""
     return _Unroller(program, budget)
+
+
+#: per-engine query/unknown metrics (no-op when metrics are off)
+_engine_metrics = obs.count_engine_queries
 
 
 def _accumulate(into: dict[str, int], new: dict[str, int]) -> None:

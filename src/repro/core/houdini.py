@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from .. import obs
 from ..logic import syntax as s
 from ..rml.ast import Program
 from ..rml.wp import wp
@@ -105,7 +106,8 @@ def _batched_failures(
             )
             for index, chunk in enumerate(chunks)
         ]
-        batches = solve_queries(queries, jobs=jobs, stats=stats)
+        with obs.span("houdini.dispatch", chunks=len(queries)):
+            batches = solve_queries(queries, jobs=jobs, stats=stats)
         for chunk, batch in zip(chunks, batches):
             for candidate, result in zip(chunk, batch):
                 _accumulate(statistics, result.statistics)
@@ -113,6 +115,9 @@ def _batched_failures(
                     unknown.add(candidate.name)
                 elif result.satisfiable:
                     failing.add(candidate.name)
+        obs.count_engine_queries(
+            "houdini", [result for batch in batches for result in batch]
+        )
         return failing, unknown
     solver = _candidate_solver(program, candidates, command, premises, budget)
     try:
@@ -124,8 +129,10 @@ def _batched_failures(
         if not isinstance(error, (BudgetExceeded, GroundingExplosion)):
             raise
         return failing, {candidate.name for candidate in candidates}
+    results = []
     for candidate in candidates:
         result = prepared.solve({candidate.name})
+        results.append(result)
         _accumulate(statistics, result.statistics)
         if stats is not None:
             stats.record_result(result)
@@ -133,6 +140,7 @@ def _batched_failures(
             unknown.add(candidate.name)
         elif result.satisfiable:
             failing.add(candidate.name)
+    obs.count_engine_queries("houdini", results)
     return failing, unknown
 
 
@@ -154,39 +162,47 @@ def houdini(
     unbudgeted run would find.
     """
     statistics: dict[str, int] = {}
-    failing_init, unknown_init = _batched_failures(
-        program, candidates, program.init, s.TRUE, statistics, jobs, stats, budget
-    )
-    dropped_unknown: list[str] = sorted(unknown_init)
-    surviving = [
-        c for c in candidates
-        if c.name not in failing_init and c.name not in unknown_init
-    ]
-    dropped_consec: list[str] = []
-    rounds = 0
-    while True:
-        rounds += 1
-        if rounds > max_rounds:
-            raise RuntimeError("houdini failed to converge")
-        invariant = s.and_(*(c.formula for c in surviving))
-        failing, unknown = _batched_failures(
-            program, surviving, program.body, invariant, statistics, jobs, stats,
-            budget,
+    with obs.span("houdini", candidates=len(candidates)) as sp:
+        with obs.span("houdini.initiation", candidates=len(candidates)):
+            failing_init, unknown_init = _batched_failures(
+                program, candidates, program.init, s.TRUE, statistics, jobs,
+                stats, budget,
+            )
+        dropped_unknown: list[str] = sorted(unknown_init)
+        surviving = [
+            c for c in candidates
+            if c.name not in failing_init and c.name not in unknown_init
+        ]
+        dropped_consec: list[str] = []
+        rounds = 0
+        while True:
+            rounds += 1
+            if rounds > max_rounds:
+                raise RuntimeError("houdini failed to converge")
+            invariant = s.and_(*(c.formula for c in surviving))
+            with obs.span(
+                "houdini.round", round=rounds, surviving=len(surviving)
+            ) as round_span:
+                failing, unknown = _batched_failures(
+                    program, surviving, program.body, invariant, statistics,
+                    jobs, stats, budget,
+                )
+                round_span.set(failing=len(failing), unknown=len(unknown))
+            if not failing and not unknown:
+                break
+            dropped_consec.extend(sorted(failing))
+            dropped_unknown.extend(sorted(unknown))
+            dropped = failing | unknown
+            surviving = [c for c in surviving if c.name not in dropped]
+        sp.set(rounds=rounds, invariant=len(surviving))
+        return HoudiniResult(
+            tuple(surviving),
+            tuple(sorted(failing_init)),
+            tuple(dropped_consec),
+            rounds,
+            statistics,
+            tuple(dropped_unknown),
         )
-        if not failing and not unknown:
-            break
-        dropped_consec.extend(sorted(failing))
-        dropped_unknown.extend(sorted(unknown))
-        dropped = failing | unknown
-        surviving = [c for c in surviving if c.name not in dropped]
-    return HoudiniResult(
-        tuple(surviving),
-        tuple(sorted(failing_init)),
-        tuple(dropped_consec),
-        rounds,
-        statistics,
-        tuple(dropped_unknown),
-    )
 
 
 def proves(

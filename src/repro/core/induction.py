@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Literal, Mapping, Sequence
 
+from .. import obs
 from ..logic import syntax as s
 from ..logic.fragments import is_universal
 from ..logic.structures import Structure
@@ -218,38 +219,57 @@ def check_inductive(
     statistics: dict[str, int] = {}
     pending = obligations(program, conjectures)
     unknown: list[str] = []
-    if resolve_jobs(jobs) > 1 and len(pending) > 1:
-        queries = []
+    with obs.span(
+        "induction", conjectures=len(conjectures), obligations=len(pending)
+    ) as sp:
+        if resolve_jobs(jobs) > 1 and len(pending) > 1:
+            queries = []
+            for obligation in pending:
+                solver = EprSolver(program.vocab, budget=budget)
+                solver.add(obligation.vc, name="vc")
+                queries.append(query_of(solver, name=obligation.description))
+            with obs.span("induction.dispatch", queries=len(queries)):
+                batches = solve_queries(queries, jobs=jobs, stats=stats)
+            obs.count_engine_queries(
+                "induction", [result for (result,) in batches]
+            )
+            for obligation, (result,) in zip(pending, batches):
+                for key, value in result.statistics.items():
+                    statistics[key] = statistics.get(key, 0) + value
+                if result.unknown:
+                    unknown.append(obligation.description)
+                elif result.satisfiable:
+                    assert result.model is not None
+                    cti = cti_from_model(program, obligation, result.model)
+                    sp.set(holds=False, cti=obligation.description)
+                    return InductionResult(False, cti, statistics, tuple(unknown))
+            sp.set(holds=not unknown, unknowns=len(unknown))
+            return InductionResult(not unknown, statistics=statistics,
+                                   unknown_obligations=tuple(unknown))
+        results = []
         for obligation in pending:
-            solver = EprSolver(program.vocab, budget=budget)
-            solver.add(obligation.vc, name="vc")
-            queries.append(query_of(solver, name=obligation.description))
-        batches = solve_queries(queries, jobs=jobs, stats=stats)
-        for obligation, (result,) in zip(pending, batches):
+            with obs.span(
+                "induction.obligation", description=obligation.description
+            ) as obligation_span:
+                result = check_obligation(program, obligation, budget=budget)
+                obligation_span.set(verdict=result.verdict)
+            results.append(result)
             for key, value in result.statistics.items():
                 statistics[key] = statistics.get(key, 0) + value
+            if stats is not None:
+                stats.record_result(result)
             if result.unknown:
                 unknown.append(obligation.description)
             elif result.satisfiable:
                 assert result.model is not None
+                obs.count_engine_queries("induction", results)
                 cti = cti_from_model(program, obligation, result.model)
+                sp.set(holds=False, cti=obligation.description)
                 return InductionResult(False, cti, statistics, tuple(unknown))
+        obs.count_engine_queries("induction", results)
+        sp.set(holds=not unknown, unknowns=len(unknown))
         return InductionResult(not unknown, statistics=statistics,
                                unknown_obligations=tuple(unknown))
-    for obligation in pending:
-        result = check_obligation(program, obligation, budget=budget)
-        for key, value in result.statistics.items():
-            statistics[key] = statistics.get(key, 0) + value
-        if stats is not None:
-            stats.record_result(result)
-        if result.unknown:
-            unknown.append(obligation.description)
-        elif result.satisfiable:
-            assert result.model is not None
-            cti = cti_from_model(program, obligation, result.model)
-            return InductionResult(False, cti, statistics, tuple(unknown))
-    return InductionResult(not unknown, statistics=statistics,
-                           unknown_obligations=tuple(unknown))
 
 
 def check_initiation(program: Program, conjecture: Conjecture) -> EprResult:

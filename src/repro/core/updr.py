@@ -32,6 +32,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from .. import obs
 from ..logic import syntax as s
 from ..logic.partial import Fact, PartialStructure, conjecture, from_structure
 from ..logic.sorts import FuncDecl, RelDecl
@@ -132,6 +133,7 @@ class _Updr:
                 self.statistics[key] = self.statistics.get(key, 0) + value
         if self.solver_stats is not None:
             self.solver_stats.record_result(result)
+        obs.count_engine_queries("updr", (result,))
 
     # ------------------------------------------------------------- checks
 
@@ -212,16 +214,20 @@ class _Updr:
         general), rather than aborting the whole run.
         """
         candidate = partial
-        for fact in list(candidate.facts()):
-            attempt = candidate.drop_fact(fact)
-            try:
-                if self._initial_violation(attempt):
+        with obs.span("updr.generalize", frame=frame) as sp:
+            dropped = 0
+            for fact in list(candidate.facts()):
+                attempt = candidate.drop_fact(fact)
+                try:
+                    if self._initial_violation(attempt):
+                        continue
+                    if self._predecessor(attempt, frame) is not None:
+                        continue
+                except _BudgetExhausted:
                     continue
-                if self._predecessor(attempt, frame) is not None:
-                    continue
-            except _BudgetExhausted:
-                continue
-            candidate = attempt
+                candidate = attempt
+                dropped += 1
+            sp.set(dropped=dropped, kept=len(list(candidate.facts())))
         return candidate
 
     def _strip_scratch(self, partial: PartialStructure) -> PartialStructure:
@@ -235,26 +241,31 @@ class _Updr:
         obligations_spent = 0
         while True:
             frame = len(self.frames) - 1
-            model = self._violates_safety(frame)
-            if model is not None:
-                partial = self._strip_scratch(from_structure(model))
-                outcome = self._block(partial, frame, obligations_spent)
-                if isinstance(outcome, UpdrResult):
-                    return outcome
-                obligations_spent = outcome
-                continue
-            # F_N is safe: push clauses forward, then open a new frame.
-            pushed = self._propagate()
-            if pushed is not None:
-                return pushed
-            if len(self.frames) > self.max_frames:
-                return UpdrResult(
-                    UpdrStatus.DIVERGED,
-                    frames_used=len(self.frames),
-                    clauses_learned=self.clauses_learned,
-                    statistics=self.statistics,
-                )
-            self.frames.append([])
+            with obs.span(
+                "updr.frame", frame=frame, clauses=self.clauses_learned
+            ) as sp:
+                model = self._violates_safety(frame)
+                if model is not None:
+                    sp.set(outcome="block")
+                    partial = self._strip_scratch(from_structure(model))
+                    outcome = self._block(partial, frame, obligations_spent)
+                    if isinstance(outcome, UpdrResult):
+                        return outcome
+                    obligations_spent = outcome
+                    continue
+                # F_N is safe: push clauses forward, then open a new frame.
+                sp.set(outcome="push")
+                pushed = self._propagate()
+                if pushed is not None:
+                    return pushed
+                if len(self.frames) > self.max_frames:
+                    return UpdrResult(
+                        UpdrStatus.DIVERGED,
+                        frames_used=len(self.frames),
+                        clauses_learned=self.clauses_learned,
+                        statistics=self.statistics,
+                    )
+                self.frames.append([])
 
     def _block(self, partial: PartialStructure, frame: int, spent: int):
         stack: list[tuple[PartialStructure, int]] = [(partial, frame)]
@@ -356,7 +367,8 @@ class _Updr:
         self, partials: Sequence[PartialStructure], index: int
     ) -> list[bool]:
         if resolve_jobs(self.jobs) <= 1 or len(partials) <= 1:
-            return [self._pushable(partial, index) for partial in partials]
+            with obs.span("updr.push", frame=index, candidates=len(partials)):
+                return [self._pushable(partial, index) for partial in partials]
         queries = [
             query_of(
                 self._predecessor_query(partial, index + 1)[0],
@@ -364,12 +376,16 @@ class _Updr:
             )
             for position, partial in enumerate(partials)
         ]
-        batches = solve_queries(queries, jobs=self.jobs, stats=self.solver_stats)
+        with obs.span("updr.push", frame=index, candidates=len(partials)):
+            batches = solve_queries(
+                queries, jobs=self.jobs, stats=self.solver_stats
+            )
         for (result,) in batches:
             self.statistics["solver_calls"] += 1
             for key, value in result.statistics.items():
                 if key in ("instances", "conflicts"):
                     self.statistics[key] = self.statistics.get(key, 0) + value
+        obs.count_engine_queries("updr", [result for (result,) in batches])
         return [
             not result.satisfiable and not result.unknown
             for (result,) in batches
@@ -412,24 +428,33 @@ def updr(
     """
     attempt_budget = budget
     restarts = 0
-    while True:
-        engine = _Updr(
-            program, max_frames, max_obligations, jobs, stats, attempt_budget
-        )
-        try:
-            result = engine.run()
-        except _BudgetExhausted as exhausted:
-            if restarts < max_restarts and attempt_budget is not None:
-                restarts += 1
-                attempt_budget = attempt_budget.escalated()
-                continue
-            return UpdrResult(
-                UpdrStatus.UNKNOWN,
-                frames_used=len(engine.frames),
-                clauses_learned=engine.clauses_learned,
-                statistics=engine.statistics,
-                failure=exhausted.failure,
-                restarts=restarts,
+    with obs.span("updr", max_frames=max_frames) as sp:
+        while True:
+            engine = _Updr(
+                program, max_frames, max_obligations, jobs, stats, attempt_budget
             )
-        result.restarts = restarts
-        return result
+            try:
+                with obs.span("updr.attempt", attempt=restarts):
+                    result = engine.run()
+            except _BudgetExhausted as exhausted:
+                if restarts < max_restarts and attempt_budget is not None:
+                    restarts += 1
+                    attempt_budget = attempt_budget.escalated()
+                    continue
+                sp.set(status=UpdrStatus.UNKNOWN.value, restarts=restarts)
+                return UpdrResult(
+                    UpdrStatus.UNKNOWN,
+                    frames_used=len(engine.frames),
+                    clauses_learned=engine.clauses_learned,
+                    statistics=engine.statistics,
+                    failure=exhausted.failure,
+                    restarts=restarts,
+                )
+            result.restarts = restarts
+            sp.set(
+                status=result.status.value,
+                restarts=restarts,
+                frames=result.frames_used,
+                clauses=result.clauses_learned,
+            )
+            return result

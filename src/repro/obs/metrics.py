@@ -1,0 +1,240 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+Subsumes the ad-hoc counters that used to live only inside
+:class:`~repro.solver.stats.SolverStats`: the solver and engine layers
+publish into the registry unconditionally through the guarded module
+helpers (:func:`inc`, :func:`observe`, :func:`set_gauge`), which are
+single-global-read no-ops until a registry is installed -- exactly the
+same off-by-default contract as :mod:`repro.obs.tracer`.  ``SolverStats``
+keeps its public API and is still what ``--stats`` prints; the registry
+is the machine-readable superset behind ``--metrics FILE``.
+
+Metrics are identified by a name plus optional labels, rendered
+Prometheus-style (``queries_total{verdict=sat}``) in the JSON snapshot.
+Key series:
+
+* ``queries_total{verdict=...}`` -- every EPR solve, by verdict;
+* ``cache_hits_total`` / ``cache_misses_total`` / ``cache_evictions_total``;
+* ``query_latency_ms`` -- histogram over actual (non-cached) solves;
+* ``grounded_instances`` -- histogram over per-query grounding sizes;
+* ``dispatched_total``, ``worker_crashes_total``, ``worker_kills_total``,
+  ``dispatch_retries_total``, ``serial_fallbacks_total``;
+* ``engine_queries_total{engine=...}`` / ``engine_unknown_total{engine=...}``
+  -- per-engine query volume and budget-exhaustion counts, from which
+  :meth:`MetricsRegistry.to_dict` derives the per-engine unknown rate;
+* ``phase_seconds{phase=...}`` -- histogram fed by ``SolverStats.phase``.
+
+Like the tracer, the registry is per-process: dispatch workers fork with
+a copy and their increments die with them, so the dispatch *parent*
+records worker-solved queries from the results it receives
+(:mod:`repro.solver.dispatch`), keeping parent-side totals complete.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Mapping
+
+#: default histogram bucket upper bounds -- generic log-ish scale that
+#: covers milliseconds, seconds, and instance counts alike.
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500,
+    1_000, 5_000, 10_000, 50_000, 100_000, 1_000_000,
+)
+
+
+class Counter:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max."""
+
+    __slots__ = ("bounds", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: tuple = DEFAULT_BUCKETS) -> None:
+        self.bounds = tuple(bounds)
+        self.buckets = [0] * (len(self.bounds) + 1)  # +inf overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.buckets[index] += 1
+                return
+        self.buckets[-1] += 1
+
+    def snapshot(self) -> dict:
+        mean = self.sum / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "mean": round(mean, 6),
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                [bound, count]
+                for bound, count in zip(self.bounds + ("inf",), self.buckets)
+                if count
+            ],
+        }
+
+
+def _key(name: str, labels: Mapping[str, object]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Creates-on-first-use registry of named, labeled metrics."""
+
+    def __init__(self) -> None:
+        self.created_unix = time.time()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def counter(self, name: str, **labels) -> Counter:
+        key = _key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(key, Counter())
+        return metric
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        key = _key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(key, Gauge())
+        return metric
+
+    def histogram(self, name: str, bounds: tuple = DEFAULT_BUCKETS, **labels) -> Histogram:
+        key = _key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(key, Histogram(bounds))
+        return metric
+
+    # ------------------------------------------------------------ reporting
+
+    def to_dict(self) -> dict:
+        """A JSON-able snapshot, with a few derived convenience rates."""
+        counters = {key: c.value for key, c in sorted(self._counters.items())}
+        derived: dict[str, float] = {}
+        hits = counters.get("cache_hits_total", 0)
+        misses = counters.get("cache_misses_total", 0)
+        if hits + misses:
+            derived["cache_hit_rate"] = round(hits / (hits + misses), 4)
+        for key, total in counters.items():
+            if not key.startswith("engine_queries_total{") or not total:
+                continue
+            engine = key[len("engine_queries_total") :]
+            unknowns = counters.get(f"engine_unknown_total{engine}", 0)
+            derived[f"unknown_rate{engine}"] = round(unknowns / total, 4)
+        return {
+            "schema": 1,
+            "created_unix": self.created_unix,
+            "counters": counters,
+            "gauges": {key: g.value for key, g in sorted(self._gauges.items())},
+            "histograms": {
+                key: h.snapshot() for key, h in sorted(self._histograms.items())
+            },
+            "derived": derived,
+        }
+
+
+#: the installed registry; ``None`` (the default) disables metrics entirely.
+_registry: MetricsRegistry | None = None
+
+
+def install_metrics(registry: MetricsRegistry | None) -> MetricsRegistry | None:
+    """Install (or with ``None`` remove) the process-global registry."""
+    global _registry
+    old = _registry
+    _registry = registry
+    return old
+
+
+def metrics() -> MetricsRegistry | None:
+    return _registry
+
+
+def metrics_enabled() -> bool:
+    return _registry is not None
+
+
+def inc(name: str, amount: int = 1, **labels) -> None:
+    """Increment a counter; no-op until a registry is installed."""
+    registry = _registry
+    if registry is None:
+        return
+    registry.counter(name, **labels).inc(amount)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Record a histogram observation; no-op until a registry is installed."""
+    registry = _registry
+    if registry is None:
+        return
+    registry.histogram(name, **labels).observe(value)
+
+
+def set_gauge(name: str, value: float, **labels) -> None:
+    """Set a gauge; no-op until a registry is installed."""
+    registry = _registry
+    if registry is None:
+        return
+    registry.gauge(name, **labels).set(value)
+
+
+def count_engine_queries(engine: str, results) -> None:
+    """Record an engine's query volume and unknown count in one shot.
+
+    ``results`` is any iterable of objects with an ``unknown`` attribute
+    (:class:`~repro.solver.epr.EprResult`); feeds the per-engine
+    ``unknown_rate`` derived metric.  No-op until a registry is installed.
+    """
+    registry = _registry
+    if registry is None:
+        return
+    total = unknowns = 0
+    for result in results:
+        total += 1
+        if getattr(result, "unknown", False):
+            unknowns += 1
+    if total:
+        registry.counter("engine_queries_total", engine=engine).inc(total)
+    if unknowns:
+        registry.counter("engine_unknown_total", engine=engine).inc(unknowns)

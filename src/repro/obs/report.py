@@ -1,0 +1,261 @@
+"""Render a per-phase / per-query breakdown from a JSONL trace.
+
+``repro report TRACE`` loads the events written by
+:mod:`repro.obs.tracer`, re-parents them into a single tree, and prints
+the evaluation-table shape of the paper's Figure 14: one row per
+(protocol, engine) with query counts, verdicts, cache hits, and wall
+time, followed by a per-span-name phase breakdown, the slowest
+individual queries, and the dispatch fault summary.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: span names that count as engine layers in the breakdown table
+ENGINE_SPANS = ("bmc", "houdini", "updr", "induction")
+
+#: the span name every EPR query solve emits (:mod:`repro.solver.epr`)
+QUERY_SPAN = "epr.solve"
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span (or point event) of the trace tree."""
+
+    id: str
+    name: str
+    parent: "SpanNode | None" = None
+    start: float = 0.0
+    dur: float | None = None
+    attrs: dict = field(default_factory=dict)
+    children: list = field(default_factory=list)
+    kind: str = "span"  # "span" or "point"
+    error: str | None = None
+
+    @property
+    def depth(self) -> int:
+        node, depth = self, 0
+        while node.parent is not None:
+            node = node.parent
+            depth += 1
+        return depth
+
+    def ancestors(self):
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+
+class TraceParseError(ValueError):
+    """The trace file contains a line that is not a valid event."""
+
+
+def load_trace(path: str) -> list[dict]:
+    """Parse a JSONL trace file into a list of event dicts."""
+    events: list[dict] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceParseError(f"{path}:{lineno}: {error}") from error
+            if not isinstance(event, dict) or "e" not in event:
+                raise TraceParseError(f"{path}:{lineno}: not a trace event")
+            events.append(event)
+    return events
+
+
+def build_tree(events: list[dict]) -> tuple[list[SpanNode], dict[str, SpanNode], dict]:
+    """Reconstruct the span forest: (roots, nodes-by-id, run header).
+
+    Spans whose parent never appears (a worker killed before its parent
+    span closed, a truncated file) are adopted as roots rather than
+    dropped, so the report always covers every event.
+    """
+    header: dict = {}
+    nodes: dict[str, SpanNode] = {}
+    parent_of: dict[str, str | None] = {}
+    for event in events:
+        kind = event.get("e")
+        if kind == "run":
+            header = event
+        elif kind in ("start", "point"):
+            node = SpanNode(
+                id=event["id"],
+                name=event.get("name", "?"),
+                start=event.get("ts", 0.0),
+                attrs=dict(event.get("attrs") or {}),
+                kind="span" if kind == "start" else "point",
+            )
+            if kind == "point":
+                node.dur = 0.0
+            nodes[node.id] = node
+            parent_of[node.id] = event.get("parent")
+        elif kind == "end":
+            node = nodes.get(event["id"])
+            if node is None:  # end without start: synthesize
+                node = SpanNode(id=event["id"], name="?")
+                nodes[node.id] = node
+                parent_of[node.id] = None
+            node.dur = event.get("dur")
+            node.attrs.update(event.get("attrs") or {})
+            node.error = event.get("error")
+    roots: list[SpanNode] = []
+    for span_id, parent_id in parent_of.items():
+        node = nodes[span_id]
+        parent = nodes.get(parent_id) if parent_id is not None else None
+        if parent is None:
+            roots.append(node)
+        else:
+            node.parent = parent
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.start)
+    roots.sort(key=lambda node: node.start)
+    return roots, nodes, header
+
+
+def tree_depth(roots: list[SpanNode]) -> int:
+    """Maximum node count on any root-to-leaf path."""
+
+    def walk(node: SpanNode) -> int:
+        if not node.children:
+            return 1
+        return 1 + max(walk(child) for child in node.children)
+
+    return max((walk(root) for root in roots), default=0)
+
+
+def _enclosing(node: SpanNode, names: tuple[str, ...]) -> str | None:
+    for ancestor in node.ancestors():
+        if ancestor.name in names:
+            return ancestor.name
+    return None
+
+
+def _protocol_of(node: SpanNode) -> str:
+    for candidate in (node, *node.ancestors()):
+        protocol = candidate.attrs.get("protocol") or candidate.attrs.get("file")
+        if protocol:
+            return str(protocol)
+    return "-"
+
+
+def _fmt_seconds(value: float | None) -> str:
+    return f"{value:.3f}s" if value is not None else "-"
+
+
+def render_report(events: list[dict]) -> str:
+    """The full human-readable breakdown for ``repro report``."""
+    roots, nodes, header = build_tree(events)
+    spans = [node for node in nodes.values() if node.kind == "span"]
+    points = [node for node in nodes.values() if node.kind == "point"]
+    total = max((node.start + (node.dur or 0.0) for node in spans), default=0.0)
+    lines = []
+    run = header.get("run", "?")
+    lines.append(
+        f"trace report: run {run}  ({len(events)} events, {len(spans)} spans, "
+        f"{_fmt_seconds(total)} wall, tree depth {tree_depth(roots)})"
+    )
+
+    # ------------------------------------------------ protocol x engine table
+    queries = [node for node in spans if node.name == QUERY_SPAN]
+    rows: dict[tuple[str, str], dict] = {}
+    for query in queries:
+        engine = _enclosing(query, ENGINE_SPANS) or "-"
+        protocol = _protocol_of(query)
+        row = rows.setdefault(
+            (protocol, engine),
+            {"queries": 0, "sat": 0, "unsat": 0, "unknown": 0, "cached": 0,
+             "time": 0.0},
+        )
+        row["queries"] += 1
+        verdict = query.attrs.get("verdict")
+        if verdict in ("sat", "unsat", "unknown"):
+            row[verdict] += 1
+        if query.attrs.get("cached"):
+            row["cached"] += 1
+        row["time"] += query.dur or 0.0
+    lines.append("")
+    lines.append("per-protocol query breakdown (the Fig. 14 shape):")
+    lines.append(
+        f"  {'protocol':22s} {'engine':10s} {'queries':>7s} {'sat':>5s} "
+        f"{'unsat':>5s} {'unk':>4s} {'cached':>6s} {'time':>9s}"
+    )
+    if not rows:
+        lines.append("  (no query spans in this trace)")
+    for (protocol, engine), row in sorted(rows.items()):
+        lines.append(
+            f"  {protocol:22s} {engine:10s} {row['queries']:7d} {row['sat']:5d} "
+            f"{row['unsat']:5d} {row['unknown']:4d} {row['cached']:6d} "
+            f"{row['time']:8.3f}s"
+        )
+
+    # ------------------------------------------------------- phase breakdown
+    by_name: dict[str, list[SpanNode]] = {}
+    for node in spans:
+        if node.dur is not None:
+            by_name.setdefault(node.name, []).append(node)
+    lines.append("")
+    lines.append("per-phase breakdown (by span name):")
+    lines.append(
+        f"  {'span':26s} {'count':>6s} {'total':>9s} {'mean':>9s} {'max':>9s}"
+    )
+    for name, group in sorted(
+        by_name.items(), key=lambda item: -sum(n.dur for n in item[1])
+    ):
+        durations = [node.dur for node in group]
+        lines.append(
+            f"  {name:26s} {len(group):6d} {sum(durations):8.3f}s "
+            f"{sum(durations) / len(durations):8.3f}s {max(durations):8.3f}s"
+        )
+
+    # -------------------------------------------------------- slowest queries
+    slowest = sorted(
+        (q for q in queries if q.dur is not None), key=lambda q: -q.dur
+    )[:5]
+    if slowest:
+        lines.append("")
+        lines.append("slowest queries:")
+        for query in slowest:
+            engine = _enclosing(query, ENGINE_SPANS) or "-"
+            attrs = {
+                key: query.attrs[key]
+                for key in ("verdict", "cached", "instances", "cegar_rounds")
+                if key in query.attrs
+            }
+            detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+            lines.append(
+                f"  {query.dur:8.3f}s  {engine:10s} {detail}"
+            )
+
+    # ------------------------------------------------------ dispatch summary
+    attempts = [node for node in spans if node.name == "dispatch.attempt"]
+    workers = [node for node in spans if node.name == "worker"]
+    faults = {}
+    for node in points:
+        if node.name.startswith("dispatch."):
+            faults[node.name] = faults.get(node.name, 0) + 1
+    if attempts or workers or faults:
+        lines.append("")
+        outcomes: dict[str, int] = {}
+        for attempt in attempts:
+            outcome = str(attempt.attrs.get("outcome", "?"))
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        outcome_text = ", ".join(
+            f"{count} {name}" for name, count in sorted(outcomes.items())
+        )
+        lines.append(
+            f"dispatch: {len(attempts)} worker attempts"
+            + (f" ({outcome_text})" if outcome_text else "")
+            + f", {len(workers)} worker traces forwarded"
+        )
+        for name, count in sorted(faults.items()):
+            lines.append(f"  {name:26s} {count}")
+    return "\n".join(lines)

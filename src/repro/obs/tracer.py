@@ -1,0 +1,383 @@
+"""Span-based tracing: JSONL events with nested span IDs.
+
+Zero-dependency, contextvars-backed.  A :class:`Tracer` writes one JSON
+object per line to its sink; spans carry monotonic timestamps relative to
+the tracer's clock origin, a parent span ID (so the file re-parents into a
+single tree regardless of write order), and a run-level correlation ID
+emitted once in a ``run`` header event.
+
+Tracing is **off by default** and guarded on the hot path: with no tracer
+installed, :func:`span` returns a shared null object and :func:`point` is
+a single global read -- engines and the solver can instrument
+unconditionally without perturbing untraced runs.
+
+Event schema (``v`` = schema version, in the header only)::
+
+    {"e": "run",   "ts": 0.0, "run": "<id>", "v": 1, "pid": ..., "argv": [...]}
+    {"e": "start", "ts": t, "id": "7", "parent": "3" | null,
+     "name": "epr.solve", "attrs": {...}?}
+    {"e": "end",   "ts": t, "id": "7", "dur": seconds, "attrs": {...}?,
+     "error": "ExcName"?}
+    {"e": "point", "ts": t, "id": "9", "parent": "3" | null,
+     "name": "dispatch.retry", "attrs": {...}?}
+
+``start`` and ``end`` attrs are disjoint: attributes known up front ride
+the start event, attributes computed during the span (verdicts, counters)
+are attached with :meth:`Span.set` and ride the end event.  Consumers
+(:mod:`repro.obs.report`) merge both.
+
+Worker processes forked by :mod:`repro.solver.dispatch` must not write to
+the parent's file descriptor (interleaved writes tear JSON lines).
+Instead, :func:`enter_worker` -- called right after the fork -- swaps the
+inherited tracer for one buffering into a list with process-unique span
+IDs (``w<pid>.<n>``) and a cleared current-span context; the worker ships
+the buffer back over its result pipe and the dispatch parent re-parents
+the buffer's root events onto the per-attempt dispatch span with
+:func:`forward_events`.  Timestamps stay comparable because workers keep
+the parent's monotonic clock origin (``CLOCK_MONOTONIC`` is system-wide
+on the platforms where fork is available).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+import uuid
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+SCHEMA_VERSION = 1
+
+#: maximum span depth echoed to stderr by ``--progress``
+_PROGRESS_DEPTH = 3
+
+_current: ContextVar[str | None] = ContextVar("repro_obs_span", default=None)
+
+#: the installed tracer; ``None`` (the default) disables tracing entirely.
+_tracer: "Tracer | None" = None
+
+
+class Tracer:
+    """Emits trace events to a sink (file-like object or list).
+
+    ``sink=None`` with ``progress=True`` gives progress echo without a
+    trace file.  ``clock_origin`` lets forked workers share the parent's
+    timebase; ``id_prefix`` keeps their span IDs globally unique.
+    """
+
+    def __init__(
+        self,
+        sink=None,
+        progress: bool = False,
+        run_id: str | None = None,
+        id_prefix: str = "",
+        clock_origin: float | None = None,
+    ) -> None:
+        self.run_id = run_id or uuid.uuid4().hex[:12]
+        self.sink = sink
+        self.progress = progress
+        self.origin = time.monotonic() if clock_origin is None else clock_origin
+        self.id_prefix = id_prefix
+        self.events = 0
+        self._next = 0
+        self._depth: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------- plumbing
+
+    def now(self) -> float:
+        return time.monotonic() - self.origin
+
+    def new_id(self) -> str:
+        with self._lock:
+            self._next += 1
+            return f"{self.id_prefix}{self._next}"
+
+    def emit(self, event: dict) -> None:
+        with self._lock:
+            self.events += 1
+            if isinstance(self.sink, list):
+                self.sink.append(event)
+            elif self.sink is not None:
+                self.sink.write(json.dumps(event, separators=(",", ":")) + "\n")
+        if self.progress:
+            self._echo(event)
+
+    def emit_header(self, argv: list[str] | None = None) -> None:
+        header = {
+            "e": "run",
+            "ts": 0.0,
+            "run": self.run_id,
+            "v": SCHEMA_VERSION,
+            "pid": os.getpid(),
+        }
+        if argv:
+            header["argv"] = list(argv)
+        self.emit(header)
+
+    def flush(self) -> None:
+        if self.sink is not None and hasattr(self.sink, "flush"):
+            self.sink.flush()
+
+    # ------------------------------------------------------------- progress
+
+    def _echo(self, event: dict) -> None:
+        kind = event.get("e")
+        if kind == "start":
+            parent = event.get("parent")
+            depth = self._depth.get(parent, 0) + 1 if parent else 1
+            self._depth[event["id"]] = depth
+            if depth > _PROGRESS_DEPTH:
+                return
+            attrs = event.get("attrs") or {}
+            detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+            indent = "  " * (depth - 1)
+            print(
+                f"[{event['ts']:8.2f}s] {indent}> {event['name']}"
+                + (f" {detail}" if detail else ""),
+                file=sys.stderr,
+            )
+        elif kind == "end":
+            depth = self._depth.pop(event["id"], 1)
+            if depth > _PROGRESS_DEPTH:
+                return
+            attrs = event.get("attrs") or {}
+            detail = " ".join(f"{k}={v}" for k, v in attrs.items())
+            indent = "  " * (depth - 1)
+            print(
+                f"[{event['ts']:8.2f}s] {indent}< done in {event['dur']:.3f}s"
+                + (f" ({detail})" if detail else ""),
+                file=sys.stderr,
+            )
+
+
+class _NullSpan:
+    """The shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+    id = None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A context-managed span: start/end events plus end-time attributes."""
+
+    __slots__ = ("_tracer", "name", "id", "_start", "_token", "_attrs", "_end_attrs")
+
+    def __init__(self, tracer: Tracer, name: str, attrs: dict) -> None:
+        self._tracer = tracer
+        self.name = name
+        self._attrs = attrs
+        self._end_attrs: dict | None = None
+        self.id = ""
+
+    def set(self, **attrs) -> None:
+        """Attach attributes computed during the span (ride the end event)."""
+        if self._end_attrs is None:
+            self._end_attrs = attrs
+        else:
+            self._end_attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        self.id = tracer.new_id()
+        parent = _current.get()
+        self._token = _current.set(self.id)
+        self._start = tracer.now()
+        event = {
+            "e": "start",
+            "ts": round(self._start, 6),
+            "id": self.id,
+            "parent": parent,
+            "name": self.name,
+        }
+        if self._attrs:
+            event["attrs"] = self._attrs
+        tracer.emit(event)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _current.reset(self._token)
+        end = self._tracer.now()
+        event = {
+            "e": "end",
+            "ts": round(end, 6),
+            "id": self.id,
+            "dur": round(end - self._start, 6),
+        }
+        if self._end_attrs:
+            event["attrs"] = self._end_attrs
+        if exc_type is not None:
+            event["error"] = exc_type.__name__
+        self._tracer.emit(event)
+        return False
+
+
+@dataclass(frozen=True)
+class SpanRef:
+    """Handle for a manually managed span (see :func:`begin_span`)."""
+
+    id: str
+    start: float
+
+
+# ----------------------------------------------------------------- module API
+
+
+def install_tracer(tracer: Tracer | None) -> Tracer | None:
+    """Install (or with ``None`` remove) the process-global tracer."""
+    global _tracer
+    old = _tracer
+    _tracer = tracer
+    return old
+
+
+def active_tracer() -> Tracer | None:
+    return _tracer
+
+
+def enabled() -> bool:
+    """Fast hot-path check: is tracing on?"""
+    return _tracer is not None
+
+
+def span(name: str, /, **attrs):
+    """A context-managed span, or the shared null object when tracing is off."""
+    tracer = _tracer
+    if tracer is None:
+        return _NULL_SPAN
+    return Span(tracer, name, attrs)
+
+
+def point(name: str, /, **attrs) -> None:
+    """A point event under the current span; no-op when tracing is off."""
+    tracer = _tracer
+    if tracer is None:
+        return
+    event = {
+        "e": "point",
+        "ts": round(tracer.now(), 6),
+        "id": tracer.new_id(),
+        "parent": _current.get(),
+        "name": name,
+    }
+    if attrs:
+        event["attrs"] = attrs
+    tracer.emit(event)
+
+
+def current_span_id() -> str | None:
+    """The enclosing span's ID, or None (also None when tracing is off)."""
+    if _tracer is None:
+        return None
+    return _current.get()
+
+
+def begin_span(name: str, /, **attrs) -> SpanRef | None:
+    """Start a span *without* touching the current-span context.
+
+    For spans whose lifetime does not nest lexically -- the dispatch
+    parent opens one per worker attempt inside its event loop and closes
+    it whenever the result (or corpse) comes back.  The span's parent is
+    whatever span is current at begin time.  Returns None when tracing is
+    off; :func:`finish_span` accepts that None.
+    """
+    tracer = _tracer
+    if tracer is None:
+        return None
+    ref = SpanRef(tracer.new_id(), tracer.now())
+    event = {
+        "e": "start",
+        "ts": round(ref.start, 6),
+        "id": ref.id,
+        "parent": _current.get(),
+        "name": name,
+    }
+    if attrs:
+        event["attrs"] = attrs
+    tracer.emit(event)
+    return ref
+
+
+def finish_span(ref: SpanRef | None, **attrs) -> None:
+    """End a span started with :func:`begin_span` (no-op on ``ref=None``)."""
+    tracer = _tracer
+    if tracer is None or ref is None:
+        return
+    end = tracer.now()
+    event = {
+        "e": "end",
+        "ts": round(end, 6),
+        "id": ref.id,
+        "dur": round(end - ref.start, 6),
+    }
+    if attrs:
+        event["attrs"] = attrs
+    tracer.emit(event)
+
+
+# ------------------------------------------------------- worker forwarding
+
+
+def enter_worker() -> None:
+    """Swap the (fork-inherited) tracer for a buffering one.
+
+    Called in a freshly forked dispatch worker, before any solver work.
+    Span IDs get a ``w<pid>.`` prefix so they stay unique when merged into
+    the parent trace; the current-span context is cleared so worker spans
+    root at ``parent: null`` -- :func:`forward_events` re-parents exactly
+    those roots onto the dispatch attempt span.  No-op when tracing is
+    off.
+    """
+    global _tracer
+    parent = _tracer
+    if parent is None:
+        return
+    _tracer = Tracer(
+        sink=[],
+        progress=False,
+        run_id=parent.run_id,
+        id_prefix=f"w{os.getpid()}.",
+        clock_origin=parent.origin,
+    )
+    _current.set(None)
+
+
+def drain_worker() -> list[dict] | None:
+    """The worker's buffered events (picklable dicts), or None."""
+    tracer = _tracer
+    if tracer is None or not isinstance(tracer.sink, list):
+        return None
+    events, tracer.sink = tracer.sink, []
+    return events
+
+
+def forward_events(events: list[dict] | None, parent_id: str | None) -> None:
+    """Merge a worker's buffered events into the parent trace.
+
+    Root events (``parent: null`` -- possible only for spans/points opened
+    at the worker's top level, thanks to :func:`enter_worker` clearing the
+    context) are re-parented onto ``parent_id``; nested events keep their
+    worker-local parents, whose IDs are already globally unique.
+    """
+    tracer = _tracer
+    if tracer is None or not events:
+        return
+    for event in events:
+        if event.get("e") in ("start", "point") and event.get("parent") is None:
+            event = dict(event, parent=parent_id)
+        tracer.emit(event)

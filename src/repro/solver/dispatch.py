@@ -51,6 +51,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from .. import obs
 from ..logic import syntax as s
 from ..logic.sorts import Vocabulary
 from . import faults
@@ -198,21 +199,32 @@ def _worker_main(conn, query: Query, attempt: int) -> None:
     Any other exception is allowed to crash the worker: the parent retries
     and the in-process fallback reproduces deterministic errors with a
     real traceback in the parent.
+
+    The pipe payload is ``(results, trace_events)``: the worker buffers its
+    trace events locally (:func:`repro.obs.enter_worker` -- never writing
+    the fork-inherited trace file, which would tear the parent's JSON
+    lines) and ships them home for re-parenting.  ``trace_events`` is None
+    when tracing is off.
     """
     faults.mark_worker()
+    obs.enter_worker()
     limited = query.budget is not None and query.budget.rss_mb is not None
     if limited:
         _apply_rss_limit(query.budget.rss_mb)
     faults.maybe_inject(query.name, attempt)
     try:
-        results = _run_query(query)
+        with obs.span(
+            "worker", query=query.name, attempt=attempt, pid=os.getpid()
+        ) as sp:
+            results = _run_query(query)
+            sp.set(results=len(results))
     except MemoryError:
         _lift_rss_limit()
         results = _unknown_batch(query, FailureReason.MEMORY)
     else:
         if limited:
             _lift_rss_limit()
-    conn.send(results)
+    conn.send((results, obs.drain_worker()))
     conn.close()
 
 
@@ -223,6 +235,7 @@ class _Running:
     attempt: int
     query: Query
     deadline: float | None
+    span: "obs.SpanRef | None" = None  # the dispatch.attempt trace span
 
 
 def _external_deadline(budget: Budget | None) -> float | None:
@@ -257,7 +270,10 @@ def solve_queries(
     workers = min(jobs, len(queries))
     context = _fork_context() if workers > 1 else None
     if context is None or workers <= 1:
-        batches = [_run_query(query) for query in queries]
+        batches = []
+        for query in queries:
+            with obs.span("query", name=query.name):
+                batches.append(_run_query(query))
         if stats is not None:
             for batch in batches:
                 for result in batch:
@@ -292,6 +308,12 @@ def _solve_parallel(
         nonlocal retry_count, fallback_count
         if record.attempt < retries:
             retry_count += 1
+            obs.point(
+                "dispatch.retry",
+                query=record.query.name,
+                attempt=record.attempt,
+                reason=reason.value,
+            )
             pending.append(
                 (record.index, record.attempt + 1, _escalate(record.query))
             )
@@ -301,8 +323,21 @@ def _solve_parallel(
             # cooperative budget checks still bound it.
             fallback_count += 1
             via_worker[record.index] = False
-            batches[record.index] = _run_query(_escalate(record.query))
+            obs.point(
+                "dispatch.fallback",
+                query=record.query.name,
+                attempt=record.attempt,
+                reason=reason.value,
+            )
+            with obs.span("query", name=record.query.name, fallback=True):
+                batches[record.index] = _run_query(_escalate(record.query))
         else:
+            obs.point(
+                "dispatch.gave-up",
+                query=record.query.name,
+                attempt=record.attempt,
+                reason=reason.value,
+            )
             batches[record.index] = _unknown_batch(record.query, reason)
 
     try:
@@ -324,6 +359,9 @@ def _solve_parallel(
                     attempt,
                     query,
                     time.monotonic() + external if external is not None else None,
+                    span=obs.begin_span(
+                        "dispatch.attempt", query=query.name, attempt=attempt
+                    ),
                 )
             deadlines = [
                 record.deadline
@@ -340,10 +378,17 @@ def _solve_parallel(
             for conn in ready:
                 record = running.pop(conn)
                 try:
-                    batches[record.index] = conn.recv()
+                    results, worker_events = conn.recv()
                 except (EOFError, OSError):
                     crash_count += 1
+                    obs.finish_span(record.span, outcome="crashed")
                     finish_attempt(record, FailureReason.WORKER_CRASHED)
+                else:
+                    batches[record.index] = results
+                    obs.forward_events(
+                        worker_events, record.span.id if record.span else None
+                    )
+                    obs.finish_span(record.span, outcome="ok")
                 finally:
                     conn.close()
                 record.process.join(timeout=5)
@@ -360,6 +405,7 @@ def _solve_parallel(
                 record.process.join()
                 conn.close()
                 kill_count += 1
+                obs.finish_span(record.span, outcome="killed")
                 finish_attempt(record, FailureReason.TIMEOUT)
             if crash_count + kill_count >= next_shrink and pool_size > 1:
                 pool_size = max(1, pool_size // 2)
@@ -372,6 +418,34 @@ def _solve_parallel(
 
     complete = [batch for batch in batches if batch is not None]
     assert len(complete) == len(queries), "dispatch lost a query"
+    if obs.metrics_enabled():
+        # Worker processes fork with a *copy* of the metrics registry, so
+        # their in-solver increments die with them; record worker-solved
+        # results here from the answers that actually came home.  Results
+        # finished in-process (serial fallback) already published through
+        # the solver layer -- counting them again would double-book.
+        for count, name in (
+            (crash_count, "worker_crashes_total"),
+            (kill_count, "worker_kills_total"),
+            (retry_count, "dispatch_retries_total"),
+            (fallback_count, "serial_fallbacks_total"),
+        ):
+            if count:
+                obs.inc(name, count)
+        for index, batch in enumerate(batches):
+            if not via_worker[index]:
+                continue
+            obs.inc("dispatched_total")
+            for result in batch:
+                obs.inc("queries_total", verdict=result.verdict)
+                if result.cached:
+                    obs.inc("cache_hits_total")
+                else:
+                    obs.inc("cache_misses_total")
+                    obs.observe(
+                        "query_latency_ms",
+                        result.statistics.get("solve_ms", 0),
+                    )
     if stats is not None:
         stats.retries += retry_count
         stats.worker_kills += kill_count

@@ -44,6 +44,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping
 
+from .. import obs
 from ..logic import syntax as s
 from ..logic.sorts import FuncDecl, RelDecl, Sort, Vocabulary
 from ..logic.structures import Elem, Structure
@@ -81,6 +82,10 @@ class EprResult:
     statistics: dict[str, int] = field(default_factory=dict)
     unknown: bool = False
     failure: FailureReason | None = None
+    #: answered from the query cache (the authoritative signal for stats
+    #: and metrics; ``statistics`` keeps its ``{"cache_hits": 1}`` shape
+    #: for compatibility but is no longer sniffed to detect hits)
+    cached: bool = False
 
     def __bool__(self) -> bool:
         return self.satisfiable
@@ -184,6 +189,12 @@ class EprSolver:
         checked cooperatively, raising :class:`BudgetExceeded` (use
         :meth:`check` for the catching, UNKNOWN-returning wrapper).
         """
+        with obs.span("epr.prepare", constraints=len(self._constraints)) as sp:
+            prepared = self._prepare()
+            sp.set(instances=prepared.instance_count)
+            return prepared
+
+    def _prepare(self) -> "PreparedEpr":
         from .split import DisjunctSplitter, SkolemPool, hoist_existentials
 
         meter = self.budget.start() if self.budget is not None else None
@@ -493,6 +504,32 @@ class PreparedEpr:
     def solve(
         self, enabled: Iterable[str] | None = None, max_rounds: int = 10_000
     ) -> EprResult:
+        with obs.span("epr.solve") as sp:
+            outcome = self._solve(enabled, max_rounds)
+            statistics = outcome.statistics
+            sp.set(
+                verdict=outcome.verdict,
+                cached=outcome.cached,
+                instances=statistics.get("instances", self.instance_count),
+                solve_ms=statistics.get("solve_ms", 0),
+                cegar_rounds=statistics.get("cegar_rounds", 0),
+                conflicts=statistics.get("conflicts", 0),
+            )
+            if obs.metrics_enabled():
+                obs.inc("queries_total", verdict=outcome.verdict)
+                if outcome.cached:
+                    obs.inc("cache_hits_total")
+                else:
+                    obs.inc("cache_misses_total")
+                    obs.observe(
+                        "query_latency_ms", statistics.get("solve_ms", 0)
+                    )
+                    obs.observe("grounded_instances", self.instance_count)
+            return outcome
+
+    def _solve(
+        self, enabled: Iterable[str] | None = None, max_rounds: int = 10_000
+    ) -> EprResult:
         if enabled is None:
             if self.exclusive and len(self.selectors) > 1:
                 raise ValueError(
@@ -519,7 +556,7 @@ class PreparedEpr:
                 # Solving is deterministic downstream of the grounded CNF
                 # and assumptions, so the stored result is exactly what a
                 # re-solve would compute; only the statistics differ.
-                return replace(hit, statistics={"cache_hits": 1})
+                return replace(hit, statistics={"cache_hits": 1}, cached=True)
         start = time.perf_counter()
         counters = {"rounds": 0, "congruence": 0, "lazy": 0}
         self._meter = owner.budget.start() if owner.budget is not None else None

@@ -20,6 +20,7 @@ from __future__ import annotations
 import itertools
 from typing import Iterator, Mapping, Sequence
 
+from .. import obs
 from ..logic import syntax as s
 from ..logic.sorts import FuncDecl, Sort, StratificationError, Vocabulary
 from ..logic.subst import substitute
@@ -72,6 +73,12 @@ def ground_universe(
                     )
                 if meter is not None and len(universe[sort]) % 256 == 0:
                     meter.check_deadline()
+    if obs.enabled():
+        obs.point(
+            "grounding.universe",
+            terms=sum(len(terms) for terms in universe.values()),
+            sorts=len(universe),
+        )
     return universe
 
 

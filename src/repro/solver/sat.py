@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
+from .. import obs
 from .budget import BudgetMeter
 
 _UNASSIGNED = 0
@@ -244,6 +245,21 @@ class Solver:
         left in a consistent state (the next ``solve`` backtracks to the
         root), so a budget-exceeded search can be retried or abandoned.
         """
+        if not obs.enabled():
+            return self._solve(assumptions, meter)
+        before = self.statistics["conflicts"]
+        result = self._solve(assumptions, meter)
+        obs.point(
+            "sat.solve",
+            verdict="sat" if result.satisfiable else "unsat",
+            conflicts=self.statistics["conflicts"] - before,
+            vars=self._num_vars,
+        )
+        return result
+
+    def _solve(
+        self, assumptions: Sequence[int] = (), meter: BudgetMeter | None = None
+    ) -> SatResult:
         for lit in assumptions:
             if not 1 <= abs(lit) <= self._num_vars:
                 raise ValueError(f"unknown variable in assumption {lit}")

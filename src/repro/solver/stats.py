@@ -11,6 +11,13 @@ The raw ``statistics`` dicts on result objects (:class:`EprResult`,
 :class:`~repro.core.bounded.BoundedResult`, ...) are kept for
 compatibility; a :class:`SolverStats` absorbs them via :meth:`record` and
 is what the ``--stats`` CLI flag prints.
+
+The machine-readable superset of these counters lives in the
+:mod:`repro.obs.metrics` registry (``--metrics FILE``): the solver layers
+publish query verdicts, latency histograms, and fault counters there
+directly, and :meth:`phase` mirrors its timings into the
+``phase_seconds`` histogram, so the registry subsumes ``SolverStats``
+without changing this API.
 """
 
 from __future__ import annotations
@@ -19,6 +26,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping
+
+from .. import obs
 
 
 @dataclass
@@ -69,19 +78,29 @@ class SolverStats:
             self.add_counters(statistics)
 
     def record_result(self, result, *, dispatched: bool = False) -> None:
-        """Absorb an :class:`~repro.solver.epr.EprResult` directly."""
+        """Absorb an :class:`~repro.solver.epr.EprResult` directly.
+
+        Cache hits are identified by the result's explicit ``cached`` flag
+        -- not by sniffing ``result.statistics`` for a ``cache_hits`` key,
+        which mislabels any result whose merged engine counters happen to
+        carry that name.
+        """
         self.record(
             result.statistics,
             satisfiable=result.satisfiable,
             unknown=getattr(result, "unknown", False),
-            cached="cache_hits" in result.statistics,
+            cached=getattr(result, "cached", False),
             dispatched=dispatched,
         )
 
     def note_cache(self, cache) -> None:
-        """Absorb eviction counts from a :class:`QueryCache` (or None)."""
+        """Accumulate eviction counts from a :class:`QueryCache` (or None).
+
+        Accumulates rather than assigns so stats merged across multiple
+        caches/engines do not under-report evictions.
+        """
         if cache is not None:
-            self.cache_evictions = cache.evictions
+            self.cache_evictions += cache.evictions
 
     def add_counters(self, statistics: Mapping[str, int]) -> None:
         for key, value in statistics.items():
@@ -96,6 +115,7 @@ class SolverStats:
         finally:
             elapsed = time.perf_counter() - start
             self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + elapsed
+            obs.observe("phase_seconds", elapsed, phase=name)
 
     def merge(self, other: "SolverStats") -> None:
         self.queries += other.queries

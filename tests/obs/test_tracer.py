@@ -1,0 +1,271 @@
+"""Tracer: schema round-trip, re-parenting, worker forwarding, chaos.
+
+The trace-event contract these tests pin down:
+
+* every emitted line is a JSON object with an ``e`` kind and the keys
+  documented in :mod:`repro.obs.tracer`;
+* the events of one run -- including those buffered in forked dispatch
+  workers and shipped back over the result pipe -- re-parent into a
+  single tree;
+* with no tracer installed every instrumentation call is a no-op, and
+  tracing a run (even a chaos run with injected worker faults) never
+  changes its verdicts.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.logic import RelDecl, Sort, Var, vocabulary
+from repro.logic import syntax as s
+from repro.solver import (
+    EprSolver,
+    FaultPlan,
+    install_cache,
+    install_fault_plan,
+    query_of,
+    solve_queries,
+)
+from repro.solver.dispatch import _fork_context
+
+needs_fork = pytest.mark.skipif(
+    _fork_context() is None, reason="fork start method unavailable"
+)
+
+elem = Sort("elem")
+p = RelDecl("p", (elem,))
+q = RelDecl("q", (elem,))
+VOCAB = vocabulary(sorts=[elem], relations=[p, q], functions=[])
+X = Var("X", elem)
+
+SOME_P = s.exists((X,), s.Rel(p, (X,)))
+NO_P = s.forall((X,), s.not_(s.Rel(p, (X,))))
+SOME_Q = s.exists((X,), s.Rel(q, (X,)))
+NO_Q = s.forall((X,), s.not_(s.Rel(q, (X,))))
+
+QUERIES = [
+    [SOME_P, NO_P],  # unsat
+    [SOME_P, SOME_Q],  # sat
+    [s.and_(SOME_Q, NO_Q)],  # unsat
+]
+EXPECTED = [False, True, False]
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Tracer, metrics, faults, and cache must not leak between tests.
+
+    Installing the empty FaultPlan (hard "no faults") masks any ambient
+    ``REPRO_FAULT`` -- span-count assertions here are exact, so injected
+    retries must be opt-in per test, not inherited from the environment.
+    """
+    old_tracer = obs.install_tracer(None)
+    old_metrics = obs.install_metrics(None)
+    old_cache = install_cache(None)
+    install_fault_plan(FaultPlan())
+    yield
+    install_fault_plan(None)
+    install_cache(old_cache)
+    obs.install_metrics(old_metrics)
+    obs.install_tracer(old_tracer)
+
+
+def _queries():
+    out = []
+    for index, formulas in enumerate(QUERIES):
+        solver = EprSolver(VOCAB)
+        for findex, formula in enumerate(formulas):
+            solver.add(formula, name=f"f{findex}")
+        out.append(query_of(solver, name=f"q{index}"))
+    return out
+
+
+class TestDisabled:
+    """With no tracer installed, instrumentation is free and inert."""
+
+    def test_span_returns_shared_null_object(self):
+        assert obs.span("a") is obs.span("b")
+        with obs.span("a") as sp:
+            sp.set(anything="goes")
+            assert sp.id is None
+
+    def test_points_and_manual_spans_are_noops(self):
+        obs.point("dispatch.retry", attempt=1)
+        assert obs.current_span_id() is None
+        ref = obs.begin_span("dispatch.attempt")
+        assert ref is None
+        obs.finish_span(ref, outcome="ok")  # must tolerate None
+
+    def test_worker_hooks_are_noops(self):
+        obs.enter_worker()
+        assert obs.active_tracer() is None
+        assert obs.drain_worker() is None
+        obs.forward_events(None, "1")
+        obs.forward_events([{"e": "point", "id": "x", "parent": None}], "1")
+
+
+class TestEventSchema:
+    """Events written to a file sink parse line-by-line and rebuild."""
+
+    def _traced(self):
+        sink = io.StringIO()
+        tracer = obs.Tracer(sink=sink, run_id="testrun")
+        obs.install_tracer(tracer)
+        tracer.emit_header(["check", "lock_server"])
+        with obs.span("induction", conjectures=2) as outer:
+            with obs.span("epr.solve") as inner:
+                inner.set(verdict="unsat", cached=False)
+            obs.point("grounding.universe", terms=4)
+            outer.set(holds=True)
+        obs.install_tracer(None)
+        return [json.loads(line) for line in sink.getvalue().splitlines()]
+
+    def test_round_trip_and_required_keys(self):
+        events = self._traced()
+        header = events[0]
+        assert header["e"] == "run"
+        assert header["run"] == "testrun"
+        assert header["v"] == obs.SCHEMA_VERSION
+        assert header["argv"] == ["check", "lock_server"]
+        for event in events[1:]:
+            assert event["e"] in ("start", "end", "point")
+            assert isinstance(event["ts"], float) and event["ts"] >= 0.0
+            assert isinstance(event["id"], str)
+            if event["e"] in ("start", "point"):
+                assert "name" in event and "parent" in event
+            if event["e"] == "end":
+                assert event["dur"] >= 0.0
+
+    def test_rebuilds_into_single_tree_with_merged_attrs(self):
+        events = self._traced()
+        roots, nodes, header = obs.build_tree(events)
+        assert header["run"] == "testrun"
+        assert len(roots) == 1
+        induction = roots[0]
+        assert induction.name == "induction"
+        # start attrs and end attrs (Span.set) are merged on the node
+        assert induction.attrs == {"conjectures": 2, "holds": True}
+        assert [child.name for child in induction.children] == [
+            "epr.solve",
+            "grounding.universe",
+        ]
+        solve, universe = induction.children
+        assert solve.kind == "span" and solve.attrs["verdict"] == "unsat"
+        assert universe.kind == "point" and universe.attrs["terms"] == 4
+        assert obs.tree_depth(roots) == 2
+
+    def test_exception_recorded_on_end_event(self):
+        sink = []
+        obs.install_tracer(obs.Tracer(sink=sink))
+        with pytest.raises(ValueError):
+            with obs.span("houdini"):
+                raise ValueError("boom")
+        obs.install_tracer(None)
+        end = next(e for e in sink if e["e"] == "end")
+        assert end["error"] == "ValueError"
+        roots, _, _ = obs.build_tree(sink)
+        assert roots[0].error == "ValueError"
+
+    def test_orphaned_events_are_adopted_as_roots(self):
+        # A worker killed before its parent span closed: the child's
+        # parent ID never appears.  The report must still cover it.
+        events = [
+            {"e": "start", "ts": 0.1, "id": "w9.1", "parent": "gone",
+             "name": "worker"},
+            {"e": "end", "ts": 0.2, "id": "w9.1", "dur": 0.1},
+        ]
+        roots, nodes, _ = obs.build_tree(events)
+        assert [root.id for root in roots] == ["w9.1"]
+
+
+class TestWorkerForwarding:
+    """enter_worker / drain_worker / forward_events, simulated in-process."""
+
+    def test_forwarded_events_re_parent_into_one_tree(self):
+        sink = []
+        tracer = obs.Tracer(sink=sink, run_id="fwd")
+        obs.install_tracer(tracer)
+        tracer.emit_header()
+        ref = obs.begin_span("dispatch.attempt", query="q0", attempt=0)
+        # -- what the forked child does:
+        obs.enter_worker()
+        worker_tracer = obs.active_tracer()
+        assert worker_tracer is not tracer
+        assert worker_tracer.run_id == "fwd"  # correlation ID survives
+        with obs.span("worker", query="q0"):
+            with obs.span("epr.solve") as sp:
+                sp.set(verdict="unsat")
+        shipped = obs.drain_worker()
+        # -- back in the parent:
+        obs.install_tracer(tracer)
+        obs.forward_events(shipped, ref.id)
+        obs.finish_span(ref, outcome="ok")
+        obs.install_tracer(None)
+
+        assert all("id" not in e or "." in e["id"] for e in shipped), (
+            "worker span IDs must carry the w<pid>. prefix"
+        )
+        roots, nodes, _ = obs.build_tree(sink)
+        assert len(roots) == 1
+        attempt = roots[0]
+        assert attempt.name == "dispatch.attempt"
+        assert attempt.attrs["outcome"] == "ok"
+        (worker,) = attempt.children
+        assert worker.name == "worker"
+        (solve,) = worker.children
+        assert solve.name == "epr.solve" and solve.attrs["verdict"] == "unsat"
+        assert obs.tree_depth(roots) == 3
+
+    def test_drain_is_destructive(self):
+        obs.install_tracer(obs.Tracer(sink=[], run_id="x"))
+        obs.enter_worker()
+        obs.point("sat.solve")
+        first = obs.drain_worker()
+        assert len(first) == 1
+        assert obs.drain_worker() == []
+        obs.install_tracer(None)
+
+
+@needs_fork
+class TestDispatchIntegration:
+    """Real forked workers: traces forwarded, verdicts untouched."""
+
+    def test_traced_parallel_run_matches_untraced(self):
+        baseline = solve_queries(_queries(), jobs=2)
+        sink = []
+        obs.install_tracer(obs.Tracer(sink=sink))
+        traced = solve_queries(_queries(), jobs=2)
+        obs.install_tracer(None)
+        assert [r.satisfiable for (r,) in traced] == EXPECTED
+        assert [r.verdict for (r,) in traced] == [
+            r.verdict for (r,) in baseline
+        ]
+
+        roots, nodes, _ = obs.build_tree(sink)
+        attempts = [n for n in nodes.values() if n.name == "dispatch.attempt"]
+        workers = [n for n in nodes.values() if n.name == "worker"]
+        assert len(attempts) == len(QUERIES)
+        assert len(workers) == len(QUERIES)
+        for worker in workers:
+            assert worker.parent is not None
+            assert worker.parent.name == "dispatch.attempt"
+            assert any(child.name == "epr.solve" for child in worker.children)
+
+    def test_chaos_run_with_tracing_keeps_verdicts(self):
+        """ISSUE acceptance: tracing must not perturb REPRO_FAULT verdicts."""
+        baseline = solve_queries(_queries(), jobs=2)
+        install_fault_plan(FaultPlan(crash=0.3, seed=1))
+        sink = []
+        obs.install_tracer(obs.Tracer(sink=sink))
+        chaotic = solve_queries(_queries(), jobs=2)
+        obs.install_tracer(None)
+        install_fault_plan(None)
+        assert [r.verdict for (r,) in chaotic] == [
+            r.verdict for (r,) in baseline
+        ]
+        assert not any(r.unknown for (r,) in chaotic)
+        # The trace is still a coherent forest even with crashed attempts.
+        roots, nodes, _ = obs.build_tree(sink)
+        assert nodes and roots

@@ -1,0 +1,154 @@
+"""SolverStats: recording, merging, phases, and cache-hit identification."""
+
+import copy
+from types import SimpleNamespace
+
+import pytest
+
+from repro import obs
+from repro.solver import SolverStats
+
+
+def _result(satisfiable=False, unknown=False, cached=False, statistics=None):
+    return SimpleNamespace(
+        satisfiable=satisfiable,
+        unknown=unknown,
+        cached=cached,
+        statistics=statistics or {},
+    )
+
+
+def _sample(seed: int) -> SolverStats:
+    """A stats record with every field nonzero and distinct per seed."""
+    stats = SolverStats(
+        queries=seed,
+        sat_answers=seed + 1,
+        unsat_answers=seed + 2,
+        unknown_answers=seed + 3,
+        cache_hits=seed + 4,
+        cache_misses=seed + 5,
+        cache_evictions=seed + 6,
+        dispatched=seed + 7,
+        retries=seed + 8,
+        worker_kills=seed + 9,
+        worker_crashes=seed + 10,
+        serial_fallbacks=seed + 11,
+    )
+    stats.counters = {"conflicts": seed, f"only{seed}": 1}
+    stats.phase_seconds = {"solve": float(seed), f"phase{seed}": 0.5}
+    return stats
+
+
+class TestRecord:
+    def test_record_result_uses_explicit_cached_flag(self):
+        stats = SolverStats()
+        stats.record_result(_result(satisfiable=False, cached=True))
+        assert stats.cache_hits == 1 and stats.cache_misses == 0
+        assert stats.unsat_answers == 1
+
+    def test_engine_counter_named_cache_hits_is_not_a_hit(self):
+        # The old detection sniffed statistics for a "cache_hits" key; a
+        # result whose merged engine counters happen to carry that name
+        # must not be mislabeled now that the flag is explicit.
+        stats = SolverStats()
+        stats.record_result(
+            _result(satisfiable=True, cached=False, statistics={"cache_hits": 3})
+        )
+        assert stats.cache_hits == 0 and stats.cache_misses == 1
+        assert stats.counters["cache_hits"] == 3  # still merged as a counter
+
+    def test_unknown_beats_satisfiable(self):
+        stats = SolverStats()
+        stats.record_result(_result(satisfiable=None, unknown=True))
+        assert stats.unknown_answers == 1
+        assert stats.sat_answers == stats.unsat_answers == 0
+
+    def test_note_cache_accumulates_across_caches(self):
+        stats = SolverStats()
+        stats.note_cache(SimpleNamespace(evictions=3))
+        stats.note_cache(SimpleNamespace(evictions=4))
+        stats.note_cache(None)
+        assert stats.cache_evictions == 7
+
+    def test_cache_hit_rate(self):
+        stats = SolverStats()
+        assert stats.cache_hit_rate == 0.0
+        stats.record_result(_result(cached=True))
+        stats.record_result(_result(cached=False))
+        stats.record_result(_result(cached=False))
+        assert stats.cache_hit_rate == pytest.approx(1 / 3)
+
+
+class TestPhase:
+    def test_repeated_phases_accumulate(self):
+        stats = SolverStats()
+        with stats.phase("solve"):
+            pass
+        first = stats.phase_seconds["solve"]
+        with stats.phase("solve"):
+            pass
+        assert stats.phase_seconds["solve"] > first
+
+    def test_nested_phases_both_recorded(self):
+        stats = SolverStats()
+        with stats.phase("outer"):
+            with stats.phase("inner"):
+                pass
+        assert set(stats.phase_seconds) == {"outer", "inner"}
+        assert stats.phase_seconds["outer"] >= stats.phase_seconds["inner"]
+
+    def test_phase_records_on_exception(self):
+        stats = SolverStats()
+        with pytest.raises(RuntimeError):
+            with stats.phase("doomed"):
+                raise RuntimeError
+        assert "doomed" in stats.phase_seconds
+
+    def test_phase_mirrors_into_metrics_registry(self):
+        registry = obs.MetricsRegistry()
+        old = obs.install_metrics(registry)
+        try:
+            stats = SolverStats()
+            with stats.phase("bmc"):
+                pass
+            with stats.phase("bmc"):
+                pass
+        finally:
+            obs.install_metrics(old)
+        histogram = registry.to_dict()["histograms"]["phase_seconds{phase=bmc}"]
+        assert histogram["count"] == 2
+
+
+class TestMerge:
+    def test_merge_adds_every_field(self):
+        left, right = _sample(1), _sample(100)
+        merged = copy.deepcopy(left)
+        merged.merge(right)
+        assert merged.queries == left.queries + right.queries
+        assert merged.unknown_answers == left.unknown_answers + right.unknown_answers
+        assert merged.cache_evictions == left.cache_evictions + right.cache_evictions
+        assert merged.serial_fallbacks == left.serial_fallbacks + right.serial_fallbacks
+        assert merged.counters["conflicts"] == 101
+        assert merged.counters["only1"] == merged.counters["only100"] == 1
+        assert merged.phase_seconds["solve"] == pytest.approx(101.0)
+
+    def test_merge_is_associative(self):
+        a, b, c = _sample(1), _sample(10), _sample(100)
+        left = copy.deepcopy(a)
+        left.merge(b)
+        left.merge(c)
+        bc = copy.deepcopy(b)
+        bc.merge(c)
+        right = copy.deepcopy(a)
+        right.merge(bc)
+        assert left == right
+
+    def test_merge_identity(self):
+        stats = _sample(5)
+        merged = copy.deepcopy(stats)
+        merged.merge(SolverStats())
+        assert merged == stats
+
+    def test_format_mentions_the_interesting_fields(self):
+        text = _sample(2).format()
+        assert "hit rate" in text and "faults" in text and "[solve]" in text

@@ -45,6 +45,16 @@ class TestCli:
         with pytest.raises(SystemExit, match="unknown protocol"):
             main(["check", "nonexistent"])
 
+    def test_obs_flags_on_every_solving_subcommand(self, tmp_path, capsys):
+        # --trace/--metrics/--progress parse everywhere; the end-to-end
+        # trace content is covered in tests/obs/test_report.py.
+        trace = tmp_path / "t.jsonl"
+        assert main(["list", "--trace", str(trace)]) == 0
+        assert trace.read_text().startswith('{"e":"run"')
+        assert main(["bmc", "lock_server", "-k", "1", "--trace", str(trace)]) == 0
+        assert main(["session", "lock_server", "--progress"]) == 0
+        assert "> repro.session" in capsys.readouterr().err
+
     def test_verify_rml_file(self, tmp_path, capsys):
         from repro.protocols import rml_sources
 
