@@ -1,0 +1,46 @@
+"""Static analysis: decidability (QAG), diagnostics, lint rules, SARIF.
+
+This package turns the dynamic "the solver will tell us" story into a
+static one: every VC the engines generate is checked for membership in the
+paper's decidable fragment (EPR + stratified functions) *before* any solver
+runs, and violations come back as compiler-style diagnostics with source
+spans and provenance.
+
+Layering: this ``__init__`` (and the modules it imports -- ``diagnostics``,
+``qag``, ``sarif``) depends only on :mod:`repro.logic`, because
+:mod:`repro.rml.typecheck` imports the diagnostics engine.  The modules
+that analyze whole RML programs -- :mod:`repro.analysis.lint` and
+:mod:`repro.analysis.preflight` -- import :mod:`repro.rml` and
+:mod:`repro.core` and must be accessed as explicit submodules
+(``from repro.analysis import lint``).
+"""
+
+from .diagnostics import (
+    CODES,
+    Diagnostic,
+    Diagnostics,
+    Note,
+    Severity,
+    render_all,
+    render_text,
+    to_json,
+)
+from .qag import Qag, QagEdge, build_qag, formula_edges, qag_diagnostics
+from .sarif import to_sarif
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "Diagnostics",
+    "Note",
+    "Qag",
+    "QagEdge",
+    "Severity",
+    "build_qag",
+    "formula_edges",
+    "qag_diagnostics",
+    "render_all",
+    "render_text",
+    "to_json",
+    "to_sarif",
+]

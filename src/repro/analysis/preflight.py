@@ -1,0 +1,79 @@
+"""Pre-flight decidability analysis for the engine entry points.
+
+Before ``bmc`` / ``check`` / ``verify`` / ``session`` hand a program to a
+solver, :func:`preflight_program` statically re-derives the paper's
+guarantee: it runs the collect-all well-formedness checks and cycle-checks
+the quantifier-alternation graph of **every VC the engines will generate**
+(initiation, no-abort and consecution obligations from
+:func:`repro.core.induction.obligations`, plus each axiom on its own).  An
+out-of-fragment VC therefore fails fast with a compiler-style diagnostic
+instead of burning solver budget toward an UNKNOWN.
+
+The pass is traced as an ``analysis`` span and counted in the metrics
+registry (``analysis_preflight_total`` / ``analysis_preflight_blocked``),
+so a blocked run is visible in the trace report and -- crucially for the
+fail-fast guarantee -- shows **zero** ``query_latency_ms`` samples.
+
+This module imports :mod:`repro.core` and must not be imported from
+``repro.analysis.__init__``; use ``from repro.analysis import preflight``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import obs
+from ..core.induction import Conjecture, obligations
+from ..rml.ast import Program
+from ..rml.typecheck import program_diagnostics
+from .diagnostics import Diagnostic, Diagnostics
+from .qag import qag_diagnostics
+
+
+def vc_formulas(
+    program: Program, conjectures: Sequence[Conjecture] = ()
+) -> list[tuple[str, "object"]]:
+    """Every labeled VC (a sat query) the engines generate for ``program``.
+
+    The obligation VCs already conjoin the axioms; the axioms are also
+    listed individually so a bad axiom is reported under its own name even
+    when no obligation exists (e.g. a program with no asserts and no
+    conjectures).
+    """
+    labeled = [
+        (f"axiom {axiom.name}", axiom.formula) for axiom in program.axioms
+    ]
+    for obligation in obligations(program, conjectures):
+        labeled.append((obligation.description, obligation.vc))
+    return labeled
+
+
+def preflight_program(
+    program: Program,
+    conjectures: Sequence[Conjecture] = (),
+    origin: str = "<program>",
+) -> tuple[Diagnostic, ...]:
+    """Statically verify that every VC stays in the decidable fragment.
+
+    Returns all diagnostics found (well-formedness + QAG cycles); the
+    caller blocks solving iff any has error severity.  The QAG pass runs
+    even over an ill-formed program when ``wp`` still goes through, so a
+    smuggled forall*exists* assume is reported both as an RML003 fragment
+    violation and as the RML201 alternation cycle it induces in the VCs.
+    """
+    with obs.span(
+        "analysis", kind="preflight", program=program.name
+    ) as sp:
+        obs.inc("analysis_preflight_total")
+        sink = Diagnostics(origin)
+        sink.extend(program_diagnostics(program))
+        try:
+            labeled = vc_formulas(program, conjectures)
+        except Exception:
+            labeled = []
+        qag_diagnostics(labeled, sink)
+        blocked = sink.has_errors
+        if blocked:
+            obs.inc("analysis_preflight_blocked")
+        sp.set(diagnostics=len(sink), blocked=blocked)
+        return sink.items

@@ -1,0 +1,321 @@
+"""Quantifier-alternation graph (QAG) analysis.
+
+The paper's decidability argument (Sections 3.1-3.3, Lemma 3.2 /
+Theorem 3.3) hinges on every generated VC lying in EPR extended with
+stratified functions.  The standard criterion (Ge & de Moura's "sort
+dependency graph") is a graph over the vocabulary's *sorts*:
+
+* a **function edge** ``s -> t`` for every occurrence of a function symbol
+  ``f : ... s ... -> t`` (after Skolemization a function maps its argument
+  sorts into its result sort);
+* an **alternation edge** ``s -> t`` for every existential binder of sort
+  ``t`` that occurs in the scope of a universal binder of sort ``s``, where
+  universal/existential are read *under polarity* (an ``exists`` under a
+  negation is a universal, and both sides of ``<->`` / ``ite`` conditions
+  count both ways) -- Skolemizing that existential introduces exactly the
+  function edge ``s -> t``.
+
+The VC set is decidable iff the union graph over all VCs is **acyclic**:
+then every Skolem function is stratified and the grounded search space is
+finite.  A cycle is reported as one ``RML201`` diagnostic whose notes walk
+the cycle edge by edge, each note carrying the source span of the
+responsible quantifier or function occurrence.
+
+The VCs analyzed here are satisfiability queries (positive polarity =
+existential), which is how :func:`repro.core.induction.obligations` phrases
+them: ``axioms & invariant & ~wp(...)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..logic import syntax as s
+from ..logic.lexer import Span
+from ..logic.sorts import Sort
+from .diagnostics import Diagnostic, Diagnostics, Note
+
+POSITIVE = 1
+NEGATIVE = -1
+BOTH = 0
+
+
+@dataclass(frozen=True)
+class QagEdge:
+    """One edge of the quantifier-alternation graph, with provenance."""
+
+    src: Sort
+    dst: Sort
+    kind: str  # "function" or "alternation"
+    detail: str  # human-readable provenance, e.g. "function idn : node -> id"
+    span: Span | None = None
+    vc: str = "<formula>"  # label of the VC the edge came from
+
+    @property
+    def key(self) -> tuple:
+        """Identity up to provenance (used to deduplicate parallel edges)."""
+        return (self.src, self.dst, self.kind, self.detail)
+
+    def __str__(self) -> str:
+        return f"{self.src.name} -> {self.dst.name} ({self.detail})"
+
+
+def _term_edges(term: s.Term, vc: str, out: list[QagEdge]) -> None:
+    if isinstance(term, s.Var):
+        return
+    if isinstance(term, s.App):
+        func = term.func
+        for arg_sort in func.arg_sorts:
+            out.append(
+                QagEdge(
+                    arg_sort,
+                    func.sort,
+                    "function",
+                    f"function {func.name} : "
+                    f"{', '.join(x.name for x in func.arg_sorts)} -> {func.sort.name}",
+                    term.span,
+                    vc,
+                )
+            )
+        for arg in term.args:
+            _term_edges(arg, vc, out)
+        return
+    if isinstance(term, s.Ite):
+        _formula_edges(term.cond, BOTH, (), vc, out)
+        _term_edges(term.then, vc, out)
+        _term_edges(term.els, vc, out)
+        return
+    raise TypeError(f"not a term: {term!r}")
+
+
+def _formula_edges(
+    formula: s.Formula,
+    polarity: int,
+    universals: tuple[s.Var, ...],
+    vc: str,
+    out: list[QagEdge],
+) -> None:
+    """Walk ``formula`` collecting QAG edges.
+
+    ``universals`` is the tuple of variables universally bound around the
+    current position *under the current polarity*; ``polarity`` flips at
+    negation, on the left of implication, and is ``BOTH`` under ``<->`` and
+    ``ite`` conditions (visited once per polarity).
+    """
+    if isinstance(formula, (s.Rel, s.Eq)):
+        for term in s.terms_of(formula):
+            _term_edges(term, vc, out)
+        return
+    if isinstance(formula, s.Not):
+        _formula_edges(formula.arg, -polarity if polarity else BOTH, universals, vc, out)
+        return
+    if isinstance(formula, (s.And, s.Or)):
+        for arg in formula.args:
+            _formula_edges(arg, polarity, universals, vc, out)
+        return
+    if isinstance(formula, s.Implies):
+        _formula_edges(
+            formula.lhs, -polarity if polarity else BOTH, universals, vc, out
+        )
+        _formula_edges(formula.rhs, polarity, universals, vc, out)
+        return
+    if isinstance(formula, s.Iff):
+        _formula_edges(formula.lhs, BOTH, universals, vc, out)
+        _formula_edges(formula.rhs, BOTH, universals, vc, out)
+        return
+    if isinstance(formula, (s.Forall, s.Exists)):
+        if polarity == BOTH:
+            _formula_edges(formula, POSITIVE, universals, vc, out)
+            _formula_edges(formula, NEGATIVE, universals, vc, out)
+            return
+        is_universal = (polarity == POSITIVE) == isinstance(formula, s.Forall)
+        if is_universal:
+            _formula_edges(
+                formula.body, polarity, universals + formula.vars, vc, out
+            )
+            return
+        # Existential under polarity: Skolemization maps every in-scope
+        # universal's sort into each bound variable's sort.
+        kind = "exists" if isinstance(formula, s.Exists) else "forall"
+        for var in formula.vars:
+            for outer in universals:
+                out.append(
+                    QagEdge(
+                        outer.sort,
+                        var.sort,
+                        "alternation",
+                        f"'{kind} {var.name}:{var.sort.name}' under "
+                        f"'forall {outer.name}:{outer.sort.name}'",
+                        s.span_of(formula) or s.span_of(outer),
+                        vc,
+                    )
+                )
+        _formula_edges(formula.body, polarity, universals, vc, out)
+        return
+    raise TypeError(f"not a formula: {formula!r}")
+
+
+def formula_edges(
+    formula: s.Formula, vc: str = "<formula>", polarity: int = POSITIVE
+) -> tuple[QagEdge, ...]:
+    """All QAG edges induced by one formula (read as a sat query by default)."""
+    out: list[QagEdge] = []
+    _formula_edges(formula, polarity, (), vc, out)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class Qag:
+    """The union quantifier-alternation graph of a set of VCs."""
+
+    edges: tuple[QagEdge, ...]
+
+    @property
+    def sorts(self) -> tuple[Sort, ...]:
+        seen: dict[Sort, None] = {}
+        for edge in self.edges:
+            seen.setdefault(edge.src)
+            seen.setdefault(edge.dst)
+        return tuple(seen)
+
+    def cycles(self) -> list[tuple[QagEdge, ...]]:
+        """One representative edge cycle per non-trivial SCC (plus self-loops).
+
+        Deterministic: sorts and edges are visited in first-seen order, and
+        parallel edges collapse to their first occurrence.
+        """
+        # Deduplicate parallel edges, keeping first (= first VC mentioning it).
+        unique: dict[tuple, QagEdge] = {}
+        for edge in self.edges:
+            unique.setdefault(edge.key, edge)
+        edges = list(unique.values())
+        adjacency: dict[Sort, list[QagEdge]] = {}
+        for edge in edges:
+            adjacency.setdefault(edge.src, []).append(edge)
+        sccs = _tarjan(self.sorts, adjacency)
+        out: list[tuple[QagEdge, ...]] = []
+        for component in sccs:
+            members = set(component)
+            internal = [
+                e for e in edges if e.src in members and e.dst in members
+            ]
+            if len(component) == 1:
+                loops = [e for e in internal if e.src == e.dst]
+                if loops:
+                    out.append((loops[0],))
+                continue
+            cycle = _walk_cycle(component[0], members, adjacency)
+            if cycle:
+                out.append(tuple(cycle))
+        return out
+
+
+def _tarjan(
+    nodes: Sequence[Sort], adjacency: dict[Sort, list[QagEdge]]
+) -> list[tuple[Sort, ...]]:
+    index: dict[Sort, int] = {}
+    lowlink: dict[Sort, int] = {}
+    on_stack: set[Sort] = set()
+    stack: list[Sort] = []
+    counter = [0]
+    components: list[tuple[Sort, ...]] = []
+
+    def strongconnect(node: Sort) -> None:
+        index[node] = lowlink[node] = counter[0]
+        counter[0] += 1
+        stack.append(node)
+        on_stack.add(node)
+        for edge in adjacency.get(node, ()):
+            succ = edge.dst
+            if succ not in index:
+                strongconnect(succ)
+                lowlink[node] = min(lowlink[node], lowlink[succ])
+            elif succ in on_stack:
+                lowlink[node] = min(lowlink[node], index[succ])
+        if lowlink[node] == index[node]:
+            component: list[Sort] = []
+            while True:
+                member = stack.pop()
+                on_stack.discard(member)
+                component.append(member)
+                if member == node:
+                    break
+            components.append(tuple(reversed(component)))
+
+    for node in nodes:
+        if node not in index:
+            strongconnect(node)
+    return components
+
+
+def _walk_cycle(
+    start: Sort, members: set[Sort], adjacency: dict[Sort, list[QagEdge]]
+) -> list[QagEdge] | None:
+    """A simple cycle through ``start`` staying inside one SCC (DFS)."""
+    path: list[QagEdge] = []
+    visited: set[Sort] = set()
+
+    def dfs(node: Sort) -> bool:
+        for edge in adjacency.get(node, ()):
+            if edge.dst not in members:
+                continue
+            if edge.dst == start:
+                path.append(edge)
+                return True
+            if edge.dst in visited:
+                continue
+            visited.add(edge.dst)
+            path.append(edge)
+            if dfs(edge.dst):
+                return True
+            path.pop()
+        return False
+
+    visited.add(start)
+    return path if dfs(start) else None
+
+
+def build_qag(
+    labeled_formulas: Iterable[tuple[str, s.Formula]],
+) -> Qag:
+    """The union QAG of a set of labeled sat-query formulas."""
+    edges: list[QagEdge] = []
+    for label, formula in labeled_formulas:
+        edges.extend(formula_edges(formula, vc=label))
+    return Qag(tuple(edges))
+
+
+def qag_diagnostics(
+    labeled_formulas: Iterable[tuple[str, s.Formula]],
+    sink: Diagnostics | None = None,
+) -> tuple[Diagnostic, ...]:
+    """Cycle-check the union QAG; one ``RML201`` diagnostic per cycle.
+
+    The diagnostic's message names the sorts on the cycle; its notes list
+    every edge with its provenance (which quantifier or function symbol,
+    in which VC) and source span.
+    """
+    sink = sink if sink is not None else Diagnostics()
+    graph = build_qag(labeled_formulas)
+    for cycle in graph.cycles():
+        sorts = [cycle[0].src.name] + [edge.dst.name for edge in cycle]
+        notes = [
+            Note(f"edge {edge.src.name} -> {edge.dst.name}: {edge.detail} (in {edge.vc})", edge.span)
+            for edge in cycle
+        ]
+        notes.append(
+            Note(
+                "every VC must stay in EPR with stratified (Skolem) functions "
+                "(paper Theorem 3.3); this cycle admits unbounded term depth"
+            )
+        )
+        span = next((edge.span for edge in cycle if edge.span is not None), None)
+        sink.emit(
+            "RML201",
+            "quantifier-alternation cycle through sorts "
+            + " -> ".join(sorts),
+            span=span,
+            notes=notes,
+        )
+    return sink.items

@@ -1,0 +1,86 @@
+"""SARIF 2.1.0 output for ``repro lint --format sarif``.
+
+One run, one rule per registered diagnostic code, one result per
+diagnostic; notes become ``relatedLocations``.  The subset emitted here is
+what GitHub code scanning and the SARIF validators consume: ``tool.driver``
+with rules, ``results`` with ``ruleId``/``level``/``locations``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from .diagnostics import CODES, Diagnostic, Severity
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning", Severity.NOTE: "note"}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json"
+
+
+def _location(origin: str, span) -> dict:
+    location: dict = {
+        "physicalLocation": {"artifactLocation": {"uri": origin}}
+    }
+    if span is not None:
+        location["physicalLocation"]["region"] = {
+            "startLine": span.line,
+            "startColumn": span.col,
+            "endLine": span.end_line,
+            "endColumn": span.end_col,
+        }
+    return location
+
+
+def sarif_log(diagnostics: Iterable[Diagnostic]) -> dict:
+    """The SARIF log as a plain dict (``to_sarif`` serializes it)."""
+    diagnostics = list(diagnostics)
+    used_codes = sorted({d.code for d in diagnostics})
+    rules = [
+        {
+            "id": code,
+            "shortDescription": {"text": CODES[code][1] if code in CODES else code},
+            "defaultConfiguration": {
+                "level": _LEVELS[CODES[code][0]] if code in CODES else "warning"
+            },
+        }
+        for code in used_codes
+    ]
+    rule_index = {code: index for index, code in enumerate(used_codes)}
+    results = []
+    for diagnostic in diagnostics:
+        result: dict = {
+            "ruleId": diagnostic.code,
+            "ruleIndex": rule_index[diagnostic.code],
+            "level": _LEVELS[diagnostic.severity],
+            "message": {"text": diagnostic.message},
+            "locations": [_location(diagnostic.origin, diagnostic.span)],
+        }
+        related = [
+            _location(diagnostic.origin, note.span) | {"message": {"text": note.message}}
+            for note in diagnostic.notes
+        ]
+        if related:
+            result["relatedLocations"] = related
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://github.com/",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def to_sarif(diagnostics: Iterable[Diagnostic]) -> str:
+    return json.dumps(sarif_log(diagnostics), indent=2)

@@ -13,8 +13,17 @@ Subcommands mirror the paper's workflow:
 * ``table`` -- print the Figure 14 reproduction table;
 * ``verify <file.rml>`` -- parse an RML text model, run bounded debugging,
   and check any invariant conjectures passed via ``--conjecture``;
+* ``lint [target ...]`` -- static analysis: well-formedness, lint rules,
+  and the quantifier-alternation-graph decidability check over every VC;
+  targets are protocol names or ``.rml`` files, output is
+  ``--format text|json|sarif``;
 * ``report <trace.jsonl>`` -- render the per-phase / per-query breakdown
   of a trace produced with ``--trace``.
+
+The solving subcommands run the same analysis as a pre-flight: a program
+whose VCs leave the decidable fragment fails fast with exit code 2 and a
+compiler-style diagnostic, before any solver query (disable with
+``--no-preflight``).
 
 Every solving subcommand accepts the observability flags ``--trace FILE``
 (JSONL span trace), ``--metrics FILE`` (JSON metrics snapshot), and
@@ -81,6 +90,38 @@ def _report_unknown(result: BoundedResult, bound: int) -> None:
     print(f"bound {bound} not fully explored: {reasons}")
 
 
+def _preflight(
+    args: argparse.Namespace,
+    program,
+    conjectures=(),
+    origin: str = "<program>",
+    source: str | None = None,
+) -> bool:
+    """Run the decidability pre-flight; True means solving may proceed.
+
+    On error-severity diagnostics, prints them compiler-style on stderr
+    and returns False (callers exit with ``EXIT_UNKNOWN`` -- the program
+    was neither verified nor refuted, solving never started).
+    """
+    if getattr(args, "no_preflight", False):
+        return True
+    from .analysis import preflight
+    from .analysis.diagnostics import Severity, render_text
+
+    diagnostics = preflight.preflight_program(program, conjectures, origin=origin)
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    for diagnostic in errors:
+        print(render_text(diagnostic, source), file=sys.stderr)
+    if errors:
+        print(
+            f"{origin}: {len(errors)} error(s); refusing to start the solver "
+            "(use --no-preflight to override)",
+            file=sys.stderr,
+        )
+        return False
+    return True
+
+
 def _bundle(name: str):
     try:
         module = ALL_PROTOCOLS[name]
@@ -106,6 +147,8 @@ def cmd_bmc(args: argparse.Namespace) -> int:
     program = bundle.program
     if args.drop_axiom:
         program = program.without_axiom(args.drop_axiom)
+    if not _preflight(args, program, bundle.safety, origin=args.protocol):
+        return EXIT_UNKNOWN
     stats = _stats_of(args)
     budget = _budget_of(args)
     start = time.time()
@@ -131,6 +174,11 @@ def cmd_bmc(args: argparse.Namespace) -> int:
 
 def cmd_check(args: argparse.Namespace) -> int:
     bundle = _bundle(args.protocol)
+    if not _preflight(
+        args, bundle.program, tuple(bundle.safety) + tuple(bundle.invariant),
+        origin=args.protocol,
+    ):
+        return EXIT_UNKNOWN
     stats = _stats_of(args)
     budget = _budget_of(args)
     start = time.time()
@@ -161,6 +209,8 @@ def cmd_check(args: argparse.Namespace) -> int:
 
 def cmd_session(args: argparse.Namespace) -> int:
     bundle = _bundle(args.protocol)
+    if not _preflight(args, bundle.program, bundle.safety, origin=args.protocol):
+        return EXIT_UNKNOWN
     session = Session(bundle.program, initial=bundle.safety)
     start = time.time()
     outcome = session.run(OraclePolicy(bundle.invariant), max_iterations=40)
@@ -195,11 +245,26 @@ def cmd_table(_args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    from .analysis.diagnostics import Diagnostics, render_text
+    from .logic.lexer import LexError, ParseError
     from .rml.parser import parse_program
 
     with open(args.file) as handle:
         source = handle.read()
-    program = parse_program(source)
+    try:
+        program = parse_program(source, check=False)
+    except (LexError, ParseError) as error:
+        sink = Diagnostics(args.file)
+        message = getattr(error, "bare_message", None) or str(error)
+        diagnostic = sink.emit("RML000", message, span=error.span)
+        print(render_text(diagnostic, source), file=sys.stderr)
+        return EXIT_UNKNOWN
+    conjectures = [
+        Conjecture(f"C{i}", parse_formula(text, program.vocab))
+        for i, text in enumerate(args.conjecture or [])
+    ]
+    if not _preflight(args, program, conjectures, origin=args.file, source=source):
+        return EXIT_UNKNOWN
     print(f"parsed {program.name!r}: {len(program.vocab.sorts)} sorts, "
           f"{len(program.vocab.relations)} relations")
     stats = _stats_of(args)
@@ -217,11 +282,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         _print_stats(stats)
         return EXIT_UNKNOWN
     print(f"no assertion violation within {args.bound} iterations")
-    if args.conjecture:
-        conjectures = [
-            Conjecture(f"C{i}", parse_formula(text, program.vocab))
-            for i, text in enumerate(args.conjecture)
-        ]
+    if conjectures:
         check = check_inductive(
             program, conjectures, jobs=args.jobs, stats=stats, budget=budget
         )
@@ -239,6 +300,64 @@ def cmd_verify(args: argparse.Namespace) -> int:
         return 0 if check.holds else 1
     _print_stats(stats)
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis over protocol bundles and/or .rml files."""
+    from .analysis import lint, to_json, to_sarif
+    from .analysis.diagnostics import Diagnostics, Severity, render_all
+    from .logic.lexer import LexError, ParseError
+    from .rml.parser import parse_program
+
+    targets = list(args.targets)
+    if args.all or not targets:
+        targets.extend(sorted(ALL_PROTOCOLS))
+    diagnostics = []
+    sources: dict[str, str] = {}
+    with obs.span("analysis", kind="lint", targets=len(targets)):
+        for target in targets:
+            if target in ALL_PROTOCOLS:
+                bundle = _bundle(target)
+                diagnostics.extend(lint.lint_program(bundle.program, origin=target))
+                continue
+            if not os.path.exists(target):
+                raise SystemExit(
+                    f"unknown target {target!r}: neither a protocol "
+                    f"({', '.join(sorted(ALL_PROTOCOLS))}) nor a file"
+                )
+            with open(target) as handle:
+                source = handle.read()
+            sources[target] = source
+            try:
+                program = parse_program(source, check=False)
+            except (LexError, ParseError) as error:
+                sink = Diagnostics(target)
+                message = getattr(error, "bare_message", None) or str(error)
+                sink.emit("RML000", message, span=error.span)
+                diagnostics.extend(sink.items)
+                continue
+            diagnostics.extend(lint.lint_program(program, origin=target))
+    diagnostics.sort(key=lambda d: d.sort_key())
+    if args.format == "json":
+        output = to_json(diagnostics)
+    elif args.format == "sarif":
+        output = to_sarif(diagnostics)
+    else:
+        output = render_all(diagnostics, sources)
+        errors = sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+        warnings = sum(1 for d in diagnostics if d.severity is Severity.WARNING)
+        summary = (
+            f"{len(targets)} target(s): {errors} error(s), {warnings} warning(s)"
+        )
+        output = f"{output}\n{summary}" if output else summary
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(output)
+            handle.write("\n")
+    else:
+        print(output)
+    has_errors = any(d.severity is Severity.ERROR for d in diagnostics)
+    return 1 if has_errors else 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -283,8 +402,15 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_options(list_parser)
     list_parser.set_defaults(func=cmd_list)
 
+    def add_preflight_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--no-preflight", action="store_true",
+            help="skip the static decidability analysis before solving",
+        )
+
     def add_solver_options(subparser: argparse.ArgumentParser) -> None:
         add_obs_options(subparser)
+        add_preflight_options(subparser)
         subparser.add_argument(
             "-j", "--jobs", type=int, default=None,
             help="solve independent queries on N worker processes "
@@ -330,6 +456,7 @@ def build_parser() -> argparse.ArgumentParser:
     session = commands.add_parser("session", help="replay the interactive search")
     session.add_argument("protocol")
     add_obs_options(session)
+    add_preflight_options(session)
     session.set_defaults(func=cmd_session)
 
     interactive = commands.add_parser(
@@ -354,6 +481,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_solver_options(verify)
     verify.set_defaults(func=cmd_verify)
+
+    lint = commands.add_parser(
+        "lint", help="static analysis: well-formedness, lints, QAG decidability"
+    )
+    lint.add_argument(
+        "targets", nargs="*", metavar="TARGET",
+        help="protocol name or .rml file (default: every bundled protocol)",
+    )
+    lint.add_argument(
+        "--all", action="store_true",
+        help="also lint every bundled protocol in addition to TARGETs",
+    )
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write the report to FILE instead of stdout",
+    )
+    add_obs_options(lint)
+    lint.set_defaults(func=cmd_lint)
 
     report = commands.add_parser(
         "report", help="render the breakdown of a --trace JSONL file"

@@ -156,6 +156,8 @@ def check_k_invariance(
     "safe up to ``verified_depth``" with the unanswered depths and their
     failure reasons.
     """
+    if s.free_vars(phi):
+        raise ValueError(f"k-invariance needs a closed formula, got: {phi}")
     if not is_forall_exists(phi):
         raise ValueError(f"k-invariance needs a forall*exists* formula, got: {phi}")
     unroller = unroller or _Unroller(program, budget)

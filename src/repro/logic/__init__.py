@@ -17,6 +17,7 @@ from .fragments import (
     is_quantifier_free,
     is_universal,
 )
+from .lexer import LexError, ParseError, Span, Token
 from .parser import parse_formula, parse_term
 from .partial import (
     Fact,
@@ -77,7 +78,9 @@ from .syntax import (
     literal,
     not_,
     or_,
+    span_of,
     symbols_of,
+    with_span,
 )
 from .transform import (
     NotInFragment,

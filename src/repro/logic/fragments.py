@@ -57,13 +57,34 @@ def _collapsed_prefix(formula: s.Formula, prefer: str) -> str:
     return prenex(formula, prefer=prefer).collapsed()  # type: ignore[arg-type]
 
 
+def _require_closed(formula: s.Formula, check: str) -> None:
+    free = s.free_vars(formula)
+    if free:
+        names = ", ".join(sorted(v.name for v in free))
+        raise ValueError(
+            f"{check} is defined on closed formulas only; free variables: {names}"
+        )
+
+
 def is_exists_forall(formula: s.Formula) -> bool:
-    """Closed-formula membership in ``phi_EA`` (exists*forall*) up to prenexing."""
+    """Membership of a *closed* formula in ``phi_EA`` (exists*forall*) up to prenexing.
+
+    Raises :class:`ValueError` on an open formula: free variables act as
+    constants under satisfiability but as outermost universals under
+    validity, so classifying an open formula here would silently pick one
+    reading.  Callers must check closedness first (and report it as its own
+    error) before asking about the fragment.
+    """
+    _require_closed(formula, "is_exists_forall")
     return re.fullmatch("E?A?", _collapsed_prefix(formula, "E")) is not None
 
 
 def is_forall_exists(formula: s.Formula) -> bool:
-    """Closed-formula membership in ``phi_AE`` (forall*exists*) up to prenexing."""
+    """Membership of a *closed* formula in ``phi_AE`` (forall*exists*) up to prenexing.
+
+    Raises :class:`ValueError` on an open formula; see :func:`is_exists_forall`.
+    """
+    _require_closed(formula, "is_forall_exists")
     return re.fullmatch("A?E?", _collapsed_prefix(formula, "A")) is not None
 
 

@@ -30,8 +30,41 @@ _PUNCTUATION = (
 )
 
 
+@dataclass(frozen=True, slots=True)
+class Span:
+    """A half-open source region ``[start, end)`` in 1-based line/column.
+
+    Spans flow from :class:`Token` through both parsers into the logic and
+    RML ASTs (as non-comparing ``span`` fields) so that static analysis can
+    point diagnostics at the offending source text.  Spans never affect
+    structural equality or hashing of the nodes that carry them.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+
+    def union(self, other: "Span | None") -> "Span":
+        """The smallest span covering both operands."""
+        if other is None:
+            return self
+        start = min((self.line, self.col), (other.line, other.col))
+        end = max((self.end_line, self.end_col), (other.end_line, other.end_col))
+        return Span(start[0], start[1], end[0], end[1])
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.col}"
+
+
 class LexError(Exception):
-    """Raised on an unrecognized character."""
+    """Raised on an unrecognized character; carries its source position."""
+
+    def __init__(self, message: str, line: int, col: int) -> None:
+        super().__init__(f"{message} (line {line}, column {col})")
+        self.line = line
+        self.col = col
+        self.span = Span(line, col, line, col + 1)
 
 
 @dataclass(frozen=True, slots=True)
@@ -40,6 +73,11 @@ class Token:
     text: str
     line: int
     col: int
+
+    @property
+    def span(self) -> Span:
+        """The source region this token occupies (single line)."""
+        return Span(self.line, self.col, self.line, self.col + max(len(self.text), 1))
 
     def __str__(self) -> str:
         return "end of input" if self.kind == "eof" else repr(self.text)
@@ -81,7 +119,7 @@ def tokenize(source: str) -> list[Token]:
                 col += len(punct)
                 break
         else:
-            raise LexError(f"unexpected character {ch!r} at line {line}, column {col}")
+            raise LexError(f"unexpected character {ch!r}", line, col)
     tokens.append(Token("eof", "", line, col))
     return tokens
 
@@ -135,9 +173,18 @@ class TokenStream:
 
 
 class ParseError(Exception):
-    """A syntax or sort-resolution error with source position."""
+    """A syntax or sort-resolution error with source position.
+
+    The raw message, the offending token, and its :class:`Span` are kept as
+    attributes (``bare_message``, ``token``, ``span``) so callers --
+    notably the diagnostics engine in :mod:`repro.analysis` -- can render
+    the error with a source excerpt instead of reparsing ``str(error)``.
+    """
 
     def __init__(self, message: str, token: Token | None = None) -> None:
+        self.bare_message = message
+        self.token = token
+        self.span: Span | None = token.span if token is not None else None
         if token is not None:
             message = f"{message} (line {token.line}, column {token.col})"
         super().__init__(message)

@@ -394,10 +394,16 @@ class _Elaborator:
         if isinstance(fml, _UAtom):
             decl = self.vocab.relation(fml.term.name)
             args = tuple(self.build_term(a, scope) for a in fml.term.args)
-            return s.Rel(decl, args)
+            return s.Rel(decl, args, span=fml.token.span)
         if isinstance(fml, _UEq):
-            atom = s.Eq(self.build_term(fml.lhs, scope), self.build_term(fml.rhs, scope))
-            return s.not_(atom) if fml.negated else atom
+            atom = s.Eq(
+                self.build_term(fml.lhs, scope),
+                self.build_term(fml.rhs, scope),
+                span=fml.token.span,
+            )
+            if fml.negated:
+                return s.with_span(s.not_(atom), fml.token.span)
+            return atom
         if isinstance(fml, _UNot):
             return s.not_(self.build(fml.arg, scope))
         if isinstance(fml, _UBin):
@@ -424,7 +430,7 @@ class _Elaborator:
                 vars_.append(s.Var(name, sort))
             body = self.build(fml.body, _Scope(slots, scope))
             ctor = s.forall if fml.kind == "forall" else s.exists
-            return ctor(tuple(vars_), body)
+            return s.with_span(ctor(tuple(vars_), body), fml.token.span)
         raise TypeError(f"unexpected node: {fml!r}")
 
     def build_term(self, term: _UTerm, scope: _Scope) -> s.Term:
@@ -433,12 +439,13 @@ class _Elaborator:
                 self.build(term.cond, scope),
                 self.build_term(term.then, scope),
                 self.build_term(term.els, scope),
+                span=term.token.span,
             )
         if scope.lookup(term.name) is None and self.free_scope.lookup(term.name) is None:
             decl = self.vocab.get(term.name)
             if isinstance(decl, FuncDecl):
                 args = tuple(self.build_term(a, scope) for a in term.args)
-                return s.App(decl, args)
+                return s.App(decl, args, span=term.token.span)
         slot = scope.lookup(term.name) or self.free_scope.lookup(term.name)
         if slot is None:
             raise ParseError(f"unknown identifier {term.name!r}", term.token)
@@ -447,7 +454,7 @@ class _Elaborator:
             raise ParseError(
                 f"cannot infer the sort of variable {term.name!r}", term.token
             )
-        return s.Var(term.name, sort)
+        return s.Var(term.name, sort, span=term.token.span)
 
 
 def parse_formula(

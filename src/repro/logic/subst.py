@@ -64,12 +64,13 @@ def substitute_term(term: s.Term, mapping: Mapping[s.Var, s.Term]) -> s.Term:
     if isinstance(term, s.Var):
         return mapping.get(term, term)
     if isinstance(term, s.App):
-        return s.App(term.func, tuple(substitute_term(a, mapping) for a in term.args))
+        return s.App(term.func, tuple(substitute_term(a, mapping) for a in term.args), span=term.span)
     if isinstance(term, s.Ite):
         return s.Ite(
             substitute(term.cond, mapping),
             substitute_term(term.then, mapping),
             substitute_term(term.els, mapping),
+            span=term.span,
         )
     raise TypeError(f"not a term: {term!r}")
 
@@ -79,19 +80,31 @@ def substitute(formula: s.Formula, mapping: Mapping[s.Var, s.Term]) -> s.Formula
     if not mapping:
         return formula
     if isinstance(formula, s.Rel):
-        return s.Rel(formula.rel, tuple(substitute_term(a, mapping) for a in formula.args))
+        return s.Rel(formula.rel, tuple(substitute_term(a, mapping) for a in formula.args), span=formula.span)
     if isinstance(formula, s.Eq):
-        return s.Eq(substitute_term(formula.lhs, mapping), substitute_term(formula.rhs, mapping))
+        return s.Eq(
+            substitute_term(formula.lhs, mapping),
+            substitute_term(formula.rhs, mapping),
+            span=formula.span,
+        )
     if isinstance(formula, s.Not):
-        return s.Not(substitute(formula.arg, mapping))
+        return s.Not(substitute(formula.arg, mapping), span=formula.span)
     if isinstance(formula, s.And):
-        return s.And(tuple(substitute(a, mapping) for a in formula.args))
+        return s.And(tuple(substitute(a, mapping) for a in formula.args), span=formula.span)
     if isinstance(formula, s.Or):
-        return s.Or(tuple(substitute(a, mapping) for a in formula.args))
+        return s.Or(tuple(substitute(a, mapping) for a in formula.args), span=formula.span)
     if isinstance(formula, s.Implies):
-        return s.Implies(substitute(formula.lhs, mapping), substitute(formula.rhs, mapping))
+        return s.Implies(
+            substitute(formula.lhs, mapping),
+            substitute(formula.rhs, mapping),
+            span=formula.span,
+        )
     if isinstance(formula, s.Iff):
-        return s.Iff(substitute(formula.lhs, mapping), substitute(formula.rhs, mapping))
+        return s.Iff(
+            substitute(formula.lhs, mapping),
+            substitute(formula.rhs, mapping),
+            span=formula.span,
+        )
     if isinstance(formula, (s.Forall, s.Exists)):
         # Drop bindings shadowed by the quantifier.
         inner = {v: t for v, t in mapping.items() if v not in formula.vars}
@@ -120,7 +133,7 @@ def substitute(formula: s.Formula, mapping: Mapping[s.Var, s.Term]) -> s.Formula
             bound = new_bound
         body = substitute(body, inner)
         ctor = s.Forall if isinstance(formula, s.Forall) else s.Exists
-        return ctor(tuple(bound), body)
+        return ctor(tuple(bound), body, span=formula.span)
     raise TypeError(f"not a formula: {formula!r}")
 
 
@@ -156,9 +169,11 @@ def replace_rel(
         if isinstance(term, s.Var):
             return term
         if isinstance(term, s.App):
-            return s.App(term.func, tuple(on_term(a) for a in term.args))
+            return s.App(term.func, tuple(on_term(a) for a in term.args), span=term.span)
         if isinstance(term, s.Ite):
-            return s.Ite(on_formula(term.cond), on_term(term.then), on_term(term.els))
+            return s.Ite(
+                on_formula(term.cond), on_term(term.then), on_term(term.els), span=term.span
+            )
         raise TypeError(f"not a term: {term!r}")
 
     def on_formula(fml: s.Formula) -> s.Formula:
@@ -166,19 +181,19 @@ def replace_rel(
             args = tuple(on_term(a) for a in fml.args)
             if fml.rel == rel:
                 return substitute(definition, dict(zip(params, args)))
-            return s.Rel(fml.rel, args)
+            return s.Rel(fml.rel, args, span=fml.span)
         if isinstance(fml, s.Eq):
-            return s.Eq(on_term(fml.lhs), on_term(fml.rhs))
+            return s.Eq(on_term(fml.lhs), on_term(fml.rhs), span=fml.span)
         if isinstance(fml, s.Not):
-            return s.Not(on_formula(fml.arg))
+            return s.Not(on_formula(fml.arg), span=fml.span)
         if isinstance(fml, s.And):
-            return s.And(tuple(on_formula(a) for a in fml.args))
+            return s.And(tuple(on_formula(a) for a in fml.args), span=fml.span)
         if isinstance(fml, s.Or):
-            return s.Or(tuple(on_formula(a) for a in fml.args))
+            return s.Or(tuple(on_formula(a) for a in fml.args), span=fml.span)
         if isinstance(fml, s.Implies):
-            return s.Implies(on_formula(fml.lhs), on_formula(fml.rhs))
+            return s.Implies(on_formula(fml.lhs), on_formula(fml.rhs), span=fml.span)
         if isinstance(fml, s.Iff):
-            return s.Iff(on_formula(fml.lhs), on_formula(fml.rhs))
+            return s.Iff(on_formula(fml.lhs), on_formula(fml.rhs), span=fml.span)
         if isinstance(fml, (s.Forall, s.Exists)):
             clash = set(fml.vars) & (s.free_vars(definition) | set(params))
             if clash:
@@ -199,7 +214,7 @@ def replace_rel(
                 new_vars = list(fml.vars)
                 body = fml.body
             ctor = s.Forall if isinstance(fml, s.Forall) else s.Exists
-            return ctor(tuple(new_vars), on_formula(body))
+            return ctor(tuple(new_vars), on_formula(body), span=fml.span)
         raise TypeError(f"not a formula: {fml!r}")
 
     return on_formula(formula)
@@ -222,26 +237,28 @@ def replace_func(
             args = tuple(on_term(a) for a in term.args)
             if term.func == func:
                 return substitute_term(definition, dict(zip(params, args)))
-            return s.App(term.func, args)
+            return s.App(term.func, args, span=term.span)
         if isinstance(term, s.Ite):
-            return s.Ite(on_formula(term.cond), on_term(term.then), on_term(term.els))
+            return s.Ite(
+                on_formula(term.cond), on_term(term.then), on_term(term.els), span=term.span
+            )
         raise TypeError(f"not a term: {term!r}")
 
     def on_formula(fml: s.Formula) -> s.Formula:
         if isinstance(fml, s.Rel):
-            return s.Rel(fml.rel, tuple(on_term(a) for a in fml.args))
+            return s.Rel(fml.rel, tuple(on_term(a) for a in fml.args), span=fml.span)
         if isinstance(fml, s.Eq):
-            return s.Eq(on_term(fml.lhs), on_term(fml.rhs))
+            return s.Eq(on_term(fml.lhs), on_term(fml.rhs), span=fml.span)
         if isinstance(fml, s.Not):
-            return s.Not(on_formula(fml.arg))
+            return s.Not(on_formula(fml.arg), span=fml.span)
         if isinstance(fml, s.And):
-            return s.And(tuple(on_formula(a) for a in fml.args))
+            return s.And(tuple(on_formula(a) for a in fml.args), span=fml.span)
         if isinstance(fml, s.Or):
-            return s.Or(tuple(on_formula(a) for a in fml.args))
+            return s.Or(tuple(on_formula(a) for a in fml.args), span=fml.span)
         if isinstance(fml, s.Implies):
-            return s.Implies(on_formula(fml.lhs), on_formula(fml.rhs))
+            return s.Implies(on_formula(fml.lhs), on_formula(fml.rhs), span=fml.span)
         if isinstance(fml, s.Iff):
-            return s.Iff(on_formula(fml.lhs), on_formula(fml.rhs))
+            return s.Iff(on_formula(fml.lhs), on_formula(fml.rhs), span=fml.span)
         if isinstance(fml, (s.Forall, s.Exists)):
             clash = set(fml.vars) & (s.free_vars(definition) | set(params))
             if clash:
@@ -261,7 +278,7 @@ def replace_func(
                 new_vars = list(fml.vars)
                 body = fml.body
             ctor = s.Forall if isinstance(fml, s.Forall) else s.Exists
-            return ctor(tuple(new_vars), on_formula(body))
+            return ctor(tuple(new_vars), on_formula(body), span=fml.span)
         raise TypeError(f"not a formula: {fml!r}")
 
     return on_formula(formula)
@@ -292,30 +309,32 @@ def rename_symbols(
             return term
         if isinstance(term, s.App):
             func = mapping.get(term.func, term.func)
-            return s.App(func, tuple(on_term(a) for a in term.args))
+            return s.App(func, tuple(on_term(a) for a in term.args), span=term.span)
         if isinstance(term, s.Ite):
-            return s.Ite(on_formula(term.cond), on_term(term.then), on_term(term.els))
+            return s.Ite(
+                on_formula(term.cond), on_term(term.then), on_term(term.els), span=term.span
+            )
         raise TypeError(f"not a term: {term!r}")
 
     def on_formula(fml: s.Formula) -> s.Formula:
         if isinstance(fml, s.Rel):
             rel = mapping.get(fml.rel, fml.rel)
-            return s.Rel(rel, tuple(on_term(a) for a in fml.args))
+            return s.Rel(rel, tuple(on_term(a) for a in fml.args), span=fml.span)
         if isinstance(fml, s.Eq):
-            return s.Eq(on_term(fml.lhs), on_term(fml.rhs))
+            return s.Eq(on_term(fml.lhs), on_term(fml.rhs), span=fml.span)
         if isinstance(fml, s.Not):
-            return s.Not(on_formula(fml.arg))
+            return s.Not(on_formula(fml.arg), span=fml.span)
         if isinstance(fml, s.And):
-            return s.And(tuple(on_formula(a) for a in fml.args))
+            return s.And(tuple(on_formula(a) for a in fml.args), span=fml.span)
         if isinstance(fml, s.Or):
-            return s.Or(tuple(on_formula(a) for a in fml.args))
+            return s.Or(tuple(on_formula(a) for a in fml.args), span=fml.span)
         if isinstance(fml, s.Implies):
-            return s.Implies(on_formula(fml.lhs), on_formula(fml.rhs))
+            return s.Implies(on_formula(fml.lhs), on_formula(fml.rhs), span=fml.span)
         if isinstance(fml, s.Iff):
-            return s.Iff(on_formula(fml.lhs), on_formula(fml.rhs))
+            return s.Iff(on_formula(fml.lhs), on_formula(fml.rhs), span=fml.span)
         if isinstance(fml, (s.Forall, s.Exists)):
             ctor = s.Forall if isinstance(fml, s.Forall) else s.Exists
-            return ctor(fml.vars, on_formula(fml.body))
+            return ctor(fml.vars, on_formula(fml.body), span=fml.span)
         raise TypeError(f"not a formula: {fml!r}")
 
     if isinstance(node, (s.Var, s.App, s.Ite)):

@@ -20,10 +20,21 @@ recommended way to build formulas.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
+from dataclasses import dataclass, field, fields
 from typing import Iterable, Iterator, Union
 
+from .lexer import Span
 from .sorts import FuncDecl, RelDecl, Sort
+
+
+def _span_field() -> Span | None:
+    """The optional source-span slot every AST node carries.
+
+    Spans are provenance only: they are excluded from structural equality
+    and hashing, so two occurrences of the same formula parsed from
+    different places still compare (and dedupe) as equal.
+    """
+    return field(default=None, compare=False, repr=False)
 
 
 class _Node:
@@ -35,7 +46,9 @@ class _Node:
         try:
             return self.__hash_cache
         except AttributeError:
-            value = hash(tuple(getattr(self, f.name) for f in fields(self)))
+            value = hash(
+                tuple(getattr(self, f.name) for f in fields(self) if f.compare)
+            )
             value ^= hash(type(self).__name__)
             object.__setattr__(self, "_Node__hash_cache", value)
             return value
@@ -60,6 +73,7 @@ class Var(_Node):
 
     name: str
     sort: Sort
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -73,6 +87,7 @@ class App(_Node):
 
     func: FuncDecl
     args: tuple["Term", ...] = ()
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -95,6 +110,7 @@ class Ite(_Node):
     cond: "Formula"
     then: "Term"
     els: "Term"
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -124,6 +140,7 @@ class Rel(_Node):
 
     rel: RelDecl
     args: tuple[Term, ...] = ()
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -141,6 +158,7 @@ class Eq(_Node):
 
     lhs: Term
     rhs: Term
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -155,6 +173,7 @@ class Eq(_Node):
 @dataclass(frozen=True, eq=True, repr=False)
 class Not(_Node):
     arg: "Formula"
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -164,6 +183,7 @@ class And(_Node):
     """N-ary conjunction; ``And(())`` is the constant *true*."""
 
     args: tuple["Formula", ...] = ()
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -173,6 +193,7 @@ class Or(_Node):
     """N-ary disjunction; ``Or(())`` is the constant *false*."""
 
     args: tuple["Formula", ...] = ()
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -181,6 +202,7 @@ class Or(_Node):
 class Implies(_Node):
     lhs: "Formula"
     rhs: "Formula"
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -189,6 +211,7 @@ class Implies(_Node):
 class Iff(_Node):
     lhs: "Formula"
     rhs: "Formula"
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -197,6 +220,7 @@ class Iff(_Node):
 class Forall(_Node):
     vars: tuple[Var, ...]
     body: "Formula"
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -209,6 +233,7 @@ class Forall(_Node):
 class Exists(_Node):
     vars: tuple[Var, ...]
     body: "Formula"
+    span: Span | None = _span_field()
 
     __hash__ = _Node.__hash__
 
@@ -329,6 +354,60 @@ def distinct(*terms: Term) -> Formula:
 def literal(atom: Formula, positive: bool) -> Formula:
     """Build a literal from an atom and a polarity."""
     return atom if positive else not_(atom)
+
+
+# ---------------------------------------------------------------------------
+# Span helpers
+# ---------------------------------------------------------------------------
+
+
+def with_span(node: Formula | Term, span: Span | None) -> Formula | Term:
+    """Attach ``span`` to ``node`` in place (spans never affect equality).
+
+    Only call this on freshly-constructed nodes (e.g. the output of a smart
+    constructor during parsing): AST nodes are shared freely, and mutating
+    the span of a shared node -- in particular the ``TRUE``/``FALSE``
+    singletons -- would corrupt unrelated provenance.  Nodes that already
+    carry a span keep it.
+    """
+    if span is not None and node.span is None and node not in (TRUE, FALSE):
+        object.__setattr__(node, "span", span)
+    return node
+
+
+def span_of(node: Formula | Term) -> Span | None:
+    """The node's own span, or the first span found in its subtree.
+
+    Generated formulas (wp output, substitution results) keep the spans of
+    the source fragments embedded in them; this digs one out so diagnostics
+    on derived formulas can still point somewhere useful.
+    """
+    found = node.span
+    if found is not None:
+        return found
+    if isinstance(node, (App,)):
+        children: tuple = node.args
+    elif isinstance(node, Ite):
+        children = (node.cond, node.then, node.els)
+    elif isinstance(node, Rel):
+        children = node.args
+    elif isinstance(node, Eq):
+        children = (node.lhs, node.rhs)
+    elif isinstance(node, Not):
+        children = (node.arg,)
+    elif isinstance(node, (And, Or)):
+        children = node.args
+    elif isinstance(node, (Implies, Iff)):
+        children = (node.lhs, node.rhs)
+    elif isinstance(node, (Forall, Exists)):
+        children = (node.body,)
+    else:
+        children = ()
+    for child in children:
+        found = span_of(child)
+        if found is not None:
+            return found
+    return None
 
 
 # ---------------------------------------------------------------------------

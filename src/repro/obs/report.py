@@ -14,7 +14,7 @@ import json
 from dataclasses import dataclass, field
 
 #: span names that count as engine layers in the breakdown table
-ENGINE_SPANS = ("bmc", "houdini", "updr", "induction")
+ENGINE_SPANS = ("analysis", "bmc", "houdini", "updr", "induction")
 
 #: the span name every EPR query solve emits (:mod:`repro.solver.epr`)
 QUERY_SPAN = "epr.solve"

@@ -22,17 +22,27 @@ from dataclasses import dataclass, field
 from typing import Iterator, Union
 
 from ..logic import syntax as s
+from ..logic.lexer import Span
 from ..logic.sorts import FuncDecl, RelDecl, Vocabulary
+
+
+def _span_field():
+    """A source-location slot excluded from equality, hashing, and repr."""
+    return field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class Skip:
+    span: Span | None = _span_field()
+
     def __str__(self) -> str:
         return "skip"
 
 
 @dataclass(frozen=True)
 class Abort:
+    span: Span | None = _span_field()
+
     def __str__(self) -> str:
         return "abort"
 
@@ -44,6 +54,7 @@ class UpdateRel:
     rel: RelDecl
     params: tuple[s.Var, ...]
     formula: s.Formula
+    span: Span | None = _span_field()
 
     def __post_init__(self) -> None:
         if len(self.params) != self.rel.arity:
@@ -67,6 +78,7 @@ class UpdateFunc:
     func: FuncDecl
     params: tuple[s.Var, ...]
     term: s.Term
+    span: Span | None = _span_field()
 
     def __post_init__(self) -> None:
         if len(self.params) != self.func.arity:
@@ -90,6 +102,7 @@ class Havoc:
     """``var := *`` -- nondeterministic assignment to a program variable."""
 
     var: FuncDecl
+    span: Span | None = _span_field()
 
     def __post_init__(self) -> None:
         if not self.var.is_constant:
@@ -104,6 +117,7 @@ class Assume:
     """``assume formula`` with ``formula`` a closed exists*forall* assertion."""
 
     formula: s.Formula
+    span: Span | None = _span_field()
 
     def __str__(self) -> str:
         return f"assume {self.formula}"
@@ -112,6 +126,7 @@ class Assume:
 @dataclass(frozen=True)
 class Seq:
     commands: tuple["Command", ...]
+    span: Span | None = _span_field()
 
     def __str__(self) -> str:
         return "; ".join(str(c) for c in self.commands)
@@ -123,6 +138,7 @@ class Choice:
 
     branches: tuple["Command", ...]
     labels: tuple[str, ...] | None = None
+    span: Span | None = _span_field()
 
     def __post_init__(self) -> None:
         if len(self.branches) < 2:
@@ -213,6 +229,7 @@ class Axiom:
 
     name: str
     formula: s.Formula
+    span: Span | None = _span_field()
 
     def __str__(self) -> str:
         return f"axiom {self.name}: {self.formula}"
@@ -233,6 +250,11 @@ class Program:
     init: Command = field(default_factory=Skip)
     body: Command = field(default_factory=Skip)
     final: Command = field(default_factory=Skip)
+    #: Source spans of the surface-syntax declarations (sort/relation/
+    #: function names), recorded by :func:`repro.rml.parser.parse_program`
+    #: so lint rules can point "unused symbol" diagnostics at the
+    #: declaration site.  Empty for programmatically built programs.
+    decl_spans: dict[str, Span] = field(default_factory=dict, compare=False, repr=False)
 
     @property
     def axiom_formula(self) -> s.Formula:
@@ -254,6 +276,7 @@ class Program:
             init=self.init,
             body=self.body,
             final=self.final,
+            decl_spans=self.decl_spans,
         )
 
     def mutable_symbols(self) -> frozenset[RelDecl | FuncDecl]:

@@ -66,19 +66,29 @@ from .ast import (
     choice,
     seq,
 )
-from .sugar import assert_, assign, if_, insert, remove
+from ..logic.lexer import Span
+from .sugar import SugarError, assert_, assign, if_, insert, remove
 from .typecheck import check_program
 
 
+def _spanned(command: Command, span: Span) -> Command:
+    """Attach ``span`` to a freshly built command (in place, frozen or not)."""
+    if getattr(command, "span", None) is None:
+        object.__setattr__(command, "span", span)
+    return command
+
+
 class _ProgramParser:
-    def __init__(self, source: str) -> None:
+    def __init__(self, source: str, check: bool = True) -> None:
         self.stream = TokenStream(tokenize(source))
+        self.check = check
         self.name = "program"
         self.sorts: list[Sort] = []
         self.relations: list[RelDecl] = []
         self.functions: list[FuncDecl] = []
         self.axioms: list[Axiom] = []
-        self.safeties: list[tuple[str, s.Formula]] = []
+        self.safeties: list[tuple[str, s.Formula, Span]] = []
+        self.decl_spans: dict[str, Span] = {}
         self.init_command: Command = Skip()
         self.final_command: Command = Skip()
         self.actions: list[tuple[str, Command]] = []
@@ -139,42 +149,47 @@ class _ProgramParser:
             word = token.text
             if word == "sort":
                 stream.advance()
-                self.sorts.append(Sort(stream.expect_ident("sort name").text))
+                ident = stream.expect_ident("sort name")
+                self.sorts.append(Sort(ident.text))
+                self.decl_spans[ident.text] = ident.span
                 self._invalidate()
             elif word == "relation":
                 stream.advance()
-                name = stream.expect_ident("relation name").text
+                ident = stream.expect_ident("relation name")
                 arg_sorts: list[Sort] = []
                 if stream.accept(":"):
                     arg_sorts = self._sort_list()
-                self.relations.append(RelDecl(name, tuple(arg_sorts)))
+                self.relations.append(RelDecl(ident.text, tuple(arg_sorts)))
+                self.decl_spans[ident.text] = ident.span
                 self._invalidate()
             elif word == "function":
                 stream.advance()
-                name = stream.expect_ident("function name").text
+                ident = stream.expect_ident("function name")
                 stream.expect(":")
                 arg_sorts = self._sort_list()
                 stream.expect("->")
                 result = self._sort(stream.expect_ident("sort"))
-                self.functions.append(FuncDecl(name, tuple(arg_sorts), result))
+                self.functions.append(FuncDecl(ident.text, tuple(arg_sorts), result))
+                self.decl_spans[ident.text] = ident.span
                 self._invalidate()
             elif word == "variable":
                 stream.advance()
-                name = stream.expect_ident("variable name").text
+                ident = stream.expect_ident("variable name")
                 stream.expect(":")
                 sort = self._sort(stream.expect_ident("sort"))
-                self.functions.append(FuncDecl(name, (), sort))
+                self.functions.append(FuncDecl(ident.text, (), sort))
+                self.decl_spans[ident.text] = ident.span
                 self._invalidate()
             elif word == "axiom":
                 stream.advance()
-                name = stream.expect_ident("axiom name").text
+                ident = stream.expect_ident("axiom name")
                 stream.expect(":")
-                self.axioms.append(Axiom(name, self._formula()))
+                self.axioms.append(Axiom(ident.text, self._formula(), span=ident.span))
             elif word == "safety":
                 stream.advance()
-                name = stream.expect_ident("safety name").text
+                ident = stream.expect_ident("safety name")
                 stream.expect(":")
-                self.safeties.append((name, self._formula()))
+                self.safeties.append((ident.text, self._formula(), ident.span))
             elif word == "init":
                 stream.advance()
                 self.init_command = self._block()
@@ -187,10 +202,18 @@ class _ProgramParser:
                 self.actions.append((name, self._block()))
             else:
                 raise ParseError(f"unexpected declaration {token}", token)
-        return self._build()
+        return self._build(check=self.check)
 
-    def _build(self) -> Program:
-        asserts = [assert_(formula, label=name) for name, formula in self.safeties]
+    def _build(self, check: bool = True) -> Program:
+        asserts = []
+        for name, formula, span in self.safeties:
+            try:
+                asserts.append(_spanned(assert_(formula, label=name), span))
+            except SugarError as error:
+                raise ParseError(
+                    f"safety {name!r}: {error}",
+                    Token("ident", name, span.line, span.col),
+                ) from error
         if len(self.actions) > 1:
             labels = tuple(name for name, _ in self.actions)
             body = seq(*asserts, choice(*(c for _, c in self.actions), labels=labels))
@@ -205,22 +228,32 @@ class _ProgramParser:
             init=self.init_command,
             body=body,
             final=self.final_command,
+            decl_spans=dict(self.decl_spans),
         )
-        check_program(program)
+        if check:
+            check_program(program)
         return program
 
     # ------------------------------------------------------------- blocks
 
     def _block(self) -> Command:
-        self.stream.expect("{")
+        opening = self.stream.expect("{")
         commands: list[Command] = []
         while not self.stream.at("}"):
             commands.append(self._statement())
             self.stream.expect(";")
         self.stream.expect("}")
-        return seq(*commands)
+        return _spanned(seq(*commands), opening.span)
 
     def _statement(self) -> Command:
+        token = self.stream.current
+        try:
+            command = self._statement_inner()
+        except SugarError as error:
+            raise ParseError(str(error), token) from error
+        return _spanned(command, token.span)
+
+    def _statement_inner(self) -> Command:
         stream = self.stream
         token = stream.current
         word = token.text
@@ -342,6 +375,12 @@ class _ProgramParser:
         return UpdateFunc(decl, tuple(params), term)
 
 
-def parse_program(source: str) -> Program:
-    """Parse (and check) an RML program from concrete syntax."""
-    return _ProgramParser(source).parse()
+def parse_program(source: str, check: bool = True) -> Program:
+    """Parse (and, unless ``check=False``, typecheck) an RML program.
+
+    With ``check=False`` the program is returned as parsed so that callers
+    like ``repro lint`` can run the collect-all diagnostics pass
+    (:func:`repro.rml.typecheck.program_diagnostics`) themselves instead of
+    stopping at the first :class:`~repro.rml.typecheck.ProgramError`.
+    """
+    return _ProgramParser(source, check=check).parse()

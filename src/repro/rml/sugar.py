@@ -33,6 +33,10 @@ class SugarError(Exception):
 
 def assert_(formula: s.Formula, label: str | None = None) -> Command:
     """``assert phi``: abort iff ``~phi`` can be assumed (Figure 12)."""
+    free = s.free_vars(formula)
+    if free:
+        names = ", ".join(sorted(v.name for v in free))
+        raise SugarError(f"assert requires a closed formula; free variables: {names}")
     if not is_forall_exists(formula):
         raise SugarError(f"assert requires a forall*exists* formula, got: {formula}")
     branches = (seq(Assume(s.not_(formula)), Abort()), Skip())

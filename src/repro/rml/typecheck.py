@@ -11,15 +11,24 @@ A program is *well formed* when:
 5. all symbols used belong to the program vocabulary.
 
 Together these guarantee Lemma 3.2 / Theorem 3.3: every verification
-condition the tool generates is decidable EPR (checked again dynamically by
-the solver, but a well-formedness error here points at the offending command
-instead of a solver failure later).
+condition the tool generates is decidable EPR.
+
+The checkers collect **all** violations as :class:`~repro.analysis.
+diagnostics.Diagnostic` values (codes ``RML001``-``RML009``, each with a
+source span when the program came from the parser): see
+:func:`program_diagnostics` / :func:`command_diagnostics`.  The original
+raise-on-first-error API is preserved by the thin wrappers
+:func:`check_program` / :func:`check_command`, which raise a
+:class:`ProgramError` carrying the full diagnostic list in its
+``diagnostics`` attribute.
 """
 
 from __future__ import annotations
 
+from ..analysis.diagnostics import Diagnostic, Diagnostics, Severity
 from ..logic import syntax as s
 from ..logic.fragments import is_exists_forall, is_quantifier_free
+from ..logic.lexer import Span
 from ..logic.sorts import StratificationError, Vocabulary
 from .ast import (
     Abort,
@@ -36,104 +45,203 @@ from .ast import (
 
 
 class ProgramError(Exception):
-    """A violation of the RML well-formedness restrictions."""
+    """A violation of the RML well-formedness restrictions.
+
+    ``diagnostics`` holds every violation found (not just the first one
+    this exception's message reports).
+    """
+
+    def __init__(
+        self, message: str, diagnostics: tuple[Diagnostic, ...] = ()
+    ) -> None:
+        super().__init__(message)
+        self.diagnostics = diagnostics
 
 
-def check_program(program: Program) -> None:
-    """Raise :class:`ProgramError` unless ``program`` is well-formed RML."""
+def program_diagnostics(program: Program) -> tuple[Diagnostic, ...]:
+    """Collect every well-formedness violation in ``program``."""
+    sink = Diagnostics()
     try:
         program.vocab.check_stratified()
     except StratificationError as error:
-        raise ProgramError(f"{program.name}: {error}") from error
+        sink.emit("RML001", f"{program.name}: {error}", span=_decl_span(program, error))
     for axiom in program.axioms:
+        where = f"axiom {axiom.name!r}"
+        span = axiom.span or s.span_of(axiom.formula)
         if s.free_vars(axiom.formula):
-            raise ProgramError(f"axiom {axiom.name!r} is not closed")
-        if not is_exists_forall(axiom.formula):
-            raise ProgramError(
-                f"axiom {axiom.name!r} is not an exists*forall* formula"
-            )
-        _check_symbols(axiom.formula, program.vocab, f"axiom {axiom.name!r}")
+            sink.emit("RML002", f"{where} is not closed", span=span)
+        elif not is_exists_forall(axiom.formula):
+            sink.emit("RML003", f"{where} is not an exists*forall* formula", span=span)
+        _symbol_diagnostics(axiom.formula, program.vocab, where, span, sink)
     for label, command in (
         ("init", program.init),
         ("body", program.body),
         ("final", program.final),
     ):
-        check_command(command, program.vocab, where=f"{program.name}.{label}")
+        command_diagnostics(command, program.vocab, f"{program.name}.{label}", sink)
+    return sink.items
 
 
-def check_command(command: Command, vocab: Vocabulary, where: str = "command") -> None:
+def command_diagnostics(
+    command: Command,
+    vocab: Vocabulary,
+    where: str = "command",
+    sink: Diagnostics | None = None,
+) -> tuple[Diagnostic, ...]:
+    """Collect every well-formedness violation in one command tree."""
+    sink = sink if sink is not None else Diagnostics()
+    _check_command(command, vocab, where, sink)
+    return sink.items
+
+
+def _check_command(
+    command: Command, vocab: Vocabulary, where: str, sink: Diagnostics
+) -> None:
+    span = getattr(command, "span", None)
     if isinstance(command, (Skip, Abort)):
         return
     if isinstance(command, UpdateRel):
         if vocab.get(command.rel.name) != command.rel:
-            raise ProgramError(f"{where}: update of undeclared relation {command.rel.name!r}")
+            sink.emit(
+                "RML007",
+                f"{where}: update of undeclared relation {command.rel.name!r}",
+                span=span,
+            )
+            return
+        formula_span = s.span_of(command.formula) or span
         if not is_quantifier_free(command.formula):
-            raise ProgramError(
-                f"{where}: update of {command.rel.name!r} is not quantifier free"
+            sink.emit(
+                "RML004",
+                f"{where}: update of {command.rel.name!r} is not quantifier free",
+                span=formula_span,
             )
         extra = s.free_vars(command.formula) - set(command.params)
         if extra:
             names = ", ".join(sorted(v.name for v in extra))
-            raise ProgramError(
-                f"{where}: update of {command.rel.name!r} has stray free variables: {names}"
+            sink.emit(
+                "RML005",
+                f"{where}: update of {command.rel.name!r} has stray free variables: {names}",
+                span=formula_span,
             )
-        _check_symbols(command.formula, vocab, where)
+        _symbol_diagnostics(command.formula, vocab, where, formula_span, sink)
         return
     if isinstance(command, UpdateFunc):
         if vocab.get(command.func.name) != command.func:
-            raise ProgramError(f"{where}: update of undeclared function {command.func.name!r}")
+            sink.emit(
+                "RML007",
+                f"{where}: update of undeclared function {command.func.name!r}",
+                span=span,
+            )
+            return
+        term_span = s.span_of(command.term) or span
         extra = s.free_vars(command.term) - set(command.params)
         if extra:
             names = ", ".join(sorted(v.name for v in extra))
-            raise ProgramError(
-                f"{where}: update of {command.func.name!r} has stray free variables: {names}"
+            sink.emit(
+                "RML005",
+                f"{where}: update of {command.func.name!r} has stray free variables: {names}",
+                span=term_span,
             )
-        _check_term(command.term, vocab, where)
+        _term_diagnostics(command.term, vocab, where, term_span, sink)
         return
     if isinstance(command, Havoc):
         if vocab.get(command.var.name) != command.var:
-            raise ProgramError(f"{where}: havoc of undeclared variable {command.var.name!r}")
+            sink.emit(
+                "RML009",
+                f"{where}: havoc of undeclared variable {command.var.name!r}",
+                span=span,
+            )
         return
     if isinstance(command, Assume):
+        formula_span = s.span_of(command.formula) or span
         if s.free_vars(command.formula):
-            raise ProgramError(f"{where}: assume formula is not closed")
-        if not is_exists_forall(command.formula):
-            raise ProgramError(
-                f"{where}: assume formula is not exists*forall*: {command.formula}"
+            sink.emit(
+                "RML002", f"{where}: assume formula is not closed", span=formula_span
             )
-        _check_symbols(command.formula, vocab, where)
+        elif not is_exists_forall(command.formula):
+            sink.emit(
+                "RML003",
+                f"{where}: assume formula is not exists*forall*: {command.formula}",
+                span=formula_span,
+            )
+        _symbol_diagnostics(command.formula, vocab, where, formula_span, sink)
         return
     if isinstance(command, Seq):
         for child in command.commands:
-            check_command(child, vocab, where)
+            _check_command(child, vocab, where, sink)
         return
     if isinstance(command, Choice):
         for child in command.branches:
-            check_command(child, vocab, where)
+            _check_command(child, vocab, where, sink)
         return
     raise TypeError(f"not a command: {command!r}")
 
 
-def _check_symbols(formula: s.Formula, vocab: Vocabulary, where: str) -> None:
-    for decl in s.symbols_of(formula):
+def _symbol_diagnostics(
+    formula: s.Formula,
+    vocab: Vocabulary,
+    where: str,
+    span: Span | None,
+    sink: Diagnostics,
+) -> None:
+    for decl in sorted(s.symbols_of(formula), key=lambda d: d.name):
         if vocab.get(decl.name) != decl:
-            raise ProgramError(f"{where}: symbol {decl.name!r} not in the program vocabulary")
+            sink.emit(
+                "RML006",
+                f"{where}: symbol {decl.name!r} not in the program vocabulary",
+                span=span,
+            )
 
 
-def _check_term(term: s.Term, vocab: Vocabulary, where: str) -> None:
+def _term_diagnostics(
+    term: s.Term, vocab: Vocabulary, where: str, span: Span | None, sink: Diagnostics
+) -> None:
     if isinstance(term, s.Var):
         return
     if isinstance(term, s.App):
         if vocab.get(term.func.name) != term.func:
-            raise ProgramError(f"{where}: symbol {term.func.name!r} not in the program vocabulary")
+            sink.emit(
+                "RML006",
+                f"{where}: symbol {term.func.name!r} not in the program vocabulary",
+                span=term.span or span,
+            )
         for arg in term.args:
-            _check_term(arg, vocab, where)
+            _term_diagnostics(arg, vocab, where, span, sink)
         return
     if isinstance(term, s.Ite):
         if not is_quantifier_free(term.cond):
-            raise ProgramError(f"{where}: ite condition is not quantifier free")
-        _check_symbols(term.cond, vocab, where)
-        _check_term(term.then, vocab, where)
-        _check_term(term.els, vocab, where)
+            sink.emit(
+                "RML008",
+                f"{where}: ite condition is not quantifier free",
+                span=s.span_of(term.cond) or term.span or span,
+            )
+        _symbol_diagnostics(term.cond, vocab, where, s.span_of(term.cond) or span, sink)
+        _term_diagnostics(term.then, vocab, where, span, sink)
+        _term_diagnostics(term.els, vocab, where, span, sink)
         return
     raise TypeError(f"not a term: {term!r}")
+
+
+def _decl_span(program: Program, error: StratificationError) -> Span | None:
+    """Point a stratification error at the declaration of an involved symbol."""
+    for word in str(error).replace(",", " ").split():
+        span = program.decl_spans.get(word.strip("'\""))
+        if span is not None:
+            return span
+    return None
+
+
+def _raise_first(diagnostics: tuple[Diagnostic, ...]) -> None:
+    errors = [d for d in diagnostics if d.severity is Severity.ERROR]
+    if errors:
+        raise ProgramError(errors[0].message, diagnostics)
+
+
+def check_program(program: Program) -> None:
+    """Raise :class:`ProgramError` unless ``program`` is well-formed RML."""
+    _raise_first(program_diagnostics(program))
+
+
+def check_command(command: Command, vocab: Vocabulary, where: str = "command") -> None:
+    """Raise :class:`ProgramError` on the first violation in one command."""
+    _raise_first(command_diagnostics(command, vocab, where))

@@ -1,0 +1,127 @@
+"""Diagnostics engine: collect-all sink, rendering, JSON/SARIF output."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    Diagnostics,
+    Note,
+    Severity,
+    render_text,
+    to_json,
+    to_sarif,
+)
+from repro.analysis.sarif import sarif_log
+from repro.logic.lexer import Span
+
+
+class TestSink:
+    def test_collects_all(self):
+        sink = Diagnostics()
+        sink.emit("RML102", "unused relation 'r'")
+        sink.emit("RML002", "axiom 'a' is not closed")
+        sink.emit("RML104", "shadowed binder")
+        assert len(sink) == 3
+
+    def test_default_severity_from_registry(self):
+        sink = Diagnostics()
+        error = sink.emit("RML002", "not closed")
+        warning = sink.emit("RML104", "shadowed")
+        assert error.severity is Severity.ERROR
+        assert warning.severity is Severity.WARNING
+
+    def test_unregistered_code_rejected(self):
+        with pytest.raises(KeyError):
+            Diagnostics().emit("RML999", "nope")
+
+    def test_items_sorted_by_position(self):
+        sink = Diagnostics()
+        sink.emit("RML104", "later", span=Span(9, 1, 9, 5))
+        sink.emit("RML104", "earlier", span=Span(2, 3, 2, 7))
+        assert [d.message for d in sink.items] == ["earlier", "later"]
+
+    def test_has_errors(self):
+        sink = Diagnostics()
+        sink.emit("RML104", "warn only")
+        assert not sink.has_errors
+        sink.emit("RML002", "an error")
+        assert sink.has_errors
+
+    def test_origin_tagging(self):
+        sink = Diagnostics("file.rml")
+        diagnostic = sink.emit("RML104", "warn")
+        assert diagnostic.origin == "file.rml"
+
+
+class TestRenderText:
+    def test_compiler_style_header(self):
+        sink = Diagnostics("toy.rml")
+        diagnostic = sink.emit("RML002", "axiom 'a' is not closed", span=Span(3, 8, 3, 12))
+        text = render_text(diagnostic)
+        assert text.startswith("toy.rml:3:8: error[RML002]: axiom 'a' is not closed")
+
+    def test_source_excerpt_with_caret(self):
+        source = "line one\naxiom a: p(X)\nline three"
+        sink = Diagnostics("toy.rml")
+        diagnostic = sink.emit("RML002", "not closed", span=Span(2, 10, 2, 14))
+        text = render_text(diagnostic, source)
+        assert "axiom a: p(X)" in text
+        caret_line = text.splitlines()[2]
+        assert caret_line.endswith("^~~~")
+        # The caret starts under column 10 of the excerpt.
+        assert caret_line.index("^") > caret_line.index("|")
+
+    def test_notes_rendered(self):
+        sink = Diagnostics()
+        diagnostic = sink.emit(
+            "RML201",
+            "cycle",
+            notes=(Note("edge a -> b", Span(1, 1, 1, 2)), Note("spanless note")),
+        )
+        text = render_text(diagnostic)
+        assert "note: 1:1: edge a -> b" in text
+        assert "note: spanless note" in text
+
+
+class TestMachineFormats:
+    def _sample(self):
+        sink = Diagnostics("toy.rml")
+        sink.emit("RML002", "not closed", span=Span(2, 3, 2, 9))
+        sink.emit(
+            "RML104",
+            "shadowed",
+            span=Span(5, 1, 5, 4),
+            notes=(Note("outer binder here", Span(1, 1, 1, 2)),),
+        )
+        return sink.items
+
+    def test_json_roundtrip(self):
+        data = json.loads(to_json(self._sample()))
+        assert data["schema"] == 1
+        assert len(data["diagnostics"]) == 2
+        first = data["diagnostics"][0]
+        assert first["code"] == "RML002"
+        assert first["severity"] == "error"
+        assert first["span"] == {"line": 2, "col": 3, "end_line": 2, "end_col": 9}
+
+    def test_sarif_shape(self):
+        log = sarif_log(self._sample())
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        rule_ids = [rule["id"] for rule in run["tool"]["driver"]["rules"]]
+        assert rule_ids == ["RML002", "RML104"]
+        results = run["results"]
+        assert results[0]["level"] == "error"
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 2 and region["startColumn"] == 3
+        assert results[1]["relatedLocations"][0]["message"]["text"] == "outer binder here"
+
+    def test_sarif_parses_as_json(self):
+        json.loads(to_sarif(self._sample()))
+
+    def test_every_code_has_severity_and_description(self):
+        for code, (severity, description) in CODES.items():
+            assert isinstance(severity, Severity)
+            assert description

@@ -1,0 +1,138 @@
+"""Pre-flight decidability analysis: fail fast before any solver query.
+
+The acceptance scenario from the issue: mutate a bundled protocol so a VC
+leaves the decidable fragment, run ``repro check``, and require exit code
+2, an RML201 diagnostic naming the sorts and the offending edge, and a
+metrics dump with **zero** ``query_latency_ms`` samples (the solver never
+started).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import cli
+from repro.analysis.diagnostics import Severity
+from repro.analysis.preflight import preflight_program, vc_formulas
+from repro.logic import Exists, Forall, Rel, Var, exists, forall
+from repro.protocols import ALL_PROTOCOLS
+from repro.rml.ast import Assume, Seq
+
+
+def _mutated_lock_server():
+    """lock_server with a forall-exists assume smuggled into the body."""
+    bundle = ALL_PROTOCOLS["lock_server"].build()
+    program = bundle.program
+    client = next(s for s in program.vocab.sorts if s.name == "client")
+    lock_msg = next(r for r in program.vocab.relations if r.name == "lock_msg")
+    X, Y = Var("X", client), Var("Y", client)
+    bad = Assume(forall((X,), exists((Y,), Rel(lock_msg, (Y,)))))
+    mutated = dataclasses.replace(program, body=Seq((bad, program.body)))
+    return dataclasses.replace(bundle, program=mutated)
+
+
+class _FakeModule:
+    def __init__(self, bundle):
+        self._bundle = bundle
+
+    def build(self):
+        return self._bundle
+
+
+@pytest.fixture
+def bad_lock(monkeypatch):
+    monkeypatch.setitem(cli.ALL_PROTOCOLS, "bad_lock", _FakeModule(_mutated_lock_server()))
+    return "bad_lock"
+
+
+class TestPreflightProgram:
+    def test_clean_protocol_has_no_errors(self):
+        bundle = ALL_PROTOCOLS["lock_server"].build()
+        diagnostics = preflight_program(
+            bundle.program, tuple(bundle.safety) + tuple(bundle.invariant)
+        )
+        assert not any(d.severity is Severity.ERROR for d in diagnostics)
+
+    def test_mutated_protocol_reports_qag_cycle(self, bad_lock):
+        bundle = cli.ALL_PROTOCOLS[bad_lock].build()
+        diagnostics = preflight_program(
+            bundle.program, tuple(bundle.safety) + tuple(bundle.invariant)
+        )
+        codes = {d.code for d in diagnostics}
+        assert "RML003" in codes  # the assume itself is out of fragment
+        assert "RML201" in codes  # and it induces an alternation cycle
+        (cycle,) = [d for d in diagnostics if d.code == "RML201"]
+        assert "client -> client" in cycle.message
+        provenance = " ".join(note.message for note in cycle.notes)
+        assert "exists" in provenance and "forall" in provenance
+
+    def test_vcs_cover_obligations_and_axioms(self):
+        bundle = ALL_PROTOCOLS["leader_election"].build()
+        labeled = vc_formulas(bundle.program, tuple(bundle.safety))
+        labels = [label for label, _ in labeled]
+        assert any(label.startswith("axiom") for label in labels)
+        assert any("abort" in label for label in labels)
+
+
+class TestCheckFailsFast:
+    def test_exit_2_and_zero_solver_queries(self, bad_lock, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        code = cli.main(["check", bad_lock, "--metrics", str(metrics_path)])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "RML201" in err
+        assert "client -> client" in err
+        assert "refusing to start the solver" in err
+
+        dump = json.loads(metrics_path.read_text())
+        histograms = dump.get("histograms", {})
+        latency = histograms.get("query_latency_ms", {"count": 0})
+        assert latency["count"] == 0
+        counters = dump.get("counters", {})
+        assert counters.get("analysis_preflight_total") == 1
+        assert counters.get("analysis_preflight_blocked") == 1
+
+    def test_no_preflight_overrides(self, bad_lock, capsys):
+        # With the pre-flight disabled the program reaches the solver, which
+        # then trips over the fragment violation itself -- proving the gate
+        # was bypassed (and why failing fast with a source span is nicer).
+        from repro.logic.transform import NotInFragment
+
+        with pytest.raises(NotInFragment):
+            cli.main(["check", bad_lock, "--no-preflight"])
+        assert "refusing to start the solver" not in capsys.readouterr().err
+
+    def test_clean_check_passes_preflight(self, capsys):
+        code = cli.main(["check", "lock_server"])
+        assert code == 0
+        assert "refusing" not in capsys.readouterr().err
+
+
+class TestBmcFailsFast:
+    def test_exit_2_before_solving(self, bad_lock, capsys):
+        code = cli.main(["bmc", bad_lock, "-k", "3"])
+        assert code == 2
+        assert "RML201" in capsys.readouterr().err
+
+
+class TestStratificationMutation:
+    def test_function_cycle_detected(self):
+        # A two-sort function cycle broken stratification: f : a -> b and
+        # g : b -> a used in one axiom under a quantifier.
+        from repro.rml.parser import parse_program
+
+        source = """program cyclic
+sort a
+sort b
+function f : a -> b
+function g : b -> a
+relation r : a
+axiom loop: forall X:a. r(g(f(X)))
+"""
+        program = parse_program(source, check=False)
+        diagnostics = preflight_program(program)
+        (cycle,) = [d for d in diagnostics if d.code == "RML201"]
+        assert "a" in cycle.message and "b" in cycle.message
+        provenance = " ".join(note.message for note in cycle.notes)
+        assert "function f" in provenance and "function g" in provenance

@@ -1,0 +1,127 @@
+"""Quantifier-alternation-graph construction, polarity, and cycle report."""
+
+from repro.analysis import build_qag, formula_edges, qag_diagnostics
+from repro.logic import (
+    App,
+    FuncDecl,
+    Rel,
+    RelDecl,
+    Sort,
+    Var,
+    exists,
+    forall,
+    iff,
+    implies,
+    not_,
+)
+
+node = Sort("node")
+ident = Sort("id")
+p = RelDecl("p", (node,))
+le = RelDecl("le", (ident, ident))
+idn = FuncDecl("idn", (node,), ident)
+back = FuncDecl("back", (ident,), node)
+N, M = Var("N", node), Var("M", node)
+I, J = Var("I", ident), Var("J", ident)
+
+
+def _edges(formula, **kwargs):
+    return [(e.src.name, e.dst.name, e.kind) for e in formula_edges(formula, **kwargs)]
+
+
+class TestFunctionEdges:
+    def test_function_occurrence_yields_edge(self):
+        formula = forall((N,), Rel(le, (App(idn, (N,)), App(idn, (N,)))))
+        assert ("node", "id", "function") in _edges(formula)
+
+    def test_constants_yield_no_edges(self):
+        c = FuncDecl("c", (), node)
+        assert _edges(Rel(p, (App(c, ()),))) == []
+
+
+class TestAlternationEdges:
+    def test_forall_exists_yields_edge(self):
+        formula = forall((N,), exists((M,), Rel(p, (M,))))
+        assert ("node", "node", "alternation") in _edges(formula)
+
+    def test_exists_forall_yields_no_edge(self):
+        formula = exists((N,), forall((M,), Rel(p, (M,))))
+        assert _edges(formula) == []
+
+    def test_cross_sort_alternation(self):
+        formula = forall((N,), exists((I,), Rel(le, (I, I))))
+        assert _edges(formula) == [("node", "id", "alternation")]
+
+    def test_negation_flips_polarity(self):
+        # ~(exists M. forall N. p(N)) is a universal-then-existential.
+        formula = not_(exists((M,), forall((N,), Rel(p, (N,)))))
+        assert ("node", "node", "alternation") in _edges(formula)
+
+    def test_implies_lhs_is_negative(self):
+        # (forall M. exists N. p(N)) -> q: the AE antecedent flips to EA.
+        formula = implies(forall((M,), exists((N,), Rel(p, (N,)))), Rel(p, (M,)))
+        assert ("node", "node", "alternation") not in _edges(formula)
+
+    def test_iff_counts_both_polarities(self):
+        formula = iff(forall((M,), exists((N,), Rel(p, (N,)))), Rel(p, (M,)))
+        kinds = _edges(formula)
+        assert ("node", "node", "alternation") in kinds
+
+    def test_edge_provenance_names_quantifiers(self):
+        formula = forall((N,), exists((M,), Rel(p, (M,))))
+        (edge,) = formula_edges(formula)
+        assert "exists M:node" in edge.detail
+        assert "forall N:node" in edge.detail
+
+
+class TestCycles:
+    def test_acyclic_graph_has_no_cycles(self):
+        formula = forall((N,), exists((I,), Rel(le, (I, I))))
+        assert build_qag([("vc", formula)]).cycles() == []
+
+    def test_self_loop_reported(self):
+        formula = forall((N,), exists((M,), Rel(p, (M,))))
+        cycles = build_qag([("vc", formula)]).cycles()
+        assert len(cycles) == 1
+        (edge,) = cycles[0]
+        assert edge.src == node and edge.dst == node
+
+    def test_two_sort_function_cycle(self):
+        # idn : node -> id and back : id -> node used together.
+        formula = forall(
+            (N,), Rel(p, (App(back, (App(idn, (N,)),)),))
+        )
+        cycles = build_qag([("vc", formula)]).cycles()
+        assert len(cycles) == 1
+        sorts = {edge.src.name for edge in cycles[0]}
+        assert sorts == {"node", "id"}
+
+    def test_mixed_alternation_function_cycle(self):
+        # forall N:node. exists I:id -> edge node->id; back: id->node closes it.
+        formula = forall(
+            (N,), exists((I,), Rel(p, (App(back, (I,)),)))
+        )
+        cycles = build_qag([("vc", formula)]).cycles()
+        assert len(cycles) == 1
+        kinds = {edge.kind for edge in cycles[0]}
+        assert kinds == {"alternation", "function"}
+
+    def test_parallel_edges_deduplicated(self):
+        formula = forall((N,), exists((M,), Rel(p, (M,))))
+        qag = build_qag([("vc1", formula), ("vc2", formula)])
+        assert len(qag.cycles()) == 1
+
+
+class TestQagDiagnostics:
+    def test_cycle_diagnostic_names_sorts_and_edge(self):
+        formula = forall((N,), exists((M,), Rel(p, (M,))))
+        (diagnostic,) = qag_diagnostics([("no abort via body", formula)])
+        assert diagnostic.code == "RML201"
+        assert "node -> node" in diagnostic.message
+        provenance = diagnostic.notes[0].message
+        assert "exists M:node" in provenance
+        assert "no abort via body" in provenance
+
+    def test_clean_formulas_yield_nothing(self):
+        formula = exists((N,), forall((M,), Rel(p, (M,))))
+        assert qag_diagnostics([("vc", formula)]) == ()

@@ -173,3 +173,21 @@ class TestRoundTrip:
         first = parse_formula(source, ring_vocab, free={"N": node})
         second = parse_formula(str(first), ring_vocab, free={"N": node})
         assert first == second
+
+
+class TestErrorPositions:
+    def test_parse_error_cites_line_and_column(self, ring_vocab):
+        with pytest.raises(ParseError) as excinfo:
+            parse_formula("leader(N) &\n  unknown_rel(N1)", ring_vocab)
+        error = excinfo.value
+        assert "(line 2, column 3)" in str(error)
+        assert error.span is not None
+        assert (error.span.line, error.span.col) == (2, 3)
+        assert error.bare_message and "line" not in error.bare_message
+
+    def test_lex_error_cites_position(self, ring_vocab):
+        with pytest.raises(LexError) as excinfo:
+            parse_formula("leader(N) @ N", ring_vocab)
+        error = excinfo.value
+        assert "(line 1, column 11)" in str(error)
+        assert (error.line, error.col) == (1, 11)

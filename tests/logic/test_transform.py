@@ -243,3 +243,68 @@ class TestSkolemize:
         result = solve_epr(VOCAB, [g])
         assert result.satisfiable
         assert result.model.satisfies(g)
+
+
+class TestPrenexPolarityDifferential:
+    """Differential tests for prenex polarity handling (Iff/Implies with
+    quantified operands), checked against truth-table evaluation on all
+    small structures.  Both fragment checks and ``is_alternation_free``
+    lean on prenex getting these right."""
+
+    QUANT_OPERANDS = [
+        forall((X,), _px(X)),
+        exists((X,), _px(X)),
+        forall((X,), exists((Y,), Rel(r, (X, Y)))),
+        exists((X,), forall((Y,), Rel(r, (X, Y)))),
+        not_(forall((X,), _px(X))),
+        and_(exists((X,), _px(X)), forall((Y,), _px(Y))),
+    ]
+
+    @pytest.mark.parametrize("prefer", ["E", "A"])
+    @pytest.mark.parametrize("lhs_index", range(6))
+    @pytest.mark.parametrize("rhs_index", range(6))
+    def test_implies_quantified_operands(self, prefer, lhs_index, rhs_index):
+        formula = implies(
+            self.QUANT_OPERANDS[lhs_index], self.QUANT_OPERANDS[rhs_index]
+        )
+        assert _equivalent(formula, prenex(formula, prefer=prefer).to_formula())
+
+    @pytest.mark.parametrize("prefer", ["E", "A"])
+    @pytest.mark.parametrize("lhs_index", range(6))
+    @pytest.mark.parametrize("rhs_index", range(6))
+    def test_iff_quantified_operands(self, prefer, lhs_index, rhs_index):
+        formula = iff(
+            self.QUANT_OPERANDS[lhs_index], self.QUANT_OPERANDS[rhs_index]
+        )
+        assert _equivalent(formula, prenex(formula, prefer=prefer).to_formula())
+
+    @pytest.mark.parametrize("prefer", ["E", "A"])
+    def test_nested_iff_under_implies(self, prefer):
+        inner = iff(forall((X,), _px(X)), exists((Y,), _px(Y)))
+        formula = implies(inner, exists((Z,), _px(Z)))
+        assert _equivalent(formula, prenex(formula, prefer=prefer).to_formula())
+
+    @pytest.mark.parametrize("prefer", ["E", "A"])
+    def test_negated_iff(self, prefer):
+        formula = not_(iff(forall((X,), _px(X)), exists((Y,), _px(Y))))
+        assert _equivalent(formula, prenex(formula, prefer=prefer).to_formula())
+
+
+class TestFragmentClosednessContract:
+    """is_exists_forall / is_forall_exists reject open formulas loudly."""
+
+    def test_ea_rejects_open_formula(self):
+        with pytest.raises(ValueError, match="closed"):
+            is_exists_forall(_px(X))
+
+    def test_ae_rejects_open_formula(self):
+        with pytest.raises(ValueError, match="closed"):
+            is_forall_exists(Rel(r, (X, Y)))
+
+    def test_error_names_free_variables(self):
+        with pytest.raises(ValueError, match="X"):
+            is_exists_forall(forall((Y,), Rel(r, (X, Y))))
+
+    def test_closed_formulas_still_classify(self):
+        assert is_exists_forall(exists((X,), forall((Y,), Rel(r, (X, Y)))))
+        assert is_forall_exists(forall((X,), exists((Y,), Rel(r, (X, Y)))))

@@ -185,3 +185,28 @@ class TestParseErrors:
     def test_statements_need_semicolons(self):
         with pytest.raises(ParseError):
             parse_program("sort a\nvariable v : a\naction act { havoc v }")
+
+
+class TestErrorPositions:
+    def test_statement_error_cites_line_and_column(self):
+        source = "sort a\nvariable v : a\naction act {\n    frobnicate v;\n}"
+        with pytest.raises(ParseError) as excinfo:
+            parse_program(source)
+        error = excinfo.value
+        assert "(line 4" in str(error)
+        assert error.span is not None
+        assert error.span.line == 4
+
+    def test_decl_error_cites_line(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_program("sort a\nrelation p : b\n")
+        assert "(line 2" in str(excinfo.value)
+
+    def test_sugar_error_carries_statement_span(self):
+        # An open assert becomes a ParseError with the safety's position.
+        source = "sort a\nrelation r : a\nsafety bad: r(X)\n"
+        with pytest.raises(ParseError) as excinfo:
+            parse_program(source)
+        error = excinfo.value
+        assert "closed" in str(error)
+        assert error.span is not None and error.span.line == 3

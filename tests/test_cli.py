@@ -154,3 +154,70 @@ class TestCliBudgets:
         _budget_of(args)
         assert os.environ.get("REPRO_RETRIES") == "4"
         monkeypatch.delenv("REPRO_RETRIES", raising=False)
+
+
+class TestLint:
+    BAD_SOURCE = """program broken
+sort node
+sort ghost
+relation pending : node, node
+axiom bad: forall X:node. exists Y:node. pending(X, Y)
+"""
+
+    def test_lint_all_protocols_clean(self, capsys):
+        assert main(["lint"]) == 0
+        out = capsys.readouterr().out
+        assert "6 target(s): 0 error(s), 0 warning(s)" in out
+
+    def test_lint_file_reports_errors(self, tmp_path, capsys):
+        bad = tmp_path / "bad.rml"
+        bad.write_text(self.BAD_SOURCE)
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RML003" in out  # forall-exists axiom
+        assert "RML201" in out  # ...and the cycle it induces
+        assert "RML101" in out  # unused sort 'ghost'
+        assert f"{bad}:" in out  # compiler-style origin prefix
+
+    def test_lint_json_format(self, tmp_path, capsys):
+        import json as json_mod
+
+        bad = tmp_path / "bad.rml"
+        bad.write_text(self.BAD_SOURCE)
+        main(["lint", str(bad), "--format", "json"])
+        data = json_mod.loads(capsys.readouterr().out)
+        assert data["schema"] == 1
+        codes = {d["code"] for d in data["diagnostics"]}
+        assert {"RML003", "RML101", "RML201"} <= codes
+        spanned = [d for d in data["diagnostics"] if d["span"]]
+        assert spanned, "lint diagnostics should carry source spans"
+
+    def test_lint_sarif_to_output_file(self, tmp_path, capsys):
+        import json as json_mod
+
+        out_file = tmp_path / "lint.sarif"
+        code = main(["lint", "lock_server", "--format", "sarif",
+                     "--output", str(out_file)])
+        assert code == 0
+        log = json_mod.loads(out_file.read_text())
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"] == []
+
+    def test_lint_parse_error_becomes_rml000(self, tmp_path, capsys):
+        bad = tmp_path / "nonsense.rml"
+        bad.write_text("sort a\nrelation p : b\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "RML000" in capsys.readouterr().out
+
+    def test_lint_unknown_target(self):
+        with pytest.raises(SystemExit, match="unknown target"):
+            main(["lint", "no_such_protocol"])
+
+    def test_lint_example_file_clean(self, tmp_path, capsys):
+        from repro.protocols import rml_sources
+
+        path = tmp_path / "lock_server.rml"
+        path.write_text(rml_sources.LOCK_SERVER)
+        assert main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
