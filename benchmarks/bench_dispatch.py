@@ -3,14 +3,19 @@
 Measures the two wins of the solver-dispatch layer:
 
 * fanning the independent per-depth BMC queries of
-  :func:`~repro.core.bounded.check_k_invariance` across worker processes
-  (``--jobs``), which turns sum-of-depth-costs into max-of-depth-costs on
-  multi-core machines -- the wall-clock speedup assertion is skipped on
-  single-core machines, where forked workers just time-slice one CPU;
+  :func:`~repro.core.bounded.check_k_invariance` across the persistent
+  worker pool (``--jobs``), which turns sum-of-depth-costs into
+  max-of-depth-costs on multi-core machines -- the wall-clock speedup
+  assertion is skipped on machines with one *effective* CPU
+  (``sched_getaffinity``), where forked workers just time-slice, and the
+  JSON section carries an explicit ``single_cpu`` marker so downstream
+  tooling never mistakes a time-sliced figure for a dispatch regression;
 * answering repeated obligations from the query cache: re-running Houdini
   over an unchanged candidate pool (the common edit-recheck loop) re-solves
-  nothing, and a repeated multi-depth BMC sweep is answered entirely from
-  the cache.
+  nothing, and a repeated multi-depth BMC sweep in a **fresh interpreter**
+  is answered from the disk-backed persistent cache
+  (``REPRO_CACHE_PERSIST=1``) -- the cross-run win the in-memory cache
+  cannot provide.
 
 All numbers are reported through :class:`~repro.solver.stats.SolverStats`
 and, machine-readably, merged into ``BENCH_dispatch.json`` at the repo
@@ -22,7 +27,10 @@ time over the untraced run.
 """
 
 import io
+import json
 import os
+import subprocess
+import sys
 import time
 
 import pytest
@@ -34,7 +42,7 @@ from repro.logic import Sort, Var
 from repro.solver import QueryCache, SolverStats, install_cache
 
 from .conftest import record
-from .telemetry import update_bench
+from .telemetry import REPO_ROOT, effective_cpus, update_bench
 
 BMC_BOUND = 3
 JOBS = 4
@@ -77,13 +85,14 @@ def test_parallel_bmc_speedup(benchmark, bundles, results_dir, no_cache):
     parallel_result, parallel_time = benchmark.pedantic(run, rounds=1, iterations=1)
     assert serial_result.holds and parallel_result.holds
     speedup = serial_time / parallel_time if parallel_time else float("inf")
+    cpus = effective_cpus()
     benchmark.extra_info.update(
         {"serial_s": round(serial_time, 2), "jobs": JOBS, "speedup": round(speedup, 2)}
     )
     summary = (
         f"BMC k={BMC_BOUND} leader_election: serial {serial_time:.2f}s, "
         f"--jobs {JOBS} {parallel_time:.2f}s, speedup {speedup:.2f}x "
-        f"(on {os.cpu_count()} cpu)\n\n{serial_stats.format()}\n\n"
+        f"(on {cpus} effective cpu)\n\n{serial_stats.format()}\n\n"
         f"{parallel_stats.format()}\n"
     )
     record(results_dir, "dispatch_bmc_speedup", summary)
@@ -97,25 +106,71 @@ def test_parallel_bmc_speedup(benchmark, bundles, results_dir, no_cache):
             "speedup": round(speedup, 2),
             "queries": parallel_stats.queries,
             "dispatched": parallel_stats.dispatched,
+            "effective_cpus": cpus,
+            # A speedup measured while workers time-slice one CPU says
+            # nothing about dispatch; consumers must ignore such figures.
+            "single_cpu": cpus < 2,
         },
     )
     assert parallel_stats.dispatched == BMC_BOUND + 1
-    if (os.cpu_count() or 1) < 2:
-        pytest.skip(f"single-core machine: measured {speedup:.2f}x, not asserted")
+    if cpus < 2:
+        pytest.skip(
+            f"1 effective CPU: measured {speedup:.2f}x, flagged in JSON, "
+            "not asserted"
+        )
     assert speedup >= 1.5
 
 
-def test_cached_bmc_rerun_speedup(benchmark, bundles, results_dir, fresh_cache):
-    """Repeating an identical multi-depth BMC sweep is answered from cache."""
-    bundle = bundles["leader_election"]
-    cold_stats, warm_stats = SolverStats(), SolverStats()
-    _, cold_time = _bmc_once(bundle, 1, cold_stats)
+RERUN_PROTOCOL = "leader_election"
+RERUN_BOUND = 4
+
+
+def _rerun_workload(cache_dir, label):
+    """Run the BMC workload in a fresh interpreter with the disk cache on."""
+    env = dict(os.environ)
+    env.update(
+        {
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "REPRO_CACHE_PERSIST": "1",
+            "REPRO_CACHE_DIR": str(cache_dir),
+        }
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "benchmarks.rerun_workload",
+            RERUN_PROTOCOL,
+            str(RERUN_BOUND),
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{label} run failed:\n{proc.stderr}"
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_persistent_cache_cross_process_rerun(benchmark, results_dir, tmp_path):
+    """A fresh interpreter re-answers an identical BMC sweep from disk.
+
+    The in-memory cache dies with the cold process; ``REPRO_CACHE_PERSIST``
+    is what carries its 100% warm hit rate across the process boundary.
+    The warm run still grounds every query (fingerprints hash the
+    *grounded* problem), so the speedup bounds the solve fraction, not the
+    full wall time.
+    """
+    cache_dir = tmp_path / "persist"
+    cold = _rerun_workload(cache_dir, "cold")
 
     def run():
-        return _bmc_once(bundle, 1, warm_stats)
+        return _rerun_workload(cache_dir, "warm")
 
-    result, warm_time = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert result.holds
+    warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cold["holds"] and warm["holds"]
+    cold_time, warm_time = cold["wall_s"], warm["wall_s"]
     speedup = cold_time / warm_time if warm_time else float("inf")
     benchmark.extra_info.update(
         {"cold_s": round(cold_time, 2), "speedup": round(speedup, 2)}
@@ -123,21 +178,25 @@ def test_cached_bmc_rerun_speedup(benchmark, bundles, results_dir, fresh_cache):
     record(
         results_dir,
         "dispatch_bmc_cached_rerun",
-        f"BMC k={BMC_BOUND} rerun: cold {cold_time:.2f}s, warm {warm_time:.2f}s "
-        f"({speedup:.1f}x)\n\n{warm_stats.format()}\n",
+        f"BMC k={RERUN_BOUND} {RERUN_PROTOCOL} cross-process rerun: "
+        f"cold {cold_time:.2f}s, warm {warm_time:.2f}s ({speedup:.1f}x), "
+        f"warm hit rate {warm['cache_hit_rate']:.0%} via disk cache\n",
     )
     update_bench(
         "dispatch",
         "cached_rerun",
         {
+            "protocol": RERUN_PROTOCOL,
+            "bound": RERUN_BOUND,
+            "cross_process": True,
             "cold_s": round(cold_time, 3),
             "warm_s": round(warm_time, 3),
             "speedup": round(speedup, 2),
-            "cache_hit_rate": round(warm_stats.cache_hit_rate, 3),
+            "cache_hit_rate": round(warm["cache_hit_rate"], 3),
         },
     )
-    assert warm_stats.cache_hit_rate == 1.0
-    assert speedup >= 1.5
+    assert warm["cache_hit_rate"] == 1.0
+    assert speedup >= 1.7
 
 
 def test_houdini_rerun_cache_hit_rate(benchmark, bundles, results_dir, fresh_cache):

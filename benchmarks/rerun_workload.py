@@ -1,0 +1,50 @@
+"""Subprocess workload for the cross-process persistent-cache benchmark.
+
+``test_persistent_cache_cross_process_rerun`` launches this script twice
+in fresh interpreters -- cold, then warm -- with ``REPRO_CACHE_PERSIST=1``
+pointed at a private ``REPRO_CACHE_DIR``.  The in-memory query cache dies
+with each process; any warm-run speedup is therefore attributable to the
+disk-backed store alone.
+
+Usage: ``python -m benchmarks.rerun_workload <protocol> <bound>``.
+Prints one JSON object on stdout: workload wall time (measured inside the
+process, excluding interpreter startup) plus the solver's query/cache
+counters so the caller can assert a 100% warm hit rate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+
+def main() -> None:
+    protocol, bound = sys.argv[1], int(sys.argv[2])
+    from repro.core.bounded import check_k_invariance
+    from repro.protocols import ALL_PROTOCOLS
+    from repro.solver import SolverStats
+
+    bundle = ALL_PROTOCOLS[protocol].build()
+    safety = bundle.safety[0].formula
+    stats = SolverStats()
+    start = time.perf_counter()
+    result = check_k_invariance(
+        bundle.program, safety, bound, jobs=1, stats=stats
+    )
+    wall = time.perf_counter() - start
+    print(
+        json.dumps(
+            {
+                "wall_s": wall,
+                "holds": result.holds,
+                "queries": stats.queries,
+                "cache_hits": stats.cache_hits,
+                "cache_hit_rate": stats.cache_hit_rate,
+            }
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

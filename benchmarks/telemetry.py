@@ -53,12 +53,28 @@ def git_rev() -> str | None:
     return out.stdout.strip() or None if out.returncode == 0 else None
 
 
+def effective_cpus() -> int:
+    """CPUs this process may actually run on.
+
+    ``os.cpu_count()`` reports the machine; CI runners and containers
+    routinely pin processes to a subset via cgroups/affinity, and a
+    speedup figure measured on 1 effective CPU says nothing about the
+    dispatch layer.  Falls back to ``os.cpu_count()`` on platforms
+    without ``sched_getaffinity``.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
 def run_config() -> dict:
     """The environment snapshot embedded in every BENCH file."""
     return {
         "python": platform.python_version(),
         "platform": platform.platform(),
         "cpus": os.cpu_count(),
+        "effective_cpus": effective_cpus(),
         "argv": sys.argv[1:],
     }
 

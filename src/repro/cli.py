@@ -27,7 +27,10 @@ compiler-style diagnostic, before any solver query (disable with
 
 Every solving subcommand accepts the observability flags ``--trace FILE``
 (JSONL span trace), ``--metrics FILE`` (JSON metrics snapshot), and
-``--progress`` (live span echo on stderr); see :mod:`repro.obs`.
+``--progress`` (live span echo on stderr); see :mod:`repro.obs`.  Query
+caching is controlled with ``--persist-cache`` / ``--cache-dir DIR``
+(disk-backed cache shared across runs; see :mod:`repro.solver.cache`) and
+``--no-cache``.
 """
 
 from __future__ import annotations
@@ -64,6 +67,23 @@ def _print_stats(stats: SolverStats | None) -> None:
         stats.note_cache(query_cache())
         print()
         print(stats.format())
+
+
+def _apply_cache_flags(args: argparse.Namespace) -> None:
+    """Translate cache flags into the env vars every layer reads.
+
+    The environment is the channel that reaches forked pool workers and
+    nested dispatch sites alike; flags override whatever was exported.
+    ``--cache-dir`` implies persistence -- pointing at a store you do not
+    want used would be a strange request.
+    """
+    if getattr(args, "cache_dir", None):
+        os.environ["REPRO_CACHE_DIR"] = args.cache_dir
+        os.environ.setdefault("REPRO_CACHE_PERSIST", "1")
+    if getattr(args, "persist_cache", False):
+        os.environ["REPRO_CACHE_PERSIST"] = "1"
+    if getattr(args, "no_cache", False):
+        os.environ["REPRO_CACHE"] = "0"
 
 
 def _budget_of(args: argparse.Namespace) -> Budget | None:
@@ -440,6 +460,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="crashed/hung worker retries before the in-process "
                  "fallback (default: REPRO_RETRIES or 2)",
         )
+        subparser.add_argument(
+            "--persist-cache", action="store_true",
+            help="keep query results in a disk cache shared across runs "
+                 "(REPRO_CACHE_PERSIST)",
+        )
+        subparser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="disk cache location, implies --persist-cache "
+                 "(default: REPRO_CACHE_DIR or .repro-cache)",
+        )
+        subparser.add_argument(
+            "--no-cache", action="store_true",
+            help="disable query-result caching entirely (REPRO_CACHE=0)",
+        )
 
     bmc = commands.add_parser("bmc", help="bounded debugging (Section 4.1)")
     bmc.add_argument("protocol")
@@ -549,6 +583,7 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _apply_cache_flags(args)
     teardown = _install_obs(args, list(argv) if argv is not None else sys.argv[1:])
     try:
         if not obs.enabled():

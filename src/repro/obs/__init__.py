@@ -51,6 +51,7 @@ from .tracer import (
     drain_worker,
     enabled,
     enter_worker,
+    exit_worker,
     finish_span,
     forward_events,
     install_tracer,
@@ -79,6 +80,7 @@ __all__ = [
     "drain_worker",
     "enabled",
     "enter_worker",
+    "exit_worker",
     "finish_span",
     "forward_events",
     "inc",

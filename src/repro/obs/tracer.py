@@ -333,27 +333,58 @@ def finish_span(ref: SpanRef | None, **attrs) -> None:
 # ------------------------------------------------------- worker forwarding
 
 
-def enter_worker() -> None:
+def enter_worker(
+    run_id: str | None = None, clock_origin: float | None = None
+) -> None:
     """Swap the (fork-inherited) tracer for a buffering one.
 
-    Called in a freshly forked dispatch worker, before any solver work.
-    Span IDs get a ``w<pid>.`` prefix so they stay unique when merged into
-    the parent trace; the current-span context is cleared so worker spans
-    root at ``parent: null`` -- :func:`forward_events` re-parents exactly
-    those roots onto the dispatch attempt span.  No-op when tracing is
-    off.
+    Called in a dispatch worker before any solver work.  Span IDs get a
+    ``w<pid>.`` prefix so they stay unique when merged into the parent
+    trace; the current-span context is cleared so worker spans root at
+    ``parent: null`` -- :func:`forward_events` re-parents exactly those
+    roots onto the dispatch attempt span.
+
+    With no arguments (fork-per-query workers, tests) the run ID and
+    clock origin are taken from the fork-inherited tracer; a no-op when
+    tracing is off.  Long-lived pool workers instead receive
+    ``(run_id, clock_origin)`` with each task -- the parent may have
+    installed its tracer *after* the worker forked -- and re-entering for
+    a run the worker is already buffering keeps the existing buffer (and
+    its monotonically increasing span IDs).
     """
     global _tracer
     parent = _tracer
-    if parent is None:
-        return
+    if run_id is None:
+        if parent is None:
+            return
+        run_id, clock_origin = parent.run_id, parent.origin
+    elif (
+        parent is not None
+        and isinstance(parent.sink, list)
+        and parent.run_id == run_id
+    ):
+        return  # already buffering for this run
     _tracer = Tracer(
         sink=[],
         progress=False,
-        run_id=parent.run_id,
+        run_id=run_id,
         id_prefix=f"w{os.getpid()}.",
-        clock_origin=parent.origin,
+        clock_origin=clock_origin,
     )
+    _current.set(None)
+
+
+def exit_worker() -> None:
+    """Disable tracing in a pool worker whose parent run is untraced.
+
+    The complement of :func:`enter_worker` for long-lived workers: a
+    worker may outlive the parent's tracer (installed per CLI run or per
+    test), so each task ships whether tracing is on and the worker
+    toggles accordingly.  Dropping the tracer also drops any buffered
+    events from a run nobody will collect.
+    """
+    global _tracer
+    _tracer = None
     _current.set(None)
 
 

@@ -79,7 +79,15 @@ class TransitionEncoder:
 
     def __init__(self, program: Program) -> None:
         self.program = program
-        self.mutable = program.mutable_symbols()
+        # Deterministic iteration order: mutable_symbols() is a frozenset,
+        # and iterating it directly would let hash randomization decide the
+        # version-symbol minting order -- two interpreters would encode the
+        # same step with differently named symbols, splitting the
+        # cross-process query cache and making traces incomparable.
+        mutable_set = program.mutable_symbols()
+        self.mutable = tuple(
+            sorted(mutable_set, key=lambda d: (type(d).__name__, d.name))
+        )
         names = [decl.name for decl in program.vocab.relations]
         names += [decl.name for decl in program.vocab.functions]
         self._fresh = FreshNames(names)
@@ -101,7 +109,7 @@ class TransitionEncoder:
         self._guard_axioms = [
             axiom.formula
             for axiom in program.axioms
-            if s.symbols_of(axiom.formula) & self.mutable
+            if s.symbols_of(axiom.formula) & mutable_set
         ]
 
     # ------------------------------------------------------------ plumbing

@@ -14,9 +14,16 @@ from .budget import (
     resolve_budget,
     resolve_retries,
 )
-from .cache import QueryCache, install_cache, query_cache
+from .cache import DiskCache, QueryCache, install_cache, query_cache
 from .cnf import CnfBuilder, term_key
-from .dispatch import Query, query_of, resolve_jobs, solve_queries
+from .dispatch import (
+    Query,
+    query_of,
+    resolve_jobs,
+    shutdown_pool,
+    solve_queries,
+    worker_pool,
+)
 from .epr import EprResult, EprSolver, solve_epr, unknown_result
 from .equality import EqualityTheory
 from .faults import FaultPlan, install_fault_plan, parse_fault_spec
@@ -35,6 +42,7 @@ __all__ = [
     "BudgetExceeded",
     "BudgetMeter",
     "CnfBuilder",
+    "DiskCache",
     "EprResult",
     "EprSolver",
     "EqualityTheory",
@@ -57,8 +65,10 @@ __all__ = [
     "resolve_budget",
     "resolve_jobs",
     "resolve_retries",
+    "shutdown_pool",
     "solve_epr",
     "solve_queries",
+    "worker_pool",
     "term_key",
     "universe_size",
     "unknown_result",

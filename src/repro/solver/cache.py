@@ -1,4 +1,4 @@
-"""Memoization of EPR query results.
+"""Memoization of EPR query results, in memory and on disk.
 
 :class:`PreparedEpr.solve` consults the process-global :class:`QueryCache`
 before running its CEGAR loop.  Keys are content hashes of the *grounded*
@@ -14,16 +14,42 @@ by default and bounded with **LRU eviction** (a long UPDR run cycles
 through thousands of one-off obligations; FIFO would evict the hot
 recurring ones).  ``REPRO_CACHE_SIZE`` overrides the default capacity,
 ``REPRO_CACHE=0`` disables caching entirely, e.g. when benchmarking raw
-solver performance.  UNKNOWN results (budget exhaustion, worker crashes)
-are never stored: they prove nothing, and a retry with a larger budget
-must actually re-solve.  Worker processes forked by
-:mod:`repro.solver.dispatch` inherit the parent's entries at fork time;
-entries they add are not propagated back.
+solver performance; both are read at :func:`query_cache` call time, so an
+environment change after import (or a test's ``monkeypatch.setenv``) takes
+effect on the next query.  UNKNOWN results (budget exhaustion, worker
+crashes) are never stored: they prove nothing, and a retry with a larger
+budget must actually re-solve.
+
+Two tiers, repository-style (index in front of a store):
+
+* the in-memory :class:`QueryCache` is the index -- bounded, LRU,
+  process-local;
+* the optional :class:`DiskCache` underneath is a **content-addressed
+  store** shared across processes and runs.  ``REPRO_CACHE_PERSIST=1``
+  enables it; entries live under ``REPRO_CACHE_DIR`` (default
+  ``.repro-cache/``) in shards keyed by the SHA-256 of the query
+  fingerprint.  Lookups fetch through: a memory miss consults the disk
+  and promotes hits into memory.  Writes are atomic (temp file +
+  ``os.replace``) so concurrent workers never observe partial entries,
+  and corrupt or truncated entries are treated as misses and deleted
+  best-effort -- a damaged store degrades to re-solving, never to a wrong
+  answer or a crash.
+
+Long-lived pool workers (:mod:`repro.solver.dispatch`) inherit the
+parent's in-memory entries at fork time and share the disk store live.
+The parent ships its :func:`cache_snapshot` with every task;
+:func:`sync_worker_cache` lets a worker detect that the parent replaced
+or disabled its cache (``install_cache`` bumps a generation counter) and
+mirror that locally, so ``install_cache(None)`` in the parent really does
+make every worker re-solve.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
+import tempfile
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
@@ -34,16 +60,112 @@ if TYPE_CHECKING:  # pragma: no cover
 
 DEFAULT_CAPACITY = 4096
 
+#: default on-disk store location, relative to the working directory
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: serialization format version; bump to invalidate old on-disk entries
+DISK_FORMAT = 1
+
+
+class DiskCache:
+    """A content-addressed, crash- and corruption-tolerant result store.
+
+    Entries are pickled ``(DISK_FORMAT, key, EprResult)`` triples named by
+    the SHA-256 of the key's repr, sharded into 256 two-hex-digit
+    subdirectories.  The stored key is verified on load, so a (vanishingly
+    unlikely) digest collision or a hand-edited file reads as a miss
+    rather than a wrong answer.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+        self.write_errors = 0
+
+    @staticmethod
+    def _digest(key: Hashable) -> str:
+        return hashlib.sha256(repr(key).encode()).hexdigest()
+
+    def _path(self, key: Hashable) -> str:
+        digest = self._digest(key)
+        return os.path.join(self.root, digest[:2], digest + ".pkl")
+
+    def lookup(self, key: Hashable) -> "EprResult | None":
+        path = self._path(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            fmt, stored_key, result = payload
+            if fmt != DISK_FORMAT or stored_key != key:
+                raise ValueError("stale format or key mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Corrupt, truncated, or unreadable entry: a miss, and the bad
+            # file is removed so the next store can heal it.
+            self.misses += 1
+            try:
+                os.remove(path)
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def store(self, key: Hashable, result: "EprResult") -> None:
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        try:
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump((DISK_FORMAT, key, result), handle)
+                os.replace(tmp, path)  # atomic: readers never see partials
+            except BaseException:
+                try:
+                    os.remove(tmp)
+                except OSError:
+                    pass
+                raise
+        except (OSError, pickle.PicklingError):
+            # A read-only or full disk must not fail the solve.
+            self.write_errors += 1
+
+    def __len__(self) -> int:
+        count = 0
+        try:
+            shards = os.listdir(self.root)
+        except OSError:
+            return 0
+        for shard in shards:
+            try:
+                count += sum(
+                    1
+                    for name in os.listdir(os.path.join(self.root, shard))
+                    if name.endswith(".pkl")
+                )
+            except OSError:
+                continue
+        return count
+
 
 class QueryCache:
     """A bounded LRU map from query fingerprints to :class:`EprResult`.
 
     ``hits``/``misses``/``evictions`` are surfaced through
-    :class:`~repro.solver.stats.SolverStats` (``--stats``).
+    :class:`~repro.solver.stats.SolverStats` (``--stats``).  With a
+    ``disk`` store attached, memory misses fetch through it (disk hits
+    count as hits and are promoted into memory) and stores write through.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self, capacity: int = DEFAULT_CAPACITY, disk: DiskCache | None = None
+    ) -> None:
         self.capacity = capacity
+        self.disk = disk
         self._entries: "OrderedDict[Hashable, EprResult]" = OrderedDict()
         self.hits = 0
         self.misses = 0
@@ -51,23 +173,42 @@ class QueryCache:
 
     def lookup(self, key: Hashable) -> "EprResult | None":
         result = self._entries.get(key)
-        if result is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return result
+        if result is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return result
+        if self.disk is not None:
+            result = self.disk.lookup(key)
+            if result is not None:
+                self._insert(key, result)  # promote for cheap re-hits
+                self.hits += 1
+                return result
+        self.misses += 1
+        return None
 
     def store(self, key: Hashable, result: "EprResult") -> None:
         if getattr(result, "unknown", False):
             return  # UNKNOWN proves nothing; a retry must re-solve
+        self._insert(key, result)
+        if self.disk is not None:
+            self.disk.store(key, result)
+
+    def _insert(self, key: Hashable, result: "EprResult") -> None:
         if key in self._entries:
+            # Overwrite, don't keep the stale entry: a re-solve of the
+            # same fingerprint carries fresher statistics/model data, and
+            # recency is bumped either way.
+            self._entries[key] = result
             self._entries.move_to_end(key)
             return
         while len(self._entries) >= self.capacity:
             self._entries.popitem(last=False)
             self.evictions += 1
         self._entries[key] = result
+
+    @property
+    def disk_hits(self) -> int:
+        return self.disk.hits if self.disk is not None else 0
 
     def clear(self) -> None:
         self._entries.clear()
@@ -81,7 +222,18 @@ class QueryCache:
 
 _cache: QueryCache | None = None
 _installed = False
-_disabled_by_env = os.environ.get("REPRO_CACHE", "1") in ("0", "false", "no")
+#: bumped whenever the process-global cache object is replaced; shipped to
+#: pool workers so they can mirror parent-side install_cache calls.
+_generation = 0
+
+
+def _disabled_by_env() -> bool:
+    """``REPRO_CACHE=0`` (read at call time, not import time)."""
+    return os.environ.get("REPRO_CACHE", "1").strip().lower() in (
+        "0",
+        "false",
+        "no",
+    )
 
 
 def _env_capacity() -> int:
@@ -89,18 +241,40 @@ def _env_capacity() -> int:
     return value if value is not None else DEFAULT_CAPACITY
 
 
+def persistence_enabled() -> bool:
+    """``REPRO_CACHE_PERSIST`` truthy (read at call time)."""
+    return os.environ.get("REPRO_CACHE_PERSIST", "").strip().lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
+
+
+def cache_dir() -> str:
+    """The on-disk store location: ``REPRO_CACHE_DIR`` or ``.repro-cache``."""
+    return os.environ.get("REPRO_CACHE_DIR", "").strip() or DEFAULT_CACHE_DIR
+
+
+def _build_from_env() -> QueryCache:
+    disk = DiskCache(cache_dir()) if persistence_enabled() else None
+    return QueryCache(capacity=_env_capacity(), disk=disk)
+
+
 def query_cache(refresh: bool = False) -> QueryCache | None:
     """The process-global cache, or None when caching is disabled.
 
     ``refresh=True`` discards the current cache and rebuilds it from the
-    environment (used by tests exercising ``REPRO_CACHE_SIZE``).
+    environment (used by tests exercising ``REPRO_CACHE_SIZE`` /
+    ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_PERSIST``).
     """
-    global _cache, _installed
-    if _disabled_by_env:
+    global _cache, _installed, _generation
+    if _disabled_by_env():
         return None
     if refresh or not _installed:
-        _cache = QueryCache(capacity=_env_capacity())
+        _cache = _build_from_env()
         _installed = True
+        _generation += 1
     return _cache
 
 
@@ -109,8 +283,57 @@ def install_cache(cache: QueryCache | None) -> QueryCache | None:
 
     Tests use this to isolate cache state; ``REPRO_CACHE=0`` still wins.
     """
-    global _cache, _installed
+    global _cache, _installed, _generation
     old = _cache
     _cache = cache
     _installed = True
+    _generation += 1
     return old
+
+
+# ------------------------------------------------- pool-worker mirroring
+
+
+def cache_snapshot() -> tuple[int, tuple[int, str | None] | None]:
+    """``(generation, config)`` -- the parent's cache state, shipped with
+    every dispatch task so long-lived workers can follow along.
+
+    ``config`` is None when caching is disabled, else ``(capacity,
+    disk_root)`` describing the parent's cache.  The *configuration*
+    travels explicitly (rather than "rebuild from the environment")
+    because a pool worker's environment is frozen at fork time -- a
+    ``REPRO_CACHE_DIR`` set in the parent afterwards would never reach it.
+    """
+    cache = query_cache()
+    if cache is None:
+        return _generation, None
+    disk_root = cache.disk.root if cache.disk is not None else None
+    return _generation, (cache.capacity, disk_root)
+
+
+def sync_worker_cache(
+    snapshot: tuple[int, tuple[int, str | None] | None],
+) -> None:
+    """Mirror the parent's cache state inside a long-lived pool worker.
+
+    Workers fork with the parent's entries; as long as the parent keeps
+    the same cache object (generation unchanged) the worker keeps its
+    inherited/accumulated entries.  When the parent swapped or disabled
+    its cache (``install_cache``), the worker rebuilds to the shipped
+    configuration (or disables) so e.g. ``install_cache(None)`` really
+    forces re-solves everywhere.  In-memory entry *contents* are not
+    synchronized -- keys are content hashes, so any entry anywhere is
+    valid; the disk tier is what shares results across processes.
+    """
+    global _cache, _installed, _generation
+    generation, config = snapshot
+    if generation == _generation:
+        return
+    _generation = generation
+    _installed = True
+    if config is None:
+        _cache = None
+    else:
+        capacity, disk_root = config
+        disk = DiskCache(disk_root) if disk_root is not None else None
+        _cache = QueryCache(capacity=capacity, disk=disk)

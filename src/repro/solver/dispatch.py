@@ -1,45 +1,70 @@
 """Parallel, fault-tolerant dispatch of independent EPR queries.
 
 Bounded model checking solves one query per unrolling depth, Houdini one
-per candidate conjecture, UPDR one per clause-push attempt -- all mutually
-independent.  This module fans such batches across worker processes and
-keeps the batch alive when individual workers misbehave.
+per candidate chunk, UPDR one per clause-push attempt -- all mutually
+independent.  This module fans such batches across a **persistent pool of
+worker processes** and keeps the batch alive when individual workers
+misbehave.
 
 A :class:`Query` is a self-contained description of one
 :class:`~repro.solver.epr.EprSolver` instance -- vocabulary, constraints,
 solver options, resource :class:`~repro.solver.budget.Budget` -- plus the
 list of tracked-constraint subsets to solve it under.
 :func:`solve_queries` runs a batch either in-process (``jobs <= 1``, the
-default) or on per-query forked workers.  Workers rebuild the solver from
-the description, so only plain syntax-tree dataclasses cross the process
-boundary; results come back as picklable
+default) or on the pool.  Workers rebuild the solver from the
+description, ground it once, and answer every solve set of the query by
+**assumption-literal switching** on the shared clause database (the
+selector machinery of :class:`~repro.solver.epr.PreparedEpr` over
+:mod:`repro.solver.sat`); results come back as picklable
 :class:`~repro.solver.epr.EprResult` values, models included.
+
+Pool architecture (the fix for the fork-per-query regression, where every
+attempt paid fork + interpreter copy-on-write + module state + a fresh
+grounding of everything the worker had already seen):
+
+* workers are forked **once per process run** (lazily, on the first
+  parallel batch) and live across ``solve_queries`` calls; the pool is
+  process-global and each batch borrows up to ``jobs`` workers from it;
+* the parent acts as the dealer of a shared work queue: it feeds one
+  task at a time to each idle worker over a per-worker pipe, so a slow
+  query never blocks its siblings and fault attribution is exact;
+* tasks ship only the query description plus three tiny pieces of parent
+  state a long-lived worker cannot inherit after the fork: the active
+  fault plan, the tracing identity (run ID + clock origin), and the
+  query-cache generation (:func:`repro.solver.cache.cache_snapshot`);
+* workers fork with the parent's warm in-memory query cache and share
+  the disk-backed content-addressed store live, so one worker's solve is
+  every other worker's (and every later run's) cache hit;
+* trace spans are buffered per task (:func:`repro.obs.enter_worker`) and
+  shipped home **per obligation** with each result -- not at process
+  exit, which a long-lived worker never reaches mid-run.
 
 Fault tolerance (the parent never trusts a worker):
 
-* each worker gets an **external deadline** derived from its query's wall
+* each task gets an **external deadline** derived from its query's wall
   budget; a worker still running past it is SIGKILLed (cooperative budget
   checks inside the worker normally answer first -- the external deadline
   is the backstop for hung groundings and injected hangs);
 * a worker that dies without sending a result (segfault, OOM kill,
   injected crash) is detected by EOF on its result pipe;
-* crashed and killed attempts are **retried** up to ``retries`` times with
+* crashed and killed workers are **replaced** (a fresh fork) while work
+  remains, and their tasks are retried up to ``retries`` times with
   exponentially escalated budgets, then finished by an in-process serial
   fallback (fault-free by construction: :mod:`repro.solver.faults` only
   fires inside workers) -- or reported as typed UNKNOWNs when
   ``fallback=False``;
-* after repeated crashes the worker pool is resized down, so a poisoned
-  environment degrades to serial execution instead of thrashing;
-* workers apply ``resource.setrlimit`` for the budget's RSS cap and
-  convert ``MemoryError`` into an UNKNOWN(MEMORY) answer.
+* after repeated crashes the batch's concurrency limit is halved (and
+  dead workers stop being replaced), so a poisoned environment degrades
+  to serial execution instead of thrashing;
+* workers apply ``resource.setrlimit`` for the budget's RSS cap around
+  each task and convert ``MemoryError`` into an UNKNOWN(MEMORY) answer.
 
 Worker count resolution: the explicit ``jobs`` argument wins, then the
 ``REPRO_JOBS`` environment variable (malformed values are warned about on
 stderr, not silently ignored), then 1 (serial).  Serial and parallel runs
 return identical conclusive answers: workers run the same deterministic
-solver code, and each forked worker inherits the parent's query cache as
-of the fork.  Platforms without the ``fork`` start method fall back to
-serial execution rather than paying spawn-and-reimport per query.
+solver code.  Platforms without the ``fork`` start method fall back to
+serial execution rather than paying spawn-and-reimport per worker.
 """
 
 from __future__ import annotations
@@ -54,6 +79,7 @@ from typing import Sequence
 from .. import obs
 from ..logic import syntax as s
 from ..logic.sorts import Vocabulary
+from . import cache as cache_mod
 from . import faults
 from .budget import Budget, BudgetExceeded, FailureReason, resolve_retries, warn_env
 from .epr import EprResult, EprSolver, unknown_result
@@ -61,12 +87,12 @@ from .grounding import GroundingExplosion
 from .stats import SolverStats
 
 #: grace multiplier/offset over the cooperative wall budget before the
-#: parent declares a worker hung: fork + solver rebuild + pickling all
-#: happen inside the window, and cooperative checks need a chance to fire.
+#: parent declares a worker hung: solver rebuild + pickling happen inside
+#: the window, and cooperative checks need a chance to fire.
 _DEADLINE_FACTOR = 2.0
 _DEADLINE_GRACE = 1.0
 
-#: cumulative crash/kill count at which the pool is first halved.
+#: cumulative crash/kill count at which a batch's concurrency is first halved.
 _SHRINK_THRESHOLD = 3
 
 
@@ -90,7 +116,8 @@ class Query:
     ``solve_sets`` entries are frozensets of tracked-constraint names, or
     None for "all tracked constraints enabled" -- the same contract as
     :meth:`PreparedEpr.solve`.  A query with ``n`` solve sets yields ``n``
-    results, all sharing one grounding.  ``budget`` bounds the whole query
+    results, all sharing one grounding: the worker grounds once and flips
+    assumption literals between solves.  ``budget`` bounds the whole query
     (grounding plus every solve), both cooperatively inside the solver and
     externally by the dispatch parent.
     """
@@ -192,22 +219,68 @@ def _lift_rss_limit() -> None:
         pass
 
 
-def _worker_main(conn, query: Query, attempt: int) -> None:
-    """Worker entry point: solve one query and send the results back.
+# ------------------------------------------------------------ worker side
 
-    ``MemoryError`` under the RSS cap becomes an UNKNOWN(MEMORY) answer.
-    Any other exception is allowed to crash the worker: the parent retries
-    and the in-process fallback reproduces deterministic errors with a
-    real traceback in the parent.
 
-    The pipe payload is ``(results, trace_events)``: the worker buffers its
-    trace events locally (:func:`repro.obs.enter_worker` -- never writing
-    the fork-inherited trace file, which would tear the parent's JSON
-    lines) and ships them home for re-parenting.  ``trace_events`` is None
-    when tracing is off.
+@dataclass(frozen=True)
+class _Task:
+    """One unit of work shipped to a pool worker.
+
+    Besides the query itself, a task carries the slivers of parent state
+    a long-lived worker cannot rely on having inherited: the fault plan
+    active *now* (chaos tests install plans after the pool forked), the
+    tracing identity (tracers are installed per run), and the cache
+    generation (``install_cache`` may have replaced the parent's cache
+    since the fork).
+    """
+
+    seq: int
+    query: Query
+    attempt: int
+    plan: faults.FaultPlan | None
+    trace: tuple[str, float] | None  # (run_id, clock_origin) or None
+    cache: tuple[int, tuple[int, str | None] | None]  # cache_snapshot()
+
+
+def _pool_worker_main(task_conn, result_conn) -> None:
+    """Long-lived worker loop: pull tasks until the pipe closes.
+
+    Any exception other than ``MemoryError`` is allowed to crash the
+    worker: the parent detects the EOF, replaces the worker, retries the
+    task, and the in-process fallback reproduces deterministic errors
+    with a real traceback in the parent.
     """
     faults.mark_worker()
-    obs.enter_worker()
+    while True:
+        try:
+            task = task_conn.recv()
+        except (EOFError, OSError):
+            break
+        if task is None:
+            break
+        _run_task(task, result_conn)
+    result_conn.close()
+
+
+def _run_task(task: _Task, conn) -> None:
+    """Solve one task and send ``(seq, results, trace_events)`` back.
+
+    ``MemoryError`` under the RSS cap becomes an UNKNOWN(MEMORY) answer.
+    The worker buffers its trace events locally (never writing the
+    fork-inherited trace file, which would tear the parent's JSON lines)
+    and ships them home with the result for re-parenting -- one batch of
+    events per obligation, not per process exit.  ``trace_events`` is
+    None when tracing is off.
+    """
+    query, attempt = task.query, task.attempt
+    faults.install_fault_plan(
+        task.plan if task.plan is not None else faults.FaultPlan()
+    )
+    cache_mod.sync_worker_cache(task.cache)
+    if task.trace is not None:
+        obs.enter_worker(*task.trace)
+    else:
+        obs.exit_worker()
     limited = query.budget is not None and query.budget.rss_mb is not None
     if limited:
         _apply_rss_limit(query.budget.rss_mb)
@@ -219,18 +292,136 @@ def _worker_main(conn, query: Query, attempt: int) -> None:
             results = _run_query(query)
             sp.set(results=len(results))
     except MemoryError:
-        _lift_rss_limit()
         results = _unknown_batch(query, FailureReason.MEMORY)
-    else:
+    finally:
         if limited:
             _lift_rss_limit()
-    conn.send((results, obs.drain_worker()))
-    conn.close()
+    conn.send((task.seq, results, obs.drain_worker()))
+
+
+# ------------------------------------------------------------ parent side
+
+
+@dataclass(eq=False)
+class _PoolWorker:
+    """A live pool member: its process and the parent ends of its pipes."""
+
+    process: multiprocessing.process.BaseProcess
+    task_conn: multiprocessing.connection.Connection
+    result_conn: multiprocessing.connection.Connection
+
+
+class WorkerPool:
+    """A pool of long-lived forked workers, fed one task at a time.
+
+    Workers block on their task pipe between tasks and between batches;
+    they exit when the pipe closes (parent exit, :meth:`shutdown`) or on
+    an explicit ``None`` sentinel.  ``forks`` counts every process ever
+    forked -- the reuse regression test pins it across batches.
+    """
+
+    def __init__(self, context) -> None:
+        self.context = context
+        self.workers: list[_PoolWorker] = []
+        self.forks = 0
+
+    def spawn(self) -> _PoolWorker:
+        task_r, task_w = self.context.Pipe(duplex=False)
+        result_r, result_w = self.context.Pipe(duplex=False)
+        process = self.context.Process(
+            target=_pool_worker_main, args=(task_r, result_w), daemon=True
+        )
+        process.start()
+        task_r.close()
+        result_w.close()
+        worker = _PoolWorker(process, task_w, result_r)
+        self.workers.append(worker)
+        self.forks += 1
+        return worker
+
+    def ensure(self, count: int) -> None:
+        """Grow the pool to at least ``count`` live workers."""
+        self.reap()
+        while len(self.workers) < count:
+            self.spawn()
+
+    def reap(self) -> None:
+        """Drop members that died while idle (e.g. killed between batches)."""
+        alive: list[_PoolWorker] = []
+        for worker in self.workers:
+            if worker.process.is_alive():
+                alive.append(worker)
+            else:
+                worker.process.join()
+                self._close(worker)
+        self.workers = alive
+
+    def discard(self, worker: _PoolWorker, kill: bool = False) -> None:
+        """Remove a worker from the pool, killing it first if asked."""
+        if kill:
+            worker.process.kill()
+        worker.process.join(timeout=5)
+        if worker.process.is_alive():  # pragma: no cover - paranoia
+            worker.process.kill()
+            worker.process.join()
+        self._close(worker)
+        if worker in self.workers:
+            self.workers.remove(worker)
+
+    @staticmethod
+    def _close(worker: _PoolWorker) -> None:
+        for conn in (worker.task_conn, worker.result_conn):
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+
+    def shutdown(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.task_conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for worker in list(self.workers):
+            worker.process.join(timeout=2)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            self._close(worker)
+        self.workers = []
+
+
+_pool: WorkerPool | None = None
+
+
+def worker_pool(context=None) -> WorkerPool | None:
+    """The process-global pool, created (empty) on first use.
+
+    Workers are daemonic, so an exiting parent never leaks them; call
+    :func:`shutdown_pool` for an orderly teardown (tests, long-lived
+    embedders).
+    """
+    global _pool
+    if _pool is None:
+        context = context if context is not None else _fork_context()
+        if context is None:
+            return None
+        _pool = WorkerPool(context)
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Terminate all pool workers and forget the pool."""
+    global _pool
+    if _pool is not None:
+        _pool.shutdown()
+        _pool = None
 
 
 @dataclass
 class _Running:
-    process: multiprocessing.process.BaseProcess
+    worker: _PoolWorker
+    seq: int
     index: int
     attempt: int
     query: Query
@@ -239,7 +430,7 @@ class _Running:
 
 
 def _external_deadline(budget: Budget | None) -> float | None:
-    """Seconds a worker may run before the parent SIGKILLs it, or None."""
+    """Seconds a worker may run a task before the parent SIGKILLs it."""
     if budget is None or budget.wall_seconds is None:
         return None
     return budget.wall_seconds * _DEADLINE_FACTOR + _DEADLINE_GRACE
@@ -260,11 +451,12 @@ def solve_queries(
 ) -> list[list[EprResult]]:
     """Solve a batch of independent queries, one result list per query.
 
-    Fault-tolerant in parallel mode: crashed or hung workers are retried
-    up to ``retries`` times (argument, else ``REPRO_RETRIES``, else 2)
-    with exponentially escalated budgets; a query still unanswered after
-    that is finished in-process (``fallback=True``, the default) or
-    reported as UNKNOWN with the failure that killed its last attempt.
+    Fault-tolerant in parallel mode: crashed or hung workers are replaced
+    and their tasks retried up to ``retries`` times (argument, else
+    ``REPRO_RETRIES``, else 2) with exponentially escalated budgets; a
+    query still unanswered after that is finished in-process
+    (``fallback=True``, the default) or reported as UNKNOWN with the
+    failure that killed its last attempt.
     """
     jobs = resolve_jobs(jobs)
     workers = min(jobs, len(queries))
@@ -293,15 +485,29 @@ def _solve_parallel(
     retries: int,
     fallback: bool,
 ) -> list[list[EprResult]]:
+    # Parent state shipped with every task (see _Task).  The cache
+    # snapshot is taken *before* the pool grows so freshly forked workers
+    # inherit exactly the cache generation the tasks will name.
+    plan = faults.active_plan()
+    tracer = obs.active_tracer()
+    trace_info = (tracer.run_id, tracer.origin) if tracer is not None else None
+    cache_info = cache_mod.cache_snapshot()
+
+    pool = worker_pool(context)
+    assert pool is not None  # context was resolved by the caller
+    pool.ensure(workers)
+
     batches: list[list[EprResult] | None] = [None] * len(queries)
     via_worker = [True] * len(queries)
     pending: list[tuple[int, int, Query]] = [
         (index, 0, query) for index, query in enumerate(queries)
     ]
-    running: dict[object, _Running] = {}
-    pool_size = workers
+    busy: dict[object, _Running] = {}
+    idle: list[_PoolWorker] = list(pool.workers[:workers])
+    limit = workers
     crash_count = kill_count = retry_count = fallback_count = 0
     next_shrink = _SHRINK_THRESHOLD
+    seq = 0
 
     def finish_attempt(record: _Running, reason: FailureReason) -> None:
         """A worker died or was killed: retry, fall back, or give up."""
@@ -340,21 +546,34 @@ def _solve_parallel(
             )
             batches[record.index] = _unknown_batch(record.query, reason)
 
+    def replace_worker(dead: _PoolWorker, kill: bool) -> None:
+        """Drop a dead/hung worker; fork a replacement while work remains."""
+        pool.discard(dead, kill=kill)
+        if pending and len(idle) + len(busy) < limit:
+            idle.append(pool.spawn())
+
     try:
-        while pending or running:
-            while pending and len(running) < pool_size:
+        while pending or busy:
+            if pending and not idle and not busy:
+                # Every borrowed worker died; keep the batch moving.
+                idle.append(pool.spawn())
+            while pending and idle and len(busy) < limit:
                 index, attempt, query = pending.pop(0)
-                recv_conn, send_conn = context.Pipe(duplex=False)
-                process = context.Process(
-                    target=_worker_main,
-                    args=(send_conn, query, attempt),
-                    daemon=True,
-                )
-                process.start()
-                send_conn.close()
+                worker = idle.pop()
+                seq += 1
+                task = _Task(seq, query, attempt, plan, trace_info, cache_info)
+                try:
+                    worker.task_conn.send(task)
+                except (BrokenPipeError, OSError):
+                    # Died while idle: not an attempt failure -- the task
+                    # never reached it.  Replace and resubmit.
+                    pending.insert(0, (index, attempt, query))
+                    replace_worker(worker, kill=False)
+                    continue
                 external = _external_deadline(query.budget)
-                running[recv_conn] = _Running(
-                    process,
+                busy[worker.result_conn] = _Running(
+                    worker,
+                    seq,
                     index,
                     attempt,
                     query,
@@ -363,25 +582,30 @@ def _solve_parallel(
                         "dispatch.attempt", query=query.name, attempt=attempt
                     ),
                 )
+            if not busy:
+                continue
             deadlines = [
                 record.deadline
-                for record in running.values()
+                for record in busy.values()
                 if record.deadline is not None
             ]
             timeout = None
             if deadlines:
                 timeout = max(0.01, min(deadlines) - time.monotonic())
             ready = multiprocessing.connection.wait(
-                list(running.keys()), timeout=timeout
+                list(busy.keys()), timeout=timeout
             )
             now = time.monotonic()
             for conn in ready:
-                record = running.pop(conn)
+                record = busy.pop(conn)
                 try:
-                    results, worker_events = conn.recv()
-                except (EOFError, OSError):
+                    result_seq, results, worker_events = conn.recv()
+                    if result_seq != record.seq:
+                        raise EOFError("stale result from a replaced worker")
+                except (EOFError, OSError, ValueError):
                     crash_count += 1
                     obs.finish_span(record.span, outcome="crashed")
+                    replace_worker(record.worker, kill=False)
                     finish_attempt(record, FailureReason.WORKER_CRASHED)
                 else:
                     batches[record.index] = results
@@ -389,32 +613,27 @@ def _solve_parallel(
                         worker_events, record.span.id if record.span else None
                     )
                     obs.finish_span(record.span, outcome="ok")
-                finally:
-                    conn.close()
-                record.process.join(timeout=5)
-                if record.process.is_alive():  # pragma: no cover - paranoia
-                    record.process.kill()
-                    record.process.join()
+                    idle.append(record.worker)
             for conn in [
                 conn
-                for conn, record in running.items()
+                for conn, record in busy.items()
                 if record.deadline is not None and now > record.deadline
             ]:
-                record = running.pop(conn)
-                record.process.kill()
-                record.process.join()
-                conn.close()
+                record = busy.pop(conn)
                 kill_count += 1
                 obs.finish_span(record.span, outcome="killed")
+                replace_worker(record.worker, kill=True)
                 finish_attempt(record, FailureReason.TIMEOUT)
-            if crash_count + kill_count >= next_shrink and pool_size > 1:
-                pool_size = max(1, pool_size // 2)
+            if crash_count + kill_count >= next_shrink and limit > 1:
+                limit = max(1, limit // 2)
                 next_shrink *= 2
     finally:
-        for conn, record in running.items():
-            record.process.kill()
-            record.process.join()
-            conn.close()
+        # Normal completion leaves no busy workers; on an exception, kill
+        # the ones mid-task so a stale result can never leak into (and
+        # corrupt) the next batch served by the persistent pool.
+        for conn, record in list(busy.items()):
+            obs.finish_span(record.span, outcome="killed")
+            pool.discard(record.worker, kill=True)
 
     complete = [batch for batch in batches if batch is not None]
     assert len(complete) == len(queries), "dispatch lost a query"

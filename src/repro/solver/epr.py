@@ -118,6 +118,11 @@ class _Constraint:
     tracked: bool
 
 
+def _decl_key(decl) -> tuple[str, str]:
+    """Stable sort key for relation/function declarations by kind + name."""
+    return (type(decl).__name__, decl.name)
+
+
 @dataclass(frozen=True)
 class _LazyBlock:
     """A universal block instantiated on demand (MBQI)."""
@@ -374,7 +379,13 @@ class EprSolver:
         known = set(self.vocab.relations) | set(self.vocab.functions)
         seen: set = set(known)
         for constraint in self._constraints:
-            for decl in s.symbols_of(constraint.formula):
+            # Deterministic adoption order: symbols_of returns a frozenset,
+            # and frozenset iteration order varies with hash randomization.
+            # Adoption order decides universe and SAT-variable numbering,
+            # which the query fingerprint hashes -- iterating the raw set
+            # would give every interpreter its own cache keys, defeating
+            # the cross-process disk cache.
+            for decl in sorted(s.symbols_of(constraint.formula), key=_decl_key):
                 if decl in seen:
                     continue
                 seen.add(decl)

@@ -173,6 +173,21 @@ class TestChaos:
         assert [r.satisfiable for (r,) in batches] == EXPECTED
         assert stats.worker_crashes == stats.worker_kills == 0
 
+    def test_pool_heals_after_chaotic_batch(self):
+        # The persistent pool loses workers to a chaotic batch; the next
+        # (fault-free) batch on the same pool must be served cleanly by
+        # replacement workers, not poisoned by the carnage before it.
+        install_fault_plan(FaultPlan(crash=0.6, seed=11))
+        stats = SolverStats()
+        solve_queries(_queries(), jobs=2, stats=stats)
+        assert stats.worker_crashes > 0
+        install_fault_plan(FaultPlan())  # hard "no faults"
+        clean_stats = SolverStats()
+        batches = solve_queries(_queries(), jobs=2, stats=clean_stats)
+        assert [r.satisfiable for (r,) in batches] == EXPECTED
+        assert clean_stats.worker_crashes == clean_stats.worker_kills == 0
+        assert clean_stats.dispatched == len(QUERIES)
+
 
 @needs_fork
 @pytest.mark.slow
