@@ -199,6 +199,82 @@ def test_persistent_cache_cross_process_rerun(benchmark, results_dir, tmp_path):
     assert speedup >= 1.7
 
 
+def _ledger_workload(ledger_dir, label):
+    """Run the proof workload in a fresh interpreter with a shared ledger."""
+    env = dict(os.environ)
+    env.update(
+        {
+            "PYTHONPATH": str(REPO_ROOT / "src"),
+            "REPRO_LEDGER_DIR": str(ledger_dir),
+        }
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "benchmarks.rerun_workload",
+            RERUN_PROTOCOL,
+            "prove",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, f"{label} run failed:\n{proc.stderr}"
+    return json.loads(proc.stdout.strip().splitlines()[-1])
+
+
+def test_ledger_cross_process_rerun(benchmark, results_dir, tmp_path):
+    """A fresh interpreter re-proves an unchanged protocol from the ledger.
+
+    Unlike the disk cache (which still grounds every query and only skips
+    solving), the ledger recognizes proven obligations by content address
+    before any solver object exists -- the warm run issues zero queries,
+    so its speedup bounds the entire prove pipeline, not just the solve
+    fraction.
+    """
+    ledger_dir = tmp_path / "ledger"
+    cold = _ledger_workload(ledger_dir, "cold")
+
+    def run():
+        return _ledger_workload(ledger_dir, "warm")
+
+    warm = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert cold["holds"] and warm["holds"]
+    cold_time, warm_time = cold["wall_s"], warm["wall_s"]
+    speedup = cold_time / warm_time if warm_time else float("inf")
+    benchmark.extra_info.update(
+        {"cold_s": round(cold_time, 2), "speedup": round(speedup, 2)}
+    )
+    record(
+        results_dir,
+        "dispatch_ledger_rerun",
+        f"prove {RERUN_PROTOCOL} cross-process rerun: "
+        f"cold {cold_time:.2f}s ({cold['queries']} queries), "
+        f"warm {warm_time:.2f}s ({warm['queries']} queries, {speedup:.1f}x) "
+        f"via proven-lemma ledger\n",
+    )
+    update_bench(
+        "dispatch",
+        "ledger_rerun",
+        {
+            "protocol": RERUN_PROTOCOL,
+            "cross_process": True,
+            "cold_s": round(cold_time, 3),
+            "warm_s": round(warm_time, 3),
+            "speedup": round(speedup, 2),
+            "cold_queries": cold["queries"],
+            "warm_queries": warm["queries"],
+            "ledger_hit_rate": round(warm["ledger_hit_rate"], 3),
+        },
+    )
+    assert warm["queries"] == 0
+    assert warm["ledger_hit_rate"] == 1.0
+    assert speedup >= 1.7
+
+
 def test_houdini_rerun_cache_hit_rate(benchmark, bundles, results_dir, fresh_cache):
     """Re-running Houdini over an unchanged pool hits the cache >= 90%."""
     from repro.core.absint import enumerate_candidates

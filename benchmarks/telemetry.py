@@ -2,10 +2,10 @@
 
 Every benchmark run leaves a JSON artifact at the repository root so CI
 and regression tooling can diff numbers across commits without scraping
-pytest output.  Schema (version 1)::
+pytest output.  Schema (version 2)::
 
     {
-      "schema": 1,
+      "schema": 2,
       "bench": "<name>",
       "generated_unix": <float>,
       "git_rev": "<short rev or null>",
@@ -17,6 +17,11 @@ pytest output.  Schema (version 1)::
 ``BENCH_dispatch.json``) or per protocol row (for
 ``BENCH_protocols.json``, whose rows carry ``wall_s``, ``queries``,
 verdict counts, ``cache_hit_rate``, and ``holds``).
+
+Version 2 added the proven-lemma ledger columns to the protocol rows:
+``ledger_hits``/``ledger_misses`` count warm-rerun obligation lookups
+against :mod:`repro.proof.ledger`, and ``ledger_warm_wall_s`` is the
+wall time of that rerun (every obligation served from disk).
 
 :func:`update_bench` is incremental -- each test merges its own section
 into the existing file -- so a partial benchmark run refreshes only the
@@ -33,7 +38,7 @@ import subprocess
 import sys
 import time
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 

@@ -4,4 +4,12 @@ import sys
 
 from .cli import main
 
-sys.exit(main())
+try:
+    code = main()
+    sys.stdout.flush()
+except BrokenPipeError:
+    # Downstream pipe reader (head, less quit early) closed stdout.
+    # Conventional Unix behaviour is a silent death, not a traceback.
+    sys.stderr.close()
+    code = 128 + 13
+sys.exit(code)

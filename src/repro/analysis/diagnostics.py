@@ -59,6 +59,12 @@ CODES: dict[str, tuple[Severity, str]] = {
     "RML107": (Severity.WARNING, "update right-hand side is the updated symbol itself (no-op)"),
     # Decidability analysis.
     "RML201": (Severity.ERROR, "quantifier-alternation graph has a cycle (VC outside EPR)"),
+    # Proof management (named invariants, proof declarations, the proof DAG).
+    "RML301": (Severity.ERROR, "proof references an unknown invariant name"),
+    "RML302": (Severity.ERROR, "duplicate invariant or proof declaration"),
+    "RML303": (Severity.ERROR, "'with' references an invariant no proof establishes"),
+    "RML304": (Severity.ERROR, "proof-dependency cycle (circular 'with' assumptions)"),
+    "RML305": (Severity.ERROR, "invariant formula is not a closed universal formula"),
 }
 
 

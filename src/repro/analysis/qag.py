@@ -193,7 +193,7 @@ class Qag:
         adjacency: dict[Sort, list[QagEdge]] = {}
         for edge in edges:
             adjacency.setdefault(edge.src, []).append(edge)
-        sccs = _tarjan(self.sorts, adjacency)
+        sccs = tarjan_scc(self.sorts, adjacency)
         out: list[tuple[QagEdge, ...]] = []
         for component in sccs:
             members = set(component)
@@ -205,15 +205,20 @@ class Qag:
                 if loops:
                     out.append((loops[0],))
                 continue
-            cycle = _walk_cycle(component[0], members, adjacency)
+            cycle = walk_cycle(component[0], members, adjacency)
             if cycle:
                 out.append(tuple(cycle))
         return out
 
 
-def _tarjan(
-    nodes: Sequence[Sort], adjacency: dict[Sort, list[QagEdge]]
-) -> list[tuple[Sort, ...]]:
+def tarjan_scc(nodes, adjacency) -> list[tuple]:
+    """Tarjan's strongly-connected components, in first-seen order.
+
+    Generic over the node type: ``adjacency`` maps each node to edge
+    objects exposing a ``dst`` attribute.  Shared with the proof-dependency
+    DAG (:mod:`repro.proof.dag`), whose nodes are proof names rather than
+    sorts.
+    """
     index: dict[Sort, int] = {}
     lowlink: dict[Sort, int] = {}
     on_stack: set[Sort] = set()
@@ -249,10 +254,13 @@ def _tarjan(
     return components
 
 
-def _walk_cycle(
-    start: Sort, members: set[Sort], adjacency: dict[Sort, list[QagEdge]]
-) -> list[QagEdge] | None:
-    """A simple cycle through ``start`` staying inside one SCC (DFS)."""
+def walk_cycle(start, members, adjacency) -> list | None:
+    """A simple cycle through ``start`` staying inside one SCC (DFS).
+
+    Generic like :func:`tarjan_scc`: edges only need a ``dst`` attribute.
+    The *last* edge of the returned path is the one closing the cycle back
+    to ``start`` -- diagnostics use that to name the closing edge.
+    """
     path: list[QagEdge] = []
     visited: set[Sort] = set()
 

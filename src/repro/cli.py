@@ -380,6 +380,199 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 1 if has_errors else 0
 
 
+def _ledger_of(args: argparse.Namespace):
+    """Build the ledger from CLI flags / environment (None when disabled)."""
+    from .proof.ledger import default_ledger
+
+    if getattr(args, "no_ledger", False):
+        os.environ["REPRO_LEDGER"] = "0"
+    if getattr(args, "ledger_dir", None):
+        os.environ["REPRO_LEDGER_DIR"] = args.ledger_dir
+    return default_ledger()
+
+
+def _target_plan(args: argparse.Namespace):
+    """Resolve ``args.target`` into ``(plan, origin, source)``.
+
+    Targets are protocol names (plan from the bundle's invariant) or
+    ``.rml`` files (plan from the declared ``invariant``/``proof``
+    blocks).  Files go through the collect-all diagnostics pass first, so
+    proof-layer errors -- unknown names, duplicate declarations, a
+    ``with``-cycle (``RML304``) -- are rejected here, before any solver
+    work, with compiler-style sourced diagnostics.  Returns None after
+    printing them (callers exit with ``EXIT_UNKNOWN``).
+    """
+    from .proof.manager import plan_of
+
+    target = args.target
+    if target in ALL_PROTOCOLS:
+        bundle = _bundle(target)
+        return plan_of(bundle.program, bundle.invariant), target, None
+    if not os.path.exists(target):
+        raise SystemExit(
+            f"unknown target {target!r}: neither a protocol "
+            f"({', '.join(sorted(ALL_PROTOCOLS))}) nor a file"
+        )
+    from .analysis.diagnostics import Diagnostics, Severity, render_text
+    from .logic.lexer import LexError, ParseError
+    from .rml.parser import parse_program
+    from .rml.typecheck import program_diagnostics
+
+    with open(target) as handle:
+        source = handle.read()
+    try:
+        program = parse_program(source, check=False)
+    except (LexError, ParseError) as error:
+        sink = Diagnostics(target)
+        message = getattr(error, "bare_message", None) or str(error)
+        print(
+            render_text(sink.emit("RML000", message, span=error.span), source),
+            file=sys.stderr,
+        )
+        return None
+    diagnostics = [
+        d.with_origin(target)
+        for d in program_diagnostics(program)
+        if d.severity is Severity.ERROR
+    ]
+    if diagnostics:
+        for diagnostic in diagnostics:
+            print(render_text(diagnostic, source), file=sys.stderr)
+        print(
+            f"{target}: {len(diagnostics)} error(s); refusing to start the "
+            "solver",
+            file=sys.stderr,
+        )
+        return None
+    return plan_of(program), target, source
+
+
+def cmd_prove(args: argparse.Namespace) -> int:
+    """Discharge the target's proof DAG, honoring the proven-lemma ledger."""
+    from .proof.manager import prove
+
+    resolved = _target_plan(args)
+    if resolved is None:
+        return EXIT_UNKNOWN
+    plan, origin, source = resolved
+    conjectures = tuple(plan.invariants.values())
+    if not _preflight(args, plan.program, conjectures, origin=origin,
+                      source=source):
+        return EXIT_UNKNOWN
+    ledger = _ledger_of(args)
+    stats = _stats_of(args)
+    budget = _budget_of(args)
+    start = time.time()
+    report = prove(
+        plan, jobs=args.jobs, stats=stats, budget=budget, ledger=ledger
+    )
+    elapsed = time.time() - start
+    if args.format == "json":
+        payload = {
+            "schema": 1,
+            "program": report.program,
+            "ok": report.ok,
+            "queries": report.queries,
+            "ledger_hits": report.ledger_hits,
+            "ledger_misses": report.ledger_misses,
+            "ledger_hit_rate": report.hit_rate,
+            "frontiers": [list(layer) for layer in report.frontiers],
+            "unknown": list(report.unknown),
+            "failed_node": report.failed_node,
+            "elapsed_s": round(elapsed, 3),
+            "outcomes": [
+                {
+                    "node": outcome.node,
+                    "obligation": outcome.description,
+                    "via": outcome.via,
+                }
+                for outcome in report.outcomes
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        frontier_text = " | ".join(
+            ", ".join(layer) for layer in report.frontiers
+        )
+        print(f"proof DAG: {frontier_text or '(empty)'}")
+        print(
+            f"obligations: {report.ledger_hits} from ledger, "
+            f"{report.queries} solved "
+            f"(hit rate {report.hit_rate:.2f}, {elapsed:.1f}s)"
+        )
+        if report.cti is not None:
+            print(f"proof node {report.failed_node!r} failed:")
+            print()
+            print(report.cti)
+        elif report.unknown:
+            print("obligations exhausting their budget:")
+            for description in report.unknown:
+                print(f"  {description}")
+        else:
+            print(f"{report.program}: all proof obligations discharged")
+    _print_stats(stats)
+    if report.cti is not None:
+        return 1
+    return 0 if report.ok else EXIT_UNKNOWN
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    """Per-invariant proven/unproven/stale table from the ledger."""
+    from .proof.ledger import Ledger, ledger_dir
+    from .proof.manager import status
+
+    resolved = _target_plan(args)
+    if resolved is None:
+        return EXIT_UNKNOWN
+    plan, origin, _source = resolved
+    ledger = _ledger_of(args)
+    if ledger is None:
+        ledger = Ledger(ledger_dir())  # status reads; REPRO_LEDGER=0 gates writes
+    rows = status(plan, ledger)
+    if args.format == "json":
+        payload = {
+            "schema": 1,
+            "program": plan.program.name,
+            "ledger": ledger.root,
+            "invariants": [
+                {
+                    "name": row.name,
+                    "proof": row.proof,
+                    "state": row.state,
+                    "provenance": [
+                        {
+                            "kind": entry.kind,
+                            "engine": entry.engine,
+                            "budget": entry.budget,
+                            "git_rev": entry.git_rev,
+                            "run_id": entry.run_id,
+                            "wall_ms": entry.wall_ms,
+                            "created_unix": entry.created_unix,
+                        }
+                        for entry in row.entries
+                    ],
+                }
+                for row in rows
+            ],
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"{'invariant':24s} {'proof':12s} {'state':10s} provenance")
+        for row in rows:
+            if row.entries:
+                entry = row.entries[-1]
+                parts = [f"engine={entry.engine}"]
+                if entry.git_rev:
+                    parts.append(f"rev={entry.git_rev}")
+                if entry.run_id:
+                    parts.append(f"run={entry.run_id}")
+                provenance = " ".join(parts)
+            else:
+                provenance = "-"
+            print(f"{row.name:24s} {row.proof:12s} {row.state:10s} {provenance}")
+    return 0 if all(row.state == "proven" for row in rows) else 1
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     try:
         events = obs.load_trace(args.trace_file)
@@ -538,6 +731,45 @@ def build_parser() -> argparse.ArgumentParser:
     add_obs_options(lint)
     lint.set_defaults(func=cmd_lint)
 
+    def add_ledger_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "--ledger-dir", default=None, metavar="DIR",
+            help="proven-lemma ledger location "
+                 "(default: REPRO_LEDGER_DIR or .repro-ledger)",
+        )
+
+    prove = commands.add_parser(
+        "prove", help="discharge the proof-dependency DAG, honoring the ledger"
+    )
+    prove.add_argument(
+        "target", help="protocol name or .rml file with invariant/proof decls"
+    )
+    prove.add_argument(
+        "--no-ledger", action="store_true",
+        help="solve every obligation fresh; record nothing (REPRO_LEDGER=0)",
+    )
+    prove.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    add_ledger_options(prove)
+    add_solver_options(prove)
+    prove.set_defaults(func=cmd_prove)
+
+    status = commands.add_parser(
+        "status", help="per-invariant proven/unproven/stale table from the ledger"
+    )
+    status.add_argument(
+        "target", help="protocol name or .rml file with invariant/proof decls"
+    )
+    status.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+    add_ledger_options(status)
+    add_obs_options(status)
+    status.set_defaults(func=cmd_status)
+
     report = commands.add_parser(
         "report", help="render the breakdown of a --trace JSONL file"
     )
@@ -592,6 +824,7 @@ def main(argv: list[str] | None = None) -> int:
             key: value
             for key, value in (
                 ("protocol", getattr(args, "protocol", None)),
+                ("target", getattr(args, "target", None)),
                 ("file", getattr(args, "file", None)),
                 ("bound", getattr(args, "bound", None)),
                 ("jobs", getattr(args, "jobs", None)),

@@ -34,7 +34,7 @@ from ..solver.budget import Budget
 from ..solver.dispatch import query_of, resolve_jobs, solve_queries
 from ..solver.epr import EprSolver
 from ..solver.stats import SolverStats
-from .induction import Conjecture
+from .induction import Conjecture, ledger_proven, ledger_record_set
 
 
 @dataclass(frozen=True)
@@ -151,6 +151,7 @@ def houdini(
     jobs: int | None = None,
     stats: SolverStats | None = None,
     budget: Budget | None = None,
+    ledger=None,
 ) -> HoudiniResult:
     """Compute the strongest inductive subset of ``candidates``.
 
@@ -160,9 +161,21 @@ def houdini(
     only ever concludes on conclusively-refuted obligations, so the final
     conjunction is still inductive -- just possibly weaker than an
     unbudgeted run would find.
+
+    With a ``ledger``, a rerun whose full candidate pool is already
+    recorded as inductive returns immediately (zero queries), and a
+    freshly converged fixpoint records its surviving set's obligations.
+    Intermediate rounds are not ledgered: their premise sets are
+    transient, so their keys would never be consulted again.
     """
     statistics: dict[str, int] = {}
     with obs.span("houdini", candidates=len(candidates)) as sp:
+        if ledger is not None and ledger_proven(program, candidates, ledger):
+            sp.set(rounds=0, invariant=len(candidates), ledger_skip=True)
+            statistics["ledger_hits"] = 2 * len(candidates)
+            return HoudiniResult(
+                tuple(candidates), (), (), 0, statistics, ()
+            )
         with obs.span("houdini.initiation", candidates=len(candidates)):
             failing_init, unknown_init = _batched_failures(
                 program, candidates, program.init, s.TRUE, statistics, jobs,
@@ -194,6 +207,10 @@ def houdini(
             dropped_unknown.extend(sorted(unknown))
             dropped = failing | unknown
             surviving = [c for c in surviving if c.name not in dropped]
+        if ledger is not None and surviving:
+            ledger_record_set(
+                program, tuple(surviving), ledger, engine="houdini"
+            )
         sp.set(rounds=rounds, invariant=len(surviving))
         return HoudiniResult(
             tuple(surviving),

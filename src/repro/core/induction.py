@@ -18,6 +18,7 @@ an outcome that witnesses the violation.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Literal, Mapping, Sequence
 
@@ -114,11 +115,25 @@ class InductionResult:
 
 
 def obligations(
-    program: Program, conjectures: Sequence[Conjecture]
+    program: Program,
+    conjectures: Sequence[Conjecture],
+    lemmas: Sequence[Conjecture] = (),
+    include_no_abort: bool = True,
 ) -> list[Obligation]:
-    """The full list of Eq. 2 obligations for the candidate invariant."""
+    """The full list of Eq. 2 obligations for the candidate invariant.
+
+    ``lemmas`` are previously proven invariants (the proof layer's
+    ``with``-clauses): their conjunction joins the premises of every
+    safety and consecution obligation -- a proven invariant holds in any
+    reachable pre-state -- but *not* of initiation (the pre-init state is
+    arbitrary), and they incur no obligations of their own.  The proof
+    manager sets ``include_no_abort=False`` for proof nodes, deferring
+    the program-wide no-abort check until every invariant is available
+    as a premise.
+    """
     axioms = program.axiom_formula
     invariant = s.and_(*(c.formula for c in conjectures))
+    assumed: tuple[s.Formula, ...] = tuple(c.formula for c in lemmas)
     out: list[Obligation] = []
     for conjecture in conjectures:
         vc = s.and_(axioms, s.not_(wp(program.init, conjecture.formula, axioms)))
@@ -132,17 +147,21 @@ def obligations(
                 vc,
             )
         )
-    for label, command in (("final", program.final), ("body", program.body)):
-        no_abort = wp(command, s.TRUE, axioms)
-        if no_abort == s.TRUE:
-            continue
-        vc = s.and_(axioms, invariant, s.not_(no_abort))
-        out.append(
-            Obligation("safety", f"no abort via {label}", label, None, s.TRUE, vc)
-        )
+    if include_no_abort:
+        for label, command in (("final", program.final), ("body", program.body)):
+            no_abort = wp(command, s.TRUE, axioms)
+            if no_abort == s.TRUE:
+                continue
+            vc = s.and_(axioms, *assumed, invariant, s.not_(no_abort))
+            out.append(
+                Obligation("safety", f"no abort via {label}", label, None, s.TRUE, vc)
+            )
     for conjecture in conjectures:
         vc = s.and_(
-            axioms, invariant, s.not_(wp(program.body, conjecture.formula, axioms))
+            axioms,
+            *assumed,
+            invariant,
+            s.not_(wp(program.body, conjecture.formula, axioms)),
         )
         out.append(
             Obligation(
@@ -155,6 +174,130 @@ def obligations(
             )
         )
     return out
+
+
+def obligation_premises(
+    obligation: Obligation,
+    conjectures: Sequence[Conjecture],
+    lemmas: Sequence[Conjecture] = (),
+) -> tuple[s.Formula, ...]:
+    """The formulas an obligation assumes beyond the axioms.
+
+    This is the premise set the ledger hashes into an obligation's key:
+    initiation assumes nothing, safety and consecution assume the proven
+    lemmas plus the whole conjecture set (mutual induction).
+    """
+    if obligation.kind == "initiation":
+        return ()
+    return tuple(c.formula for c in lemmas) + tuple(c.formula for c in conjectures)
+
+
+def _ledger_split(
+    program: Program,
+    pending: Sequence[Obligation],
+    conjectures: Sequence[Conjecture],
+    lemmas: Sequence[Conjecture],
+    ledger,
+) -> tuple[list[Obligation], dict[int, tuple[str, str, str, str]], int]:
+    """Partition obligations into (to solve, keys by index, hits skipped)."""
+    from ..proof.ledger import keys_of, program_fingerprint
+
+    program_hash = program_fingerprint(program)
+    to_solve: list[Obligation] = []
+    keys: dict[int, tuple[str, str, str, str]] = {}
+    hits = 0
+    for obligation in pending:
+        parts = keys_of(
+            program,
+            obligation,
+            obligation_premises(obligation, conjectures, lemmas),
+            program_hash=program_hash,
+        )
+        if ledger.proven(parts[0]) is not None:
+            hits += 1
+            continue
+        keys[len(to_solve)] = parts
+        to_solve.append(obligation)
+    obs.inc("ledger_hits", hits)
+    obs.inc("ledger_misses", len(to_solve))
+    return to_solve, keys, hits
+
+
+def _ledger_record(
+    ledger,
+    keys: tuple[str, str, str, str] | None,
+    program: Program,
+    obligation: Obligation,
+    engine: str,
+    budget: Budget | None,
+    wall_ms: float,
+) -> None:
+    """Persist one freshly discharged (unsat) obligation."""
+    if ledger is None or keys is None:
+        return
+    from ..proof.ledger import LedgerEntry, git_rev, run_id
+
+    _, program_hash, obligation_hash, lemma_hash = keys
+    ledger.record(
+        LedgerEntry(
+            program=program.name,
+            invariant=obligation.target or "<no-abort>",
+            kind=obligation.kind,
+            program_hash=program_hash,
+            obligation_hash=obligation_hash,
+            lemma_hash=lemma_hash,
+            engine=engine,
+            budget=str(budget) if budget is not None else None,
+            git_rev=git_rev(),
+            run_id=run_id(),
+            wall_ms=wall_ms,
+        )
+    )
+
+
+def ledger_proven(
+    program: Program,
+    conjectures: Sequence[Conjecture],
+    ledger,
+    lemmas: Sequence[Conjecture] = (),
+    include_no_abort: bool = False,
+) -> bool:
+    """Is every obligation of the conjecture set recorded as proven?
+
+    The entry fast-path for engines with their own check loops (Houdini,
+    UPDR): when a previous run already discharged the exact obligation
+    set, the whole engine run can be skipped.
+    """
+    pending = obligations(program, conjectures, lemmas, include_no_abort)
+    to_solve, _, _ = _ledger_split(program, pending, conjectures, lemmas, ledger)
+    return not to_solve
+
+
+def ledger_record_set(
+    program: Program,
+    conjectures: Sequence[Conjecture],
+    ledger,
+    lemmas: Sequence[Conjecture] = (),
+    engine: str = "induction",
+    include_no_abort: bool = False,
+) -> None:
+    """Record every obligation of an *already-verified* conjecture set.
+
+    Engines that conclude inductiveness through their own batched checks
+    (Houdini's fixpoint) call this once at the end; soundness rests on
+    the caller having conclusively discharged exactly these obligations.
+    """
+    from ..proof.ledger import keys_of, program_fingerprint
+
+    program_hash = program_fingerprint(program)
+    for obligation in obligations(program, conjectures, lemmas, include_no_abort):
+        parts = keys_of(
+            program,
+            obligation,
+            obligation_premises(obligation, conjectures, lemmas),
+            program_hash=program_hash,
+        )
+        _ledger_record(ledger, parts, program, obligation, engine, None, 0.0)
 
 
 def check_obligation(
@@ -203,6 +346,9 @@ def check_inductive(
     jobs: int | None = None,
     stats: SolverStats | None = None,
     budget: Budget | None = None,
+    lemmas: Sequence[Conjecture] = (),
+    ledger=None,
+    engine: str = "induction",
 ) -> InductionResult:
     """Check Eq. 2 for the conjunction of ``conjectures``.
 
@@ -215,25 +361,42 @@ def check_inductive(
     ``unknown_obligations``: a CTI found elsewhere is still a real CTI,
     but an otherwise-clean run with unknowns is inconclusive (holds=False,
     cti=None) rather than a proof.
+
+    ``lemmas`` strengthen the premises (see :func:`obligations`).  With a
+    ``ledger`` (:class:`repro.proof.ledger.Ledger`), obligations already
+    recorded as proven are skipped before any solver is built, and each
+    freshly discharged obligation is recorded with provenance (``engine``
+    names the caller in that record).  The skip is sound because the
+    ledger key covers the program, the obligation, and the premise set.
     """
     statistics: dict[str, int] = {}
-    pending = obligations(program, conjectures)
+    pending = obligations(program, conjectures, lemmas)
     unknown: list[str] = []
     with obs.span(
         "induction", conjectures=len(conjectures), obligations=len(pending)
     ) as sp:
+        ledger_keys: dict[int, tuple[str, str, str, str]] = {}
+        if ledger is not None:
+            pending, ledger_keys, hits = _ledger_split(
+                program, pending, conjectures, lemmas, ledger
+            )
+            statistics["ledger_hits"] = hits
+            statistics["ledger_misses"] = len(pending)
+            sp.set(ledger_hits=hits, ledger_misses=len(pending))
         if resolve_jobs(jobs) > 1 and len(pending) > 1:
             queries = []
             for obligation in pending:
                 solver = EprSolver(program.vocab, budget=budget)
                 solver.add(obligation.vc, name="vc")
                 queries.append(query_of(solver, name=obligation.description))
+            started = time.monotonic()
             with obs.span("induction.dispatch", queries=len(queries)):
                 batches = solve_queries(queries, jobs=jobs, stats=stats)
+            batch_ms = (time.monotonic() - started) * 1000 / max(len(queries), 1)
             obs.count_engine_queries(
                 "induction", [result for (result,) in batches]
             )
-            for obligation, (result,) in zip(pending, batches):
+            for index, (obligation, (result,)) in enumerate(zip(pending, batches)):
                 for key, value in result.statistics.items():
                     statistics[key] = statistics.get(key, 0) + value
                 if result.unknown:
@@ -243,16 +406,23 @@ def check_inductive(
                     cti = cti_from_model(program, obligation, result.model)
                     sp.set(holds=False, cti=obligation.description)
                     return InductionResult(False, cti, statistics, tuple(unknown))
+                else:
+                    _ledger_record(
+                        ledger, ledger_keys.get(index), program, obligation,
+                        engine, budget, batch_ms,
+                    )
             sp.set(holds=not unknown, unknowns=len(unknown))
             return InductionResult(not unknown, statistics=statistics,
                                    unknown_obligations=tuple(unknown))
         results = []
-        for obligation in pending:
+        for index, obligation in enumerate(pending):
+            started = time.monotonic()
             with obs.span(
                 "induction.obligation", description=obligation.description
             ) as obligation_span:
                 result = check_obligation(program, obligation, budget=budget)
                 obligation_span.set(verdict=result.verdict)
+            elapsed_ms = (time.monotonic() - started) * 1000
             results.append(result)
             for key, value in result.statistics.items():
                 statistics[key] = statistics.get(key, 0) + value
@@ -266,6 +436,11 @@ def check_inductive(
                 cti = cti_from_model(program, obligation, result.model)
                 sp.set(holds=False, cti=obligation.description)
                 return InductionResult(False, cti, statistics, tuple(unknown))
+            else:
+                _ledger_record(
+                    ledger, ledger_keys.get(index), program, obligation,
+                    engine, budget, elapsed_ms,
+                )
         obs.count_engine_queries("induction", results)
         sp.set(holds=not unknown, unknowns=len(unknown))
         return InductionResult(not unknown, statistics=statistics,

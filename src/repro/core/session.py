@@ -77,6 +77,7 @@ class Session:
         initial: Sequence[Conjecture] = (),
         bmc_bound: int = 3,
         measures: Sequence[Measure] | None = None,
+        ledger=None,
     ) -> None:
         self.program = program
         self.conjectures: list[Conjecture] = list(initial)
@@ -85,11 +86,35 @@ class Session:
             raise SessionError("duplicate conjecture names in the initial set")
         self.bmc_bound = bmc_bound
         self.measures = measures
+        #: optional :class:`repro.proof.ledger.Ledger`; inductiveness
+        #: checks consult it before solving and record discharged
+        #: obligations, so a rerun of a finished session is free.
+        self.ledger = ledger
         self.cti_count = 0
         self.transcript: list[str] = []
         # One shared unroller: generalization checks at several depths reuse
         # the same transition encodings.
         self._unroller: _Unroller | None = None
+
+    @classmethod
+    def from_program(
+        cls,
+        program: Program,
+        extra: Sequence[Conjecture] = (),
+        **kwargs,
+    ) -> "Session":
+        """A session seeded from the program's named ``invariant`` decls.
+
+        Declared invariants become the initial conjecture set (in
+        declaration order), followed by any ``extra`` conjectures whose
+        names are not already taken.
+        """
+        initial: list[Conjecture] = [
+            Conjecture(inv.name, inv.formula) for inv in program.invariants
+        ]
+        names = {c.name for c in initial}
+        initial.extend(c for c in extra if c.name not in names)
+        return cls(program, initial, **kwargs)
 
     # ------------------------------------------------------------- plumbing
 
@@ -116,7 +141,10 @@ class Session:
 
     def check(self) -> InductionResult:
         """One inductiveness check of the current conjecture set."""
-        return check_inductive(self.program, self.conjectures)
+        return check_inductive(
+            self.program, self.conjectures, ledger=self.ledger,
+            engine="session",
+        )
 
     def find_cti(self) -> MinimalCTIResult:
         """A minimal CTI for the current conjecture set (Algorithm 1)."""

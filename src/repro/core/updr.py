@@ -90,6 +90,7 @@ class _Updr:
         jobs: int | None = None,
         stats: SolverStats | None = None,
         budget: Budget | None = None,
+        ledger=None,
     ):
         self.program = program
         self.max_frames = max_frames
@@ -97,6 +98,7 @@ class _Updr:
         self.jobs = jobs
         self.solver_stats = stats
         self.budget = budget
+        self.ledger = ledger
         self.axioms = program.axiom_formula
         self.safety = s.and_(wp_body_safe(program), wp_final_safe(program))
         # frames[i]: list of blocked partial structures (clauses are their
@@ -396,7 +398,10 @@ class _Updr:
             Conjecture(f"U{i}", conjecture(p))
             for i, p in enumerate(self.frames[index])
         ]
-        result = check_inductive(self.program, conjectures, budget=self.budget)
+        result = check_inductive(
+            self.program, conjectures, budget=self.budget,
+            ledger=self.ledger, engine="updr",
+        )
         if result.holds:
             return UpdrResult(
                 UpdrStatus.SAFE,
@@ -416,6 +421,7 @@ def updr(
     stats: SolverStats | None = None,
     budget: Budget | None = None,
     max_restarts: int = 2,
+    ledger=None,
 ) -> UpdrResult:
     """Run UPDR on ``program``; see the module docstring.
 
@@ -425,13 +431,18 @@ def updr(
     exhausts its budget the result is UNKNOWN with ``failure`` set.
     Conservative paths (generalization drops, clause pushes) degrade in
     place and never trigger a restart.
+
+    A ``ledger`` (:class:`repro.proof.ledger.Ledger`) is consulted by the
+    final inductiveness harvest, and the invariant UPDR converges on is
+    recorded there with ``engine="updr"`` provenance.
     """
     attempt_budget = budget
     restarts = 0
     with obs.span("updr", max_frames=max_frames) as sp:
         while True:
             engine = _Updr(
-                program, max_frames, max_obligations, jobs, stats, attempt_budget
+                program, max_frames, max_obligations, jobs, stats,
+                attempt_budget, ledger,
             )
             try:
                 with obs.span("updr.attempt", attempt=restarts):

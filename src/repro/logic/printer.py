@@ -7,9 +7,19 @@ The concrete syntax mirrors the one accepted by :mod:`repro.logic.parser`::
 Operator precedence (loosest to tightest): quantifiers, ``<->``, ``->``,
 ``|``, ``&``, ``~``, atoms.  Output of :func:`to_str` parses back to an equal
 AST, a property exercised by the round-trip tests.
+
+This module is also the **order-deterministic fingerprint path**: the
+printer walks the AST's tuples in declaration order and never iterates a
+set, so :func:`canonical_str` (and its :func:`fingerprint` digest) is
+byte-identical across interpreters regardless of ``PYTHONHASHSEED``.  The
+proven-lemma ledger (:mod:`repro.proof.ledger`) keys formulas through it,
+the same way the disk query cache relies on sorted symbol adoption in
+:meth:`repro.solver.epr.EprSolver._working_vocabulary`.
 """
 
 from __future__ import annotations
+
+import hashlib
 
 from . import syntax as s
 
@@ -90,3 +100,18 @@ def to_str(node: s.Formula | s.Term) -> str:
     if isinstance(node, (s.Var, s.App, s.Ite)):
         return term_to_str(node)
     return formula_to_str(node)
+
+
+def canonical_str(node: s.Formula | s.Term) -> str:
+    """The deterministic rendering used for content-addressed keys.
+
+    Identical to :func:`to_str` today; named separately so key producers
+    (the proven-lemma ledger, telemetry) declare their dependence on
+    hash-seed-independent output rather than on pretty-printing per se.
+    """
+    return to_str(node)
+
+
+def fingerprint(node: s.Formula | s.Term) -> str:
+    """SHA-256 of the canonical rendering, stable across interpreters."""
+    return hashlib.sha256(canonical_str(node).encode()).hexdigest()

@@ -1,0 +1,209 @@
+"""The proof-dependency DAG.
+
+A ``proof p proves i1, i2 with l1`` declaration makes ``p`` depend on
+whichever proof establishes ``l1``: that lemma is assumed in every
+pre-state of ``p``'s consecution obligations, so it must be discharged
+first.  The edges of the DAG are exactly those assumptions -- declared
+``with`` clauses plus lemma uses the engines discover at run time -- and
+scheduling is a topological layering: each *frontier* is a set of proofs
+whose prerequisites are all discharged, so its members can dispatch
+concurrently through the solver pool.
+
+Circular ``with`` assumptions are unsound (each proof would assume the
+other's conclusion), so cycles are rejected *before* any solving, with
+provenance: the diagnostic walks the cycle edge by edge and names the
+``with``-reference that closes it.  The SCC machinery is shared with the
+quantifier-alternation graph (:func:`repro.analysis.qag.tarjan_scc`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from ..analysis.diagnostics import Diagnostic, Diagnostics, Note
+from ..analysis.qag import tarjan_scc, walk_cycle
+from ..logic.lexer import Span
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (rml imports us)
+    from ..rml.ast import ProofDecl
+
+
+@dataclass(frozen=True)
+class ProofEdge:
+    """``src`` assumes ``lemma``, which is established by ``dst``."""
+
+    src: str
+    dst: str
+    lemma: str
+    kind: str = "with"  # "with" (declared) or "discovered" (engine-found)
+    span: Span | None = None
+
+    @property
+    def key(self) -> tuple:
+        """Identity up to provenance (deduplicates parallel edges)."""
+        return (self.src, self.dst, self.lemma, self.kind)
+
+    def __str__(self) -> str:
+        return f"{self.src} -> {self.dst} (lemma {self.lemma!r}, {self.kind})"
+
+
+class CycleError(Exception):
+    """Raised when a cyclic DAG is asked for a schedule."""
+
+    def __init__(self, cycles: list[tuple[ProofEdge, ...]]) -> None:
+        names = " -> ".join(
+            [cycles[0][0].src] + [edge.dst for edge in cycles[0]]
+        )
+        super().__init__(f"proof-dependency cycle: {names}")
+        self.cycles = cycles
+
+
+@dataclass(frozen=True)
+class ProofDag:
+    """Proof names plus the lemma-assumption edges between them."""
+
+    nodes: tuple[str, ...]
+    edges: tuple[ProofEdge, ...]
+
+    def with_edges(self, extra: Iterable[ProofEdge]) -> "ProofDag":
+        """A copy with engine-discovered edges appended."""
+        return ProofDag(self.nodes, self.edges + tuple(extra))
+
+    def prerequisites(self, node: str) -> tuple[str, ...]:
+        """The proofs ``node`` assumes lemmas from, in edge order."""
+        seen: dict[str, None] = {}
+        for edge in self.edges:
+            if edge.src == node and edge.dst != node:
+                seen.setdefault(edge.dst)
+        return tuple(seen)
+
+    def cycles(self) -> list[tuple[ProofEdge, ...]]:
+        """One representative edge cycle per non-trivial SCC (plus self-loops).
+
+        Deterministic: nodes and edges are visited in declaration order.
+        The last edge of each returned cycle is the one that closes it.
+        """
+        unique: dict[tuple, ProofEdge] = {}
+        for edge in self.edges:
+            unique.setdefault(edge.key, edge)
+        edges = list(unique.values())
+        adjacency: dict[str, list[ProofEdge]] = {}
+        for edge in edges:
+            adjacency.setdefault(edge.src, []).append(edge)
+        out: list[tuple[ProofEdge, ...]] = []
+        for component in tarjan_scc(self.nodes, adjacency):
+            members = set(component)
+            if len(component) == 1:
+                loops = [
+                    e
+                    for e in adjacency.get(component[0], ())
+                    if e.dst == component[0]
+                ]
+                if loops:
+                    out.append((loops[0],))
+                continue
+            cycle = walk_cycle(component[0], members, adjacency)
+            if cycle:
+                out.append(tuple(cycle))
+        return out
+
+    def frontiers(self) -> list[tuple[str, ...]]:
+        """Topological layers: each layer's proofs have no pending deps.
+
+        Layer ``k`` holds the proofs all of whose prerequisites sit in
+        layers ``< k``; members of one layer are mutually independent and
+        can be dispatched to the solver pool concurrently.  Raises
+        :class:`CycleError` on a cyclic graph.
+        """
+        cycles = self.cycles()
+        if cycles:
+            raise CycleError(cycles)
+        pending = {node: set(self.prerequisites(node)) for node in self.nodes}
+        done: set[str] = set()
+        layers: list[tuple[str, ...]] = []
+        while pending:
+            ready = tuple(
+                node for node, deps in pending.items() if deps <= done
+            )
+            layers.append(ready)
+            for node in ready:
+                del pending[node]
+            done.update(ready)
+        return layers
+
+
+def provers_of(proofs: Sequence["ProofDecl"]) -> dict[str, str]:
+    """invariant name -> name of the (first) proof establishing it."""
+    provers: dict[str, str] = {}
+    for proof in proofs:
+        for inv in proof.proves:
+            provers.setdefault(inv, proof.name)
+    return provers
+
+
+def build_dag(proofs: Sequence["ProofDecl"]) -> ProofDag:
+    """The declared DAG: one node per proof, one edge per ``with`` lemma.
+
+    A ``with``-reference to an invariant no declared proof establishes
+    contributes no edge; :func:`proof_dag_diagnostics` reports it as
+    ``RML303`` instead (such invariants fall to the implicit main proof
+    and cannot soundly be assumed).
+    """
+    provers = provers_of(proofs)
+    edges: list[ProofEdge] = []
+    for proof in proofs:
+        spans = proof.use_spans or (None,) * len(proof.uses)
+        for lemma, span in zip(proof.uses, spans):
+            dst = provers.get(lemma)
+            if dst is None:
+                continue
+            edges.append(ProofEdge(proof.name, dst, lemma, "with", span))
+    return ProofDag(tuple(p.name for p in proofs), tuple(edges))
+
+
+def cycle_diagnostics(
+    dag: ProofDag, sink: Diagnostics | None = None
+) -> tuple[Diagnostic, ...]:
+    """One sourced ``RML304`` diagnostic per dependency cycle.
+
+    The notes walk the cycle edge by edge; the final edge -- the
+    ``with``-reference that closes the cycle back to its first proof --
+    is called out explicitly so users know which assumption to cut.
+    """
+    sink = sink if sink is not None else Diagnostics()
+    for cycle in dag.cycles():
+        names = [cycle[0].src] + [edge.dst for edge in cycle]
+        notes = []
+        for edge in cycle[:-1]:
+            notes.append(
+                Note(
+                    f"proof {edge.src!r} assumes {edge.lemma!r}, "
+                    f"established by proof {edge.dst!r} ({edge.kind})",
+                    edge.span,
+                )
+            )
+        closing = cycle[-1]
+        notes.append(
+            Note(
+                f"the 'with {closing.lemma}' reference in proof "
+                f"{closing.src!r} closes the cycle back to {closing.dst!r}",
+                closing.span,
+            )
+        )
+        notes.append(
+            Note(
+                "circular 'with' assumptions are unsound: each proof would "
+                "assume a conclusion that transitively depends on its own"
+            )
+        )
+        span = next(
+            (edge.span for edge in cycle if edge.span is not None), None
+        )
+        sink.emit(
+            "RML304",
+            "proof-dependency cycle through " + " -> ".join(names),
+            span=span,
+            notes=notes,
+        )
+    return sink.items

@@ -210,6 +210,33 @@ def havocked_symbols(command: Command) -> frozenset[FuncDecl]:
     return frozenset(out)
 
 
+def without_aborts(command: Command) -> Command:
+    """``command`` with every ``abort`` replaced by ``assume false``.
+
+    Turns ``wp`` into the weakest *liberal* precondition: aborting
+    executions (failed safety asserts) are treated as infeasible instead
+    of as errors.  The proof layer checks a node's consecution against
+    this abort-free body -- whether aborts are reachable at all is the
+    separate program-wide no-abort obligation, proven with the *full*
+    invariant as premise; folding it into every node's consecution would
+    demand each node re-establish safety from its own premises alone.
+    """
+    if isinstance(command, Abort):
+        return Assume(s.FALSE, span=command.span)
+    if isinstance(command, Seq):
+        return Seq(
+            tuple(without_aborts(child) for child in command.commands),
+            span=command.span,
+        )
+    if isinstance(command, Choice):
+        return Choice(
+            tuple(without_aborts(child) for child in command.branches),
+            command.labels,
+            span=command.span,
+        )
+    return command
+
+
 def assigned_symbols(command: Command) -> frozenset[RelDecl | FuncDecl]:
     """The relation/function symbols a command may modify."""
     out: set[RelDecl | FuncDecl] = set()
@@ -236,6 +263,51 @@ class Axiom:
 
 
 @dataclass(frozen=True)
+class Invariant:
+    """A named universal invariant declaration (``invariant n: phi``).
+
+    Unlike ``safety`` declarations, invariants add no assertion to the
+    loop body; they are conjectures the proof layer (:mod:`repro.proof`)
+    discharges, names and all, so reruns can skip already-proven ones.
+    """
+
+    name: str
+    formula: s.Formula
+    span: Span | None = _span_field()
+
+    def __str__(self) -> str:
+        return f"invariant {self.name}: {self.formula}"
+
+
+@dataclass(frozen=True)
+class ProofDecl:
+    """``proof p proves i1, i2 [with l1, l2]``.
+
+    The proof obligates the invariants in ``proves`` (checked by mutual
+    induction among themselves), assuming the previously proven lemmas in
+    ``uses`` in every pre-state.  ``prove_spans``/``use_spans`` parallel
+    the name tuples so diagnostics can point at the exact reference.
+    """
+
+    name: str
+    proves: tuple[str, ...]
+    uses: tuple[str, ...] = ()
+    span: Span | None = _span_field()
+    prove_spans: tuple[Span | None, ...] = field(
+        default=(), compare=False, repr=False
+    )
+    use_spans: tuple[Span | None, ...] = field(
+        default=(), compare=False, repr=False
+    )
+
+    def __str__(self) -> str:
+        text = f"proof {self.name} proves {', '.join(self.proves)}"
+        if self.uses:
+            text += f" with {', '.join(self.uses)}"
+        return text
+
+
+@dataclass(frozen=True)
 class Program:
     """An RML program: ``decls; init; while * do body; final``.
 
@@ -250,6 +322,11 @@ class Program:
     init: Command = field(default_factory=Skip)
     body: Command = field(default_factory=Skip)
     final: Command = field(default_factory=Skip)
+    #: Named invariant conjectures and the proof declarations that
+    #: discharge them (the proof-management surface syntax); empty for
+    #: programs that predate or do not use the proof layer.
+    invariants: tuple[Invariant, ...] = ()
+    proofs: tuple[ProofDecl, ...] = ()
     #: Source spans of the surface-syntax declarations (sort/relation/
     #: function names), recorded by :func:`repro.rml.parser.parse_program`
     #: so lint rules can point "unused symbol" diagnostics at the
@@ -266,6 +343,12 @@ class Program:
                 return axiom
         raise KeyError(f"no axiom named {name!r}")
 
+    def invariant_named(self, name: str) -> Invariant:
+        for invariant in self.invariants:
+            if invariant.name == name:
+                return invariant
+        raise KeyError(f"no invariant named {name!r}")
+
     def without_axiom(self, name: str) -> "Program":
         """A copy lacking one axiom (used to reproduce the Figure 4 bug)."""
         self.axiom_named(name)
@@ -276,6 +359,8 @@ class Program:
             init=self.init,
             body=self.body,
             final=self.final,
+            invariants=self.invariants,
+            proofs=self.proofs,
             decl_spans=self.decl_spans,
         )
 

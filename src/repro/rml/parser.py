@@ -59,7 +59,9 @@ from .ast import (
     Axiom,
     Command,
     Havoc,
+    Invariant,
     Program,
+    ProofDecl,
     Skip,
     UpdateFunc,
     UpdateRel,
@@ -88,6 +90,8 @@ class _ProgramParser:
         self.functions: list[FuncDecl] = []
         self.axioms: list[Axiom] = []
         self.safeties: list[tuple[str, s.Formula, Span]] = []
+        self.invariants: list[Invariant] = []
+        self.proofs: list[ProofDecl] = []
         self.decl_spans: dict[str, Span] = {}
         self.init_command: Command = Skip()
         self.final_command: Command = Skip()
@@ -190,6 +194,16 @@ class _ProgramParser:
                 ident = stream.expect_ident("safety name")
                 stream.expect(":")
                 self.safeties.append((ident.text, self._formula(), ident.span))
+            elif word == "invariant":
+                stream.advance()
+                ident = stream.expect_ident("invariant name")
+                stream.expect(":")
+                self.invariants.append(
+                    Invariant(ident.text, self._formula(), span=ident.span)
+                )
+            elif word == "proof":
+                stream.advance()
+                self.proofs.append(self._proof_decl())
             elif word == "init":
                 stream.advance()
                 self.init_command = self._block()
@@ -203,6 +217,40 @@ class _ProgramParser:
             else:
                 raise ParseError(f"unexpected declaration {token}", token)
         return self._build(check=self.check)
+
+    def _proof_decl(self) -> ProofDecl:
+        """``proof <name> proves <inv, ...> [with <lemma, ...>]``."""
+        stream = self.stream
+        ident = stream.expect_ident("proof name")
+        keyword = stream.expect_ident("'proves'")
+        if keyword.text != "proves":
+            raise ParseError("expected 'proves' after proof name", keyword)
+        proves, prove_spans = self._name_list("invariant name")
+        uses: list[str] = []
+        use_spans: list[Span | None] = []
+        if stream.at_ident() and stream.current.text == "with":
+            stream.advance()
+            uses, use_spans = self._name_list("lemma name")
+        return ProofDecl(
+            ident.text,
+            tuple(proves),
+            tuple(uses),
+            span=ident.span,
+            prove_spans=tuple(prove_spans),
+            use_spans=tuple(use_spans),
+        )
+
+    def _name_list(self, what: str) -> tuple[list[str], list[Span | None]]:
+        names: list[str] = []
+        spans: list[Span | None] = []
+        token = self.stream.expect_ident(what)
+        names.append(token.text)
+        spans.append(token.span)
+        while self.stream.accept(","):
+            token = self.stream.expect_ident(what)
+            names.append(token.text)
+            spans.append(token.span)
+        return names, spans
 
     def _build(self, check: bool = True) -> Program:
         asserts = []
@@ -228,6 +276,8 @@ class _ProgramParser:
             init=self.init_command,
             body=body,
             final=self.final_command,
+            invariants=tuple(self.invariants),
+            proofs=tuple(self.proofs),
             decl_spans=dict(self.decl_spans),
         )
         if check:

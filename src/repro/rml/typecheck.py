@@ -25,9 +25,9 @@ raise-on-first-error API is preserved by the thin wrappers
 
 from __future__ import annotations
 
-from ..analysis.diagnostics import Diagnostic, Diagnostics, Severity
+from ..analysis.diagnostics import Diagnostic, Diagnostics, Note, Severity
 from ..logic import syntax as s
-from ..logic.fragments import is_exists_forall, is_quantifier_free
+from ..logic.fragments import is_exists_forall, is_quantifier_free, is_universal
 from ..logic.lexer import Span
 from ..logic.sorts import StratificationError, Vocabulary
 from .ast import (
@@ -79,7 +79,88 @@ def program_diagnostics(program: Program) -> tuple[Diagnostic, ...]:
         ("final", program.final),
     ):
         command_diagnostics(command, program.vocab, f"{program.name}.{label}", sink)
+    _proof_diagnostics(program, sink)
     return sink.items
+
+
+def _proof_diagnostics(program: Program, sink: Diagnostics) -> None:
+    """Check the proof-management declarations (codes ``RML301``-``RML305``).
+
+    Name resolution and formula-shape checks live here; the dependency
+    cycle check is delegated to :mod:`repro.proof.dag` (imported lazily --
+    the proof layer sits above ``rml`` in the package hierarchy).
+    """
+    from ..proof.dag import build_dag, cycle_diagnostics, provers_of
+
+    invariant_spans: dict[str, Span | None] = {}
+    for invariant in program.invariants:
+        where = f"invariant {invariant.name!r}"
+        span = invariant.span or s.span_of(invariant.formula)
+        if invariant.name in invariant_spans:
+            sink.emit(
+                "RML302",
+                f"duplicate {where}",
+                span=span,
+                notes=[Note("first declared here", invariant_spans[invariant.name])],
+            )
+        else:
+            invariant_spans[invariant.name] = span
+        if s.free_vars(invariant.formula):
+            sink.emit("RML305", f"{where} is not closed", span=span)
+        elif not is_universal(invariant.formula):
+            sink.emit(
+                "RML305",
+                f"{where} is not a universal (forall*) formula",
+                span=span,
+            )
+        _symbol_diagnostics(invariant.formula, program.vocab, where, span, sink)
+
+    proof_spans: dict[str, Span | None] = {}
+    for proof in program.proofs:
+        if proof.name in proof_spans:
+            sink.emit(
+                "RML302",
+                f"duplicate proof {proof.name!r}",
+                span=proof.span,
+                notes=[Note("first declared here", proof_spans[proof.name])],
+            )
+        else:
+            proof_spans[proof.name] = proof.span
+
+    provers = provers_of(program.proofs)
+    for proof in program.proofs:
+        prove_spans = proof.prove_spans or (None,) * len(proof.proves)
+        for name, span in zip(proof.proves, prove_spans):
+            if name not in invariant_spans:
+                sink.emit(
+                    "RML301",
+                    f"proof {proof.name!r} proves unknown invariant {name!r}",
+                    span=span or proof.span,
+                )
+        use_spans = proof.use_spans or (None,) * len(proof.uses)
+        for name, span in zip(proof.uses, use_spans):
+            if name not in invariant_spans:
+                sink.emit(
+                    "RML301",
+                    f"proof {proof.name!r} uses unknown invariant {name!r}",
+                    span=span or proof.span,
+                )
+            elif name not in provers:
+                sink.emit(
+                    "RML303",
+                    f"proof {proof.name!r} uses invariant {name!r}, "
+                    "which no proof establishes",
+                    span=span or proof.span,
+                    notes=[
+                        Note(
+                            "an invariant without a 'proof ... proves' "
+                            "declaration is checked by the implicit main "
+                            "proof and cannot be assumed as a lemma",
+                            invariant_spans.get(name),
+                        )
+                    ],
+                )
+    cycle_diagnostics(build_dag(program.proofs), sink)
 
 
 def command_diagnostics(

@@ -1,0 +1,200 @@
+"""The proof-dependency DAG: scheduling, cycle rejection, diagnostics."""
+
+import pytest
+
+from repro.analysis.diagnostics import Diagnostics, Severity
+from repro.proof.dag import (
+    CycleError,
+    ProofDag,
+    ProofEdge,
+    build_dag,
+    cycle_diagnostics,
+    provers_of,
+)
+from repro.rml.ast import ProofDecl
+from repro.rml.parser import parse_program
+from repro.rml.typecheck import program_diagnostics
+
+
+def decl(name, proves, uses=()):
+    return ProofDecl(name, tuple(proves), tuple(uses))
+
+
+# ------------------------------------------------------------------ scheduling
+
+
+def test_diamond_frontiers():
+    """a <- b, a <- c, {b, c} <- d layers as [a], [b, c], [d]."""
+    dag = build_dag(
+        [
+            decl("a", ["i_a"]),
+            decl("b", ["i_b"], ["i_a"]),
+            decl("c", ["i_c"], ["i_a"]),
+            decl("d", ["i_d"], ["i_b", "i_c"]),
+        ]
+    )
+    assert dag.frontiers() == [("a",), ("b", "c"), ("d",)]
+    assert dag.prerequisites("d") == ("b", "c")
+    assert dag.prerequisites("a") == ()
+
+
+def test_independent_proofs_share_one_frontier():
+    dag = build_dag([decl("p", ["x"]), decl("q", ["y"]), decl("r", ["z"])])
+    assert dag.frontiers() == [("p", "q", "r")]
+
+
+def test_provers_of_first_declaration_wins():
+    provers = provers_of([decl("p", ["x", "y"]), decl("q", ["y", "z"])])
+    assert provers == {"x": "p", "y": "p", "z": "q"}
+
+
+def test_unknown_lemma_contributes_no_edge():
+    """RML303's job, not the scheduler's: the edge is simply absent."""
+    dag = build_dag([decl("p", ["x"], ["ghost"])])
+    assert dag.edges == ()
+    assert dag.frontiers() == [("p",)]
+
+
+def test_discovered_edges_reschedule():
+    dag = build_dag([decl("p", ["x"]), decl("q", ["y"])])
+    assert dag.frontiers() == [("p", "q")]
+    extended = dag.with_edges(
+        [ProofEdge("q", "p", "x", kind="discovered")]
+    )
+    assert extended.frontiers() == [("p",), ("q",)]
+
+
+# --------------------------------------------------------------------- cycles
+
+
+def test_two_proof_cycle_detected_with_closing_edge():
+    dag = build_dag(
+        [decl("p1", ["i1"], ["i2"]), decl("p2", ["i2"], ["i1"])]
+    )
+    cycles = dag.cycles()
+    assert len(cycles) == 1
+    (cycle,) = cycles
+    # The walk returns to its start; the LAST edge closes the cycle.
+    assert cycle[0].src == cycle[-1].dst
+    assert {edge.src for edge in cycle} == {"p1", "p2"}
+    with pytest.raises(CycleError, match="proof-dependency cycle"):
+        dag.frontiers()
+
+
+def test_self_loop_is_a_cycle():
+    dag = build_dag([decl("p", ["i"], ["i"])])
+    cycles = dag.cycles()
+    assert len(cycles) == 1
+    assert cycles[0][0].src == cycles[0][0].dst == "p"
+    with pytest.raises(CycleError):
+        dag.frontiers()
+
+
+def test_parallel_with_references_deduplicate():
+    """Duplicate `with` lemmas yield one edge in cycle provenance."""
+    dag = build_dag([decl("p", ["i"], ["j", "j"]), decl("q", ["j"], ["i"])])
+    cycles = dag.cycles()
+    assert len(cycles) == 1
+    assert len(cycles[0]) == 2
+
+
+def test_cycle_diagnostics_name_every_edge_and_the_closer():
+    dag = build_dag(
+        [
+            decl("p1", ["i1"], ["i2"]),
+            decl("p2", ["i2"], ["i3"]),
+            decl("p3", ["i3"], ["i1"]),
+        ]
+    )
+    diagnostics = cycle_diagnostics(dag)
+    assert len(diagnostics) == 1
+    (diagnostic,) = diagnostics
+    assert diagnostic.code == "RML304"
+    assert diagnostic.severity is Severity.ERROR
+    assert "p1 -> p2 -> p3 -> p1" in diagnostic.message
+    notes = [note.message for note in diagnostic.notes]
+    # One note per non-closing edge, one naming the closer, one rationale.
+    assert len(notes) == 4
+    assert "closes the cycle back to" in notes[2]
+    assert "unsound" in notes[3]
+
+
+def test_acyclic_dag_has_no_diagnostics():
+    dag = build_dag([decl("a", ["x"]), decl("b", ["y"], ["x"])])
+    assert cycle_diagnostics(dag) == ()
+
+
+# ----------------------------------------------------- surface-level diagnostics
+
+CYCLE_SOURCE = """
+program cyc
+
+sort t
+
+relation r : t
+
+init {
+    assume forall X:t. ~r(X);
+}
+
+invariant a: forall X:t. ~r(X)
+invariant b: forall X:t. ~r(X)
+
+proof pa proves a with b
+proof pb proves b with a
+
+action noop {
+    assume true;
+}
+"""
+
+
+def codes_of(source):
+    program = parse_program(source, check=False)
+    return [d.code for d in program_diagnostics(program)]
+
+
+def test_with_cycle_rejected_by_typecheck_with_spans():
+    program = parse_program(CYCLE_SOURCE, check=False)
+    diagnostics = [
+        d for d in program_diagnostics(program) if d.code == "RML304"
+    ]
+    assert len(diagnostics) == 1
+    assert diagnostics[0].span is not None  # sourced, not synthetic
+    closing = [
+        n for n in diagnostics[0].notes if "closes the cycle" in n.message
+    ]
+    assert len(closing) == 1 and closing[0].span is not None
+
+
+def test_unknown_proof_reference_is_rml301():
+    source = CYCLE_SOURCE.replace(
+        "proof pa proves a with b\nproof pb proves b with a",
+        "proof pa proves ghost",
+    )
+    assert "RML301" in codes_of(source)
+
+
+def test_with_reference_to_mainline_invariant_is_rml303():
+    source = CYCLE_SOURCE.replace(
+        "proof pa proves a with b\nproof pb proves b with a",
+        "proof pa proves a with b",
+    )
+    # b exists but no declared proof establishes it (implicit main does).
+    assert "RML303" in codes_of(source)
+
+
+def test_duplicate_invariant_name_is_rml302():
+    source = CYCLE_SOURCE.replace(
+        "invariant b: forall X:t. ~r(X)",
+        "invariant a: forall X:t. ~r(X)",
+    ).replace("proof pa proves a with b\nproof pb proves b with a", "")
+    assert "RML302" in codes_of(source)
+
+
+def test_non_universal_invariant_is_rml305():
+    source = CYCLE_SOURCE.replace(
+        "invariant b: forall X:t. ~r(X)",
+        "invariant b: exists X:t. r(X)",
+    ).replace("proof pa proves a with b\nproof pb proves b with a", "")
+    assert "RML305" in codes_of(source)
