@@ -48,6 +48,18 @@ from .core.policy import OraclePolicy
 from .core.session import Session
 from .logic import parse_formula
 from .protocols import ALL_PROTOCOLS
+from .recovery import (
+    EXIT_RESUMABLE,
+    Interrupted,
+    Journal,
+    active_journal,
+    default_run_dir,
+    install_handlers,
+    load_meta,
+    set_active_journal,
+    write_meta,
+)
+from .recovery.journal import JOURNAL_NAME
 from .solver.budget import Budget, resolve_budget
 from .solver.cache import query_cache
 from .solver.stats import SolverStats
@@ -97,6 +109,48 @@ def _budget_of(args: argparse.Namespace) -> Budget | None:
         conflicts=getattr(args, "conflict_budget", None),
         rss_mb=getattr(args, "memory_mb", None),
     )
+
+
+def _open_journal(
+    args: argparse.Namespace, argv: list[str]
+) -> tuple[Journal | None, str | None]:
+    """Open this run's write-ahead journal, honoring the recovery flags.
+
+    Returns ``(journal, run_dir)`` -- both None for subcommands without
+    recovery options or when journaling is off.  Journaling turns on with
+    ``--run-dir``, ``--resume``, or ``REPRO_JOURNAL=1``; the run
+    directory defaults to the deterministic
+    :func:`~repro.recovery.resume.default_run_dir`, so a bare
+    ``--resume`` lands on the directory the killed run wrote to.  The
+    journal is registered as the process-wide active journal (flushed by
+    the signal path) and closed by :func:`main`'s teardown.
+    """
+    if not hasattr(args, "resume"):
+        return None, None
+    target = (
+        getattr(args, "protocol", None)
+        or getattr(args, "target", None)
+        or getattr(args, "file", None)
+        or ""
+    )
+    enabled = bool(
+        args.run_dir
+        or args.resume
+        or os.environ.get("REPRO_JOURNAL", "").strip() in ("1", "true", "yes")
+    )
+    if not enabled:
+        return None, None
+    run_dir = args.run_dir or default_run_dir(args.command, target)
+    path = os.path.join(run_dir, JOURNAL_NAME)
+    if args.resume and os.path.exists(path):
+        journal = Journal.resume(path)
+    else:
+        journal = Journal.fresh(
+            path, {"command": args.command, "target": target}
+        )
+    write_meta(run_dir, args.command, argv, target)
+    set_active_journal(journal)
+    return journal, run_dir
 
 
 def _report_unknown(result: BoundedResult, bound: int) -> None:
@@ -173,7 +227,8 @@ def cmd_bmc(args: argparse.Namespace) -> int:
     budget = _budget_of(args)
     start = time.time()
     result = find_error_trace(
-        program, args.bound, jobs=args.jobs, stats=stats, budget=budget
+        program, args.bound, jobs=args.jobs, stats=stats, budget=budget,
+        journal=active_journal(),
     )
     elapsed = time.time() - start
     if result.holds:
@@ -204,7 +259,7 @@ def cmd_check(args: argparse.Namespace) -> int:
     start = time.time()
     result = check_inductive(
         bundle.program, list(bundle.invariant), jobs=args.jobs, stats=stats,
-        budget=budget,
+        budget=budget, journal=active_journal(),
     )
     elapsed = time.time() - start
     inconclusive = result.unknown_obligations and result.cti is None
@@ -290,7 +345,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     stats = _stats_of(args)
     budget = _budget_of(args)
     result = find_error_trace(
-        program, args.bound, jobs=args.jobs, stats=stats, budget=budget
+        program, args.bound, jobs=args.jobs, stats=stats, budget=budget,
+        journal=active_journal(),
     )
     if result.trace is not None:
         print(f"assertion violation at depth {result.depth}:")
@@ -304,7 +360,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
     print(f"no assertion violation within {args.bound} iterations")
     if conjectures:
         check = check_inductive(
-            program, conjectures, jobs=args.jobs, stats=stats, budget=budget
+            program, conjectures, jobs=args.jobs, stats=stats, budget=budget,
+            journal=active_journal(),
         )
         if check.unknown_obligations and check.cti is None:
             print(f"conjunction of {len(conjectures)} conjectures inductive: "
@@ -464,7 +521,8 @@ def cmd_prove(args: argparse.Namespace) -> int:
     budget = _budget_of(args)
     start = time.time()
     report = prove(
-        plan, jobs=args.jobs, stats=stats, budget=budget, ledger=ledger
+        plan, jobs=args.jobs, stats=stats, budget=budget, ledger=ledger,
+        journal=active_journal(),
     )
     elapsed = time.time() - start
     if args.format == "json":
@@ -573,6 +631,23 @@ def cmd_status(args: argparse.Namespace) -> int:
     return 0 if all(row.state == "proven" for row in rows) else 1
 
 
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Re-invoke the command recorded in a run directory, resuming it."""
+    meta = load_meta(args.run_dir)
+    if meta is None:
+        print(
+            f"{args.run_dir}: no readable meta.json -- not a run directory "
+            "(or written by an incompatible version)",
+            file=sys.stderr,
+        )
+        return EXIT_UNKNOWN
+    argv = list(meta.argv)
+    if "--resume" not in argv:
+        argv.append("--resume")
+    print(f"resuming: repro {' '.join(argv)}", file=sys.stderr)
+    return main(argv)
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     try:
         events = obs.load_trace(args.trace_file)
@@ -666,6 +741,17 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument(
             "--no-cache", action="store_true",
             help="disable query-result caching entirely (REPRO_CACHE=0)",
+        )
+        subparser.add_argument(
+            "--run-dir", default=None, metavar="DIR",
+            help="run directory for the write-ahead journal; implies "
+                 "journaling (default: a deterministic directory under "
+                 "REPRO_RUNS_DIR or .repro-runs when journaling is on)",
+        )
+        subparser.add_argument(
+            "--resume", action="store_true",
+            help="replay the run directory's journal, skipping work the "
+                 "killed run already completed",
         )
 
     bmc = commands.add_parser("bmc", help="bounded debugging (Section 4.1)")
@@ -775,6 +861,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument("trace_file", metavar="TRACE")
     report.set_defaults(func=cmd_report)
+
+    resume = commands.add_parser(
+        "resume", help="resume a killed run from its run directory"
+    )
+    resume.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="run directory holding the journal and meta.json "
+             "(see ls .repro-runs)",
+    )
+    resume.set_defaults(func=cmd_resume)
     return parser
 
 
@@ -812,11 +908,21 @@ def _install_obs(args: argparse.Namespace, argv: list[str]):
 
 
 def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    SIGINT/SIGTERM are translated into a resumable exit: the write-ahead
+    journal (when one is active) is flushed and closed, the worker pool
+    is shut down so no children outlive the run, and the process exits
+    with :data:`~repro.recovery.EXIT_RESUMABLE` (75) plus a hint naming
+    the ``repro resume`` command that picks the run back up.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     _apply_cache_flags(args)
-    teardown = _install_obs(args, list(argv) if argv is not None else sys.argv[1:])
+    teardown = _install_obs(args, raw_argv)
+    restore_signals = install_handlers()
+    journal, run_dir = _open_journal(args, raw_argv)
     try:
         if not obs.enabled():
             return args.func(args)
@@ -828,6 +934,7 @@ def main(argv: list[str] | None = None) -> int:
                 ("file", getattr(args, "file", None)),
                 ("bound", getattr(args, "bound", None)),
                 ("jobs", getattr(args, "jobs", None)),
+                ("resume", getattr(args, "resume", None) or None),
             )
             if value is not None
         }
@@ -835,7 +942,24 @@ def main(argv: list[str] | None = None) -> int:
             code = args.func(args)
             sp.set(exit_code=code)
             return code
+    except Interrupted as stop:
+        from .solver.dispatch import shutdown_pool
+
+        shutdown_pool()
+        print(f"\ninterrupted ({stop})", file=sys.stderr)
+        if run_dir is not None:
+            print(
+                f"resume with: python -m repro resume {run_dir}",
+                file=sys.stderr,
+            )
+        return EXIT_RESUMABLE
     finally:
+        if journal is not None:
+            obs.set_gauge("resume_reused_ratio", journal.reused_ratio())
+            journal.close()
+            if active_journal() is journal:
+                set_active_journal(None)
+        restore_signals()
         teardown()
 
 

@@ -130,6 +130,26 @@ class _Unroller:
         return "step"
 
 
+def _replayed_unsat() -> EprResult:
+    """A synthetic conclusive-unsat result standing in for journaled work."""
+    return EprResult(False, statistics={"journal_hits": 1})
+
+
+def _invariance_keys(program: Program, phi: s.Formula, k: int, journal) -> dict:
+    """Journal keys for every depth of one k-invariance check."""
+    if journal is None:
+        return {}
+    from ..logic.printer import fingerprint
+    from ..proof.ledger import program_fingerprint
+
+    program_hash = program_fingerprint(program)
+    phi_hash = fingerprint(phi)
+    return {
+        depth: f"{program_hash}:kinv:{phi_hash}:{depth}"
+        for depth in range(k + 1)
+    }
+
+
 def check_k_invariance(
     program: Program,
     phi: s.Formula,
@@ -138,6 +158,7 @@ def check_k_invariance(
     jobs: int | None = None,
     stats: SolverStats | None = None,
     budget: Budget | None = None,
+    journal=None,
 ) -> BoundedResult:
     """Decide Eq. 3: does ``phi`` hold at the loop head for all j <= k?
 
@@ -155,6 +176,11 @@ def check_k_invariance(
     real regardless of unanswered siblings); otherwise the result reports
     "safe up to ``verified_depth``" with the unanswered depths and their
     failure reasons.
+
+    With a ``journal``, each depth conclusively refuted is recorded, and
+    a resumed run answers recorded depths without building a solver.
+    Only *unsat* is journaled: a violation needs its model re-solved for
+    the trace, and unknowns must be retried.
     """
     if s.free_vars(phi):
         raise ValueError(f"k-invariance needs a closed formula, got: {phi}")
@@ -162,20 +188,38 @@ def check_k_invariance(
         raise ValueError(f"k-invariance needs a forall*exists* formula, got: {phi}")
     unroller = unroller or _Unroller(program, budget)
     statistics: dict[str, int] = {}
+    keys = _invariance_keys(program, phi, k, journal)
     with obs.span("bmc", kind="invariance", bound=k) as sp:
-        if resolve_jobs(jobs) > 1 and k > 0:
-            queries = []
+        replayed: dict[int, EprResult] = {}
+        if journal is not None:
             for depth in range(k + 1):
+                data = journal.replay("bmc.depth", keys[depth])
+                if data is not None and data.get("verdict") == "unsat":
+                    replayed[depth] = _replayed_unsat()
+        if resolve_jobs(jobs) > 1 and k > 0:
+            depths = [d for d in range(k + 1) if d not in replayed]
+            queries = []
+            for depth in depths:
                 solver = unroller.solver_at(depth)
                 goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
                 solver.add(goal, name="goal")
                 queries.append(query_of(solver, name=f"depth{depth}"))
             with obs.span("bmc.dispatch", queries=len(queries)):
                 batches = solve_queries(queries, jobs=jobs, stats=stats)
-            results = [result for (result,) in batches]
+            solved = dict(zip(depths, (result for (result,) in batches)))
+            if journal is not None:
+                for depth in depths:
+                    if solved[depth].is_unsat:
+                        journal.append("bmc.depth", keys[depth], verdict="unsat")
+            results = [
+                replayed.get(depth, solved.get(depth)) for depth in range(k + 1)
+            ]
         else:
             results = []
             for depth in range(k + 1):
+                if depth in replayed:
+                    results.append(replayed[depth])
+                    continue
                 solver = unroller.solver_at(depth)
                 goal = unroller.encoder._rename(s.not_(phi), unroller.envs[depth])
                 solver.add(goal, name="goal")
@@ -183,10 +227,12 @@ def check_k_invariance(
                     result = solver.check()
                     depth_span.set(verdict=result.verdict)
                 _record(stats, result)
+                if journal is not None and result.is_unsat:
+                    journal.append("bmc.depth", keys[depth], verdict="unsat")
                 results.append(result)
                 if result.satisfiable:
                     break
-        _engine_metrics("bmc", results)
+        _engine_metrics("bmc", [r for r in results if r is not None])
         failures: list[tuple[int, FailureReason]] = []
         for depth, result in enumerate(results):
             _accumulate(statistics, result.statistics)
@@ -213,6 +259,7 @@ def find_error_trace(
     jobs: int | None = None,
     stats: SolverStats | None = None,
     budget: Budget | None = None,
+    journal=None,
 ) -> BoundedResult:
     """Search for an assertion violation within ``k`` loop iterations.
 
@@ -222,44 +269,87 @@ def find_error_trace(
     probes are independent and are fanned out like
     :func:`check_k_invariance` when ``jobs > 1``.  Probes that exhaust the
     ``budget`` degrade to UNKNOWN; see :class:`BoundedResult`.
+
+    With a ``journal``, conclusively refuted probes are recorded as they
+    complete and replayed on resume without building their solvers; a sat
+    probe is never journaled (its model -- the error trace -- is not
+    persisted, so it must be re-solved), which keeps the resumed verdict
+    identical.
     """
     unroller = _Unroller(program, budget)
     statistics: dict[str, int] = {}
+    program_hash = ""
+    if journal is not None:
+        from ..proof.ledger import program_fingerprint
+
+        program_hash = program_fingerprint(program)
     with obs.span("bmc", kind="error-trace", bound=k) as sp:
-        probes: list[tuple[int, EprSolver]] = []
+        probes: list[tuple[int, EprSolver | None, str]] = []
+        replayed: dict[int, EprResult] = {}
         for depth in range(k + 1):
             unroller.extend_to(depth)
             env = unroller.envs[depth]
             for command, label in ((program.body, "body"), (program.final, "final")):
+                # encode_step runs even for replayed probes: it advances
+                # the encoder's symbol minting, keeping later probes'
+                # encodings identical to the killed run's.
                 abort = unroller.encoder.encode_step(
                     command, env, f"abort{depth}_{label}"
                 ).abort_formula
                 if abort == s.FALSE:
                     continue
+                key = f"{program_hash}:abort:{depth}:{label}"
+                if journal is not None:
+                    data = journal.replay("bmc.probe", key)
+                    if data is not None and data.get("verdict") == "unsat":
+                        replayed[len(probes)] = _replayed_unsat()
+                        probes.append((depth, None, key))
+                        continue
                 solver = unroller.solver_at(depth)
                 solver.add(abort, name="abort")
-                probes.append((depth, solver))
-        if resolve_jobs(jobs) > 1 and len(probes) > 1:
+                probes.append((depth, solver, key))
+        if resolve_jobs(jobs) > 1 and len(probes) - len(replayed) > 1:
+            live = [
+                (index, solver)
+                for index, (_, solver, _) in enumerate(probes)
+                if solver is not None
+            ]
             queries = [
-                query_of(solver, name=f"abort{index}")
-                for index, (_, solver) in enumerate(probes)
+                query_of(solver, name=f"abort{index}") for index, solver in live
             ]
             with obs.span("bmc.dispatch", queries=len(queries)):
                 batches = solve_queries(queries, jobs=jobs, stats=stats)
-            results = [result for (result,) in batches]
+            solved = dict(
+                zip((index for index, _ in live), (result for (result,) in batches))
+            )
+            if journal is not None:
+                for index, _ in live:
+                    if solved[index].is_unsat:
+                        journal.append(
+                            "bmc.probe", probes[index][2], verdict="unsat"
+                        )
+            results = [
+                replayed.get(index, solved.get(index))
+                for index in range(len(probes))
+            ]
         else:
             results = []
-            for depth, solver in probes:
+            for index, (depth, solver, key) in enumerate(probes):
+                if solver is None:
+                    results.append(replayed[index])
+                    continue
                 with obs.span("bmc.probe", depth=depth) as probe_span:
                     result = solver.check()
                     probe_span.set(verdict=result.verdict)
                 _record(stats, result)
+                if journal is not None and result.is_unsat:
+                    journal.append("bmc.probe", key, verdict="unsat")
                 results.append(result)
                 if result.satisfiable:
                     break
         _engine_metrics("bmc", results)
         failures: list[tuple[int, FailureReason]] = []
-        for (depth, _), result in zip(probes, results):
+        for (depth, _, _), result in zip(probes, results):
             _accumulate(statistics, result.statistics)
             if result.satisfiable:
                 trace = unroller.trace_from(result, depth, aborted=True)

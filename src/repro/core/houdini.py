@@ -23,11 +23,13 @@ one grounding per Houdini round instead of one per candidate.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Sequence
 
 from .. import obs
 from ..logic import syntax as s
+from ..logic.printer import canonical_str
 from ..rml.ast import Program
 from ..rml.wp import wp
 from ..solver.budget import Budget
@@ -144,6 +146,25 @@ def _batched_failures(
     return failing, unknown
 
 
+def pool_fingerprint(program: Program, candidates: Sequence[Conjecture]) -> str:
+    """The journal key of one Houdini run: program + candidate pool.
+
+    Order-insensitive in the pool (sorted by name) and deterministic
+    across interpreter processes -- the same discipline as the ledger's
+    fingerprints, which is what makes a resumed run's replay keys line up
+    with the killed run's records.
+    """
+    from ..proof.ledger import program_fingerprint
+
+    hasher = hashlib.sha256()
+    hasher.update(program_fingerprint(program).encode())
+    for candidate in sorted(candidates, key=lambda c: c.name):
+        hasher.update(
+            f"{candidate.name}|{canonical_str(candidate.formula)}\n".encode()
+        )
+    return hasher.hexdigest()
+
+
 def houdini(
     program: Program,
     candidates: Sequence[Conjecture],
@@ -152,6 +173,7 @@ def houdini(
     stats: SolverStats | None = None,
     budget: Budget | None = None,
     ledger=None,
+    journal=None,
 ) -> HoudiniResult:
     """Compute the strongest inductive subset of ``candidates``.
 
@@ -167,8 +189,19 @@ def houdini(
     freshly converged fixpoint records its surviving set's obligations.
     Intermediate rounds are not ledgered: their premise sets are
     transient, so their keys would never be consulted again.
+
+    With a ``journal`` (:class:`repro.recovery.journal.Journal`), each
+    completed phase -- initiation, then every consecution round -- is
+    recorded after its batch concludes, and replayed rounds are skipped
+    without building a solver.  The surviving set is a pure function of
+    the drop history, so replaying the per-round drop sets reconstructs
+    the exact engine state; a run killed in round *k* resumes by
+    replaying rounds ``1..k-1`` and re-solving only round *k*.
     """
     statistics: dict[str, int] = {}
+    journal_key = (
+        pool_fingerprint(program, candidates) if journal is not None else ""
+    )
     with obs.span("houdini", candidates=len(candidates)) as sp:
         if ledger is not None and ledger_proven(program, candidates, ledger):
             sp.set(rounds=0, invariant=len(candidates), ledger_skip=True)
@@ -176,11 +209,30 @@ def houdini(
             return HoudiniResult(
                 tuple(candidates), (), (), 0, statistics, ()
             )
-        with obs.span("houdini.initiation", candidates=len(candidates)):
-            failing_init, unknown_init = _batched_failures(
-                program, candidates, program.init, s.TRUE, statistics, jobs,
-                stats, budget,
+        replayed = (
+            journal.replay("houdini.init", journal_key)
+            if journal is not None
+            else None
+        )
+        if replayed is not None:
+            failing_init = set(replayed["failing"])
+            unknown_init = set(replayed["unknown"])
+            statistics["journal_hits"] = (
+                statistics.get("journal_hits", 0) + len(candidates)
             )
+        else:
+            with obs.span("houdini.initiation", candidates=len(candidates)):
+                failing_init, unknown_init = _batched_failures(
+                    program, candidates, program.init, s.TRUE, statistics,
+                    jobs, stats, budget,
+                )
+            if journal is not None:
+                journal.append(
+                    "houdini.init",
+                    journal_key,
+                    failing=sorted(failing_init),
+                    unknown=sorted(unknown_init),
+                )
         dropped_unknown: list[str] = sorted(unknown_init)
         surviving = [
             c for c in candidates
@@ -192,15 +244,34 @@ def houdini(
             rounds += 1
             if rounds > max_rounds:
                 raise RuntimeError("houdini failed to converge")
-            invariant = s.and_(*(c.formula for c in surviving))
-            with obs.span(
-                "houdini.round", round=rounds, surviving=len(surviving)
-            ) as round_span:
-                failing, unknown = _batched_failures(
-                    program, surviving, program.body, invariant, statistics,
-                    jobs, stats, budget,
+            replayed = (
+                journal.replay("houdini.round", f"{journal_key}:{rounds}")
+                if journal is not None
+                else None
+            )
+            if replayed is not None:
+                failing = set(replayed["failing"])
+                unknown = set(replayed["unknown"])
+                statistics["journal_hits"] = (
+                    statistics.get("journal_hits", 0) + len(surviving)
                 )
-                round_span.set(failing=len(failing), unknown=len(unknown))
+            else:
+                invariant = s.and_(*(c.formula for c in surviving))
+                with obs.span(
+                    "houdini.round", round=rounds, surviving=len(surviving)
+                ) as round_span:
+                    failing, unknown = _batched_failures(
+                        program, surviving, program.body, invariant,
+                        statistics, jobs, stats, budget,
+                    )
+                    round_span.set(failing=len(failing), unknown=len(unknown))
+                if journal is not None:
+                    journal.append(
+                        "houdini.round",
+                        f"{journal_key}:{rounds}",
+                        failing=sorted(failing),
+                        unknown=sorted(unknown),
+                    )
             if not failing and not unknown:
                 break
             dropped_consec.extend(sorted(failing))

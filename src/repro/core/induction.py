@@ -198,14 +198,22 @@ def _ledger_split(
     conjectures: Sequence[Conjecture],
     lemmas: Sequence[Conjecture],
     ledger,
-) -> tuple[list[Obligation], dict[int, tuple[str, str, str, str]], int]:
-    """Partition obligations into (to solve, keys by index, hits skipped)."""
+    journal=None,
+) -> tuple[list[Obligation], dict[int, tuple[str, str, str, str]], int, int]:
+    """Partition obligations into (to solve, keys by index, ledger hits,
+    journal hits).
+
+    The run journal shares the ledger's content keys: an obligation the
+    killed run conclusively discharged is skipped here exactly like a
+    ledgered one, just with run-local scope.  Either store may be None.
+    """
     from ..proof.ledger import keys_of, program_fingerprint
 
     program_hash = program_fingerprint(program)
     to_solve: list[Obligation] = []
     keys: dict[int, tuple[str, str, str, str]] = {}
     hits = 0
+    journal_hits = 0
     for obligation in pending:
         parts = keys_of(
             program,
@@ -213,14 +221,26 @@ def _ledger_split(
             obligation_premises(obligation, conjectures, lemmas),
             program_hash=program_hash,
         )
-        if ledger.proven(parts[0]) is not None:
+        if ledger is not None and ledger.proven(parts[0]) is not None:
             hits += 1
             continue
+        if journal is not None:
+            data = journal.replay("obligation", parts[0])
+            if data is not None and data.get("verdict") == "unsat":
+                journal_hits += 1
+                continue
         keys[len(to_solve)] = parts
         to_solve.append(obligation)
-    obs.inc("ledger_hits", hits)
-    obs.inc("ledger_misses", len(to_solve))
-    return to_solve, keys, hits
+    if ledger is not None:
+        obs.inc("ledger_hits", hits)
+        obs.inc("ledger_misses", len(to_solve))
+    return to_solve, keys, hits, journal_hits
+
+
+def _journal_record(journal, keys: tuple[str, str, str, str] | None) -> None:
+    """Journal one freshly discharged (unsat) obligation."""
+    if journal is not None and keys is not None:
+        journal.append("obligation", keys[0], verdict="unsat")
 
 
 def _ledger_record(
@@ -269,7 +289,7 @@ def ledger_proven(
     set, the whole engine run can be skipped.
     """
     pending = obligations(program, conjectures, lemmas, include_no_abort)
-    to_solve, _, _ = _ledger_split(program, pending, conjectures, lemmas, ledger)
+    to_solve, _, _, _ = _ledger_split(program, pending, conjectures, lemmas, ledger)
     return not to_solve
 
 
@@ -349,6 +369,7 @@ def check_inductive(
     lemmas: Sequence[Conjecture] = (),
     ledger=None,
     engine: str = "induction",
+    journal=None,
 ) -> InductionResult:
     """Check Eq. 2 for the conjunction of ``conjectures``.
 
@@ -368,6 +389,10 @@ def check_inductive(
     freshly discharged obligation is recorded with provenance (``engine``
     names the caller in that record).  The skip is sound because the
     ledger key covers the program, the obligation, and the premise set.
+
+    A ``journal`` gives the same skip with run scope: conclusively
+    discharged obligations are appended as they complete, and a resumed
+    run skips them before building a solver.
     """
     statistics: dict[str, int] = {}
     pending = obligations(program, conjectures, lemmas)
@@ -376,13 +401,17 @@ def check_inductive(
         "induction", conjectures=len(conjectures), obligations=len(pending)
     ) as sp:
         ledger_keys: dict[int, tuple[str, str, str, str]] = {}
-        if ledger is not None:
-            pending, ledger_keys, hits = _ledger_split(
-                program, pending, conjectures, lemmas, ledger
+        if ledger is not None or journal is not None:
+            pending, ledger_keys, hits, journal_hits = _ledger_split(
+                program, pending, conjectures, lemmas, ledger, journal
             )
-            statistics["ledger_hits"] = hits
-            statistics["ledger_misses"] = len(pending)
-            sp.set(ledger_hits=hits, ledger_misses=len(pending))
+            if ledger is not None:
+                statistics["ledger_hits"] = hits
+                statistics["ledger_misses"] = len(pending)
+                sp.set(ledger_hits=hits, ledger_misses=len(pending))
+            if journal_hits:
+                statistics["journal_hits"] = journal_hits
+                sp.set(journal_hits=journal_hits)
         if resolve_jobs(jobs) > 1 and len(pending) > 1:
             queries = []
             for obligation in pending:
@@ -411,6 +440,7 @@ def check_inductive(
                         ledger, ledger_keys.get(index), program, obligation,
                         engine, budget, batch_ms,
                     )
+                    _journal_record(journal, ledger_keys.get(index))
             sp.set(holds=not unknown, unknowns=len(unknown))
             return InductionResult(not unknown, statistics=statistics,
                                    unknown_obligations=tuple(unknown))
@@ -441,6 +471,7 @@ def check_inductive(
                     ledger, ledger_keys.get(index), program, obligation,
                     engine, budget, elapsed_ms,
                 )
+                _journal_record(journal, ledger_keys.get(index))
         obs.count_engine_queries("induction", results)
         sp.set(holds=not unknown, unknowns=len(unknown))
         return InductionResult(not unknown, statistics=statistics,

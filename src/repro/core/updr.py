@@ -28,7 +28,9 @@ Structure, following PDR:
 
 from __future__ import annotations
 
+import base64
 import enum
+import pickle
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -81,6 +83,15 @@ class _BudgetExhausted(Exception):
         self.failure = failure or FailureReason.TIMEOUT
 
 
+def _encode_state(obj) -> str:
+    """Pickle + base64: journal lines are JSON, engine state is not."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def _decode_state(text: str):
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
 class _Updr:
     def __init__(
         self,
@@ -91,6 +102,7 @@ class _Updr:
         stats: SolverStats | None = None,
         budget: Budget | None = None,
         ledger=None,
+        journal=None,
     ):
         self.program = program
         self.max_frames = max_frames
@@ -119,6 +131,78 @@ class _Updr:
         )
         self.statistics: dict[str, int] = {"solver_calls": 0}
         self.clauses_learned = 0
+        self.journal = journal
+        self.journal_key = ""
+        if journal is not None:
+            from ..proof.ledger import program_fingerprint
+
+            self.journal_key = f"{program_fingerprint(program)}:updr"
+            self._restore_from_journal()
+
+    # ------------------------------------------------------------- journal
+
+    def _restore_from_journal(self) -> None:
+        """Rebuild frame state from the journal's snapshot + clause events.
+
+        A killed run left (a) a frame snapshot per fully pushed frame and
+        (b) one incremental event per clause learned since.  The latest
+        snapshot wins; clause events recorded after it are re-applied on
+        top.  Everything journaled is a *sound lemma* (learned clauses
+        block conclusively-refuted predecessors), so replaying state is
+        safe even across budget escalations.
+        """
+        events = self.journal.events_of(
+            ("updr.frames", "updr.clause"), self.journal_key
+        )
+        snapshot = None
+        trailing: list[dict] = []
+        for event in events:
+            if event.kind == "updr.frames":
+                snapshot = event.data
+                trailing = []
+            else:
+                trailing.append(event.data)
+        restored = 0
+        if snapshot is not None:
+            self.frames = _decode_state(snapshot["frames"])
+            self.clauses_learned = snapshot["clauses"]
+            restored += 1
+        for data in trailing:
+            generalized = _decode_state(data["clause"])
+            level = data["level"]
+            for index in range(1, level + 1):
+                while len(self.frames) <= index:
+                    self.frames.append([])
+                self.frames[index].append(generalized)
+            self.clauses_learned += 1
+            restored += 1
+        if restored:
+            self.journal.mark_reused(restored)
+            obs.point(
+                "updr.restore",
+                events=restored,
+                frames=len(self.frames),
+                clauses=self.clauses_learned,
+            )
+
+    def _journal_frames(self) -> None:
+        """Snapshot the pushed frames (called as each new frame opens)."""
+        if self.journal is not None:
+            self.journal.append(
+                "updr.frames",
+                self.journal_key,
+                frames=_encode_state(self.frames),
+                clauses=self.clauses_learned,
+            )
+
+    def _journal_clause(self, generalized: PartialStructure, level: int) -> None:
+        if self.journal is not None:
+            self.journal.append(
+                "updr.clause",
+                self.journal_key,
+                level=level,
+                clause=_encode_state(generalized),
+            )
 
     # --------------------------------------------------------------- util
 
@@ -268,6 +352,9 @@ class _Updr:
                         statistics=self.statistics,
                     )
                 self.frames.append([])
+                # The frame below is now fully pushed: snapshot it, so a
+                # killed run resumes here instead of re-verifying frames.
+                self._journal_frames()
 
     def _block(self, partial: PartialStructure, frame: int, spent: int):
         stack: list[tuple[PartialStructure, int]] = [(partial, frame)]
@@ -296,6 +383,7 @@ class _Updr:
                     self.frames.append([])
                 self.frames[index].append(generalized)
             self.clauses_learned += 1
+            self._journal_clause(generalized, level)
             stack.pop()
         return spent
 
@@ -422,6 +510,7 @@ def updr(
     budget: Budget | None = None,
     max_restarts: int = 2,
     ledger=None,
+    journal=None,
 ) -> UpdrResult:
     """Run UPDR on ``program``; see the module docstring.
 
@@ -435,6 +524,13 @@ def updr(
     A ``ledger`` (:class:`repro.proof.ledger.Ledger`) is consulted by the
     final inductiveness harvest, and the invariant UPDR converges on is
     recorded there with ``engine="updr"`` provenance.
+
+    A ``journal`` records frame snapshots and learned clauses as the run
+    progresses; a fresh engine constructed against the same journal
+    restores them and continues (see :meth:`_Updr._restore_from_journal`).
+    Budget-escalation restarts keep the journal too: everything recorded
+    is a sound lemma, and re-deriving lemmas is exactly the waste the
+    journal exists to prevent.
     """
     attempt_budget = budget
     restarts = 0
@@ -442,7 +538,7 @@ def updr(
         while True:
             engine = _Updr(
                 program, max_frames, max_obligations, jobs, stats,
-                attempt_budget, ledger,
+                attempt_budget, ledger, journal,
             )
             try:
                 with obs.span("updr.attempt", attempt=restarts):

@@ -258,4 +258,36 @@ def render_report(events: list[dict]) -> str:
         )
         for name, count in sorted(faults.items()):
             lines.append(f"  {name:26s} {count}")
+
+    # ---------------------------------------------------- durability summary
+    appends = [node for node in points if node.name == "journal.append"]
+    loads = [node for node in spans if node.name == "journal.load"]
+    retries = [node for node in points if node.name == "store.retry"]
+    if appends or loads or retries:
+        lines.append("")
+        lines.append("durability (write-ahead journal, disk stores):")
+        if loads:
+            replayed = sum(int(n.attrs.get("events", 0) or 0) for n in loads)
+            lines.append(
+                f"  journal loads: {len(loads)} "
+                f"({replayed} event(s) replayed)"
+            )
+        if appends:
+            by_kind: dict[str, int] = {}
+            for node in appends:
+                kind = str(node.attrs.get("kind", "?"))
+                by_kind[kind] = by_kind.get(kind, 0) + 1
+            kinds = ", ".join(
+                f"{count} {kind}" for kind, count in sorted(by_kind.items())
+            )
+            lines.append(f"  journal appends: {len(appends)} ({kinds})")
+        if retries:
+            by_op: dict[str, int] = {}
+            for node in retries:
+                op = str(node.attrs.get("op", "?"))
+                by_op[op] = by_op.get(op, 0) + 1
+            ops = ", ".join(
+                f"{count} x {op}" for op, count in sorted(by_op.items())
+            )
+            lines.append(f"  transient I/O retries: {len(retries)} ({ops})")
     return "\n".join(lines)

@@ -26,12 +26,13 @@ and never iterates a set, so keys are byte-identical across interpreter
 processes regardless of ``PYTHONHASHSEED`` -- the same discipline the
 disk cache gets from sorted symbol adoption.
 
-**Durability.** Entries are JSON files named by their key digest, sharded
-like the disk cache, written atomically (temp file + ``os.replace``).
-Corrupt, truncated, or stale-schema files read as *unproven* and are
-deleted best-effort, with a single stderr warning per process -- a
-damaged ledger degrades to re-proving, never to a wrong answer or a
-crash.
+**Durability.** Entries are JSON files named by their key digest, held
+in a shared :class:`repro.store.ShardedStore` (atomic writes, sha256
+sharding, advisory locking for corrupt-entry healing, retry with backoff
+on transient I/O errors).  Corrupt, truncated, or stale-schema files
+read as *unproven* and are deleted under the store lock, with a single
+``repro.store`` logger warning per store -- a damaged ledger degrades to
+re-proving, never to a wrong answer or a crash.
 
 **Environment.** ``REPRO_LEDGER=0`` disables the ledger entirely;
 ``REPRO_LEDGER_DIR`` overrides the store location (default
@@ -44,8 +45,6 @@ import hashlib
 import json
 import os
 import subprocess
-import sys
-import tempfile
 import time
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
@@ -53,6 +52,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 from .. import obs
 from ..logic import syntax as s
 from ..logic.printer import canonical_str, fingerprint
+from ..store import ShardedStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..core.induction import Obligation
@@ -184,94 +184,73 @@ class Ledger:
 
     def __init__(self, root: str) -> None:
         self.root = root
+        self._store = ShardedStore(root, ".json")
         self.hits = 0
         self.misses = 0
-        self.write_errors = 0
-        self._warned_corrupt = False
+
+    @property
+    def write_errors(self) -> int:
+        return self._store.write_errors
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.root, key[:2], key + ".json")
+        return self._store.path_of(key)
 
-    def _corrupt(self, path: str, reason: str) -> None:
-        """Delete a bad entry and warn on stderr (once per process)."""
+    @staticmethod
+    def _decode(payload: bytes, key: str) -> LedgerEntry | None:
+        """The entry the bytes encode, or None when they fail validation."""
         try:
-            os.remove(path)
-        except OSError:
-            pass
-        if not self._warned_corrupt:
-            self._warned_corrupt = True
-            print(
-                f"warning: ledger entry {path} {reason}; "
-                "removed and treated as unproven",
-                file=sys.stderr,
-            )
+            document = json.loads(payload.decode("utf-8"))
+            if document.get("format") != LEDGER_FORMAT:
+                return None
+            entry = LedgerEntry(**document["entry"])
+            if entry.key != key:
+                return None
+        except Exception:
+            return None
+        return entry
 
     def proven(self, key: str) -> LedgerEntry | None:
         """The entry recorded under ``key``, or None (miss)."""
-        path = self._path(key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                payload = json.load(handle)
-            if payload.get("format") != LEDGER_FORMAT:
-                raise ValueError("stale schema")
-            entry = LedgerEntry(**payload["entry"])
-            if entry.key != key:
-                raise ValueError("key mismatch")
-        except FileNotFoundError:
+        payload = self._store.read(key)
+        entry = None if payload is None else self._decode(payload, key)
+        if payload is not None and entry is None:
+            # Corrupt, truncated, stale-schema, or hand-edited bytes on
+            # the lock-free read: re-validate under the store lock before
+            # deleting -- a concurrent prove run may have just rewritten
+            # the entry correctly.
+            healed = self._store.heal(
+                key,
+                lambda raw: self._decode(raw, key) is not None,
+                "is corrupt or has a stale schema; treated as unproven",
+            )
+            if healed is not None:
+                entry = self._decode(healed, key)
+        if entry is None:
             self.misses += 1
-            return None
-        except Exception:
-            # Corrupt, truncated, stale-schema, or hand-edited: unproven.
-            self.misses += 1
-            self._corrupt(path, "is corrupt or has a stale schema")
             return None
         self.hits += 1
         return entry
 
     def record(self, entry: LedgerEntry) -> None:
         """Persist one discharged obligation (atomic, best effort)."""
-        path = self._path(entry.key)
-        directory = os.path.dirname(path)
         try:
-            os.makedirs(directory, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                    json.dump(
-                        {"format": LEDGER_FORMAT, "entry": asdict(entry)},
-                        handle,
-                        indent=1,
-                        sort_keys=True,
-                    )
-                os.replace(tmp, path)  # atomic: readers never see partials
-            except BaseException:
-                try:
-                    os.remove(tmp)
-                except OSError:
-                    pass
-                raise
-        except (OSError, TypeError, ValueError):
-            self.write_errors += 1
+            payload = json.dumps(
+                {"format": LEDGER_FORMAT, "entry": asdict(entry)},
+                indent=1,
+                sort_keys=True,
+            ).encode("utf-8")
+        except (TypeError, ValueError):
+            self._store.write_errors += 1
+            return
+        self._store.write(entry.key, payload)
 
     def entries(self) -> Iterator[LedgerEntry]:
         """Every readable entry in the store (``repro status`` scans this)."""
-        try:
-            shards = sorted(os.listdir(self.root))
-        except OSError:
-            return
-        for shard in shards:
-            shard_dir = os.path.join(self.root, shard)
-            try:
-                names = sorted(os.listdir(shard_dir))
-            except OSError:
-                continue
-            for name in names:
-                if not name.endswith(".json"):
-                    continue
-                entry = self.proven(name[: -len(".json")])
-                if entry is not None:
-                    self.hits -= 1  # a scan is not a proof lookup
-                    yield entry
+        for key in self._store.digests():
+            entry = self.proven(key)
+            if entry is not None:
+                self.hits -= 1  # a scan is not a proof lookup
+                yield entry
 
     @property
     def hit_rate(self) -> float:
@@ -279,21 +258,7 @@ class Ledger:
         return self.hits / total if total else 0.0
 
     def __len__(self) -> int:
-        count = 0
-        try:
-            shards = os.listdir(self.root)
-        except OSError:
-            return 0
-        for shard in shards:
-            try:
-                count += sum(
-                    1
-                    for name in os.listdir(os.path.join(self.root, shard))
-                    if name.endswith(".json")
-                )
-            except OSError:
-                continue
-        return count
+        return len(self._store)
 
 
 # ----------------------------------------------------------------- environment

@@ -156,7 +156,7 @@ class ObligationOutcome:
 
     node: str
     description: str
-    via: str  # "ledger", "solver", or "unknown"
+    via: str  # "ledger", "journal", "solver", or "unknown"
     wall_ms: float = 0.0
 
 
@@ -187,7 +187,7 @@ class _Work:
 
     node: str
     obligation: Obligation
-    keys: tuple[str, str, str, str] | None  # None when the ledger is off
+    keys: tuple[str, str, str, str] | None  # None when ledger+journal are off
 
 
 def _abort_free(program: Program) -> Program:
@@ -238,6 +238,7 @@ def prove(
     budget: Budget | None = None,
     ledger: Ledger | None = None,
     engine: str = "prove",
+    journal=None,
 ) -> ProveReport:
     """Discharge the plan frontier by frontier, honoring the ledger.
 
@@ -247,12 +248,20 @@ def prove(
     ``ledger_hit_rate`` summarizes how much of the run was skipped.
     Stops at the first counterexample (reported with its CTI) or budget
     exhaustion; a fully discharged plan returns ``ok=True``.
+
+    With a ``journal`` (:class:`repro.recovery.journal.Journal`), every
+    conclusively discharged obligation is appended as an ``obligation``
+    event keyed by its ledger content key, and each completed frontier
+    gets a ``prove.frontier`` marker.  A resumed run replays those
+    events in :func:`collect` (outcome ``via="journal"``) so the killed
+    run's solved obligations are never re-dispatched.
     """
     program = plan.program
-    program_hash = program_fingerprint(program) if ledger is not None else ""
+    keyed = ledger is not None or journal is not None
+    program_hash = program_fingerprint(program) if keyed else ""
     outcomes: list[ObligationOutcome] = []
     unknown: list[str] = []
-    hits = misses = queries = 0
+    hits = misses = queries = journal_hits = 0
     frontiers = tuple(plan.frontiers())
 
     def collect(
@@ -261,18 +270,18 @@ def prove(
         conjectures: Sequence[Conjecture],
         lemmas: Sequence[Conjecture],
     ) -> list[_Work]:
-        nonlocal hits, misses
+        nonlocal hits, misses, journal_hits
         work: list[_Work] = []
         for obligation in pending:
             keys = None
-            if ledger is not None:
+            if keyed:
                 keys = keys_of(
                     program,
                     obligation,
                     obligation_premises(obligation, conjectures, lemmas),
                     program_hash=program_hash,
                 )
-                if ledger.proven(keys[0]) is not None:
+                if ledger is not None and ledger.proven(keys[0]) is not None:
                     hits += 1
                     outcomes.append(
                         ObligationOutcome(
@@ -280,7 +289,21 @@ def prove(
                         )
                     )
                     continue
-                misses += 1
+                if journal is not None:
+                    replayed = journal.replay("obligation", keys[0])
+                    if (
+                        replayed is not None
+                        and replayed.get("verdict") == "unsat"
+                    ):
+                        journal_hits += 1
+                        outcomes.append(
+                            ObligationOutcome(
+                                node_name, obligation.description, "journal"
+                            )
+                        )
+                        continue
+                if ledger is not None:
+                    misses += 1
             work.append(_Work(node_name, obligation, keys))
         return work
 
@@ -372,34 +395,35 @@ def prove(
                     item.node, item.obligation.description, "solver", wall_ms
                 )
             )
-            if (
-                ledger is not None
-                and item.keys is not None
-                and item.keys[0] not in recorded
-            ):
+            if item.keys is not None and item.keys[0] not in recorded:
                 recorded.add(item.keys[0])
-                _, phash, ohash, lhash = item.keys
-                ledger.record(
-                    LedgerEntry(
-                        program=program.name,
-                        invariant=item.obligation.target or NO_ABORT,
-                        kind=item.obligation.kind,
-                        program_hash=phash,
-                        obligation_hash=ohash,
-                        lemma_hash=lhash,
-                        engine=engine,
-                        budget=str(budget) if budget is not None else None,
-                        git_rev=git_rev(),
-                        run_id=run_id(),
-                        wall_ms=wall_ms,
+                if journal is not None:
+                    journal.append(
+                        "obligation", item.keys[0], verdict="unsat"
                     )
-                )
+                if ledger is not None:
+                    _, phash, ohash, lhash = item.keys
+                    ledger.record(
+                        LedgerEntry(
+                            program=program.name,
+                            invariant=item.obligation.target or NO_ABORT,
+                            kind=item.obligation.kind,
+                            program_hash=phash,
+                            obligation_hash=ohash,
+                            lemma_hash=lhash,
+                            engine=engine,
+                            budget=str(budget) if budget is not None else None,
+                            git_rev=git_rev(),
+                            run_id=run_id(),
+                            wall_ms=wall_ms,
+                        )
+                    )
         return None
 
     with obs.span(
         "prove", program=program.name, nodes=len(plan.nodes)
     ) as sp:
-        for frontier in frontiers:
+        for index, frontier in enumerate(frontiers):
             obs.set_gauge("dag_frontier_size", len(frontier))
             work: list[_Work] = []
             for node_name in frontier:
@@ -412,6 +436,12 @@ def prove(
             if failure is not None:
                 sp.set(ok=False, failed=failure.failed_node)
                 return failure
+            if journal is not None:
+                frontier_key = f"{program_hash}:frontier:{index}"
+                if journal.peek("prove.frontier", frontier_key) is None:
+                    journal.append(
+                        "prove.frontier", frontier_key, nodes=list(frontier)
+                    )
         # Program-wide safety (no-abort) over the full invariant.
         everything = tuple(plan.invariants.values())
         failure = discharge(
@@ -425,6 +455,8 @@ def prove(
         obs.inc("ledger_hits", hits)
         obs.inc("ledger_misses", misses)
         ok = not unknown
+        if journal_hits:
+            sp.set(journal_hits=journal_hits)
         sp.set(ok=ok, ledger_hits=hits, queries=queries)
         return ProveReport(
             ok,

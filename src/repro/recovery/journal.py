@@ -1,0 +1,274 @@
+"""The write-ahead run journal.
+
+An append-only JSONL file under the run directory, recording engine
+progress as it happens so a killed run can resume where it stopped.  One
+JSON object per line::
+
+    {"v": 1, "seq": 0, "kind": "header", "key": "", "data": {...meta...}}
+    {"v": 1, "seq": 1, "kind": "obligation", "key": "<sha>", "data": {...}}
+    ...
+
+Durability discipline (write-ahead semantics):
+
+* every :meth:`Journal.append` writes one complete line, flushes, and
+  ``os.fsync``'s before returning -- an event is either fully on disk or
+  absent, never half-written *and relied upon*;
+* the file is only ever appended to; resume never rewrites history;
+* loading tolerates a **truncated tail**: the one line a crash can leave
+  half-written is detected (bad JSON, wrong schema, non-monotonic seq),
+  the file is truncated back to the last durable line, and replay
+  proceeds -- a torn tail costs one event, never the run;
+* a schema version (``v``) guards replay across format changes: a journal
+  written by a different schema is ignored wholesale rather than
+  misread.
+
+Replay is the engines' contract: before solving, an engine asks
+:meth:`replay` (last event for a kind/key) or scans :attr:`events` (for
+multi-event state like UPDR frame snapshots plus trailing learned
+clauses) and skips work the journal proves complete.  ``reused`` /
+``recorded`` feed the ``resume_reused_ratio`` gauge.
+
+Chaos integration: immediately after each durable append the journal
+calls :func:`repro.solver.faults.maybe_inject_main`, giving the
+``REPRO_FAULT=kill9:<p>`` harness a deterministic SIGKILL point at every
+journal boundary -- exactly the states a resume must be able to
+reconstruct.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from .. import obs
+from ..store import with_retry
+
+logger = logging.getLogger("repro.recovery")
+
+#: journal schema version; any other version on disk is ignored wholesale
+JOURNAL_FORMAT = 1
+
+#: the journal file's name inside a run directory
+JOURNAL_NAME = "journal.jsonl"
+
+
+@dataclass(frozen=True)
+class JournalEvent:
+    """One replayed journal line."""
+
+    seq: int
+    kind: str
+    key: str
+    data: dict[str, Any]
+
+
+class Journal:
+    """The write-ahead journal of one verification run.
+
+    Construct through :meth:`fresh` (new run: truncate, write the header)
+    or :meth:`resume` (replay an existing journal, truncate a torn tail,
+    reopen for appending).  Not safe for concurrent use from multiple
+    processes -- each run owns its run directory; the *shared* stores
+    (cache, ledger) are what concurrent runs coordinate through.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.events: list[JournalEvent] = []
+        self.reused = 0
+        self.recorded = 0
+        self._handle = None
+        self._seq = 0
+        self._latest: dict[tuple[str, str], dict[str, Any]] = {}
+
+    # ------------------------------------------------------------ lifecycle
+
+    @classmethod
+    def fresh(cls, path: str, meta: dict[str, Any] | None = None) -> "Journal":
+        """Start a new journal, discarding any previous file at ``path``."""
+        journal = cls(path)
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        journal._handle = open(path, "w", encoding="utf-8")
+        journal._write_line("header", "", meta or {})
+        return journal
+
+    @classmethod
+    def resume(cls, path: str) -> "Journal":
+        """Replay an existing journal and reopen it for appending.
+
+        Tolerates a truncated tail: reading stops at the first malformed
+        or out-of-order line, the file is truncated back to the last good
+        byte, and everything before it is replayed.  A journal whose
+        header carries a different schema version is ignored wholesale
+        (replayed as empty) -- stale-format progress must not be trusted.
+        """
+        journal = cls(path)
+        good_end = 0
+        expected_seq = 0
+        with obs.span("journal.load", path=path) as sp:
+            with open(path, "rb") as handle:
+                blob = handle.read()
+            pos = 0
+            while pos < len(blob):
+                newline = blob.find(b"\n", pos)
+                if newline == -1:
+                    # A final line with no newline is by definition a torn
+                    # tail: appends always write "line\n" in one call.
+                    error: Exception | str = "no trailing newline"
+                    record = None
+                else:
+                    raw = blob[pos:newline]
+                    try:
+                        record = json.loads(raw.decode("utf-8"))
+                        if record["v"] != JOURNAL_FORMAT:
+                            raise ValueError(f"schema {record['v']}")
+                        if record["seq"] != expected_seq:
+                            raise ValueError("non-monotonic seq")
+                        if not isinstance(record["data"], dict):
+                            raise ValueError("data is not an object")
+                        error = ""
+                    except Exception as bad:
+                        error = bad
+                        record = None
+                if record is None:
+                    if expected_seq == 0:
+                        # Bad header: a stale schema or a foreign file --
+                        # none of its progress can be trusted.
+                        logger.warning(
+                            "%s: unreadable journal header (%s); "
+                            "starting over",
+                            path,
+                            error,
+                        )
+                        journal.events = []
+                        journal._latest = {}
+                        good_end = 0
+                        expected_seq = 0
+                    else:
+                        logger.warning(
+                            "%s: truncated tail at line %d (%s); "
+                            "replaying the %d durable event(s) before it",
+                            path,
+                            expected_seq + 1,
+                            error,
+                            expected_seq,
+                        )
+                    break
+                expected_seq += 1
+                good_end = newline + 1
+                pos = newline + 1
+                if record["kind"] != "header":
+                    event = JournalEvent(
+                        record["seq"], record["kind"], record["key"],
+                        record["data"],
+                    )
+                    journal.events.append(event)
+                    journal._latest[(event.kind, event.key)] = event.data
+            journal._seq = expected_seq
+            # Truncate the torn tail so the next append leaves valid JSONL.
+            with open(path, "r+b") as handle:
+                handle.truncate(good_end)
+            journal._handle = open(path, "a", encoding="utf-8")
+            if expected_seq == 0:
+                journal._write_line("header", "", {})
+            sp.set(events=len(journal.events))
+        return journal
+
+    def close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):
+                pass
+            self._handle.close()
+            self._handle = None
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    # -------------------------------------------------------------- writes
+
+    def _write_line(self, kind: str, key: str, data: dict[str, Any]) -> None:
+        assert self._handle is not None, "journal is closed"
+        line = json.dumps(
+            {
+                "v": JOURNAL_FORMAT,
+                "seq": self._seq,
+                "kind": kind,
+                "key": key,
+                "data": data,
+            },
+            sort_keys=True,
+        )
+        handle = self._handle
+
+        def write() -> None:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+        with_retry(write, f"journal {kind}")
+        self._seq += 1
+
+    def append(self, kind: str, key: str, **data: Any) -> None:
+        """Durably record one progress event (then: chaos kill point).
+
+        The event is fsync'd before this returns -- work recorded here is
+        work a resumed run will never redo, so the record must hit disk
+        before the engine moves on (write-ahead, not write-behind).
+        """
+        if self._handle is None:
+            return
+        self._write_line(kind, key, data)
+        self._latest[(kind, key)] = data
+        self.recorded += 1
+        obs.point("journal.append", kind=kind)
+        # Deterministic SIGKILL point for the kill9 chaos harness: right
+        # after the event is durable, i.e. at exactly the states resume
+        # must reconstruct.  Imported lazily: repro.solver pulls in
+        # dispatch, which needs repro.recovery.heartbeat.
+        from ..solver import faults
+
+        faults.maybe_inject_main(f"journal:{kind}:{self._seq}")
+
+    # -------------------------------------------------------------- replay
+
+    def replay(self, kind: str, key: str) -> dict[str, Any] | None:
+        """The last recorded data for ``(kind, key)``, or None.
+
+        A hit counts toward ``reused`` -- the caller is expected to skip
+        the corresponding work.
+        """
+        data = self._latest.get((kind, key))
+        if data is not None:
+            self.reused += 1
+        return data
+
+    def peek(self, kind: str, key: str) -> dict[str, Any] | None:
+        """Like :meth:`replay` but without counting a reuse."""
+        return self._latest.get((kind, key))
+
+    def events_of(self, kinds: Iterable[str], key: str) -> list[JournalEvent]:
+        """All replayed events of the given kinds for ``key``, in order."""
+        wanted = set(kinds)
+        return [
+            event
+            for event in self.events
+            if event.key == key and event.kind in wanted
+        ]
+
+    def mark_reused(self, count: int = 1) -> None:
+        """Count ``count`` replayed events as reused (custom replay paths)."""
+        self.reused += count
+
+    # ------------------------------------------------------------- metrics
+
+    def reused_ratio(self) -> float:
+        """Fraction of this run's events that came from the journal."""
+        total = self.reused + self.recorded
+        return self.reused / total if total else 0.0

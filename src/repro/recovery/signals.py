@@ -1,0 +1,57 @@
+"""SIGINT/SIGTERM as a catchable exception.
+
+Default signal handling is the enemy of durability: SIGTERM kills the
+main process mid-append, and Python's KeyboardInterrupt can surface
+anywhere -- including inside a pool worker's fork window, which is how
+Ctrl-C used to orphan workers.  :func:`install_handlers` converts both
+signals into :class:`Interrupted`, raised at the next bytecode boundary
+of the *main* process only, so the CLI's one ``except Interrupted``
+block can flush the journal, shut down the worker pool, and exit with
+:data:`~repro.recovery.resume.EXIT_RESUMABLE`.
+
+Pool workers never see these handlers: they ignore SIGINT outright
+(terminal Ctrl-C broadcasts to the whole foreground process group) and
+are reaped explicitly by :func:`repro.solver.dispatch.shutdown_pool`.
+"""
+
+from __future__ import annotations
+
+import signal
+from typing import Callable
+
+
+class Interrupted(Exception):
+    """A termination signal arrived; unwind, flush, exit resumable."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(signal.Signals(signum).name)
+        self.signum = signum
+
+
+def install_handlers(
+    signums: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Callable[[], None]:
+    """Route the given signals into :class:`Interrupted`; returns a restore.
+
+    Degrades to a no-op off the main thread (Python only allows signal
+    handling there) -- embedding callers lose graceful shutdown, not
+    functionality.
+    """
+
+    def raise_interrupted(signum: int, frame) -> None:
+        raise Interrupted(signum)
+
+    previous = {}
+    try:
+        for signum in signums:
+            previous[signum] = signal.signal(signum, raise_interrupted)
+    except ValueError:  # not the main thread
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        return lambda: None
+
+    def restore() -> None:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    return restore

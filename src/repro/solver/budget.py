@@ -40,6 +40,7 @@ class FailureReason(enum.Enum):
     GROUNDING_BLOWUP = "grounding-blowup"  # ground universe/instances too big
     MEMORY = "memory"  # worker hit its RSS cap
     WORKER_CRASHED = "worker-crashed"  # worker died without an answer
+    WEDGED = "wedged"  # worker stopped heartbeating and was killed
 
 
 class BudgetExceeded(Exception):

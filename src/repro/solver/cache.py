@@ -29,11 +29,11 @@ Two tiers, repository-style (index in front of a store):
   enables it; entries live under ``REPRO_CACHE_DIR`` (default
   ``.repro-cache/``) in shards keyed by the SHA-256 of the query
   fingerprint.  Lookups fetch through: a memory miss consults the disk
-  and promotes hits into memory.  Writes are atomic (temp file +
-  ``os.replace``) so concurrent workers never observe partial entries,
-  and corrupt or truncated entries are treated as misses and deleted
-  best-effort -- a damaged store degrades to re-solving, never to a wrong
-  answer or a crash.
+  and promotes hits into memory.  The on-disk mechanics -- atomic
+  writes, sha256 sharding, corrupt-entry healing under the store lock,
+  retry with backoff on transient I/O errors -- live in the shared
+  :class:`repro.store.ShardedStore`; a damaged store degrades to
+  re-solving, never to a wrong answer or a crash.
 
 Long-lived pool workers (:mod:`repro.solver.dispatch`) inherit the
 parent's in-memory entries at fork time and share the disk store live.
@@ -49,10 +49,10 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
-import tempfile
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
+from ..store import ShardedStore
 from .budget import _env_int
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -71,85 +71,70 @@ class DiskCache:
     """A content-addressed, crash- and corruption-tolerant result store.
 
     Entries are pickled ``(DISK_FORMAT, key, EprResult)`` triples named by
-    the SHA-256 of the key's repr, sharded into 256 two-hex-digit
-    subdirectories.  The stored key is verified on load, so a (vanishingly
-    unlikely) digest collision or a hand-edited file reads as a miss
-    rather than a wrong answer.
+    the SHA-256 of the key's repr, held in a :class:`ShardedStore`.  The
+    stored key is verified on load, so a (vanishingly unlikely) digest
+    collision or a hand-edited file reads as a miss rather than a wrong
+    answer.
     """
 
     def __init__(self, root: str) -> None:
         self.root = root
+        self._store = ShardedStore(root, ".pkl")
         self.hits = 0
         self.misses = 0
-        self.write_errors = 0
+
+    @property
+    def write_errors(self) -> int:
+        return self._store.write_errors
 
     @staticmethod
     def _digest(key: Hashable) -> str:
         return hashlib.sha256(repr(key).encode()).hexdigest()
 
     def _path(self, key: Hashable) -> str:
-        digest = self._digest(key)
-        return os.path.join(self.root, digest[:2], digest + ".pkl")
+        return self._store.path_of(self._digest(key))
+
+    def _decode(self, payload: bytes, key: Hashable) -> "EprResult | None":
+        """The stored result, or None when the bytes fail validation."""
+        try:
+            fmt, stored_key, result = pickle.loads(payload)
+            if fmt != DISK_FORMAT or stored_key != key:
+                return None
+        except Exception:
+            return None
+        return result
 
     def lookup(self, key: Hashable) -> "EprResult | None":
-        path = self._path(key)
-        try:
-            with open(path, "rb") as handle:
-                payload = pickle.load(handle)
-            fmt, stored_key, result = payload
-            if fmt != DISK_FORMAT or stored_key != key:
-                raise ValueError("stale format or key mismatch")
-        except FileNotFoundError:
+        digest = self._digest(key)
+        payload = self._store.read(digest)
+        result = None if payload is None else self._decode(payload, key)
+        if payload is not None and result is None:
+            # Bad bytes on the lock-free read: re-validate under the store
+            # lock before deleting, in case a concurrent writer repaired
+            # the entry between our read and now.
+            healed = self._store.heal(
+                digest,
+                lambda raw: self._decode(raw, key) is not None,
+                "is corrupt, truncated, or stale-format; treated as a miss",
+            )
+            if healed is not None:
+                result = self._decode(healed, key)
+        if result is None:
             self.misses += 1
-            return None
-        except Exception:
-            # Corrupt, truncated, or unreadable entry: a miss, and the bad
-            # file is removed so the next store can heal it.
-            self.misses += 1
-            try:
-                os.remove(path)
-            except OSError:
-                pass
             return None
         self.hits += 1
         return result
 
     def store(self, key: Hashable, result: "EprResult") -> None:
-        path = self._path(key)
-        directory = os.path.dirname(path)
         try:
-            os.makedirs(directory, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    pickle.dump((DISK_FORMAT, key, result), handle)
-                os.replace(tmp, path)  # atomic: readers never see partials
-            except BaseException:
-                try:
-                    os.remove(tmp)
-                except OSError:
-                    pass
-                raise
-        except (OSError, pickle.PicklingError):
-            # A read-only or full disk must not fail the solve.
-            self.write_errors += 1
+            payload = pickle.dumps((DISK_FORMAT, key, result))
+        except (pickle.PicklingError, TypeError):
+            self._store.write_errors += 1
+            return
+        self._store.write(self._digest(key), payload)
 
     def __len__(self) -> int:
-        count = 0
-        try:
-            shards = os.listdir(self.root)
-        except OSError:
-            return 0
-        for shard in shards:
-            try:
-                count += sum(
-                    1
-                    for name in os.listdir(os.path.join(self.root, shard))
-                    if name.endswith(".pkl")
-                )
-            except OSError:
-                continue
-        return count
+        return len(self._store)
 
 
 class QueryCache:

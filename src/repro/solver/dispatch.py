@@ -69,9 +69,11 @@ serial execution rather than paying spawn-and-reimport per worker.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import multiprocessing.connection
 import os
+import signal
 import time
 from dataclasses import dataclass, replace
 from typing import Sequence
@@ -79,6 +81,7 @@ from typing import Sequence
 from .. import obs
 from ..logic import syntax as s
 from ..logic.sorts import Vocabulary
+from ..recovery import heartbeat
 from . import cache as cache_mod
 from . import faults
 from .budget import Budget, BudgetExceeded, FailureReason, resolve_retries, warn_env
@@ -242,15 +245,22 @@ class _Task:
     cache: tuple[int, tuple[int, str | None] | None]  # cache_snapshot()
 
 
-def _pool_worker_main(task_conn, result_conn) -> None:
+def _pool_worker_main(task_conn, result_conn, hb_conn) -> None:
     """Long-lived worker loop: pull tasks until the pipe closes.
 
     Any exception other than ``MemoryError`` is allowed to crash the
     worker: the parent detects the EOF, replaces the worker, retries the
     task, and the in-process fallback reproduces deterministic errors
     with a real traceback in the parent.
+
+    SIGINT is ignored here: a terminal Ctrl-C broadcasts to the whole
+    foreground process group, and a KeyboardInterrupt landing mid-solve
+    would race the parent's own orderly :func:`shutdown_pool` -- the
+    parent alone decides when workers die.
     """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     faults.mark_worker()
+    heartbeat.arm(hb_conn)
     while True:
         try:
             task = task_conn.recv()
@@ -273,6 +283,11 @@ def _run_task(task: _Task, conn) -> None:
     None when tracing is off.
     """
     query, attempt = task.query, task.attempt
+    # Forced beat at task start: the parent's staleness clock for this
+    # task starts now.  Deliberately *before* fault injection -- an
+    # injected hang then looks exactly like a real wedge (one beat, then
+    # silence), which is what the watchdog tests rely on.
+    heartbeat.beat(force=True)
     faults.install_fault_plan(
         task.plan if task.plan is not None else faults.FaultPlan()
     )
@@ -304,11 +319,17 @@ def _run_task(task: _Task, conn) -> None:
 
 @dataclass(eq=False)
 class _PoolWorker:
-    """A live pool member: its process and the parent ends of its pipes."""
+    """A live pool member: its process and the parent ends of its pipes.
+
+    ``hb_conn`` is the read end of the worker's heartbeat pipe
+    (:mod:`repro.recovery.heartbeat`); the dealer drains it while the
+    worker is busy and kills workers whose beats go stale.
+    """
 
     process: multiprocessing.process.BaseProcess
     task_conn: multiprocessing.connection.Connection
     result_conn: multiprocessing.connection.Connection
+    hb_conn: multiprocessing.connection.Connection
 
 
 class WorkerPool:
@@ -328,13 +349,17 @@ class WorkerPool:
     def spawn(self) -> _PoolWorker:
         task_r, task_w = self.context.Pipe(duplex=False)
         result_r, result_w = self.context.Pipe(duplex=False)
+        hb_r, hb_w = self.context.Pipe(duplex=False)
         process = self.context.Process(
-            target=_pool_worker_main, args=(task_r, result_w), daemon=True
+            target=_pool_worker_main,
+            args=(task_r, result_w, hb_w),
+            daemon=True,
         )
         process.start()
         task_r.close()
         result_w.close()
-        worker = _PoolWorker(process, task_w, result_r)
+        hb_w.close()
+        worker = _PoolWorker(process, task_w, result_r, hb_r)
         self.workers.append(worker)
         self.forks += 1
         return worker
@@ -370,7 +395,7 @@ class WorkerPool:
 
     @staticmethod
     def _close(worker: _PoolWorker) -> None:
-        for conn in (worker.task_conn, worker.result_conn):
+        for conn in (worker.task_conn, worker.result_conn, worker.hb_conn):
             try:
                 conn.close()
             except OSError:  # pragma: no cover - already closed
@@ -392,21 +417,28 @@ class WorkerPool:
 
 
 _pool: WorkerPool | None = None
+_atexit_registered = False
 
 
 def worker_pool(context=None) -> WorkerPool | None:
     """The process-global pool, created (empty) on first use.
 
-    Workers are daemonic, so an exiting parent never leaks them; call
-    :func:`shutdown_pool` for an orderly teardown (tests, long-lived
-    embedders).
+    Workers are daemonic, so an exiting parent never leaks them; an
+    ``atexit`` hook additionally reaps them on orderly interpreter exit
+    (daemonic children survive their parent when the parent is killed
+    mid-``fork``, and "usually cleaned up eventually" is not the contract
+    Ctrl-C users expect).  Call :func:`shutdown_pool` for an explicit
+    teardown (tests, long-lived embedders).
     """
-    global _pool
+    global _pool, _atexit_registered
     if _pool is None:
         context = context if context is not None else _fork_context()
         if context is None:
             return None
         _pool = WorkerPool(context)
+        if not _atexit_registered:
+            atexit.register(shutdown_pool)
+            _atexit_registered = True
     return _pool
 
 
@@ -427,6 +459,7 @@ class _Running:
     query: Query
     deadline: float | None
     span: "obs.SpanRef | None" = None  # the dispatch.attempt trace span
+    last_beat: float = 0.0  # monotonic time of the last heartbeat drained
 
 
 def _external_deadline(budget: Budget | None) -> float | None:
@@ -506,8 +539,10 @@ def _solve_parallel(
     idle: list[_PoolWorker] = list(pool.workers[:workers])
     limit = workers
     crash_count = kill_count = retry_count = fallback_count = 0
+    wedged_count = 0
     next_shrink = _SHRINK_THRESHOLD
     seq = 0
+    beat_timeout = heartbeat.heartbeat_timeout()
 
     def finish_attempt(record: _Running, reason: FailureReason) -> None:
         """A worker died or was killed: retry, fall back, or give up."""
@@ -581,22 +616,43 @@ def _solve_parallel(
                     span=obs.begin_span(
                         "dispatch.attempt", query=query.name, attempt=attempt
                     ),
+                    last_beat=time.monotonic(),
                 )
             if not busy:
                 continue
-            deadlines = [
+            # Wake at the earliest external deadline or heartbeat expiry,
+            # whichever comes first; without either, block until a result.
+            wakeups = [
                 record.deadline
                 for record in busy.values()
                 if record.deadline is not None
             ]
+            if beat_timeout > 0:
+                wakeups.extend(
+                    record.last_beat + beat_timeout for record in busy.values()
+                )
             timeout = None
-            if deadlines:
-                timeout = max(0.01, min(deadlines) - time.monotonic())
+            if wakeups:
+                timeout = max(0.01, min(wakeups) - time.monotonic())
+            hb_map = {record.worker.hb_conn: record for record in busy.values()}
             ready = multiprocessing.connection.wait(
-                list(busy.keys()), timeout=timeout
+                list(busy.keys()) + list(hb_map.keys()), timeout=timeout
             )
             now = time.monotonic()
             for conn in ready:
+                if conn not in busy:
+                    # A heartbeat: drain the pipe, refresh the clock.  EOF
+                    # here means the worker died -- its result pipe's EOF
+                    # (also in `ready`) does the accounting.
+                    record = hb_map.get(conn)
+                    try:
+                        while conn.poll(0):
+                            conn.recv_bytes()
+                    except (EOFError, OSError):
+                        continue
+                    if record is not None:
+                        record.last_beat = now
+                    continue
                 record = busy.pop(conn)
                 try:
                     result_seq, results, worker_events = conn.recv()
@@ -624,7 +680,27 @@ def _solve_parallel(
                 obs.finish_span(record.span, outcome="killed")
                 replace_worker(record.worker, kill=True)
                 finish_attempt(record, FailureReason.TIMEOUT)
-            if crash_count + kill_count >= next_shrink and limit > 1:
+            if beat_timeout > 0:
+                # The watchdog: a busy worker whose beats went stale is
+                # wedged -- kill it now rather than waiting out the (often
+                # much longer) 2x-wall external deadline.
+                for conn in [
+                    conn
+                    for conn, record in busy.items()
+                    if now - record.last_beat > beat_timeout
+                ]:
+                    record = busy.pop(conn)
+                    wedged_count += 1
+                    obs.point(
+                        "dispatch.wedged",
+                        query=record.query.name,
+                        attempt=record.attempt,
+                        silent_seconds=round(now - record.last_beat, 3),
+                    )
+                    obs.finish_span(record.span, outcome="wedged")
+                    replace_worker(record.worker, kill=True)
+                    finish_attempt(record, FailureReason.WEDGED)
+            if crash_count + kill_count + wedged_count >= next_shrink and limit > 1:
                 limit = max(1, limit // 2)
                 next_shrink *= 2
     finally:
@@ -646,6 +722,7 @@ def _solve_parallel(
         for count, name in (
             (crash_count, "worker_crashes_total"),
             (kill_count, "worker_kills_total"),
+            (wedged_count, "worker_wedged_total"),
             (retry_count, "dispatch_retries_total"),
             (fallback_count, "serial_fallbacks_total"),
         ):
@@ -667,7 +744,7 @@ def _solve_parallel(
                     )
     if stats is not None:
         stats.retries += retry_count
-        stats.worker_kills += kill_count
+        stats.worker_kills += kill_count + wedged_count
         stats.worker_crashes += crash_count
         stats.serial_fallbacks += fallback_count
         for index, batch in enumerate(batches):

@@ -47,6 +47,7 @@ from typing import Iterable, Mapping
 from .. import obs
 from ..logic import syntax as s
 from ..logic.sorts import FuncDecl, RelDecl, Sort, Vocabulary
+from ..recovery import heartbeat
 from ..logic.structures import Elem, Structure
 from ..logic.subst import FreshNames, substitute
 from ..logic.transform import eliminate_ite, nnf, skolemize_ea
@@ -661,6 +662,7 @@ class PreparedEpr:
             counters["rounds"] += 1
             if counters["rounds"] > max_rounds:
                 raise RuntimeError("instantiation/congruence loop failed to converge")
+            heartbeat.beat()  # liveness for the pool watchdog
             if self._meter is not None:
                 self._meter.check_deadline()
             result = self.sat.solve(assumptions, self._meter)

@@ -24,12 +24,23 @@ inside forked worker processes (:func:`mark_worker` is called after the
 fork): the dispatch parent and the in-process serial fallback are always
 fault-free, which is what guarantees every query eventually gets a
 fault-free attempt.
+
+One fault mode targets the **main process** instead: ``kill9`` gives a
+per-checkpoint probability that :func:`maybe_inject_main` SIGKILLs the
+whole run.  The run journal (:mod:`repro.recovery.journal`) calls it
+right after every durable append, so ``REPRO_FAULT=kill9:0.3,seed:N``
+turns any verification into a crash-at-a-random-journal-boundary
+experiment -- the chaos harness then resumes the run and asserts the
+verdict is identical.  ``kill9`` never fires in workers (they have
+``crash`` for that) and is deliberately excluded from worker fault
+draws.
 """
 
 from __future__ import annotations
 
 import os
 import random
+import signal
 import time
 from dataclasses import dataclass
 
@@ -46,6 +57,7 @@ class FaultPlan:
     crash: float = 0.0
     hang: float = 0.0
     slow: float = 0.0
+    kill9: float = 0.0  # main-process SIGKILL per checkpoint, not a worker fault
     slow_seconds: float = 0.5
     hang_seconds: float = 3600.0
     seed: int = 0
@@ -78,7 +90,7 @@ def parse_fault_spec(spec: str) -> FaultPlan | None:
                 continue
             pieces = part.split(":")
             key = pieces[0].strip()
-            if key not in ("crash", "hang", "slow", "seed"):
+            if key not in ("crash", "hang", "slow", "kill9", "seed"):
                 return None
             if key == "seed":
                 fields["seed"] = int(pieces[1])
@@ -100,10 +112,19 @@ def parse_fault_spec(spec: str) -> FaultPlan | None:
         return None
     kwargs = {
         key: fields[key]
-        for key in ("crash", "hang", "slow", "slow_seconds", "hang_seconds")
+        for key in (
+            "crash",
+            "hang",
+            "slow",
+            "kill9",
+            "slow_seconds",
+            "hang_seconds",
+        )
         if key in fields
     }
     plan = FaultPlan(seed=int(fields.get("seed", 0)), **kwargs)
+    # kill9 draws independently (main process, not worker attempts), so it
+    # is not part of the worker-fault probability partition.
     if plan.crash + plan.hang + plan.slow > 1.0:
         return None
     return plan
@@ -146,7 +167,7 @@ def active_plan() -> FaultPlan | None:
 
 
 def _plan_is_noop(plan: FaultPlan) -> bool:
-    return plan.crash == plan.hang == plan.slow == 0.0
+    return plan.crash == plan.hang == plan.slow == plan.kill9 == 0.0
 
 
 def mark_worker() -> None:
@@ -177,3 +198,22 @@ def maybe_inject(name: str, attempt: int) -> None:
         time.sleep(plan.hang_seconds)
     elif fault == "slow":
         time.sleep(plan.slow_seconds)
+
+
+def maybe_inject_main(name: str) -> None:
+    """SIGKILL the *main* process with probability ``kill9`` (chaos only).
+
+    Called at durability checkpoints (journal appends).  Deterministic in
+    ``(seed, name)`` so a given seed kills a run at the same checkpoint
+    every time -- and, crucially, the *resumed* run (which skips the
+    journaled work and so never revisits that checkpoint's name) runs to
+    completion.  A no-op inside workers: they have ``crash``.
+    """
+    if _in_worker:
+        return
+    plan = active_plan()
+    if plan is None or plan.kill9 <= 0.0:
+        return
+    rng = random.Random(f"{plan.seed}:kill9:{name}")
+    if rng.random() < plan.kill9:
+        os.kill(os.getpid(), signal.SIGKILL)

@@ -24,6 +24,7 @@ from .. import obs
 from ..logic import syntax as s
 from ..logic.sorts import FuncDecl, Sort, StratificationError, Vocabulary
 from ..logic.subst import substitute
+from ..recovery import heartbeat
 from .budget import BudgetMeter
 
 
@@ -118,6 +119,7 @@ def instantiate_universals(
             yield matrix
             continue
         for combo in itertools.product(*domains):
+            heartbeat.beat()  # large products must still look alive
             yield substitute(matrix, dict(zip(vars_, combo)))
 
 

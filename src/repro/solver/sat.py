@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from .. import obs
+from ..recovery import heartbeat
 from .budget import BudgetMeter
 
 _UNASSIGNED = 0
@@ -278,6 +279,7 @@ class Solver:
             if conflict is not None:
                 self.statistics["conflicts"] += 1
                 conflict_count += 1
+                heartbeat.beat()  # liveness for the pool watchdog
                 if meter is not None:
                     meter.charge_conflict()
                 if self._decision_level() == 0:
@@ -322,6 +324,8 @@ class Solver:
                 self._backtrack(0)
                 return SatResult(True, model=model)
             self.statistics["decisions"] += 1
+            if self.statistics["decisions"] % 2048 == 0:
+                heartbeat.beat()  # conflict-free search must still look alive
             if meter is not None:
                 meter.charge_decision()
             self._new_decision_level()

@@ -129,16 +129,17 @@ def test_record_then_proven_roundtrip(tmp_path, bundle):
     assert len(ledger) == 1
 
 
-def test_truncated_entry_reads_unproven_and_is_deleted(tmp_path, bundle, capsys):
+def test_truncated_entry_reads_unproven_and_is_deleted(tmp_path, bundle, caplog):
     ledger = Ledger(str(tmp_path))
     key, entry = entry_for(bundle)
     ledger.record(entry)
     path = ledger._path(key)
     with open(path, "r+") as handle:
         handle.truncate(10)
-    assert ledger.proven(key) is None
+    with caplog.at_level("WARNING", logger="repro.store"):
+        assert ledger.proven(key) is None
     assert not os.path.exists(path)
-    assert "treated as unproven" in capsys.readouterr().err
+    assert "treated as unproven" in caplog.text
     # Deleted means the next lookup is a clean miss, not another warning.
     assert ledger.proven(key) is None
 
@@ -157,16 +158,16 @@ def test_stale_schema_entry_reads_unproven(tmp_path, bundle):
     assert not os.path.exists(path)
 
 
-def test_corruption_warns_once_per_process(tmp_path, bundle, capsys):
+def test_corruption_warns_once_per_store(tmp_path, bundle, caplog):
     ledger = Ledger(str(tmp_path))
-    for index in (0, 1):
-        key, entry = entry_for(bundle, index)
-        ledger.record(entry)
-        with open(ledger._path(key), "w") as handle:
-            handle.write("{ not json")
-        assert ledger.proven(key) is None
-    err = capsys.readouterr().err
-    assert err.count("treated as unproven") == 1
+    with caplog.at_level("WARNING", logger="repro.store"):
+        for index in (0, 1):
+            key, entry = entry_for(bundle, index)
+            ledger.record(entry)
+            with open(ledger._path(key), "w") as handle:
+                handle.write("{ not json")
+            assert ledger.proven(key) is None
+    assert caplog.text.count("treated as unproven") == 1
 
 
 def test_key_mismatch_is_corruption(tmp_path, bundle):

@@ -1,0 +1,50 @@
+"""``repro report`` surfaces journal appends and transient-I/O retries."""
+
+from repro import obs
+from repro.cli import main
+
+
+def _synthetic(events):
+    base = [{"e": "run", "run": "r1", "v": 1}]
+    return base + events
+
+
+class TestDurabilitySection:
+    def test_journal_and_retry_points_are_summarized(self):
+        events = _synthetic([
+            {"e": "point", "id": "p1", "name": "journal.append", "ts": 0.1,
+             "attrs": {"kind": "obligation"}},
+            {"e": "point", "id": "p2", "name": "journal.append", "ts": 0.2,
+             "attrs": {"kind": "obligation"}},
+            {"e": "point", "id": "p3", "name": "journal.append", "ts": 0.3,
+             "attrs": {"kind": "houdini.round"}},
+            {"e": "point", "id": "p4", "name": "store.retry", "ts": 0.4,
+             "attrs": {"op": "write abc123", "errno": 11, "attempt": 1}},
+            {"e": "start", "id": "s1", "name": "journal.load", "ts": 0.0},
+            {"e": "end", "id": "s1", "dur": 0.001,
+             "attrs": {"events": 7}},
+        ])
+        report = obs.render_report(events)
+        assert "durability (write-ahead journal, disk stores):" in report
+        assert "journal loads: 1 (7 event(s) replayed)" in report
+        assert "journal appends: 3" in report
+        assert "2 obligation" in report and "1 houdini.round" in report
+        assert "transient I/O retries: 1" in report
+        assert "write abc123" in report
+
+    def test_section_absent_without_durability_events(self):
+        report = obs.render_report(_synthetic([]))
+        assert "durability" not in report
+
+    def test_traced_journaled_run_reports_appends(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        code = main([
+            "check", "lock_server",
+            "--run-dir", str(tmp_path / "rd"),
+            "--trace", str(trace),
+        ])
+        assert code == 0
+        assert main(["report", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "journal appends:" in out
+        assert "obligation" in out

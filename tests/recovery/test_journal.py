@@ -1,0 +1,162 @@
+"""The write-ahead run journal: durability, torn tails, schema guard."""
+
+import json
+import os
+
+import pytest
+
+from repro.recovery.journal import JOURNAL_FORMAT, Journal
+
+
+@pytest.fixture()
+def path(tmp_path):
+    return str(tmp_path / "run" / "journal.jsonl")
+
+
+class TestRoundtrip:
+    def test_fresh_then_resume_replays_everything(self, path):
+        journal = Journal.fresh(path, {"command": "check"})
+        journal.append("houdini.init", "k1", failing=["a"], unknown=[])
+        journal.append("houdini.round", "k1:1", failing=[], unknown=[])
+        journal.close()
+
+        resumed = Journal.resume(path)
+        assert [e.kind for e in resumed.events] == [
+            "houdini.init", "houdini.round",
+        ]
+        assert resumed.replay("houdini.init", "k1") == {
+            "failing": ["a"], "unknown": [],
+        }
+        assert resumed.reused == 1
+        resumed.close()
+
+    def test_resume_continues_the_sequence(self, path):
+        journal = Journal.fresh(path)
+        journal.append("obligation", "x", verdict="unsat")
+        journal.close()
+        resumed = Journal.resume(path)
+        resumed.append("obligation", "y", verdict="unsat")
+        resumed.close()
+        lines = [
+            json.loads(line) for line in open(path, encoding="utf-8")
+        ]
+        assert [line["seq"] for line in lines] == [0, 1, 2]
+        assert all(line["v"] == JOURNAL_FORMAT for line in lines)
+
+    def test_replay_last_event_wins(self, path):
+        journal = Journal.fresh(path)
+        journal.append("updr.frames", "p", frames="old")
+        journal.append("updr.frames", "p", frames="new")
+        journal.close()
+        resumed = Journal.resume(path)
+        assert resumed.replay("updr.frames", "p") == {"frames": "new"}
+        resumed.close()
+
+    def test_append_after_close_is_a_noop(self, path):
+        journal = Journal.fresh(path)
+        journal.close()
+        journal.append("obligation", "x", verdict="unsat")
+        assert journal.recorded == 0
+
+    def test_events_of_orders_and_filters(self, path):
+        journal = Journal.fresh(path)
+        journal.append("updr.frames", "p", frames="f0")
+        journal.append("updr.clause", "p", clause="c1", level=1)
+        journal.append("updr.clause", "q", clause="other", level=1)
+        journal.append("updr.clause", "p", clause="c2", level=2)
+        journal.close()
+        resumed = Journal.resume(path)
+        events = resumed.events_of(("updr.frames", "updr.clause"), "p")
+        assert [e.data.get("clause", e.data.get("frames")) for e in events] \
+            == ["f0", "c1", "c2"]
+        resumed.close()
+
+
+class TestTornTail:
+    def test_half_written_last_line_is_truncated(self, path):
+        journal = Journal.fresh(path)
+        journal.append("obligation", "a", verdict="unsat")
+        journal.append("obligation", "b", verdict="unsat")
+        journal.close()
+        blob = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(blob[:-9])  # cut into the final line
+
+        resumed = Journal.resume(path)
+        assert [e.key for e in resumed.events] == ["a"]
+        # the tail was truncated on disk too: the next append is valid JSONL
+        resumed.append("obligation", "b", verdict="unsat")
+        resumed.close()
+        lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert [line["seq"] for line in lines] == [0, 1, 2]
+
+    def test_garbage_tail_is_dropped(self, path):
+        journal = Journal.fresh(path)
+        journal.append("obligation", "a", verdict="unsat")
+        journal.close()
+        with open(path, "ab") as handle:
+            handle.write(b'{"not": "an event"}\n')
+        resumed = Journal.resume(path)
+        assert [e.key for e in resumed.events] == ["a"]
+        resumed.close()
+
+    def test_missing_trailing_newline_means_torn(self, path):
+        journal = Journal.fresh(path)
+        journal.append("obligation", "a", verdict="unsat")
+        journal.close()
+        with open(path, "ab") as handle:
+            # valid JSON but no newline: the crash hit mid-write
+            handle.write(
+                json.dumps(
+                    {"v": JOURNAL_FORMAT, "seq": 2, "kind": "obligation",
+                     "key": "b", "data": {}}
+                ).encode()
+            )
+        resumed = Journal.resume(path)
+        assert [e.key for e in resumed.events] == ["a"]
+        resumed.close()
+
+
+class TestSchemaGuard:
+    def test_foreign_schema_replays_as_empty(self, path):
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(
+                json.dumps(
+                    {"v": 999, "seq": 0, "kind": "header", "key": "",
+                     "data": {}}
+                )
+                + "\n"
+            )
+            handle.write(
+                json.dumps(
+                    {"v": 999, "seq": 1, "kind": "obligation", "key": "a",
+                     "data": {"verdict": "unsat"}}
+                )
+                + "\n"
+            )
+        resumed = Journal.resume(path)
+        assert resumed.events == []
+        assert resumed.replay("obligation", "a") is None
+        # it starts over with a fresh header of the current schema
+        resumed.append("obligation", "b", verdict="unsat")
+        resumed.close()
+        lines = [json.loads(line) for line in open(path, encoding="utf-8")]
+        assert [line["v"] for line in lines] == [JOURNAL_FORMAT] * 2
+        assert [line["seq"] for line in lines] == [0, 1]
+
+
+class TestMetrics:
+    def test_reused_ratio(self, path):
+        journal = Journal.fresh(path)
+        journal.append("obligation", "a", verdict="unsat")
+        journal.append("obligation", "b", verdict="unsat")
+        journal.close()
+        resumed = Journal.resume(path)
+        assert resumed.reused_ratio() == 0.0
+        assert resumed.replay("obligation", "a") is not None
+        assert resumed.replay("obligation", "b") is not None
+        assert resumed.reused_ratio() == 1.0
+        resumed.append("obligation", "c", verdict="unsat")
+        assert resumed.reused_ratio() == pytest.approx(2 / 3)
+        resumed.close()

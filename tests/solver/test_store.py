@@ -1,0 +1,303 @@
+"""The shared sharded store: atomicity, healing, retries, concurrency.
+
+The two-process stress tests are the multi-process-safety contract for
+the stores built on :class:`~repro.store.ShardedStore` (the disk cache
+and the proven-lemma ledger): two runs hammering one shared directory
+must lose no entries, corrupt nothing, and converge to byte-identical
+final contents.
+"""
+
+import errno
+import hashlib
+import json
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+import repro
+from repro import obs
+from repro.proof.ledger import Ledger, LedgerEntry, ledger_key
+from repro.solver.cache import DISK_FORMAT, DiskCache
+from repro.solver.epr import EprResult
+from repro.store import (
+    RETRY_ATTEMPTS,
+    ShardedStore,
+    is_transient,
+    with_retry,
+)
+
+SRC = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class TestShardedStore:
+    def test_write_read_roundtrip(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), ".bin")
+        digest = _digest("hello")
+        assert store.write(digest, b"payload")
+        assert store.read(digest) == b"payload"
+        assert store.path_of(digest).endswith(
+            os.path.join(digest[:2], digest + ".bin")
+        )
+
+    def test_missing_entry_is_none(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), ".bin")
+        assert store.read(_digest("nope")) is None
+
+    def test_no_temp_files_survive_a_write(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), ".bin")
+        digest = _digest("x")
+        store.write(digest, b"data")
+        shard = os.path.dirname(store.path_of(digest))
+        assert [n for n in os.listdir(shard) if n.endswith(".tmp")] == []
+
+    def test_heal_removes_bad_entry_and_warns_once(self, tmp_path, caplog):
+        store = ShardedStore(str(tmp_path / "s"), ".bin")
+        bad = _digest("bad")
+        store.write(bad, b"garbage")
+        with caplog.at_level("WARNING", logger="repro.store"):
+            assert store.heal(bad, lambda raw: False, "is corrupt") is None
+            assert store.heal(bad, lambda raw: False, "is corrupt") is None
+        assert store.read(bad) is None
+        warnings = [r for r in caplog.records if "is corrupt" in r.message]
+        assert len(warnings) == 1  # warn-once per (store, reason)
+
+    def test_heal_keeps_a_concurrently_repaired_entry(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), ".bin")
+        digest = _digest("fixed")
+        store.write(digest, b"now-valid")
+        healed = store.heal(digest, lambda raw: raw == b"now-valid", "bad")
+        assert healed == b"now-valid"
+        assert store.read(digest) == b"now-valid"
+
+    def test_digests_inventory(self, tmp_path):
+        store = ShardedStore(str(tmp_path / "s"), ".bin")
+        wanted = {_digest(str(i)) for i in range(5)}
+        for digest in wanted:
+            store.write(digest, b"x")
+        assert set(store.digests()) == wanted
+        assert len(store) == 5
+
+
+class TestWithRetry:
+    def test_transient_error_is_retried(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError(errno.EAGAIN, "try again")
+
+        registry = obs.MetricsRegistry()
+        old = obs.install_metrics(registry)
+        try:
+            with_retry(flaky, "test-op", base=0.001)
+        finally:
+            obs.install_metrics(old)
+        assert len(calls) == 3
+        counters = registry.to_dict()["counters"]
+        assert counters.get("store_retries_total") == 2
+
+    def test_non_transient_error_propagates_immediately(self):
+        calls = []
+
+        def broken():
+            calls.append(1)
+            raise OSError(errno.EACCES, "denied")
+
+        with pytest.raises(OSError):
+            with_retry(broken, "test-op", base=0.001)
+        assert len(calls) == 1
+
+    def test_final_transient_failure_propagates(self):
+        def hopeless():
+            raise OSError(errno.EAGAIN, "forever")
+
+        with pytest.raises(OSError):
+            with_retry(hopeless, "test-op", base=0.001)
+
+    def test_is_transient(self):
+        assert is_transient(OSError(errno.EAGAIN, ""))
+        assert is_transient(OSError(errno.ENOSPC, ""))
+        assert not is_transient(OSError(errno.EACCES, ""))
+        assert RETRY_ATTEMPTS >= 2
+
+
+def _fixed_entry(index: int) -> LedgerEntry:
+    """A deterministic ledger entry: both stress processes write the
+    exact same bytes for the same key, so the final store contents are
+    byte-comparable."""
+    return LedgerEntry(
+        program="stress",
+        invariant=f"C{index}",
+        kind="consecution",
+        program_hash=_digest("prog"),
+        obligation_hash=_digest(f"ob{index}"),
+        lemma_hash=_digest("lemmas"),
+        engine="stress",
+        budget=None,
+        git_rev=None,
+        run_id=None,
+        wall_ms=1.0,
+        created_unix=1_700_000_000.0,
+    )
+
+
+_STRESS_SCRIPT = textwrap.dedent(
+    """
+    import pickle, sys
+    from repro.proof.ledger import Ledger
+    from repro.solver.cache import DiskCache
+
+    cache_dir, ledger_dir, blob = sys.argv[1], sys.argv[2], sys.argv[3]
+    entries, results = pickle.loads(open(blob, "rb").read())
+    cache = DiskCache(cache_dir)
+    ledger = Ledger(ledger_dir)
+    for _ in range(8):  # rewrite loop: maximize replace/read interleaving
+        for key, result in results:
+            cache.store(key, result)
+            assert cache.lookup(key) is not None
+        for entry in entries:
+            ledger.record(entry)
+            assert ledger.proven(entry.key) is not None
+    print("ok")
+    """
+)
+
+
+class TestTwoProcessStress:
+    def test_shared_cache_and_ledger_survive_concurrent_writers(
+        self, tmp_path
+    ):
+        cache_dir = str(tmp_path / "cache")
+        ledger_dir = str(tmp_path / "ledger")
+        entries = [_fixed_entry(i) for i in range(24)]
+        results = [
+            (("stress-key", i), EprResult(False, statistics={"i": i}))
+            for i in range(24)
+        ]
+        blob = tmp_path / "work.pkl"
+        blob.write_bytes(pickle.dumps((entries, results)))
+
+        env = dict(os.environ, PYTHONPATH=SRC)
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", _STRESS_SCRIPT, cache_dir,
+                 ledger_dir, str(blob)],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(2)
+        ]
+        for worker in workers:
+            out, err = worker.communicate(timeout=240)
+            assert worker.returncode == 0, err
+            assert out.strip() == "ok"
+
+        # no lost entries, nothing corrupt
+        cache = DiskCache(cache_dir)
+        for key, expected in results:
+            found = cache.lookup(key)
+            assert found is not None
+            assert found.statistics == expected.statistics
+        ledger = Ledger(ledger_dir)
+        for entry in entries:
+            assert ledger.proven(entry.key) == entry
+
+        # byte-identical final contents: every file equals the one
+        # serialization both processes were writing
+        for key, result in results:
+            digest = hashlib.sha256(repr(key).encode()).hexdigest()
+            path = os.path.join(cache_dir, digest[:2], digest + ".pkl")
+            assert open(path, "rb").read() == pickle.dumps(
+                (DISK_FORMAT, key, result)
+            )
+        from dataclasses import asdict
+
+        from repro.proof.ledger import LEDGER_FORMAT
+
+        for entry in entries:
+            path = os.path.join(
+                ledger_dir, entry.key[:2], entry.key + ".json"
+            )
+            expected = json.dumps(
+                {"format": LEDGER_FORMAT, "entry": asdict(entry)},
+                indent=1, sort_keys=True,
+            ).encode("utf-8")
+            assert open(path, "rb").read() == expected
+
+        # no stray temp files or lock litter beyond the lockfiles
+        for root in (cache_dir, ledger_dir):
+            for dirpath, _dirnames, filenames in os.walk(root):
+                for name in filenames:
+                    assert not name.endswith(".tmp"), (dirpath, name)
+
+    def test_concurrent_heal_and_rewrite_never_lose_the_entry(
+        self, tmp_path
+    ):
+        """The fcntl-guarded heal path: one process repeatedly rewrites a
+        key while another repeatedly corrupts-then-looks-it-up.  Every
+        lookup must be either a valid hit or a clean miss -- never a
+        crash, and the final state must be the valid entry."""
+        cache_dir = str(tmp_path / "cache")
+        key = ("contended", 0)
+        result = EprResult(False, statistics={"v": 1})
+        DiskCache(cache_dir).store(key, result)
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()
+        path = os.path.join(cache_dir, digest[:2], digest + ".pkl")
+
+        writer_src = textwrap.dedent(
+            """
+            import pickle, sys
+            from repro.solver.cache import DiskCache
+            cache = DiskCache(sys.argv[1])
+            key = ("contended", 0)
+            from repro.solver.epr import EprResult
+            result = EprResult(False, statistics={"v": 1})
+            for _ in range(300):
+                cache.store(key, result)
+            print("ok")
+            """
+        )
+        mangler_src = textwrap.dedent(
+            """
+            import sys
+            from repro.solver.cache import DiskCache
+            cache = DiskCache(sys.argv[1])
+            key = ("contended", 0)
+            path = sys.argv[2]
+            for _ in range(300):
+                try:
+                    with open(path, "wb") as handle:
+                        handle.write(b"corrupt")
+                except OSError:
+                    pass
+                cache.lookup(key)  # hit or clean miss, never a crash
+            print("ok")
+            """
+        )
+        env = dict(os.environ, PYTHONPATH=SRC)
+        workers = [
+            subprocess.Popen(
+                [sys.executable, "-c", src, cache_dir, path],
+                env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+                text=True,
+            )
+            for src in (writer_src, mangler_src)
+        ]
+        for worker in workers:
+            out, err = worker.communicate(timeout=240)
+            assert worker.returncode == 0, err
+            assert out.strip() == "ok"
+        # settle: one final rewrite must leave a valid, readable entry
+        cache = DiskCache(cache_dir)
+        cache.store(key, result)
+        found = cache.lookup(key)
+        assert found is not None and found.statistics == {"v": 1}
