@@ -23,7 +23,9 @@ root (see :mod:`benchmarks.telemetry`).
 
 ``test_tracing_overhead`` pins the observability tentpole's promise:
 span tracing on a serial BMC workload must cost no more than 5% wall
-time over the untraced run.
+time over the untraced run.  ``test_profiler_overhead`` holds the
+per-phase query profiler (:mod:`repro.obs.profile`) to the same 5%
+envelope, timers-on (the default) versus timers-off.
 """
 
 import io
@@ -436,4 +438,68 @@ def test_tracing_overhead(benchmark, bundles, results_dir, no_cache):
     assert overhead <= 0.05, (
         f"tracing overhead {overhead:+.1%} exceeds the 5% budget "
         f"(untraced {plain_time:.2f}s, traced {traced_time:.2f}s)"
+    )
+
+
+def test_profiler_overhead(benchmark, bundles, results_dir, no_cache):
+    """Phase timers on (the default) must cost <= 5% over timers off.
+
+    The profiler brackets every grounding, CDCL call, theory round, and
+    cache access with two ``perf_counter`` + two ``thread_time`` reads;
+    this pins that the coarse placement keeps the serial BMC workload
+    within the same 5% envelope the tracer honors.
+    """
+    from repro.obs import profile
+
+    bundle = bundles["leader_election"]
+    safety = bundle.safety[0].formula
+
+    def bmc():
+        return check_k_invariance(bundle.program, safety, BMC_BOUND, jobs=1)
+
+    def best_of(runs):
+        best = float("inf")
+        result = None
+        for _ in range(runs):
+            start = time.perf_counter()
+            result = bmc()
+            best = min(best, time.perf_counter() - start)
+        return result, best
+
+    was_on = profile.set_profiling(False)
+    try:
+        off_result, off_time = best_of(2)
+    finally:
+        profile.set_profiling(True)
+
+    def run():
+        return best_of(2)
+
+    try:
+        on_result, on_time = benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        profile.set_profiling(was_on)
+    assert off_result.holds and on_result.holds
+    overhead = on_time / off_time - 1.0 if off_time else 0.0
+    benchmark.extra_info.update(
+        {"off_s": round(off_time, 3), "overhead": round(overhead, 3)}
+    )
+    record(
+        results_dir,
+        "dispatch_profiler_overhead",
+        f"BMC k={BMC_BOUND} leader_election: profiler off {off_time:.2f}s, "
+        f"on {on_time:.2f}s ({overhead:+.1%} overhead)\n",
+    )
+    update_bench(
+        "dispatch",
+        "profiler_overhead",
+        {
+            "off_s": round(off_time, 3),
+            "on_s": round(on_time, 3),
+            "overhead": round(overhead, 4),
+        },
+    )
+    assert overhead <= 0.05, (
+        f"profiler overhead {overhead:+.1%} exceeds the 5% budget "
+        f"(off {off_time:.2f}s, on {on_time:.2f}s)"
     )

@@ -63,6 +63,16 @@ def _protocol_row(name, bundle, ledger_root) -> dict:
         "ledger_hits": warm.statistics.get("ledger_hits", 0),
         "ledger_misses": warm.statistics.get("ledger_misses", 0),
         "ledger_warm_wall_s": round(warm_wall, 3),
+        # Schema v3: per-phase wall totals (ms) aggregated by SolverStats
+        # from the phase_*_ms keys the profiler puts in every query's
+        # statistics; lets the regression gate name the phase that slowed.
+        "phases": {
+            key[len("phase_") : -len("_ms")]: value
+            for key, value in sorted(stats.counters.items())
+            if key.startswith("phase_")
+            and key.endswith("_ms")
+            and not key.endswith("_cpu_ms")
+        },
     }
 
 

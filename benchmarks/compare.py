@@ -1,0 +1,60 @@
+"""Regression gate CLI: diff two BENCH_*.json telemetry files.
+
+Usage::
+
+    python benchmarks/compare.py BASELINE CANDIDATE [--max-ratio R]
+        [--floor-s S] [--report-only]
+
+Exit 0 when every drift stays inside the noise envelope, 1 on a
+regression (a timing past ``max_ratio``x + ``floor_s``, a ``holds``
+flip, an ``unknown`` increase).  ``--report-only`` always exits 0 --
+the PR mode, where the printed report is advisory.
+
+The comparison logic lives in :mod:`repro.obs.benchcmp` (shared with
+``repro bench diff``); this wrapper only fixes up ``sys.path`` so the
+script runs from a bare checkout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import benchcmp  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="diff two BENCH_*.json files with noise-aware thresholds"
+    )
+    parser.add_argument("baseline", help="committed baseline BENCH_*.json")
+    parser.add_argument("candidate", help="freshly generated BENCH_*.json")
+    parser.add_argument(
+        "--max-ratio", type=float, default=benchcmp.DEFAULT_MAX_RATIO,
+        help="relative growth allowed before a timing regresses "
+             f"(default {benchcmp.DEFAULT_MAX_RATIO}x)",
+    )
+    parser.add_argument(
+        "--floor-s", type=float, default=benchcmp.DEFAULT_FLOOR_S,
+        help="absolute seconds of growth always tolerated "
+             f"(default {benchcmp.DEFAULT_FLOOR_S}s)",
+    )
+    parser.add_argument(
+        "--report-only", action="store_true",
+        help="print the report but always exit 0 (PR-gate mode)",
+    )
+    args = parser.parse_args(argv)
+    return benchcmp.diff_files(
+        args.baseline,
+        args.candidate,
+        max_ratio=args.max_ratio,
+        floor_s=args.floor_s,
+        report_only=args.report_only,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

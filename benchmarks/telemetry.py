@@ -2,10 +2,10 @@
 
 Every benchmark run leaves a JSON artifact at the repository root so CI
 and regression tooling can diff numbers across commits without scraping
-pytest output.  Schema (version 2)::
+pytest output.  Schema (version 3)::
 
     {
-      "schema": 2,
+      "schema": 3,
       "bench": "<name>",
       "generated_unix": <float>,
       "git_rev": "<short rev or null>",
@@ -23,6 +23,13 @@ Version 2 added the proven-lemma ledger columns to the protocol rows:
 against :mod:`repro.proof.ledger`, and ``ledger_warm_wall_s`` is the
 wall time of that rerun (every obligation served from disk).
 
+Version 3 added the ``phases`` sub-dict to the protocol rows -- the
+per-phase wall totals (``normalize``/``ground``/``cnf``/``cache``/
+``sat``/``theory``/``extract``, in ms) that
+:mod:`repro.obs.profile` attaches to every query's statistics -- so the
+regression gate (:mod:`repro.obs.benchcmp`, ``benchmarks/compare.py``)
+can attribute a wall-time regression to the phase that slowed down.
+
 :func:`update_bench` is incremental -- each test merges its own section
 into the existing file -- so a partial benchmark run refreshes only the
 numbers it measured.
@@ -38,7 +45,7 @@ import subprocess
 import sys
 import time
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 

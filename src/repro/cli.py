@@ -18,7 +18,12 @@ Subcommands mirror the paper's workflow:
   targets are protocol names or ``.rml`` files, output is
   ``--format text|json|sarif``;
 * ``report <trace.jsonl>`` -- render the per-phase / per-query breakdown
-  of a trace produced with ``--trace``.
+  of a trace produced with ``--trace`` (``--hotspots`` for the
+  phase-decomposition profiler view);
+* ``watch <run_dir>`` -- live terminal view of a journaled run in
+  flight, tailing its journal and trace tee;
+* ``bench diff <A> <B>`` -- the noise-aware ``BENCH_*.json`` regression
+  gate (see :mod:`repro.obs.benchcmp`).
 
 The solving subcommands run the same analysis as a pre-flight: a program
 whose VCs leave the decidable fragment fails fast with exit code 2 and a
@@ -26,8 +31,10 @@ compiler-style diagnostic, before any solver query (disable with
 ``--no-preflight``).
 
 Every solving subcommand accepts the observability flags ``--trace FILE``
-(JSONL span trace), ``--metrics FILE`` (JSON metrics snapshot), and
-``--progress`` (live span echo on stderr); see :mod:`repro.obs`.  Query
+(JSONL span trace), ``--metrics FILE`` (JSON metrics snapshot),
+``--metrics-port PORT`` (live Prometheus-style HTTP endpoint while the
+run is in flight), and ``--progress`` (live span echo on stderr); see
+:mod:`repro.obs`.  Query
 caching is controlled with ``--persist-cache`` / ``--cache-dir DIR``
 (disk-backed cache shared across runs; see :mod:`repro.solver.cache`) and
 ``--no-cache``.
@@ -111,22 +118,20 @@ def _budget_of(args: argparse.Namespace) -> Budget | None:
     )
 
 
-def _open_journal(
-    args: argparse.Namespace, argv: list[str]
-) -> tuple[Journal | None, str | None]:
-    """Open this run's write-ahead journal, honoring the recovery flags.
+def _journal_config(args: argparse.Namespace) -> tuple[str, str] | None:
+    """``(run_dir, target)`` when this run journals, else None.
 
-    Returns ``(journal, run_dir)`` -- both None for subcommands without
-    recovery options or when journaling is off.  Journaling turns on with
+    Factored out of :func:`_open_journal` so :func:`_install_obs` can
+    learn the run directory *before* the journal opens -- the trace tee
+    (``run_dir/trace.jsonl``, what ``repro watch`` tails) must be
+    installed before any spans fire.  Journaling turns on with
     ``--run-dir``, ``--resume``, or ``REPRO_JOURNAL=1``; the run
     directory defaults to the deterministic
     :func:`~repro.recovery.resume.default_run_dir`, so a bare
-    ``--resume`` lands on the directory the killed run wrote to.  The
-    journal is registered as the process-wide active journal (flushed by
-    the signal path) and closed by :func:`main`'s teardown.
+    ``--resume`` lands on the directory the killed run wrote to.
     """
     if not hasattr(args, "resume"):
-        return None, None
+        return None
     target = (
         getattr(args, "protocol", None)
         or getattr(args, "target", None)
@@ -139,8 +144,24 @@ def _open_journal(
         or os.environ.get("REPRO_JOURNAL", "").strip() in ("1", "true", "yes")
     )
     if not enabled:
+        return None
+    return args.run_dir or default_run_dir(args.command, target), target
+
+
+def _open_journal(
+    args: argparse.Namespace, argv: list[str]
+) -> tuple[Journal | None, str | None]:
+    """Open this run's write-ahead journal, honoring the recovery flags.
+
+    Returns ``(journal, run_dir)`` -- both None for subcommands without
+    recovery options or when journaling is off.  The journal is
+    registered as the process-wide active journal (flushed by the signal
+    path) and closed by :func:`main`'s teardown.
+    """
+    config = _journal_config(args)
+    if config is None:
         return None, None
-    run_dir = args.run_dir or default_run_dir(args.command, target)
+    run_dir, target = config
     path = os.path.join(run_dir, JOURNAL_NAME)
     if args.resume and os.path.exists(path):
         journal = Journal.resume(path)
@@ -658,10 +679,33 @@ def cmd_report(args: argparse.Namespace) -> int:
         print(f"malformed trace: {error}", file=sys.stderr)
         return 1
     try:
-        print(obs.render_report(events))
+        if getattr(args, "hotspots", False):
+            print(obs.render_hotspots(events, top=args.top))
+        else:
+            print(obs.render_report(events))
     except BrokenPipeError:  # report | head: the reader left, that's fine
         sys.stderr.close()  # suppress the shutdown-time flush warning too
     return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    return obs.watch.watch(
+        args.run_dir, interval=args.interval, once=args.once
+    )
+
+
+def cmd_bench_diff(args: argparse.Namespace) -> int:
+    from .obs.benchcmp import DEFAULT_FLOOR_S, DEFAULT_MAX_RATIO
+
+    return obs.benchcmp.diff_files(
+        args.baseline,
+        args.candidate,
+        max_ratio=(
+            args.max_ratio if args.max_ratio is not None else DEFAULT_MAX_RATIO
+        ),
+        floor_s=args.floor_s if args.floor_s is not None else DEFAULT_FLOOR_S,
+        report_only=args.report_only,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -680,6 +724,12 @@ def build_parser() -> argparse.ArgumentParser:
         subparser.add_argument(
             "--metrics", default=None, metavar="FILE",
             help="write a JSON metrics snapshot (counters/histograms/rates)",
+        )
+        subparser.add_argument(
+            "--metrics-port", type=int, default=None, metavar="PORT",
+            help="serve live Prometheus-style metrics over HTTP on "
+                 "127.0.0.1:PORT while the run is in flight (0 picks a "
+                 "free port; default: REPRO_METRICS_PORT or off)",
         )
         subparser.add_argument(
             "--progress", action="store_true",
@@ -860,7 +910,57 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="render the breakdown of a --trace JSONL file"
     )
     report.add_argument("trace_file", metavar="TRACE")
+    report.add_argument(
+        "--hotspots", action="store_true",
+        help="per-phase decomposition of query wall time: phase totals, "
+             "per-engine p50/p95/p99, the slowest queries",
+    )
+    report.add_argument(
+        "--top", type=int, default=10, metavar="N",
+        help="queries to list in the --hotspots view (default: 10)",
+    )
     report.set_defaults(func=cmd_report)
+
+    watch = commands.add_parser(
+        "watch", help="live terminal view of a journaled run in flight"
+    )
+    watch.add_argument(
+        "run_dir", metavar="RUN_DIR",
+        help="run directory of the run to monitor (see ls .repro-runs)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default: 2s)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit instead of polling",
+    )
+    watch.set_defaults(func=cmd_watch)
+
+    bench = commands.add_parser(
+        "bench", help="benchmark telemetry tooling (BENCH_*.json)"
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    bench_diff = bench_commands.add_parser(
+        "diff", help="diff two BENCH_*.json files with noise-aware thresholds"
+    )
+    bench_diff.add_argument("baseline", help="committed baseline BENCH file")
+    bench_diff.add_argument("candidate", help="freshly generated BENCH file")
+    bench_diff.add_argument(
+        "--max-ratio", type=float, default=None, metavar="R",
+        help="relative growth allowed before a timing regresses "
+             "(default: 1.6x)",
+    )
+    bench_diff.add_argument(
+        "--floor-s", type=float, default=None, metavar="S",
+        help="absolute seconds of growth always tolerated (default: 0.25s)",
+    )
+    bench_diff.add_argument(
+        "--report-only", action="store_true",
+        help="print the report but always exit 0 (PR-gate mode)",
+    )
+    bench_diff.set_defaults(func=cmd_bench_diff)
 
     resume = commands.add_parser(
         "resume", help="resume a killed run from its run directory"
@@ -874,32 +974,77 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _install_obs(args: argparse.Namespace, argv: list[str]):
-    """Install tracer/metrics from the CLI flags; returns a teardown hook.
+def _metrics_port(args: argparse.Namespace) -> int | None:
+    """The exporter port: ``--metrics-port``, else ``REPRO_METRICS_PORT``."""
+    port = getattr(args, "metrics_port", None)
+    if port is not None:
+        return port
+    env = os.environ.get("REPRO_METRICS_PORT", "").strip()
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            print(
+                f"ignoring REPRO_METRICS_PORT={env!r}: expected an integer",
+                file=sys.stderr,
+            )
+    return None
 
-    The teardown uninstalls both layers, closes the trace file, and dumps
-    the metrics snapshot -- it runs in ``main``'s finally block so traces
-    and metrics survive crashed runs too.
+
+def _install_obs(args: argparse.Namespace, argv: list[str]):
+    """Install tracer/metrics/exporter from the CLI flags; returns teardown.
+
+    The teardown uninstalls every layer, stops the exporter, closes the
+    trace file, and dumps the metrics snapshot -- it runs in ``main``'s
+    finally block so traces and metrics survive crashed runs too.
+
+    A journaled run without an explicit ``--trace`` gets its trace
+    **teed into the run directory** (``run_dir/trace.jsonl``): that is
+    the live feed ``repro watch RUN_DIR`` tails for query verdicts,
+    cache/ledger hit rates, and dispatch faults.
     """
     trace_path = getattr(args, "trace", None)
     metrics_path = getattr(args, "metrics", None)
     progress = getattr(args, "progress", False)
+    if not trace_path:
+        config = _journal_config(args)
+        if config is not None:
+            run_dir, _target = config
+            os.makedirs(run_dir, exist_ok=True)
+            trace_path = os.path.join(run_dir, "trace.jsonl")
     trace_file = open(trace_path, "w") if trace_path else None
     if trace_file is not None or progress:
         tracer = obs.Tracer(sink=trace_file, progress=progress)
         obs.install_tracer(tracer)
         tracer.emit_header(argv)
+    port = _metrics_port(args)
     registry: obs.MetricsRegistry | None = None
-    if metrics_path:
+    if metrics_path or port is not None:
+        # A live endpoint needs a registry even without --metrics FILE.
         registry = obs.MetricsRegistry()
         obs.install_metrics(registry)
+    server: obs.MetricsServer | None = None
+    if port is not None:
+        server = obs.MetricsServer(port=port)
+        try:
+            server.start()
+        except OSError as error:
+            print(
+                f"cannot start the metrics exporter on port {port}: {error}",
+                file=sys.stderr,
+            )
+            server = None
+        else:
+            print(f"metrics exporter: {server.url}", file=sys.stderr)
 
     def teardown() -> None:
+        if server is not None:
+            server.stop()
         obs.install_tracer(None)
         obs.install_metrics(None)
         if trace_file is not None:
             trace_file.close()
-        if registry is not None:
+        if registry is not None and metrics_path:
             with open(metrics_path, "w") as handle:
                 json.dump(registry.to_dict(), handle, indent=2, sort_keys=True)
                 handle.write("\n")

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from .. import obs
+from ..obs import profile
 from ..logic import syntax as s
 from ..logic.fragments import is_forall_exists
 from ..logic.structures import Structure
@@ -189,7 +190,7 @@ def check_k_invariance(
     unroller = unroller or _Unroller(program, budget)
     statistics: dict[str, int] = {}
     keys = _invariance_keys(program, phi, k, journal)
-    with obs.span("bmc", kind="invariance", bound=k) as sp:
+    with profile.engine("bmc"), obs.span("bmc", kind="invariance", bound=k) as sp:
         replayed: dict[int, EprResult] = {}
         if journal is not None:
             for depth in range(k + 1):
@@ -283,7 +284,7 @@ def find_error_trace(
         from ..proof.ledger import program_fingerprint
 
         program_hash = program_fingerprint(program)
-    with obs.span("bmc", kind="error-trace", bound=k) as sp:
+    with profile.engine("bmc"), obs.span("bmc", kind="error-trace", bound=k) as sp:
         probes: list[tuple[int, EprSolver | None, str]] = []
         replayed: dict[int, EprResult] = {}
         for depth in range(k + 1):

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .. import obs
+from ..obs import profile
 from ..logic import syntax as s
 from ..logic.printer import canonical_str
 from ..rml.ast import Program
@@ -202,7 +203,7 @@ def houdini(
     journal_key = (
         pool_fingerprint(program, candidates) if journal is not None else ""
     )
-    with obs.span("houdini", candidates=len(candidates)) as sp:
+    with profile.engine("houdini"), obs.span("houdini", candidates=len(candidates)) as sp:
         if ledger is not None and ledger_proven(program, candidates, ledger):
             sp.set(rounds=0, invariant=len(candidates), ledger_skip=True)
             statistics["ledger_hits"] = 2 * len(candidates)

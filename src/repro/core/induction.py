@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Literal, Mapping, Sequence
 
 from .. import obs
+from ..obs import profile
 from ..logic import syntax as s
 from ..logic.fragments import is_universal
 from ..logic.structures import Structure
@@ -214,26 +215,28 @@ def _ledger_split(
     keys: dict[int, tuple[str, str, str, str]] = {}
     hits = 0
     journal_hits = 0
-    for obligation in pending:
-        parts = keys_of(
-            program,
-            obligation,
-            obligation_premises(obligation, conjectures, lemmas),
-            program_hash=program_hash,
-        )
-        if ledger is not None and ledger.proven(parts[0]) is not None:
-            hits += 1
-            continue
-        if journal is not None:
-            data = journal.replay("obligation", parts[0])
-            if data is not None and data.get("verdict") == "unsat":
-                journal_hits += 1
+    with profile.phase("ledger"):
+        for obligation in pending:
+            parts = keys_of(
+                program,
+                obligation,
+                obligation_premises(obligation, conjectures, lemmas),
+                program_hash=program_hash,
+            )
+            if ledger is not None and ledger.proven(parts[0]) is not None:
+                hits += 1
                 continue
-        keys[len(to_solve)] = parts
-        to_solve.append(obligation)
+            if journal is not None:
+                data = journal.replay("obligation", parts[0])
+                if data is not None and data.get("verdict") == "unsat":
+                    journal_hits += 1
+                    continue
+            keys[len(to_solve)] = parts
+            to_solve.append(obligation)
     if ledger is not None:
         obs.inc("ledger_hits", hits)
         obs.inc("ledger_misses", len(to_solve))
+        obs.point("ledger.split", hits=hits, misses=len(to_solve))
     return to_solve, keys, hits, journal_hits
 
 
@@ -397,7 +400,7 @@ def check_inductive(
     statistics: dict[str, int] = {}
     pending = obligations(program, conjectures, lemmas)
     unknown: list[str] = []
-    with obs.span(
+    with profile.engine("induction"), obs.span(
         "induction", conjectures=len(conjectures), obligations=len(pending)
     ) as sp:
         ledger_keys: dict[int, tuple[str, str, str, str]] = {}

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from .. import obs
+from ..obs import profile
 from ..logic import syntax as s
 from ..logic.partial import Fact, PartialStructure, conjecture, from_structure
 from ..logic.sorts import FuncDecl, RelDecl
@@ -534,7 +535,7 @@ def updr(
     """
     attempt_budget = budget
     restarts = 0
-    with obs.span("updr", max_frames=max_frames) as sp:
+    with profile.engine("updr"), obs.span("updr", max_frames=max_frames) as sp:
         while True:
             engine = _Updr(
                 program, max_frames, max_obligations, jobs, stats,

@@ -1,22 +1,36 @@
-"""Observability: span tracing, metrics, and trace reporting.
+"""Observability: tracing, metrics, profiling, live monitoring, reporting.
 
-Three layers, all zero-dependency and **off by default**:
+The layers, all zero-dependency:
 
 * :mod:`repro.obs.tracer` -- span-based JSONL tracing with nested span
-  IDs, a run-level correlation ID, and dispatch-worker event forwarding;
+  IDs, a run-level correlation ID, and dispatch-worker event forwarding
+  (off by default);
 * :mod:`repro.obs.metrics` -- a counters/gauges/histograms registry the
   solver layers publish into (query latency, verdicts, cache and fault
-  counters, per-engine unknown rates);
+  counters, per-engine unknown rates), with worker-delta merging and
+  bucket-interpolated p50/p95/p99 (off by default);
+* :mod:`repro.obs.profile` -- per-phase wall/CPU timers decomposing
+  every query's latency into grounding, CNF build, CDCL search, theory,
+  cache, and transit time (on by default; ``REPRO_PROFILE=0`` disables);
+* :mod:`repro.obs.exporter` -- a Prometheus-style ``/metrics`` HTTP
+  endpoint over the live registry (``--metrics-port``);
+* :mod:`repro.obs.watch` -- the ``repro watch RUN_DIR`` terminal view,
+  tailing a run's journal and trace tee;
 * :mod:`repro.obs.report` -- offline rendering of a trace into the
-  per-protocol / per-phase / per-query breakdown (``repro report``).
+  per-protocol / per-phase / per-query breakdown (``repro report``) and
+  the phase-decomposition hotspot view (``--hotspots``);
+* :mod:`repro.obs.benchcmp` -- the noise-aware BENCH_*.json regression
+  gate (``repro bench diff``, ``benchmarks/compare.py``).
 
 Engines and solvers instrument through the guarded helpers re-exported
 here (``obs.span``, ``obs.point``, ``obs.inc``, ``obs.observe``): with no
 tracer or registry installed each call is a single global read, so
-untraced runs pay effectively nothing.  The CLI installs both layers from
-``--trace`` / ``--metrics`` / ``--progress``.
+untraced runs pay effectively nothing.  The CLI installs the layers from
+``--trace`` / ``--metrics`` / ``--metrics-port`` / ``--progress``.
 """
 
+from . import benchcmp, exporter, profile, watch
+from .exporter import MetricsServer, render_exposition
 from .metrics import (
     Counter,
     Gauge,
@@ -37,6 +51,7 @@ from .report import (
     TraceParseError,
     build_tree,
     load_trace,
+    render_hotspots,
     render_report,
     tree_depth,
 )
@@ -65,6 +80,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricsServer",
     "QUERY_SPAN",
     "SCHEMA_VERSION",
     "Span",
@@ -74,6 +90,7 @@ __all__ = [
     "Tracer",
     "active_tracer",
     "begin_span",
+    "benchcmp",
     "build_tree",
     "count_engine_queries",
     "current_span_id",
@@ -81,6 +98,7 @@ __all__ = [
     "enabled",
     "enter_worker",
     "exit_worker",
+    "exporter",
     "finish_span",
     "forward_events",
     "inc",
@@ -91,8 +109,12 @@ __all__ = [
     "metrics_enabled",
     "observe",
     "point",
+    "profile",
+    "render_exposition",
+    "render_hotspots",
     "render_report",
     "set_gauge",
     "span",
     "tree_depth",
+    "watch",
 ]

@@ -1,0 +1,243 @@
+"""Noise-aware diffing of two ``BENCH_*.json`` telemetry files.
+
+The regression gate behind ``repro bench diff A B`` and
+``benchmarks/compare.py``: load a committed baseline and a freshly
+generated BENCH file, walk their shared sections, and classify every
+numeric drift.  Three severities:
+
+* **regression** (fatal, exit 1) -- a timing grew past the noise
+  envelope, a protocol's ``holds`` flipped to False, or an ``unknown``
+  count increased (the solver silently gave up on work it used to
+  finish);
+* **improvement** (informational) -- a timing shrank past the same
+  envelope;
+* **info** (informational) -- non-timing counters that moved (query
+  counts, cache hit rates): worth a look, not worth failing CI.
+
+Noise model: wall-clock benchmarks on shared CI runners jitter by tens
+of percent, so a timing value regresses only when
+``new > old * max_ratio + floor_s`` -- both a *relative* threshold
+(default 1.6x) and an *absolute* floor (default 0.25s) must be cleared.
+The floor keeps microsecond-scale sections (a cache lookup, a warm
+ledger rerun) from tripping the relative test on scheduler noise; the
+ratio keeps genuinely slow sections honest.  Timing keys are recognized
+by suffix: ``_s``/``_ms`` (and the legacy ``wall``/``parallel_s`` style
+names all end in ``_s`` already).  ``speedup`` keys are *inverted* --
+smaller is worse -- and compared with the ratio alone.
+
+Comparison is structural: sections present on only one side are
+reported as info (a new benchmark is not a regression), and nested
+dicts recurse with dotted paths.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+#: relative growth a timing may show before it counts as a regression
+DEFAULT_MAX_RATIO = 1.6
+
+#: absolute seconds of growth a timing may show before it counts
+DEFAULT_FLOOR_S = 0.25
+
+#: keys whose *decrease* is the failure direction
+_INVERTED = ("speedup",)
+
+#: non-timing keys whose increase is always fatal
+_FATAL_INCREASES = ("unknown",)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One classified drift between baseline and candidate."""
+
+    severity: str  # "regression" | "improvement" | "info"
+    path: str  # dotted section path, e.g. "lock_server.wall_s"
+    old: object
+    new: object
+    detail: str
+
+    def render(self) -> str:
+        marker = {
+            "regression": "REGRESSION",
+            "improvement": "improvement",
+            "info": "info",
+        }[self.severity]
+        return f"  [{marker}] {self.path}: {self.old} -> {self.new}  ({self.detail})"
+
+
+def load_bench(path: str) -> dict:
+    """Parse one BENCH_*.json; raises SystemExit with a message on junk."""
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except OSError as error:
+        raise SystemExit(f"cannot read {path}: {error}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"{path}: not valid JSON ({error})")
+    if not isinstance(payload, dict) or "sections" not in payload:
+        raise SystemExit(f"{path}: not a BENCH telemetry file (no sections)")
+    return payload
+
+
+def _is_timing(key: str) -> bool:
+    leaf = key.rsplit(".", 1)[-1]
+    return leaf.endswith("_s") or leaf.endswith("_ms")
+
+
+def _timing_seconds(key: str, value: float) -> float:
+    return value / 1000.0 if key.rsplit(".", 1)[-1].endswith("_ms") else value
+
+
+def _leaf(key: str) -> str:
+    return key.rsplit(".", 1)[-1]
+
+
+def compare_values(
+    path: str,
+    old: object,
+    new: object,
+    max_ratio: float,
+    floor_s: float,
+    findings: list[Finding],
+) -> None:
+    if isinstance(old, dict) and isinstance(new, dict):
+        for key in sorted(set(old) | set(new)):
+            child = f"{path}.{key}" if path else str(key)
+            if key not in old:
+                findings.append(
+                    Finding("info", child, None, new[key], "new in candidate")
+                )
+            elif key not in new:
+                findings.append(
+                    Finding("info", child, old[key], None, "gone in candidate")
+                )
+            else:
+                compare_values(
+                    child, old[key], new[key], max_ratio, floor_s, findings
+                )
+        return
+    if isinstance(old, bool) or isinstance(new, bool):
+        if old != new:
+            severity = (
+                "regression"
+                if _leaf(path) == "holds" and old and not new
+                else "info"
+            )
+            findings.append(
+                Finding(severity, path, old, new, "boolean flipped")
+            )
+        return
+    if not isinstance(old, (int, float)) or not isinstance(new, (int, float)):
+        if old != new:
+            findings.append(Finding("info", path, old, new, "value changed"))
+        return
+    leaf = _leaf(path)
+    if any(leaf.startswith(name) for name in _INVERTED):
+        if old > 0 and new < old / max_ratio:
+            findings.append(
+                Finding(
+                    "regression", path, old, new,
+                    f"shrank more than {max_ratio:g}x",
+                )
+            )
+        elif new > old * max_ratio:
+            findings.append(
+                Finding("improvement", path, old, new, "grew")
+            )
+        return
+    if _is_timing(path):
+        old_s = _timing_seconds(path, float(old))
+        new_s = _timing_seconds(path, float(new))
+        if new_s > old_s * max_ratio + floor_s:
+            findings.append(
+                Finding(
+                    "regression", path, old, new,
+                    f"past {max_ratio:g}x + {floor_s:g}s noise envelope",
+                )
+            )
+        elif old_s > new_s * max_ratio + floor_s:
+            findings.append(
+                Finding("improvement", path, old, new, "faster")
+            )
+        return
+    if leaf in _FATAL_INCREASES and new > old:
+        findings.append(
+            Finding(
+                "regression", path, old, new,
+                "solver gave up on work it used to finish",
+            )
+        )
+        return
+    if old != new:
+        findings.append(Finding("info", path, old, new, "counter moved"))
+
+
+def compare(
+    baseline: dict,
+    candidate: dict,
+    max_ratio: float = DEFAULT_MAX_RATIO,
+    floor_s: float = DEFAULT_FLOOR_S,
+) -> list[Finding]:
+    """All classified drifts between two loaded BENCH payloads."""
+    findings: list[Finding] = []
+    compare_values(
+        "",
+        baseline.get("sections", {}),
+        candidate.get("sections", {}),
+        max_ratio,
+        floor_s,
+        findings,
+    )
+    return findings
+
+
+def render(
+    baseline_path: str,
+    candidate_path: str,
+    baseline: dict,
+    candidate: dict,
+    findings: list[Finding],
+) -> str:
+    lines = [
+        f"bench diff: {baseline_path} (rev {baseline.get('git_rev')}) "
+        f"-> {candidate_path} (rev {candidate.get('git_rev')})"
+    ]
+    order = {"regression": 0, "improvement": 1, "info": 2}
+    shown = sorted(findings, key=lambda f: (order[f.severity], f.path))
+    regressions = [f for f in findings if f.severity == "regression"]
+    for finding in shown:
+        lines.append(finding.render())
+    if not findings:
+        lines.append("  (no drift)")
+    lines.append(
+        f"verdict: {'REGRESSED' if regressions else 'OK'} "
+        f"({len(regressions)} regression(s), "
+        f"{sum(1 for f in findings if f.severity == 'improvement')} "
+        f"improvement(s), "
+        f"{sum(1 for f in findings if f.severity == 'info')} info)"
+    )
+    return "\n".join(lines)
+
+
+def diff_files(
+    baseline_path: str,
+    candidate_path: str,
+    max_ratio: float = DEFAULT_MAX_RATIO,
+    floor_s: float = DEFAULT_FLOOR_S,
+    report_only: bool = False,
+) -> int:
+    """Compare two BENCH files, print the report, return the exit code.
+
+    ``report_only`` prints the same report but always exits 0 -- the
+    PR-gate mode, where the diff is advisory and the artifact is what
+    reviewers read.
+    """
+    baseline = load_bench(baseline_path)
+    candidate = load_bench(candidate_path)
+    findings = compare(baseline, candidate, max_ratio, floor_s)
+    print(render(baseline_path, candidate_path, baseline, candidate, findings))
+    if report_only:
+        return 0
+    return 1 if any(f.severity == "regression" for f in findings) else 0

@@ -1,0 +1,177 @@
+"""Live metrics endpoint: Prometheus text exposition over HTTP.
+
+``repro verify --metrics-port 9095`` (or ``REPRO_METRICS_PORT``) starts a
+:class:`MetricsServer` -- a daemon-threaded :class:`ThreadingHTTPServer`
+that renders the installed :class:`~repro.obs.metrics.MetricsRegistry` on
+demand:
+
+* ``GET /metrics``       -- Prometheus text exposition (version 0.0.4);
+* ``GET /metrics.json``  -- the registry's ``to_dict()`` snapshot;
+* ``GET /healthz``       -- ``ok``, for liveness probes.
+
+Rendering happens per-request from the live registry, so a scrape during
+a run sees up-to-the-moment totals -- including pool-worker work, which
+dispatch merges into the parent registry as each result arrives.  Port 0
+asks the OS for a free port; :meth:`MetricsServer.start` returns the one
+actually bound.  The server binds loopback by default: this is a local
+run monitor, not a service.
+
+The exposition maps the registry's types directly: counters and gauges
+emit a single sample; histograms emit Prometheus's *cumulative*
+``_bucket{le="..."}`` series plus ``_sum`` and ``_count``.  Registry keys
+(``name{k=v,...}``) are parsed back into labels and re-quoted, since
+Prometheus label values require double quotes.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .metrics import MetricsRegistry, parse_key
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _fmt(value: float) -> str:
+    """A sample value: integers bare, floats as repr (Prometheus-legal)."""
+    if isinstance(value, bool):  # bool is an int subclass; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _series(name: str, labels: dict[str, str], value: float) -> str:
+    if labels:
+        inner = ",".join(
+            f'{k}="{v}"' for k, v in sorted(labels.items())
+        )
+        return f"{name}{{{inner}}} {_fmt(value)}"
+    return f"{name} {_fmt(value)}"
+
+
+def render_exposition(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format 0.0.4."""
+    snapshot = registry.to_dict()
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def declare(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for key, value in snapshot["counters"].items():
+        name, labels = parse_key(key)
+        declare(name, "counter")
+        lines.append(_series(name, labels, value))
+    for key, value in snapshot["gauges"].items():
+        name, labels = parse_key(key)
+        declare(name, "gauge")
+        lines.append(_series(name, labels, value))
+    for key, snap in snapshot["histograms"].items():
+        name, labels = parse_key(key)
+        declare(name, "histogram")
+        cumulative = 0
+        for bound, count in snap["buckets"]:
+            cumulative += count
+            le = "+Inf" if bound == "inf" else _fmt(bound)
+            lines.append(
+                _series(f"{name}_bucket", {**labels, "le": le}, cumulative)
+            )
+        if not snap["buckets"] or snap["buckets"][-1][0] != "inf":
+            # The snapshot elides empty buckets; Prometheus requires the
+            # +Inf bucket (== count) to always be present.
+            lines.append(
+                _series(
+                    f"{name}_bucket", {**labels, "le": "+Inf"}, snap["count"]
+                )
+            )
+        lines.append(_series(f"{name}_sum", labels, snap["sum"]))
+        lines.append(_series(f"{name}_count", labels, snap["count"]))
+    for key, value in snapshot["derived"].items():
+        name, labels = parse_key(key)
+        declare(f"repro_derived_{name}", "gauge")
+        lines.append(_series(f"repro_derived_{name}", labels, value))
+    return "\n".join(lines) + "\n"
+
+
+class MetricsServer:
+    """Serves the registry over HTTP from a daemon thread.
+
+    The handler closes over the *server* (not a registry snapshot), so a
+    long-lived endpoint follows ``install_metrics`` swaps transparently
+    via the callable passed in.
+    """
+
+    def __init__(
+        self,
+        registry_of=None,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        from . import metrics as current_registry  # the accessor function
+
+        #: zero-arg callable returning the live registry (or None)
+        self.registry_of = registry_of or current_registry
+        self.host = host
+        self.port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> int:
+        """Bind and begin serving; returns the bound port."""
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                registry = server.registry_of()
+                if self.path.rstrip("/") in ("", "/healthz".rstrip("/")):
+                    body, ctype = b"ok\n", "text/plain"
+                elif registry is None:
+                    self.send_error(503, "no metrics registry installed")
+                    return
+                elif self.path.startswith("/metrics.json"):
+                    import json
+
+                    body = json.dumps(registry.to_dict(), indent=2).encode()
+                    ctype = "application/json"
+                elif self.path.startswith("/metrics"):
+                    body = render_exposition(registry).encode()
+                    ctype = CONTENT_TYPE
+                else:
+                    self.send_error(404)
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes are not run output
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port), Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-exporter",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

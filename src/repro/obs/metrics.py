@@ -25,9 +25,11 @@ Key series:
 * ``phase_seconds{phase=...}`` -- histogram fed by ``SolverStats.phase``.
 
 Like the tracer, the registry is per-process: dispatch workers fork with
-a copy and their increments die with them, so the dispatch *parent*
-records worker-solved queries from the results it receives
-(:mod:`repro.solver.dispatch`), keeping parent-side totals complete.
+a copy, so each worker publishes into a *fresh per-task registry* and
+ships its :meth:`MetricsRegistry.to_dict` delta back over the result
+pipe; the parent folds it in with :meth:`MetricsRegistry.merge`
+(:mod:`repro.solver.dispatch`), keeping parent-side totals -- and the
+live :mod:`repro.obs.exporter` endpoint -- complete across the pool.
 """
 
 from __future__ import annotations
@@ -90,9 +92,69 @@ class Histogram:
                 return
         self.buckets[-1] += 1
 
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile (0..1) by linear bucket interpolation.
+
+        Exact only up to bucket resolution; the estimate is clamped into
+        ``[min, max]`` so tiny histograms never report a quantile outside
+        the observed range (the overflow bucket has no upper bound, and
+        a single-sample bucket would otherwise interpolate to its edge).
+        """
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        lower = 0.0
+        for index, upper in enumerate(self.bounds + (self.max,)):
+            in_bucket = self.buckets[index]
+            if in_bucket and seen + in_bucket >= rank:
+                fraction = (rank - seen) / in_bucket
+                value = lower + (upper - lower) * fraction
+                break
+            seen += in_bucket
+            lower = upper
+        else:  # pragma: no cover - rank <= count always lands in a bucket
+            value = self.max
+        if self.min is not None:
+            value = max(value, self.min)
+        if self.max is not None:
+            value = min(value, self.max)
+        return value
+
+    def merge_snapshot(self, snap: Mapping) -> None:
+        """Fold a :meth:`snapshot` dict (e.g. a worker's delta) into self.
+
+        Buckets are matched by bound; a bound this histogram does not
+        have (shouldn't happen -- both sides use ``DEFAULT_BUCKETS`` --
+        but deltas cross a pickle/pipe boundary) folds into the first
+        bucket that covers it rather than being dropped.
+        """
+        count = int(snap.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.sum += float(snap.get("sum", 0.0))
+        for edge in ("min", "max"):
+            value = snap.get(edge)
+            if value is None:
+                continue
+            mine = getattr(self, edge)
+            if mine is None or (value < mine if edge == "min" else value > mine):
+                setattr(self, edge, value)
+        for bound, bucket_count in snap.get("buckets", ()):
+            if bound == "inf":
+                self.buckets[-1] += bucket_count
+                continue
+            for index, mine in enumerate(self.bounds):
+                if bound <= mine:
+                    self.buckets[index] += bucket_count
+                    break
+            else:
+                self.buckets[-1] += bucket_count
+
     def snapshot(self) -> dict:
         mean = self.sum / self.count if self.count else 0.0
-        return {
+        snap = {
             "count": self.count,
             "sum": round(self.sum, 6),
             "mean": round(mean, 6),
@@ -104,6 +166,11 @@ class Histogram:
                 if count
             ],
         }
+        if self.count:
+            snap["p50"] = round(self.quantile(0.50), 6)
+            snap["p95"] = round(self.quantile(0.95), 6)
+            snap["p99"] = round(self.quantile(0.99), 6)
+        return snap
 
 
 def _key(name: str, labels: Mapping[str, object]) -> str:
@@ -111,6 +178,23 @@ def _key(name: str, labels: Mapping[str, object]) -> str:
         return name
     inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
     return f"{name}{{{inner}}}"
+
+
+def parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Invert :func:`_key`: ``"a{x=1,y=2}"`` -> ``("a", {"x": "1", ...})``.
+
+    Label *values* produced by this codebase never contain ``,`` or ``=``
+    (they are verdicts, engine names, phase names, op names), so a plain
+    split is faithful.
+    """
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels: dict[str, str] = {}
+    for item in inner.split(","):
+        k, _, v = item.partition("=")
+        labels[k] = v
+    return name, labels
 
 
 class MetricsRegistry:
@@ -146,6 +230,48 @@ class MetricsRegistry:
             with self._lock:
                 metric = self._histograms.setdefault(key, Histogram(bounds))
         return metric
+
+    # --------------------------------------------------- delta merging
+
+    def counter_by_key(self, key: str) -> Counter:
+        metric = self._counters.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(key, Counter())
+        return metric
+
+    def gauge_by_key(self, key: str) -> Gauge:
+        metric = self._gauges.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(key, Gauge())
+        return metric
+
+    def histogram_by_key(self, key: str) -> Histogram:
+        metric = self._histograms.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(key, Histogram())
+        return metric
+
+    def merge(self, delta: Mapping) -> None:
+        """Fold another registry's :meth:`to_dict` snapshot into this one.
+
+        This is how pool-worker metrics reach the parent: each worker
+        publishes into a fresh per-task registry and ships its
+        ``to_dict()`` back with the result; the parent merges, so the
+        exporter endpoint reflects the whole pool.  Counters and
+        histogram contents add; gauges last-write-win (workers rarely
+        set them).  ``derived`` rates are recomputed from the merged
+        counters at the next :meth:`to_dict`, never merged.
+        """
+        for key, value in delta.get("counters", {}).items():
+            if value:
+                self.counter_by_key(key).inc(value)
+        for key, value in delta.get("gauges", {}).items():
+            self.gauge_by_key(key).set(value)
+        for key, snap in delta.get("histograms", {}).items():
+            self.histogram_by_key(key).merge_snapshot(snap)
 
     # ------------------------------------------------------------ reporting
 

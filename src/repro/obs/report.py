@@ -151,6 +151,17 @@ def _fmt_seconds(value: float | None) -> str:
     return f"{value:.3f}s" if value is not None else "-"
 
 
+def _quantiles(values: list[float]) -> tuple[float, float, float]:
+    """Exact (p50, p95, p99) by nearest-rank over the sorted values."""
+    ordered = sorted(values)
+    last = len(ordered) - 1
+
+    def pick(q: float) -> float:
+        return ordered[min(last, int(round(q * last)))]
+
+    return pick(0.50), pick(0.95), pick(0.99)
+
+
 def render_report(events: list[dict]) -> str:
     """The full human-readable breakdown for ``repro report``."""
     roots, nodes, header = build_tree(events)
@@ -196,6 +207,34 @@ def render_report(events: list[dict]) -> str:
             f"{row['unsat']:5d} {row['unknown']:4d} {row['cached']:6d} "
             f"{row['time']:8.3f}s"
         )
+
+    # --------------------------------------------- latency / unknown rates
+    solved_ms = [
+        q.dur * 1000.0
+        for q in queries
+        if q.dur is not None and not q.attrs.get("cached")
+    ]
+    if solved_ms:
+        p50, p95, p99 = _quantiles(solved_ms)
+        lines.append("")
+        lines.append(
+            f"query latency (non-cached, {len(solved_ms)} solves): "
+            f"p50 {p50:.1f}ms  p95 {p95:.1f}ms  p99 {p99:.1f}ms"
+        )
+    engine_totals: dict[str, list[int]] = {}
+    for query in queries:
+        engine = _enclosing(query, ENGINE_SPANS) or "-"
+        totals = engine_totals.setdefault(engine, [0, 0])
+        totals[0] += 1
+        if query.attrs.get("verdict") == "unknown":
+            totals[1] += 1
+    unknown_parts = [
+        f"{engine} {unknowns}/{total} ({unknowns / total:.1%})"
+        for engine, (total, unknowns) in sorted(engine_totals.items())
+        if total
+    ]
+    if unknown_parts:
+        lines.append("per-engine unknown rate: " + "  ".join(unknown_parts))
 
     # ------------------------------------------------------- phase breakdown
     by_name: dict[str, list[SpanNode]] = {}
@@ -258,16 +297,24 @@ def render_report(events: list[dict]) -> str:
         )
         for name, count in sorted(faults.items()):
             lines.append(f"  {name:26s} {count}")
+        lost = faults.get("dispatch.events-lost", 0)
+        if lost:
+            lines.append(
+                f"  WARNING: incomplete trace -- {lost} worker death(s) took "
+                "their task's buffered spans and metric samples with them; "
+                "query counts and phase totals undercount accordingly."
+            )
 
     # ---------------------------------------------------- durability summary
     appends = [node for node in points if node.name == "journal.append"]
     loads = [node for node in spans if node.name == "journal.load"]
     retries = [node for node in points if node.name == "store.retry"]
-    if appends or loads or retries:
+    wedged = [node for node in points if node.name == "dispatch.wedged"]
+    if appends or loads or retries or wedged:
         lines.append("")
-        lines.append("durability (write-ahead journal, disk stores):")
+        lines.append("durability (journal resume, worker supervision, stores):")
+        replayed = sum(int(n.attrs.get("events", 0) or 0) for n in loads)
         if loads:
-            replayed = sum(int(n.attrs.get("events", 0) or 0) for n in loads)
             lines.append(
                 f"  journal loads: {len(loads)} "
                 f"({replayed} event(s) replayed)"
@@ -281,6 +328,13 @@ def render_report(events: list[dict]) -> str:
                 f"{count} {kind}" for kind, count in sorted(by_kind.items())
             )
             lines.append(f"  journal appends: {len(appends)} ({kinds})")
+        if replayed or appends:
+            # The trace-side estimate of the resume_reused_ratio gauge:
+            # events replayed from the journal over all events seen.
+            ratio = replayed / (replayed + len(appends))
+            lines.append(f"  resume_reused_ratio: {ratio:.3f}")
+        lines.append(f"  worker_wedged_total: {len(wedged)}")
+        lines.append(f"  store_retries_total: {len(retries)}")
         if retries:
             by_op: dict[str, int] = {}
             for node in retries:
@@ -289,5 +343,153 @@ def render_report(events: list[dict]) -> str:
             ops = ", ".join(
                 f"{count} x {op}" for op, count in sorted(by_op.items())
             )
-            lines.append(f"  transient I/O retries: {len(retries)} ({ops})")
+            lines.append(f"  transient I/O retries by op: {ops}")
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ hotspots
+
+
+def _phase_ms(node: SpanNode) -> dict[str, float]:
+    """``{phase: wall_ms}`` from a span's ``phase_*_ms`` attributes."""
+    from .profile import ATTR_PREFIX
+
+    out: dict[str, float] = {}
+    for key, value in node.attrs.items():
+        if not key.startswith(ATTR_PREFIX) or key.endswith("_cpu_ms"):
+            continue
+        if not key.endswith("_ms"):
+            continue
+        try:
+            out[key[len(ATTR_PREFIX) : -len("_ms")]] = float(value)
+        except (TypeError, ValueError):
+            continue
+    return out
+
+
+def render_hotspots(events: list[dict], top: int = 10) -> str:
+    """Per-phase decomposition of query wall time (``report --hotspots``).
+
+    Total query wall is the summed duration of every ``epr.solve`` *and*
+    ``epr.prepare`` span (grounding happens once per query, outside the
+    per-obligation solves); coverage is how much of it the named phase
+    timers account for -- the profiler's acceptance bar is >= 95%.
+    ``transit`` (pickle/pipe time to pool workers) is reported separately:
+    it is dispatch overhead around queries, not inside them.
+    """
+    from .profile import PHASES
+
+    roots, nodes, header = build_tree(events)
+    spans = [node for node in nodes.values() if node.kind == "span"]
+    query_spans = [
+        node
+        for node in spans
+        if node.name in (QUERY_SPAN, "epr.prepare") and node.dur is not None
+    ]
+    solves = [node for node in spans if node.name == QUERY_SPAN]
+    lines: list[str] = []
+    run = header.get("run", "?")
+    total_wall_ms = sum(node.dur for node in query_spans) * 1000.0
+    lines.append(
+        f"query hotspots: run {run}  ({len(solves)} solves, "
+        f"{len(query_spans)} query spans, {total_wall_ms / 1000:.3f}s "
+        "query wall)"
+    )
+
+    # ----------------------------------------------------- phase totals
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    for node in query_spans:
+        for phase, ms in _phase_ms(node).items():
+            totals[phase] = totals.get(phase, 0.0) + ms
+            counts[phase] = counts.get(phase, 0) + 1
+    covered_ms = sum(totals.values())
+    lines.append("")
+    lines.append("phase totals (share of query wall):")
+    lines.append(f"  {'phase':12s} {'spans':>6s} {'total':>10s} {'share':>7s}")
+    order = {phase: index for index, phase in enumerate(PHASES)}
+    for phase, ms in sorted(
+        totals.items(), key=lambda item: order.get(item[0], 99)
+    ):
+        share = ms / total_wall_ms if total_wall_ms else 0.0
+        lines.append(
+            f"  {phase:12s} {counts[phase]:6d} {ms / 1000:9.3f}s {share:6.1%}"
+        )
+    coverage = covered_ms / total_wall_ms if total_wall_ms else 0.0
+    lines.append(
+        f"  coverage: {covered_ms / 1000:.3f}s of {total_wall_ms / 1000:.3f}s "
+        f"query wall decomposed into named phases ({coverage:.1%})"
+    )
+
+    # ------------------------------------- per-engine phase percentiles
+    per_engine: dict[tuple[str, str], list[float]] = {}
+    for node in query_spans:
+        engine = _enclosing(node, ENGINE_SPANS) or "-"
+        for phase, ms in _phase_ms(node).items():
+            per_engine.setdefault((engine, phase), []).append(ms)
+    if per_engine:
+        lines.append("")
+        lines.append("per-engine phase latency (ms per span):")
+        lines.append(
+            f"  {'engine':10s} {'phase':12s} {'n':>5s} "
+            f"{'p50':>8s} {'p95':>8s} {'p99':>8s}"
+        )
+        for (engine, phase), values in sorted(
+            per_engine.items(),
+            key=lambda item: (item[0][0], order.get(item[0][1], 99)),
+        ):
+            p50, p95, p99 = _quantiles(values)
+            lines.append(
+                f"  {engine:10s} {phase:12s} {len(values):5d} "
+                f"{p50:8.1f} {p95:8.1f} {p99:8.1f}"
+            )
+
+    # ------------------------------------------------- slowest queries
+    slowest = sorted(
+        (node for node in solves if node.dur is not None),
+        key=lambda node: -node.dur,
+    )[:top]
+    if slowest:
+        lines.append("")
+        lines.append(f"top {len(slowest)} queries by wall time:")
+        for node in slowest:
+            engine = _enclosing(node, ENGINE_SPANS) or "-"
+            phases = _phase_ms(node)
+            decomposition = " ".join(
+                f"{phase}={phases[phase]:.0f}ms"
+                for phase in PHASES
+                if phase in phases
+            )
+            verdict = node.attrs.get("verdict", "?")
+            cached = " cached" if node.attrs.get("cached") else ""
+            lines.append(
+                f"  {node.dur:8.3f}s  {engine:10s} {verdict}{cached}"
+                + (f"  [{decomposition}]" if decomposition else "")
+            )
+
+    # ------------------------------------------------- transit overhead
+    transit_ms = [
+        float(node.attrs["transit_ms"])
+        for node in spans
+        if node.name == "dispatch.attempt" and "transit_ms" in node.attrs
+    ]
+    if transit_ms:
+        p50, p95, p99 = _quantiles(transit_ms)
+        lines.append("")
+        lines.append(
+            f"worker transit (pickle/pipe, outside query wall): "
+            f"{len(transit_ms)} round trips, total "
+            f"{sum(transit_ms) / 1000:.3f}s, p50 {p50:.1f}ms p95 {p95:.1f}ms "
+            f"p99 {p99:.1f}ms"
+        )
+    lost = sum(
+        1
+        for node in nodes.values()
+        if node.kind == "point" and node.name == "dispatch.events-lost"
+    )
+    if lost:
+        lines.append(
+            f"WARNING: incomplete trace -- {lost} worker death(s) lost "
+            "phase samples; totals undercount."
+        )
     return "\n".join(lines)

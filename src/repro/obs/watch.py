@@ -1,0 +1,274 @@
+"""Terminal view of a run in flight: ``repro watch RUN_DIR``.
+
+A journaled run leaves everything a monitor needs inside its run
+directory -- ``meta.json`` (command line, target, start time), the
+write-ahead ``journal.jsonl`` (engine progress: BMC depths, Houdini
+rounds, UPDR frames, discharged obligations), and, since the live-
+monitoring work, a ``trace.jsonl`` tee (query verdicts, cache/ledger
+hits, dispatch faults).  :class:`WatchView` tails both files
+**incrementally** -- it remembers its byte offsets between refreshes and
+only parses what was appended -- so watching a long run costs O(new
+events) per tick, and a torn final line (the run is writing while we
+read) is simply left for the next tick.
+
+The watcher is read-only and crash-agnostic: it never locks the journal,
+works on a run directory whose process already died, and renders from
+whatever prefix of the files exists.  ``repro watch`` polls at
+``--interval`` seconds (clearing the screen between refreshes when
+stdout is a terminal) or renders one snapshot with ``--once``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+#: journal kinds that mark engine progress, in display order
+_PROGRESS_KINDS = (
+    "bmc.depth", "bmc.probe", "houdini.init", "houdini.round",
+    "updr.frames", "updr.clause", "obligation",
+)
+
+
+class _Tail:
+    """Incremental reader of a JSONL file that may still be growing."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.offset = 0
+
+    def lines(self) -> list[dict]:
+        """Complete records appended since the last call."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size <= self.offset:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            blob = handle.read()
+        # Only consume whole lines; a torn tail stays for the next tick.
+        cut = blob.rfind(b"\n")
+        if cut < 0:
+            return []
+        self.offset += cut + 1
+        records: list[dict] = []
+        for line in blob[: cut + 1].splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a corrupt line is the writer's problem, not ours
+            if isinstance(record, dict):
+                records.append(record)
+        return records
+
+
+class WatchView:
+    """Aggregated live state of one run directory."""
+
+    def __init__(self, run_dir: str) -> None:
+        self.run_dir = run_dir
+        self.meta: dict = {}
+        self._journal = _Tail(os.path.join(run_dir, "journal.jsonl"))
+        self._trace = _Tail(os.path.join(run_dir, "trace.jsonl"))
+        # journal-derived
+        self.journal_kinds: dict[str, int] = {}
+        self.bmc_depth: int | None = None
+        self.houdini_round: int | None = None
+        self.updr_frames: int | None = None
+        self.obligations = 0
+        # trace-derived
+        self.run_id: str | None = None
+        self.engines: set[str] = set()
+        self.queries = 0
+        self.cached = 0
+        self.verdicts: dict[str, int] = {}
+        self.ledger_hits = 0
+        self.ledger_misses = 0
+        self.faults: dict[str, int] = {}
+        self.last_ts = 0.0
+        self._load_meta()
+
+    def _load_meta(self) -> None:
+        try:
+            with open(os.path.join(self.run_dir, "meta.json")) as handle:
+                document = json.load(handle)
+            self.meta = dict(document.get("meta", {}))
+        except (OSError, json.JSONDecodeError, AttributeError):
+            self.meta = {}
+
+    # ------------------------------------------------------------ refresh
+
+    def refresh(self) -> None:
+        """Fold newly appended journal/trace records into the view."""
+        if not self.meta:
+            self._load_meta()
+        for record in self._journal.lines():
+            kind = record.get("kind")
+            if not isinstance(kind, str) or kind == "header":
+                continue
+            self.journal_kinds[kind] = self.journal_kinds.get(kind, 0) + 1
+            data = record.get("data") or {}
+            if kind == "bmc.depth":
+                # Depths are journaled in order, one record each.
+                self.bmc_depth = self.journal_kinds[kind] - 1
+            elif kind == "houdini.round":
+                self.houdini_round = self.journal_kinds[kind]
+            elif kind == "updr.frames":
+                frames = data.get("frames")
+                if isinstance(frames, (list, tuple)):
+                    self.updr_frames = len(frames)
+            elif kind == "obligation":
+                self.obligations += 1
+        for event in self._trace.lines():
+            e = event.get("e")
+            ts = event.get("ts")
+            if isinstance(ts, (int, float)):
+                self.last_ts = max(self.last_ts, ts)
+            if e == "run":
+                self.run_id = event.get("run")
+            elif e == "start":
+                if event.get("name") in (
+                    "bmc", "houdini", "updr", "induction", "analysis",
+                ):
+                    self.engines.add(event["name"])
+            elif e == "end":
+                attrs = event.get("attrs") or {}
+                if "verdict" in attrs:
+                    self.queries += 1
+                    verdict = str(attrs["verdict"])
+                    self.verdicts[verdict] = self.verdicts.get(verdict, 0) + 1
+                    if attrs.get("cached"):
+                        self.cached += 1
+            elif e == "point":
+                name = event.get("name", "")
+                attrs = event.get("attrs") or {}
+                if name == "ledger.split":
+                    self.ledger_hits += int(attrs.get("hits", 0) or 0)
+                    self.ledger_misses += int(attrs.get("misses", 0) or 0)
+                elif name.startswith("dispatch.") and name != "dispatch.batch":
+                    self.faults[name] = self.faults.get(name, 0) + 1
+
+    # ------------------------------------------------------------- render
+
+    def _elapsed(self) -> float | None:
+        if self.last_ts:
+            return self.last_ts
+        created = self.meta.get("created_unix")
+        if isinstance(created, (int, float)):
+            return max(0.0, time.time() - created)
+        return None
+
+    def _eta(self) -> str | None:
+        """Crude ETA for BMC-shaped runs: depths done vs the -k bound."""
+        if self.bmc_depth is None:
+            return None
+        bound = None
+        argv = self.meta.get("argv") or []
+        for index, arg in enumerate(argv):
+            if arg in ("-k", "--bound") and index + 1 < len(argv):
+                try:
+                    bound = int(argv[index + 1])
+                except ValueError:
+                    pass
+            elif arg.startswith("--bound="):
+                try:
+                    bound = int(arg.split("=", 1)[1])
+                except ValueError:
+                    pass
+        elapsed = self._elapsed()
+        done = self.bmc_depth + 1
+        if bound is None or elapsed is None or done <= 0:
+            return None
+        if done >= bound + 1:
+            return "depths complete"
+        # Depth cost grows; linear extrapolation is a *floor*, say so.
+        remaining = elapsed / done * (bound + 1 - done)
+        return f">= {remaining:.0f}s to depth {bound}"
+
+    def render(self) -> str:
+        lines: list[str] = []
+        command = self.meta.get("command", "?")
+        target = self.meta.get("target", "?")
+        header = f"watching {self.run_dir}  [{command} {target}]"
+        if self.run_id:
+            header += f"  run {self.run_id}"
+        lines.append(header)
+        elapsed = self._elapsed()
+        if elapsed is not None:
+            lines.append(f"  elapsed: {elapsed:.1f}s")
+        progress = [
+            f"{kind} x{self.journal_kinds[kind]}"
+            for kind in _PROGRESS_KINDS
+            if kind in self.journal_kinds
+        ]
+        if progress:
+            lines.append("  journal: " + "  ".join(progress))
+        state = []
+        if self.bmc_depth is not None:
+            state.append(f"bmc depth {self.bmc_depth}")
+        if self.houdini_round is not None:
+            state.append(f"houdini round {self.houdini_round}")
+        if self.updr_frames is not None:
+            state.append(f"updr frames {self.updr_frames}")
+        if self.obligations:
+            state.append(f"{self.obligations} obligation(s) journaled")
+        if state:
+            lines.append("  engines: " + ", ".join(state))
+        elif self.engines:
+            lines.append("  engines: " + ", ".join(sorted(self.engines)))
+        if self.queries:
+            verdicts = " ".join(
+                f"{name}={count}" for name, count in sorted(self.verdicts.items())
+            )
+            rate = self.cached / self.queries
+            lines.append(
+                f"  queries: {self.queries} ({verdicts})  "
+                f"cache hit rate {rate:.1%}"
+            )
+        ledger_total = self.ledger_hits + self.ledger_misses
+        if ledger_total:
+            lines.append(
+                f"  ledger: {self.ledger_hits}/{ledger_total} obligations "
+                f"answered from the proven-lemma ledger "
+                f"({self.ledger_hits / ledger_total:.1%})"
+            )
+        if self.faults:
+            fault_text = "  ".join(
+                f"{name.split('.', 1)[1]} x{count}"
+                for name, count in sorted(self.faults.items())
+            )
+            lines.append(f"  dispatch: {fault_text}")
+        eta = self._eta()
+        if eta is not None:
+            lines.append(f"  eta: {eta}")
+        if len(lines) == 1:
+            lines.append("  (no journal or trace data yet)")
+        return "\n".join(lines)
+
+
+def watch(run_dir: str, interval: float = 2.0, once: bool = False) -> int:
+    """The ``repro watch`` loop; returns a process exit code."""
+    import sys
+
+    if not os.path.isdir(run_dir):
+        print(f"{run_dir}: not a directory", file=sys.stderr)
+        return 1
+    view = WatchView(run_dir)
+    is_tty = sys.stdout.isatty()
+    try:
+        while True:
+            view.refresh()
+            if is_tty and not once:
+                print("\x1b[2J\x1b[H", end="")
+            print(view.render(), flush=True)
+            if once:
+                return 0
+            time.sleep(max(0.1, interval))
+    except KeyboardInterrupt:
+        return 0

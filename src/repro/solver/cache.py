@@ -52,6 +52,7 @@ import pickle
 from collections import OrderedDict
 from typing import TYPE_CHECKING, Hashable
 
+from ..obs import profile
 from ..store import ShardedStore
 from .budget import _env_int
 
@@ -157,6 +158,13 @@ class QueryCache:
         self.evictions = 0
 
     def lookup(self, key: Hashable) -> "EprResult | None":
+        # The "cache" profiling phase lives here (not in the EPR layer)
+        # so in-memory and disk fetch-through lookups are timed alike
+        # without ever nesting two cache phases.
+        with profile.phase("cache"):
+            return self._lookup(key)
+
+    def _lookup(self, key: Hashable) -> "EprResult | None":
         result = self._entries.get(key)
         if result is not None:
             self._entries.move_to_end(key)
@@ -174,9 +182,10 @@ class QueryCache:
     def store(self, key: Hashable, result: "EprResult") -> None:
         if getattr(result, "unknown", False):
             return  # UNKNOWN proves nothing; a retry must re-solve
-        self._insert(key, result)
-        if self.disk is not None:
-            self.disk.store(key, result)
+        with profile.phase("cache"):
+            self._insert(key, result)
+            if self.disk is not None:
+                self.disk.store(key, result)
 
     def _insert(self, key: Hashable, result: "EprResult") -> None:
         if key in self._entries:

@@ -79,6 +79,8 @@ from dataclasses import dataclass, replace
 from typing import Sequence
 
 from .. import obs
+from ..obs import profile
+from ..obs.metrics import MetricsRegistry, install_metrics
 from ..logic import syntax as s
 from ..logic.sorts import Vocabulary
 from ..recovery import heartbeat
@@ -243,6 +245,12 @@ class _Task:
     plan: faults.FaultPlan | None
     trace: tuple[str, float] | None  # (run_id, clock_origin) or None
     cache: tuple[int, tuple[int, str | None] | None]  # cache_snapshot()
+    #: parent has a metrics registry: publish into a fresh per-task one
+    #: and ship its delta home with the result
+    metrics: bool = False
+    #: ambient engine tag (bmc/houdini/updr/induction) at dispatch time,
+    #: not derivable from query names inside the worker
+    engine: str | None = None
 
 
 def _pool_worker_main(task_conn, result_conn, hb_conn) -> None:
@@ -273,7 +281,8 @@ def _pool_worker_main(task_conn, result_conn, hb_conn) -> None:
 
 
 def _run_task(task: _Task, conn) -> None:
-    """Solve one task and send ``(seq, results, trace_events)`` back.
+    """Solve one task and send
+    ``(seq, results, trace_events, metrics_delta, worker_wall)`` back.
 
     ``MemoryError`` under the RSS cap becomes an UNKNOWN(MEMORY) answer.
     The worker buffers its trace events locally (never writing the
@@ -281,6 +290,15 @@ def _run_task(task: _Task, conn) -> None:
     and ships them home with the result for re-parenting -- one batch of
     events per obligation, not per process exit.  ``trace_events`` is
     None when tracing is off.
+
+    Metrics work the same way: the fork-inherited registry copy is
+    replaced with a fresh per-task one (or removed, mirroring the
+    parent), the solver layer publishes into it as usual, and its
+    ``to_dict()`` delta rides home for the parent to merge -- exact
+    worker-side samples, not parent-side reconstruction.
+    ``worker_wall`` is the task's wall seconds as seen by the worker; the
+    parent subtracts it from the observed round-trip to get the
+    pickle/pipe ``transit`` phase.
     """
     query, attempt = task.query, task.attempt
     # Forced beat at task start: the parent's staleness clock for this
@@ -288,6 +306,7 @@ def _run_task(task: _Task, conn) -> None:
     # injected hang then looks exactly like a real wedge (one beat, then
     # silence), which is what the watchdog tests rely on.
     heartbeat.beat(force=True)
+    started = time.perf_counter()
     faults.install_fault_plan(
         task.plan if task.plan is not None else faults.FaultPlan()
     )
@@ -296,6 +315,9 @@ def _run_task(task: _Task, conn) -> None:
         obs.enter_worker(*task.trace)
     else:
         obs.exit_worker()
+    delta_registry = MetricsRegistry() if task.metrics else None
+    install_metrics(delta_registry)
+    profile.set_engine(task.engine)
     limited = query.budget is not None and query.budget.rss_mb is not None
     if limited:
         _apply_rss_limit(query.budget.rss_mb)
@@ -311,7 +333,9 @@ def _run_task(task: _Task, conn) -> None:
     finally:
         if limited:
             _lift_rss_limit()
-    conn.send((task.seq, results, obs.drain_worker()))
+    delta = delta_registry.to_dict() if delta_registry is not None else None
+    worker_wall = time.perf_counter() - started
+    conn.send((task.seq, results, obs.drain_worker(), delta, worker_wall))
 
 
 # ------------------------------------------------------------ parent side
@@ -460,6 +484,7 @@ class _Running:
     deadline: float | None
     span: "obs.SpanRef | None" = None  # the dispatch.attempt trace span
     last_beat: float = 0.0  # monotonic time of the last heartbeat drained
+    sent_at: float = 0.0  # monotonic send time, for the transit phase
 
 
 def _external_deadline(budget: Budget | None) -> float | None:
@@ -525,6 +550,8 @@ def _solve_parallel(
     tracer = obs.active_tracer()
     trace_info = (tracer.run_id, tracer.origin) if tracer is not None else None
     cache_info = cache_mod.cache_snapshot()
+    metrics_on = obs.metrics_enabled()
+    engine_tag = profile.current_engine()
 
     pool = worker_pool(context)
     assert pool is not None  # context was resolved by the caller
@@ -539,10 +566,56 @@ def _solve_parallel(
     idle: list[_PoolWorker] = list(pool.workers[:workers])
     limit = workers
     crash_count = kill_count = retry_count = fallback_count = 0
-    wedged_count = 0
+    wedged_count = lost_count = 0
     next_shrink = _SHRINK_THRESHOLD
     seq = 0
     beat_timeout = heartbeat.heartbeat_timeout()
+
+    def deliver(record: _Running, conn) -> bool:
+        """Receive and account one result; False when the read fails.
+
+        Merging the worker's metrics delta, forwarding its trace events,
+        and observing the transit phase all happen here, so the
+        normal-result path and the late-salvage path (a result that
+        arrived in the window between a deadline/wedge decision and the
+        kill) account identically.
+        """
+        try:
+            result_seq, results, worker_events, delta, worker_wall = conn.recv()
+            if result_seq != record.seq:
+                raise EOFError("stale result from a replaced worker")
+        except (EOFError, OSError, ValueError):
+            return False
+        batches[record.index] = results
+        obs.forward_events(
+            worker_events, record.span.id if record.span else None
+        )
+        transit_s = max(0.0, (time.monotonic() - record.sent_at) - worker_wall)
+        if metrics_on:
+            if delta is not None:
+                registry = obs.metrics()
+                if registry is not None:
+                    registry.merge(delta)
+            labels = {"phase": "transit"}
+            if engine_tag is not None:
+                labels["engine"] = engine_tag
+            obs.observe("query_phase_ms", transit_s * 1000, **labels)
+        obs.finish_span(
+            record.span, outcome="ok", transit_ms=int(transit_s * 1000)
+        )
+        idle.append(record.worker)
+        return True
+
+    def lose_events(record: _Running, reason: str) -> None:
+        """A worker died with its task's buffered telemetry unsent."""
+        nonlocal lost_count
+        lost_count += 1
+        obs.point(
+            "dispatch.events-lost",
+            query=record.query.name,
+            attempt=record.attempt,
+            reason=reason,
+        )
 
     def finish_attempt(record: _Running, reason: FailureReason) -> None:
         """A worker died or was killed: retry, fall back, or give up."""
@@ -596,7 +669,10 @@ def _solve_parallel(
                 index, attempt, query = pending.pop(0)
                 worker = idle.pop()
                 seq += 1
-                task = _Task(seq, query, attempt, plan, trace_info, cache_info)
+                task = _Task(
+                    seq, query, attempt, plan, trace_info, cache_info,
+                    metrics=metrics_on, engine=engine_tag,
+                )
                 try:
                     worker.task_conn.send(task)
                 except (BrokenPipeError, OSError):
@@ -617,6 +693,7 @@ def _solve_parallel(
                         "dispatch.attempt", query=query.name, attempt=attempt
                     ),
                     last_beat=time.monotonic(),
+                    sent_at=time.monotonic(),
                 )
             if not busy:
                 continue
@@ -654,29 +731,25 @@ def _solve_parallel(
                         record.last_beat = now
                     continue
                 record = busy.pop(conn)
-                try:
-                    result_seq, results, worker_events = conn.recv()
-                    if result_seq != record.seq:
-                        raise EOFError("stale result from a replaced worker")
-                except (EOFError, OSError, ValueError):
+                if not deliver(record, conn):
                     crash_count += 1
+                    lose_events(record, "crashed")
                     obs.finish_span(record.span, outcome="crashed")
                     replace_worker(record.worker, kill=False)
                     finish_attempt(record, FailureReason.WORKER_CRASHED)
-                else:
-                    batches[record.index] = results
-                    obs.forward_events(
-                        worker_events, record.span.id if record.span else None
-                    )
-                    obs.finish_span(record.span, outcome="ok")
-                    idle.append(record.worker)
             for conn in [
                 conn
                 for conn, record in busy.items()
                 if record.deadline is not None and now > record.deadline
             ]:
                 record = busy.pop(conn)
+                # Last-moment salvage: the result may have landed in the
+                # pipe between our wait() wake-up and this deadline check.
+                # A delivered answer is an answer -- keep the worker.
+                if conn.poll(0) and deliver(record, conn):
+                    continue
                 kill_count += 1
+                lose_events(record, "killed")
                 obs.finish_span(record.span, outcome="killed")
                 replace_worker(record.worker, kill=True)
                 finish_attempt(record, FailureReason.TIMEOUT)
@@ -690,7 +763,10 @@ def _solve_parallel(
                     if now - record.last_beat > beat_timeout
                 ]:
                     record = busy.pop(conn)
+                    if conn.poll(0) and deliver(record, conn):
+                        continue
                     wedged_count += 1
+                    lose_events(record, "wedged")
                     obs.point(
                         "dispatch.wedged",
                         query=record.query.name,
@@ -714,34 +790,25 @@ def _solve_parallel(
     complete = [batch for batch in batches if batch is not None]
     assert len(complete) == len(queries), "dispatch lost a query"
     if obs.metrics_enabled():
-        # Worker processes fork with a *copy* of the metrics registry, so
-        # their in-solver increments die with them; record worker-solved
-        # results here from the answers that actually came home.  Results
-        # finished in-process (serial fallback) already published through
-        # the solver layer -- counting them again would double-book.
+        # Per-query series (queries_total, cache_*, query_latency_ms,
+        # query_phase_ms) already arrived as worker deltas, merged by
+        # deliver() with the exact samples the worker's solver layer
+        # published -- the same semantics as a serial run.  Only the
+        # dispatch-level fault accounting is parent-originated.  A worker
+        # that died mid-task takes that task's unsent samples with it:
+        # worker_events_lost_total is the undercount signal, and the
+        # retry/fallback that answers the query publishes its own.
         for count, name in (
             (crash_count, "worker_crashes_total"),
             (kill_count, "worker_kills_total"),
             (wedged_count, "worker_wedged_total"),
             (retry_count, "dispatch_retries_total"),
             (fallback_count, "serial_fallbacks_total"),
+            (lost_count, "worker_events_lost_total"),
         ):
             if count:
                 obs.inc(name, count)
-        for index, batch in enumerate(batches):
-            if not via_worker[index]:
-                continue
-            obs.inc("dispatched_total")
-            for result in batch:
-                obs.inc("queries_total", verdict=result.verdict)
-                if result.cached:
-                    obs.inc("cache_hits_total")
-                else:
-                    obs.inc("cache_misses_total")
-                    obs.observe(
-                        "query_latency_ms",
-                        result.statistics.get("solve_ms", 0),
-                    )
+        obs.inc("dispatched_total", sum(via_worker))
     if stats is not None:
         stats.retries += retry_count
         stats.worker_kills += kill_count + wedged_count

@@ -45,6 +45,7 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping
 
 from .. import obs
+from ..obs import profile
 from ..logic import syntax as s
 from ..logic.sorts import FuncDecl, RelDecl, Sort, Vocabulary
 from ..recovery import heartbeat
@@ -196,8 +197,17 @@ class EprSolver:
         :meth:`check` for the catching, UNKNOWN-returning wrapper).
         """
         with obs.span("epr.prepare", constraints=len(self._constraints)) as sp:
-            prepared = self._prepare()
+            with profile.collect() as prof:
+                prepared = self._prepare()
             sp.set(instances=prepared.instance_count)
+            if prof is not None and prof.wall:
+                phases = prof.attrs_ms()
+                sp.set(**phases)
+                profile.publish(prof)
+                # Surfaced through the *first* solve's statistics so
+                # SolverStats / bench telemetry aggregate prepare phases
+                # exactly once per grounding.
+                prepared._pending_phases = phases
             return prepared
 
     def _prepare(self) -> "PreparedEpr":
@@ -205,58 +215,63 @@ class EprSolver:
 
         meter = self.budget.start() if self.budget is not None else None
 
-        working_vocab, adopted_constants = self._working_vocabulary()
-        fresh = FreshNames(
-            itertools.chain(
-                (decl.name for decl in working_vocab.relations),
-                (decl.name for decl in working_vocab.functions),
+        with profile.phase("normalize"):
+            working_vocab, adopted_constants = self._working_vocabulary()
+            fresh = FreshNames(
+                itertools.chain(
+                    (decl.name for decl in working_vocab.relations),
+                    (decl.name for decl in working_vocab.functions),
+                )
             )
-        )
-        splitter = DisjunctSplitter(fresh)
-        shared_pool = SkolemPool(fresh) if self.exclusive_tracked else None
-        skolemized: list[tuple[_Constraint, s.Formula]] = []
-        extra_constants: list[FuncDecl] = list(adopted_constants)
-        for constraint in self._constraints:
-            pool = shared_pool if constraint.tracked else None
-            hoisted, constants = hoist_existentials(
-                nnf(eliminate_ite(constraint.formula)), fresh, pool=pool
-            )
-            extra_constants.extend(constants)
-            split = splitter.split(hoisted)
-            result = skolemize_ea(split, fresh)
-            skolemized.append((constraint, result.universal))
-            extra_constants.extend(result.constants)
+            splitter = DisjunctSplitter(fresh)
+            shared_pool = SkolemPool(fresh) if self.exclusive_tracked else None
+            skolemized: list[tuple[_Constraint, s.Formula]] = []
+            extra_constants: list[FuncDecl] = list(adopted_constants)
+            for constraint in self._constraints:
+                pool = shared_pool if constraint.tracked else None
+                hoisted, constants = hoist_existentials(
+                    nnf(eliminate_ite(constraint.formula)), fresh, pool=pool
+                )
+                extra_constants.extend(constants)
+                split = splitter.split(hoisted)
+                result = skolemize_ea(split, fresh)
+                skolemized.append((constraint, result.universal))
+                extra_constants.extend(result.constants)
 
         universe = ground_universe(working_vocab, extra_constants, meter=meter)
-        sat = Solver()
-        builder = CnfBuilder(sat)
-        equality = EqualityTheory(builder, working_vocab, universe)
+        with profile.phase("cnf"):
+            sat = Solver()
+            builder = CnfBuilder(sat)
+            equality = EqualityTheory(builder, working_vocab, universe)
         prepared = PreparedEpr(
             self, working_vocab, universe, sat, builder, equality,
             exclusive=self.exclusive_tracked,
         )
         prepared._meter = meter
 
-        for constraint, universal in skolemized:
-            selector: int | None = None
-            if constraint.tracked:
-                selector = sat.new_var()
-                prepared.selector_of[constraint.name] = selector
-                prepared.selectors[selector] = constraint.name
-            for vars_, matrix in _miniscope(universal):
-                count = 1
-                for var in vars_:
-                    count *= len(universe[var.sort])
-                if count > self.eager_threshold and vars_:
-                    prepared.lazy_blocks.append(_LazyBlock(tuple(vars_), matrix, selector))
-                    continue
-                if not vars_:
-                    prepared.assert_instance(matrix, selector)
-                    continue
-                domains = [universe[var.sort] for var in vars_]
-                for combo in itertools.product(*domains):
-                    instance = substitute(matrix, dict(zip(vars_, combo)))
-                    prepared.assert_instance(instance, selector)
+        with profile.phase("cnf"):
+            for constraint, universal in skolemized:
+                selector: int | None = None
+                if constraint.tracked:
+                    selector = sat.new_var()
+                    prepared.selector_of[constraint.name] = selector
+                    prepared.selectors[selector] = constraint.name
+                for vars_, matrix in _miniscope(universal):
+                    count = 1
+                    for var in vars_:
+                        count *= len(universe[var.sort])
+                    if count > self.eager_threshold and vars_:
+                        prepared.lazy_blocks.append(
+                            _LazyBlock(tuple(vars_), matrix, selector)
+                        )
+                        continue
+                    if not vars_:
+                        prepared.assert_instance(matrix, selector)
+                        continue
+                    domains = [universe[var.sort] for var in vars_]
+                    for combo in itertools.product(*domains):
+                        instance = substitute(matrix, dict(zip(vars_, combo)))
+                        prepared.assert_instance(instance, selector)
         prepared._meter = None
         return prepared
 
@@ -501,6 +516,7 @@ class PreparedEpr:
         self.instance_count = 0
         self._digest: str | None = None
         self._meter: BudgetMeter | None = None  # active during prepare/solve
+        self._pending_phases: dict[str, int] = {}  # prepare phases, unreported
 
     def assert_instance(self, instance: s.Formula, selector: int | None) -> bool:
         if self._meter is not None:
@@ -517,8 +533,25 @@ class PreparedEpr:
         self, enabled: Iterable[str] | None = None, max_rounds: int = 10_000
     ) -> EprResult:
         with obs.span("epr.solve") as sp:
-            outcome = self._solve(enabled, max_rounds)
+            with profile.collect() as prof:
+                outcome = self._solve(enabled, max_rounds)
             statistics = outcome.statistics
+            if prof is not None and prof.wall:
+                phases = prof.attrs_ms()
+                sp.set(**phases)
+                profile.publish(prof)
+                if not outcome.cached:
+                    # Cached hits keep their bare ``{"cache_hits": 1}``
+                    # statistics shape; their (tiny) lookup wall still
+                    # lands on the span and in the metrics histogram.
+                    statistics.update(phases)
+            if self._pending_phases and not outcome.cached:
+                # Prepare-time phases (normalize/ground/cnf) ride the first
+                # *solved* query's statistics; they are not set on this
+                # span -- they already live on the epr.prepare span, and
+                # hotspot reports sum phases across both span kinds.
+                statistics.update(self._pending_phases)
+                self._pending_phases = {}
             sp.set(
                 verdict=outcome.verdict,
                 cached=outcome.cached,
@@ -562,7 +595,10 @@ class PreparedEpr:
         cache = query_cache()
         key = None
         if cache is not None:
-            key = (self._fingerprint(), tuple(assumptions))
+            # Fingerprinting hashes a repr of the whole grounded problem;
+            # it is cache-key work and billed to the cache phase.
+            with profile.phase("cache"):
+                key = (self._fingerprint(), tuple(assumptions))
             hit = cache.lookup(key)
             if hit is not None:
                 # Solving is deterministic downstream of the grounded CNF
@@ -599,9 +635,11 @@ class PreparedEpr:
             )
             outcome = EprResult(False, core=core, statistics=statistics)
         else:
-            structure, term_to_elem = owner._extract(
-                self.builder, result.model, reps, self.universe, self.working_vocab
-            )
+            with profile.phase("extract"):
+                structure, term_to_elem = owner._extract(
+                    self.builder, result.model, reps, self.universe,
+                    self.working_vocab,
+                )
             outcome = EprResult(
                 True,
                 model=structure,
@@ -668,17 +706,22 @@ class PreparedEpr:
             result = self.sat.solve(assumptions, self._meter)
             if not result.satisfiable:
                 return result, None
-            reps = self.equality.classes(result.model)
-            violations = self.equality.congruence_violations(result.model, reps)
+            with profile.phase("theory"):
+                reps = self.equality.classes(result.model)
+                violations = self.equality.congruence_violations(
+                    result.model, reps
+                )
             if violations:
-                for clause in violations:
-                    self.sat.add_clause(clause)
-                    counters["congruence"] += 1
+                with profile.phase("theory"):
+                    for clause in violations:
+                        self.sat.add_clause(clause)
+                        counters["congruence"] += 1
                 continue
-            new_instances = owner._refine_lazy(
-                self.lazy_blocks, self.universe, reps, self.builder,
-                result.model, self.assert_instance, meter=self._meter,
-            )
+            with profile.phase("theory"):
+                new_instances = owner._refine_lazy(
+                    self.lazy_blocks, self.universe, reps, self.builder,
+                    result.model, self.assert_instance, meter=self._meter,
+                )
             if new_instances:
                 counters["lazy"] += new_instances
                 continue
@@ -700,13 +743,17 @@ class PreparedEpr:
         forced: list[int] = []
         decided: set[int] = set()
         while True:
-            pending = sorted(
-                ((atom.rel.name, tuple(term_key(a) for a in atom.args)), var)
-                for atom, var in self.builder.atoms.items()
-                if isinstance(atom, s.Rel)
-                and atom.rel in base_rels
-                and var not in decided
-            )
+            # The scan itself is model post-processing; the phase block
+            # closes before the per-atom re-solves (which time their own
+            # sat/theory phases), keeping phases disjoint.
+            with profile.phase("extract"):
+                pending = sorted(
+                    ((atom.rel.name, tuple(term_key(a) for a in atom.args)), var)
+                    for atom, var in self.builder.atoms.items()
+                    if isinstance(atom, s.Rel)
+                    and atom.rel in base_rels
+                    and var not in decided
+                )
             if not pending:
                 return result, reps
             for _, var in pending:

@@ -24,6 +24,7 @@ from .. import obs
 from ..logic import syntax as s
 from ..logic.sorts import FuncDecl, Sort, StratificationError, Vocabulary
 from ..logic.subst import substitute
+from ..obs import profile
 from ..recovery import heartbeat
 from .budget import BudgetMeter
 
@@ -49,6 +50,16 @@ def ground_universe(
     deadline via :meth:`BudgetMeter.check_deadline`); the hard
     ``max_terms_per_sort`` cap applies regardless.
     """
+    with profile.phase("ground"):
+        return _ground_universe(vocab, extra_constants, max_terms_per_sort, meter)
+
+
+def _ground_universe(
+    vocab: Vocabulary,
+    extra_constants: Sequence[FuncDecl],
+    max_terms_per_sort: int,
+    meter: BudgetMeter | None,
+) -> dict[Sort, list[s.Term]]:
     vocab.check_stratified()
     constants = list(vocab.constants()) + [c for c in extra_constants if c.is_constant]
     universe: dict[Sort, list[s.Term]] = {sort: [] for sort in vocab.sorts}

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from .. import obs
+from ..obs import profile
 from ..recovery import heartbeat
 from .budget import BudgetMeter
 
@@ -247,9 +248,11 @@ class Solver:
         root), so a budget-exceeded search can be retried or abandoned.
         """
         if not obs.enabled():
-            return self._solve(assumptions, meter)
+            with profile.phase("sat"):
+                return self._solve(assumptions, meter)
         before = self.statistics["conflicts"]
-        result = self._solve(assumptions, meter)
+        with profile.phase("sat"):
+            result = self._solve(assumptions, meter)
         obs.point(
             "sat.solve",
             verdict="sat" if result.satisfiable else "unsat",

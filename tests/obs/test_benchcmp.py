@@ -1,0 +1,149 @@
+"""The benchmark regression gate: classification, thresholds, exit codes.
+
+The noise model under test: a timing regresses only past *both* the
+relative ratio and the absolute floor, ``speedup`` keys invert, a
+``holds`` flip to False and any ``unknown`` increase are fatal, and
+everything else is informational.  The file-level driver must exit
+nonzero exactly when a regression survives (and never in
+``--report-only`` mode).
+"""
+
+import json
+
+import pytest
+
+from repro.obs.benchcmp import (
+    DEFAULT_FLOOR_S,
+    DEFAULT_MAX_RATIO,
+    Finding,
+    compare,
+    diff_files,
+    load_bench,
+)
+
+
+def _diff(old_sections, new_sections, **kwargs):
+    return compare(
+        {"sections": old_sections}, {"sections": new_sections}, **kwargs
+    )
+
+
+def _severities(findings):
+    return [(f.severity, f.path) for f in findings]
+
+
+class TestClassification:
+    def test_no_drift_no_findings(self):
+        sections = {"lock_server": {"wall_s": 1.0, "queries": 10}}
+        assert _diff(sections, sections) == []
+
+    def test_timing_regression_needs_ratio_and_floor(self):
+        # 2x growth but only 0.1s absolute: under the 0.25s floor.
+        assert _diff({"a": {"wall_s": 0.1}}, {"a": {"wall_s": 0.2}}) == []
+        # Past both: regression.
+        findings = _diff({"a": {"wall_s": 1.0}}, {"a": {"wall_s": 2.0}})
+        assert _severities(findings) == [("regression", "a.wall_s")]
+        # Large absolute growth but within the ratio: still noise.
+        assert _diff({"a": {"wall_s": 10.0}}, {"a": {"wall_s": 12.0}}) == []
+
+    def test_timing_improvement_is_informational(self):
+        findings = _diff({"a": {"wall_s": 2.0}}, {"a": {"wall_s": 0.5}})
+        assert _severities(findings) == [("improvement", "a.wall_s")]
+
+    def test_ms_keys_share_the_seconds_floor(self):
+        # 40ms -> 90ms is 2.25x but only 50ms absolute: under the floor.
+        assert _diff({"a": {"solve_ms": 40}}, {"a": {"solve_ms": 90}}) == []
+        findings = _diff({"a": {"solve_ms": 400}}, {"a": {"solve_ms": 900}})
+        assert _severities(findings) == [("regression", "a.solve_ms")]
+
+    def test_speedup_keys_invert(self):
+        findings = _diff({"a": {"speedup": 3.0}}, {"a": {"speedup": 1.0}})
+        assert _severities(findings) == [("regression", "a.speedup")]
+        findings = _diff({"a": {"speedup": 1.0}}, {"a": {"speedup": 3.0}})
+        assert _severities(findings) == [("improvement", "a.speedup")]
+
+    def test_holds_flip_to_false_is_fatal(self):
+        findings = _diff({"a": {"holds": True}}, {"a": {"holds": False}})
+        assert _severities(findings) == [("regression", "a.holds")]
+        # The other direction is news, not a failure.
+        findings = _diff({"a": {"holds": False}}, {"a": {"holds": True}})
+        assert _severities(findings) == [("info", "a.holds")]
+
+    def test_unknown_increase_is_fatal(self):
+        findings = _diff({"a": {"unknown": 0}}, {"a": {"unknown": 2}})
+        assert _severities(findings) == [("regression", "a.unknown")]
+        assert _diff({"a": {"unknown": 2}}, {"a": {"unknown": 0}}) == [
+            Finding("info", "a.unknown", 2, 0, "counter moved")
+        ]
+
+    def test_counter_drift_is_informational(self):
+        findings = _diff({"a": {"queries": 10}}, {"a": {"queries": 14}})
+        assert _severities(findings) == [("info", "a.queries")]
+
+    def test_one_sided_sections_are_informational(self):
+        findings = _diff({"a": {"wall_s": 1.0}}, {"b": {"wall_s": 1.0}})
+        assert _severities(findings) == [("info", "a"), ("info", "b")]
+
+    def test_nested_sections_use_dotted_paths(self):
+        findings = _diff(
+            {"a": {"phases": {"cnf_ms": 1000}}},
+            {"a": {"phases": {"cnf_ms": 9000}}},
+        )
+        assert _severities(findings) == [("regression", "a.phases.cnf_ms")]
+
+    def test_custom_thresholds(self):
+        old, new = {"a": {"wall_s": 1.0}}, {"a": {"wall_s": 1.3}}
+        assert _diff(old, new) == []
+        findings = _diff(old, new, max_ratio=1.1, floor_s=0.05)
+        assert _severities(findings) == [("regression", "a.wall_s")]
+
+
+def _bench_file(tmp_path, name, sections):
+    path = tmp_path / name
+    with open(path, "w") as handle:
+        json.dump({"schema": 3, "git_rev": "abc", "sections": sections}, handle)
+    return str(path)
+
+
+class TestDiffFiles:
+    def test_identical_files_exit_zero(self, tmp_path, capsys):
+        path = _bench_file(tmp_path, "a.json", {"p": {"wall_s": 1.0}})
+        assert diff_files(path, path) == 0
+        out = capsys.readouterr().out
+        assert "verdict: OK" in out and "(no drift)" in out
+
+    def test_slowdown_exits_nonzero(self, tmp_path, capsys):
+        base = _bench_file(tmp_path, "a.json", {"p": {"wall_s": 1.0}})
+        slow = _bench_file(tmp_path, "b.json", {"p": {"wall_s": 2.0}})
+        assert diff_files(base, slow) == 1
+        out = capsys.readouterr().out
+        assert "verdict: REGRESSED" in out
+        assert "[REGRESSION] p.wall_s" in out
+
+    def test_report_only_always_exits_zero(self, tmp_path, capsys):
+        base = _bench_file(tmp_path, "a.json", {"p": {"wall_s": 1.0}})
+        slow = _bench_file(tmp_path, "b.json", {"p": {"wall_s": 2.0}})
+        assert diff_files(base, slow, report_only=True) == 0
+        assert "verdict: REGRESSED" in capsys.readouterr().out
+
+    def test_default_thresholds_are_the_documented_ones(self):
+        assert DEFAULT_MAX_RATIO == 1.6
+        assert DEFAULT_FLOOR_S == 0.25
+
+
+class TestLoadBench:
+    def test_missing_file_raises_system_exit(self, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read"):
+            load_bench(str(tmp_path / "absent.json"))
+
+    def test_invalid_json_raises_system_exit(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("{nope")
+        with pytest.raises(SystemExit, match="not valid JSON"):
+            load_bench(str(path))
+
+    def test_sectionless_payload_raises_system_exit(self, tmp_path):
+        path = tmp_path / "flat.json"
+        path.write_text(json.dumps({"schema": 3}))
+        with pytest.raises(SystemExit, match="no sections"):
+            load_bench(str(path))

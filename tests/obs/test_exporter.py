@@ -1,0 +1,267 @@
+"""Metrics exporter: exposition format, HTTP endpoints, scrape-during-run.
+
+Pins the Prometheus text-exposition contract (format 0.0.4): one
+``# TYPE`` declaration per metric name, double-quoted label values,
+*cumulative* histogram buckets ending in a ``+Inf`` bucket equal to the
+count, and ``_sum``/``_count`` series.  The HTTP side is exercised over
+a real loopback socket, including a scrape racing a live fork-pool run
+-- every mid-run scrape must parse, and chaos (injected worker crashes)
+must change neither verdicts nor the exposition's validity.
+"""
+
+import json
+import re
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.obs.exporter import CONTENT_TYPE, MetricsServer, render_exposition
+from repro.logic import RelDecl, Sort, Var, vocabulary
+from repro.logic import syntax as s
+from repro.solver import (
+    EprSolver,
+    FaultPlan,
+    install_cache,
+    install_fault_plan,
+    query_of,
+    solve_queries,
+)
+from repro.solver.dispatch import _fork_context
+
+needs_fork = pytest.mark.skipif(
+    _fork_context() is None, reason="fork start method unavailable"
+)
+
+#: a sample line: name, optional {labels}, space, value
+_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\"(,[a-zA-Z_][a-zA-Z0-9_]*=\"[^\"]*\")*\})?"
+    r" -?[0-9.+eE]+(\+Inf)?$"
+)
+
+
+def assert_parseable(text):
+    """Every line is a comment or a well-formed sample; buckets cumulate."""
+    bucket_runs = {}
+    for line in text.splitlines():
+        if not line:
+            continue
+        if line.startswith("#"):
+            assert line.startswith("# TYPE "), line
+            continue
+        assert _SAMPLE.match(line), f"malformed sample line: {line!r}"
+        if "_bucket{" in line:
+            series = line.rsplit(" ", 1)
+            key = re.sub(r'le="[^"]*",?', "", series[0])
+            run = bucket_runs.setdefault(key, [])
+            run.append(float(series[1]))
+    for key, counts in bucket_runs.items():
+        assert counts == sorted(counts), f"non-cumulative buckets: {key}"
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    old_metrics = obs.install_metrics(None)
+    old_cache = install_cache(None)
+    install_fault_plan(FaultPlan())
+    yield
+    install_fault_plan(None)
+    install_cache(old_cache)
+    obs.install_metrics(old_metrics)
+
+
+@pytest.fixture
+def registry():
+    registry = obs.MetricsRegistry()
+    obs.install_metrics(registry)
+    return registry
+
+
+def _fetch(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestRenderExposition:
+    def test_counters_gauges_and_type_lines(self, registry):
+        obs.inc("queries_total", 3, verdict="unsat")
+        obs.inc("queries_total", 1, verdict="sat")
+        obs.set_gauge("frames", 4)
+        text = render_exposition(registry)
+        assert text.count("# TYPE queries_total counter") == 1
+        assert 'queries_total{verdict="unsat"} 3' in text
+        assert 'queries_total{verdict="sat"} 1' in text
+        assert "# TYPE frames gauge" in text
+        assert "\nframes 4\n" in text or text.startswith("frames 4\n")
+        assert_parseable(text)
+
+    def test_histogram_buckets_are_cumulative_with_inf(self, registry):
+        for value in (0.5, 2.0, 700.0):
+            obs.observe("query_latency_ms", value, engine="bmc")
+        text = render_exposition(registry)
+        assert "# TYPE query_latency_ms histogram" in text
+        bucket_lines = [
+            line for line in text.splitlines()
+            if line.startswith("query_latency_ms_bucket")
+        ]
+        assert bucket_lines, text
+        # Cumulative: the +Inf bucket closes the series at the count.
+        assert bucket_lines[-1].endswith(" 3")
+        assert 'le="+Inf"' in bucket_lines[-1]
+        assert 'engine="bmc"' in bucket_lines[0]
+        assert 'query_latency_ms_count{engine="bmc"} 3' in text
+        assert_parseable(text)
+
+    def test_empty_histogram_still_has_inf_bucket(self, registry):
+        registry.histogram_by_key("query_latency_ms")
+        text = render_exposition(registry)
+        assert 'query_latency_ms_bucket{le="+Inf"} 0' in text
+        assert_parseable(text)
+
+    def test_derived_rates_render_as_prefixed_gauges(self, registry):
+        obs.inc("cache_hits_total", 3)
+        obs.inc("cache_misses_total", 1)
+        text = render_exposition(registry)
+        assert "# TYPE repro_derived_cache_hit_rate gauge" in text
+        assert "repro_derived_cache_hit_rate 0.75" in text
+        assert_parseable(text)
+
+    def test_empty_registry_renders_empty_document(self, registry):
+        assert render_exposition(registry) == "\n"
+
+
+class TestMetricsServer:
+    def test_endpoints_over_loopback(self, registry):
+        obs.inc("queries_total", 2, verdict="unsat")
+        server = MetricsServer(port=0)
+        port = server.start()
+        try:
+            assert server.url == f"http://127.0.0.1:{port}/metrics"
+            status, headers, text = _fetch(server.url)
+            assert status == 200
+            assert headers["Content-Type"] == CONTENT_TYPE
+            assert 'queries_total{verdict="unsat"} 2' in text
+            assert_parseable(text)
+            status, headers, body = _fetch(
+                f"http://127.0.0.1:{port}/metrics.json"
+            )
+            assert status == 200
+            assert json.loads(body)["counters"] == {
+                "queries_total{verdict=unsat}": 2
+            }
+            status, _, body = _fetch(f"http://127.0.0.1:{port}/healthz")
+            assert status == 200 and body == "ok\n"
+        finally:
+            server.stop()
+
+    def test_unknown_path_is_404(self, registry):
+        server = MetricsServer(port=0)
+        port = server.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _fetch(f"http://127.0.0.1:{port}/nope")
+            assert excinfo.value.code == 404
+        finally:
+            server.stop()
+
+    def test_no_registry_is_503(self):
+        server = MetricsServer(port=0)
+        port = server.start()
+        try:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _fetch(f"http://127.0.0.1:{port}/metrics")
+            assert excinfo.value.code == 503
+        finally:
+            server.stop()
+
+    def test_follows_registry_swaps(self):
+        first = obs.MetricsRegistry()
+        obs.install_metrics(first)
+        server = MetricsServer(port=0)
+        port = server.start()
+        try:
+            obs.inc("frames_total", 1)
+            _, _, text = _fetch(server.url)
+            assert "frames_total 1" in text
+            second = obs.MetricsRegistry()
+            obs.install_metrics(second)
+            obs.inc("frames_total", 5)
+            _, _, text = _fetch(server.url)
+            assert "frames_total 5" in text
+        finally:
+            server.stop()
+
+
+elem = Sort("elem")
+p = RelDecl("p", (elem,))
+VOCAB = vocabulary(sorts=[elem], relations=[p], functions=[])
+X = Var("X", elem)
+SOME_P = s.exists((X,), s.Rel(p, (X,)))
+NO_P = s.forall((X,), s.not_(s.Rel(p, (X,))))
+
+
+def _queries():
+    out = []
+    for index, formulas in enumerate([[SOME_P, NO_P], [SOME_P], [NO_P]]):
+        solver = EprSolver(VOCAB)
+        for findex, formula in enumerate(formulas):
+            solver.add(formula, name=f"f{findex}")
+        out.append(query_of(solver, name=f"q{index}"))
+    return out
+
+
+@needs_fork
+class TestScrapeDuringRun:
+    def _run_with_scraper(self, jobs=2):
+        """Solve on a fork pool while a thread scrapes continuously."""
+        server = MetricsServer(port=0)
+        port = server.start()
+        scrapes = []
+        stop = threading.Event()
+
+        def scraper():
+            while not stop.is_set():
+                try:
+                    _, _, text = _fetch(f"http://127.0.0.1:{port}/metrics")
+                    scrapes.append(text)
+                except (urllib.error.URLError, OSError):
+                    pass
+
+        thread = threading.Thread(target=scraper, daemon=True)
+        thread.start()
+        try:
+            results = [r for (r,) in solve_queries(_queries(), jobs=jobs)]
+        finally:
+            stop.set()
+            thread.join(timeout=10)
+            server.stop()
+        return results, scrapes
+
+    def test_mid_run_scrapes_parse_and_include_pool_metrics(self):
+        registry = obs.MetricsRegistry()
+        obs.install_metrics(registry)
+        results, scrapes = self._run_with_scraper()
+        assert [r.satisfiable for r in results] == [False, True, True]
+        assert scrapes, "scraper never reached the endpoint"
+        for text in scrapes:
+            assert_parseable(text)
+        final = render_exposition(registry)
+        assert 'queries_total{verdict="unsat"} 1' in final
+        assert "dispatched_total 3" in final
+        assert 'phase="transit"' in final
+
+    def test_chaos_run_keeps_verdicts_and_valid_exposition(self):
+        install_fault_plan(FaultPlan(crash=0.6, seed=11))
+        registry = obs.MetricsRegistry()
+        obs.install_metrics(registry)
+        results, scrapes = self._run_with_scraper()
+        assert [r.satisfiable for r in results] == [False, True, True]
+        for text in scrapes:
+            assert_parseable(text)
+        counters = registry.to_dict()["counters"]
+        assert counters.get("worker_crashes_total", 0) > 0
+        assert counters.get("worker_events_lost_total", 0) > 0
+        assert_parseable(render_exposition(registry))

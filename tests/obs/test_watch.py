@@ -1,0 +1,199 @@
+"""The live run watcher: incremental tailing and view folding.
+
+The watcher is read-only and crash-agnostic, so these tests drive it
+purely from synthesized run directories: a ``meta.json``, a journal with
+engine progress records, and a trace tee with query/fault events.  The
+tailing contract -- only whole lines are consumed, torn tails wait for
+the next tick, corrupt lines are skipped -- is what makes watching a
+run that is writing concurrently safe.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.obs.watch import WatchView, _Tail, watch
+
+
+def _write(path, lines):
+    with open(path, "w") as handle:
+        for line in lines:
+            handle.write(json.dumps(line) + "\n")
+
+
+def _append_raw(path, text):
+    with open(path, "a") as handle:
+        handle.write(text)
+
+
+@pytest.fixture
+def run_dir(tmp_path):
+    run = tmp_path / "run"
+    run.mkdir()
+    with open(run / "meta.json", "w") as handle:
+        json.dump(
+            {
+                "format": 1,
+                "meta": {
+                    "command": "bmc",
+                    "target": "lock_server",
+                    "argv": ["bmc", "lock_server", "-k", "6"],
+                    "created_unix": 1000.0,
+                },
+            },
+            handle,
+        )
+    return str(run)
+
+
+class TestTail:
+    def test_consumes_only_whole_lines(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        _append_raw(path, '{"a": 1}\n{"b": 2')
+        tail = _Tail(path)
+        assert tail.lines() == [{"a": 1}]
+        # The torn record completes on the next tick.
+        _append_raw(path, ', "c": 3}\n')
+        assert tail.lines() == [{"b": 2, "c": 3}]
+        assert tail.lines() == []
+
+    def test_skips_corrupt_lines(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        _append_raw(path, '{"a": 1}\nnot json\n{"b": 2}\n')
+        assert _Tail(path).lines() == [{"a": 1}, {"b": 2}]
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert _Tail(str(tmp_path / "absent.jsonl")).lines() == []
+
+
+class TestWatchView:
+    def test_folds_journal_progress(self, run_dir):
+        _write(
+            os.path.join(run_dir, "journal.jsonl"),
+            [
+                {"v": 1, "seq": 0, "kind": "header", "data": {}},
+                {"v": 1, "seq": 1, "kind": "bmc.depth", "data": {"verdict": "unsat"}},
+                {"v": 1, "seq": 2, "kind": "bmc.depth", "data": {"verdict": "unsat"}},
+                {"v": 1, "seq": 3, "kind": "bmc.depth", "data": {"verdict": "unsat"}},
+                {"v": 1, "seq": 4, "kind": "obligation", "data": {"name": "inv"}},
+            ],
+        )
+        view = WatchView(run_dir)
+        view.refresh()
+        assert view.meta["command"] == "bmc"
+        assert view.bmc_depth == 2  # three depth records: depths 0..2 done
+        assert view.obligations == 1
+        assert "header" not in view.journal_kinds
+
+    def test_folds_trace_events(self, run_dir):
+        _write(
+            os.path.join(run_dir, "trace.jsonl"),
+            [
+                {"e": "run", "run": "abc123", "v": 1, "ts": 0.0},
+                {"e": "start", "name": "induction", "id": "1", "ts": 0.1},
+                {
+                    "e": "end", "name": "epr.solve", "id": "2", "ts": 0.5,
+                    "dur": 0.01,
+                    "attrs": {"verdict": "unsat", "cached": False},
+                },
+                {
+                    "e": "end", "name": "epr.solve", "id": "3", "ts": 0.9,
+                    "dur": 0.0,
+                    "attrs": {"verdict": "unsat", "cached": True},
+                },
+                {
+                    "e": "point", "name": "ledger.split", "id": "4", "ts": 1.0,
+                    "attrs": {"hits": 3, "misses": 1},
+                },
+                {
+                    "e": "point", "name": "dispatch.crash", "id": "5",
+                    "ts": 1.2, "attrs": {"query": "q0"},
+                },
+            ],
+        )
+        view = WatchView(run_dir)
+        view.refresh()
+        assert view.run_id == "abc123"
+        assert view.engines == {"induction"}
+        assert view.queries == 2 and view.cached == 1
+        assert view.verdicts == {"unsat": 2}
+        assert view.ledger_hits == 3 and view.ledger_misses == 1
+        assert view.faults == {"dispatch.crash": 1}
+        assert view.last_ts == 1.2
+
+    def test_incremental_refresh_only_adds_new_records(self, run_dir):
+        journal = os.path.join(run_dir, "journal.jsonl")
+        _write(journal, [{"v": 1, "seq": 1, "kind": "houdini.round",
+                          "data": {"failing": [], "unknown": []}}])
+        view = WatchView(run_dir)
+        view.refresh()
+        assert view.houdini_round == 1
+        _append_raw(
+            journal,
+            json.dumps({"v": 1, "seq": 2, "kind": "houdini.round",
+                        "data": {"failing": [], "unknown": []}}) + "\n",
+        )
+        view.refresh()
+        assert view.houdini_round == 2
+
+    def test_render_mentions_progress_and_rates(self, run_dir):
+        _write(
+            os.path.join(run_dir, "journal.jsonl"),
+            [{"v": 1, "seq": 1, "kind": "bmc.depth", "data": {}}],
+        )
+        _write(
+            os.path.join(run_dir, "trace.jsonl"),
+            [
+                {"e": "run", "run": "abc123", "v": 1, "ts": 2.0},
+                {
+                    "e": "end", "name": "epr.solve", "id": "2", "ts": 3.0,
+                    "dur": 0.01,
+                    "attrs": {"verdict": "sat", "cached": False},
+                },
+            ],
+        )
+        view = WatchView(run_dir)
+        view.refresh()
+        text = view.render()
+        assert "bmc lock_server" in text
+        assert "run abc123" in text
+        assert "bmc depth 0" in text
+        assert "sat=1" in text
+        assert "cache hit rate 0.0%" in text
+
+    def test_eta_extrapolates_from_bound(self, run_dir):
+        _write(
+            os.path.join(run_dir, "journal.jsonl"),
+            [
+                {"v": 1, "seq": 1, "kind": "bmc.depth", "data": {}},
+                {"v": 1, "seq": 2, "kind": "bmc.depth", "data": {}},
+            ],
+        )
+        _write(
+            os.path.join(run_dir, "trace.jsonl"),
+            [{"e": "run", "run": "r", "v": 1, "ts": 10.0}],
+        )
+        view = WatchView(run_dir)
+        view.refresh()
+        # depths 0..1 done in 10s of a -k 6 run: >= 25s more, floor-labeled.
+        assert view._eta() == ">= 25s to depth 6"
+
+    def test_empty_run_dir_renders_placeholder(self, tmp_path):
+        bare = tmp_path / "bare"
+        bare.mkdir()  # no meta, no journal, no trace
+        view = WatchView(str(bare))
+        view.refresh()
+        assert "(no journal or trace data yet)" in view.render()
+
+
+class TestWatchCommand:
+    def test_missing_directory_is_an_error(self, tmp_path, capsys):
+        assert watch(str(tmp_path / "nope")) == 1
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_once_renders_a_single_snapshot(self, run_dir, capsys):
+        assert watch(run_dir, once=True) == 0
+        out = capsys.readouterr().out
+        assert out.count("watching") == 1
+        assert "bmc lock_server" in out

@@ -25,11 +25,17 @@ class TestDurabilitySection:
              "attrs": {"events": 7}},
         ])
         report = obs.render_report(events)
-        assert "durability (write-ahead journal, disk stores):" in report
+        assert (
+            "durability (journal resume, worker supervision, stores):"
+            in report
+        )
         assert "journal loads: 1 (7 event(s) replayed)" in report
         assert "journal appends: 3" in report
         assert "2 obligation" in report and "1 houdini.round" in report
-        assert "transient I/O retries: 1" in report
+        # Consolidated durability gauges: replay share plus fault totals.
+        assert "resume_reused_ratio: 0.700" in report  # 7 / (7 + 3)
+        assert "worker_wedged_total: 0" in report
+        assert "store_retries_total: 1" in report
         assert "write abc123" in report
 
     def test_section_absent_without_durability_events(self):
